@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Each paper table/figure has one benchmark module regenerating its
+rows/series at a tractable scale (absolute wall-clock differs from the
+paper's C + OMNeT++ toolchain; orderings and shapes are what count —
+see EXPERIMENTS.md).  Shape facts are attached to the benchmark's
+``extra_info`` so `pytest benchmarks/ --benchmark-only` leaves a
+machine-readable record.
+
+Most benchmarks run ``pedantic(rounds=1)``: routing a network is a
+seconds-scale deterministic computation, not a microsecond kernel.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """One measured invocation (plus zero warmup) of ``fn``."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

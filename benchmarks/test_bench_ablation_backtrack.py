@@ -1,0 +1,51 @@
+"""Ablation — §4.6.2/4.6.3: backtracking and shortcuts on/off.
+
+Measures the cost of the impasse machinery and records what it buys:
+escape-path fallbacks avoided and path length kept minimal.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueConfig, NueRouting
+from repro.metrics import path_length_stats, validate_routing
+from repro.network.topologies import torus
+
+
+@pytest.fixture(scope="module")
+def net():
+    return torus([5, 5, 5], 2)
+
+
+CONFIGS = {
+    "full": NueConfig(),
+    "no-shortcuts": NueConfig(enable_shortcuts=False),
+    "no-backtracking": NueConfig(enable_backtracking=False,
+                                 enable_shortcuts=False),
+}
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_ablation_backtrack(benchmark, net, label):
+    cfg = CONFIGS[label]
+    result = run_once(benchmark, NueRouting(1, cfg).route, net, None, 4)
+    validate_routing(result, sources=net.terminals[:10],
+                     check_deadlock=False)
+    stats = path_length_stats(result)
+    benchmark.extra_info.update({
+        "fallbacks": result.stats["fallbacks"],
+        "islands_resolved": result.stats["islands_resolved"],
+        "shortcuts_taken": result.stats["shortcuts_taken"],
+        "max_path_len": stats.maximum,
+        "avg_path_len": round(stats.average, 2),
+    })
+
+
+def test_ablation_backtrack_shape(net):
+    """Backtracking reduces escape fallbacks (the §4.6.2 motivation)."""
+    off = NueRouting(
+        1, NueConfig(enable_backtracking=False, enable_shortcuts=False)
+    ).route(net, seed=4)
+    on = NueRouting(1, NueConfig()).route(net, seed=4)
+    assert on.stats["fallbacks"] <= off.stats["fallbacks"]
+    assert off.stats["fallbacks"] > 0

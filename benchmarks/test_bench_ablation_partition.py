@@ -1,0 +1,47 @@
+"""Ablation — §4.5: destination partitioner choice at k = 8.
+
+The paper reports multilevel k-way beating random and clustering on
+path balance; we regenerate the comparison via Γ_max on the same
+topology (lower is better-balanced).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueConfig, NueRouting
+from repro.metrics import gamma_summary, validate_routing
+from repro.network.topologies import random_topology
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def net():
+    return random_topology(60, 300, 4, seed=9)
+
+
+@pytest.mark.parametrize("partitioner", ["kway", "random", "cluster"])
+def test_ablation_partitioner(benchmark, net, partitioner):
+    cfg = NueConfig(partitioner=partitioner)
+    result = run_once(
+        benchmark, NueRouting(K, cfg).route, net, None, 17
+    )
+    validate_routing(result, sources=net.terminals[:10],
+                     check_deadlock=False)
+    g = gamma_summary(result)
+    benchmark.extra_info.update({
+        "gamma_max": g.maximum,
+        "gamma_sd": round(g.stddev, 1),
+        "fallbacks": result.stats["fallbacks"],
+    })
+
+
+def test_ablation_partitioner_shape(net):
+    """k-way must not be materially worse than random partitioning on
+    Γ_max (the paper found it strictly better on its workloads)."""
+    gmax = {}
+    for part in ("kway", "random"):
+        cfg = NueConfig(partitioner=part)
+        result = NueRouting(K, cfg).route(net, seed=17)
+        gmax[part] = gamma_summary(result).maximum
+    assert gmax["kway"] <= 1.25 * gmax["random"]

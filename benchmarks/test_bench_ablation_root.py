@@ -1,0 +1,60 @@
+"""Ablation — §4.3: betweenness-central escape root vs an arbitrary one.
+
+The paper argues the central root reduces the escape paths' initial
+channel dependencies and their path lengths.  We measure both against
+rooting the spanning tree at node 0 on the paper-sized random topology.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.escape import EscapePaths
+from repro.core.root import select_root
+from repro.network.topologies import random_topology, torus
+
+
+@pytest.fixture(scope="module")
+def net():
+    return random_topology(60, 300, 4, seed=5)
+
+
+def _escape_deps(net, root):
+    cdg = CompleteCDG(net)
+    esc = EscapePaths(net, cdg, root, net.terminals)
+    return esc
+
+
+def test_ablation_central_root(benchmark, net):
+    root = select_root(net, net.terminals, all_dests=True)
+    esc = run_once(benchmark, _escape_deps, net, root)
+    benchmark.extra_info["initial_dependencies"] = esc.initial_dependencies
+    benchmark.extra_info["root"] = net.node_names[root]
+
+
+def test_ablation_arbitrary_root(benchmark, net):
+    esc = run_once(benchmark, _escape_deps, net, 0)
+    benchmark.extra_info["initial_dependencies"] = esc.initial_dependencies
+
+
+def test_ablation_root_depth_shape(net):
+    """The central root's escape tree is at least as shallow as an
+    arbitrary peripheral one (latency argument of §4.3)."""
+    central = select_root(net, net.terminals, all_dests=True)
+
+    def max_depth(root):
+        tree = _escape_deps(net, root).tree
+        def depth(v):
+            d = 0
+            while tree.parent[v] >= 0:
+                v = tree.parent[v]
+                d += 1
+            return d
+        return max(depth(v) for v in range(net.n_nodes))
+
+    assert max_depth(central) <= max_depth(0)
+
+
+def test_ablation_root_selection_cost(benchmark, net):
+    """Brandes-based selection is the §4.3 overhead Nue pays per layer."""
+    run_once(benchmark, select_root, net, net.terminals, True)

@@ -1,0 +1,67 @@
+"""Ablation — §3: destination-based vs source-routed instantiation.
+
+The paper picks the destination-based graph search because InfiniBand
+requires it; §3 notes a source-routed variant is equally possible.
+This bench compares the two on the same fabric: explicit per-pair
+routes escape the single-next-hop constraint, so they can spread load
+better, at quadratic table cost.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueRouting
+from repro.core.source_routed import SourceRoutedNue
+from repro.metrics import gamma_summary
+from repro.metrics.deadlock import explicit_paths_deadlock_free
+from repro.network.topologies import torus
+
+
+@pytest.fixture(scope="module")
+def net():
+    return torus([4, 4], 2)
+
+
+def test_ablation_destination_based(benchmark, net):
+    result = run_once(benchmark, NueRouting(1).route, net, None, 6)
+    g = gamma_summary(result)
+    benchmark.extra_info["gamma_max"] = g.maximum
+    benchmark.extra_info["table_entries"] = (
+        net.n_nodes * len(result.dests)
+    )
+
+
+def test_ablation_source_routed(benchmark, net):
+    router = SourceRoutedNue(1)
+    result = run_once(benchmark, router.route_pairs, net, None, 6)
+    assert explicit_paths_deadlock_free(
+        net,
+        ((p, result.vls[pair]) for pair, p in result.paths.items()),
+    )
+    # per-channel load over all explicit pairs
+    loads = {}
+    for path in result.paths.values():
+        for c in path:
+            u, v = net.endpoints(c)
+            if net.is_switch(u) and net.is_switch(v):
+                loads[c] = loads.get(c, 0) + 1
+    benchmark.extra_info["gamma_max"] = max(loads.values())
+    benchmark.extra_info["route_entries"] = len(result.paths)
+    benchmark.extra_info["fallbacks"] = result.fallbacks
+
+
+def test_ablation_source_routed_shape(net):
+    """Both variants stay deadlock-free at k = 1; the source-routed
+    one must not be *worse* balanced (it has strictly more freedom)."""
+    dest_based = NueRouting(1).route(net, seed=6)
+    g_dest = gamma_summary(dest_based).maximum
+
+    sr = SourceRoutedNue(1).route_pairs(net, seed=6)
+    loads = {}
+    for path in sr.paths.values():
+        for c in path:
+            u, v = net.endpoints(c)
+            if net.is_switch(u) and net.is_switch(v):
+                loads[c] = loads.get(c, 0) + 1
+    g_src = max(loads.values())
+    assert g_src <= 1.5 * g_dest

@@ -1,0 +1,91 @@
+"""Fig. 1 — faulty 4x4x3 torus: throughput and required VCs.
+
+Regenerates both panels at the paper's exact network (47 switches, 188
+terminals after the failure).  The benchmark clock measures the routing
+computation; the all-to-all throughput and VC requirement land in
+``extra_info``.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueRouting
+from repro.experiments.fig01 import VC_LIMIT, build_network
+from repro.fabric.flow import simulate_all_to_all
+from repro.metrics import is_deadlock_free, required_vcs
+from repro.routing import (
+    DFSSSPRouting,
+    LASHRouting,
+    Torus2QoSRouting,
+    UpDownRouting,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_network()
+
+
+def _record(benchmark, result, sample_phases=40):
+    sim = simulate_all_to_all(result, sample_phases=sample_phases, seed=1)
+    req = required_vcs(result)
+    benchmark.extra_info["throughput_gbs"] = round(
+        sim.throughput_gbyte_per_s, 1
+    )
+    benchmark.extra_info["required_vcs"] = req
+    benchmark.extra_info["within_vc_limit"] = bool(
+        req <= VC_LIMIT and is_deadlock_free(result)
+    )
+    return sim
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_fig01_nue(benchmark, net, k):
+    result = run_once(benchmark, NueRouting(k).route, net, None, 1)
+    sim = _record(benchmark, result)
+    assert benchmark.extra_info["within_vc_limit"]
+    assert sim.throughput_gbyte_per_s > 0
+
+
+def test_fig01_torus2qos(benchmark, net):
+    result = run_once(benchmark, Torus2QoSRouting().route, net)
+    _record(benchmark, result)
+    # the paper's headline: works, 2 VCs, top-tier throughput
+    assert benchmark.extra_info["required_vcs"] == 2
+    assert benchmark.extra_info["within_vc_limit"]
+
+
+def test_fig01_updn(benchmark, net):
+    result = run_once(benchmark, UpDownRouting().route, net)
+    _record(benchmark, result)
+    assert benchmark.extra_info["required_vcs"] == 1
+
+
+def test_fig01_lash(benchmark, net):
+    result = run_once(benchmark, LASHRouting(max_vls=16).route, net)
+    _record(benchmark, result)
+    assert benchmark.extra_info["within_vc_limit"]
+
+
+def test_fig01_dfsssp_exceeds_limit(benchmark, net):
+    """DFSSSP delivers throughput but cannot fit the 4-VC budget —
+    the inapplicability Fig. 1 is about."""
+    result = run_once(benchmark, DFSSSPRouting(max_vls=16).route, net)
+    _record(benchmark, result)
+    assert benchmark.extra_info["required_vcs"] > VC_LIMIT
+
+
+def test_fig01_shape_nue_grows_with_k(net):
+    """Cross-bar shape assertion: Nue's throughput rises with the VC
+    budget and approaches Torus-2QoS's."""
+    tput = {}
+    for k in (1, 4):
+        res = NueRouting(k).route(net, seed=1)
+        tput[k] = simulate_all_to_all(
+            res, sample_phases=40, seed=1
+        ).throughput_gbyte_per_s
+    t2q = simulate_all_to_all(
+        Torus2QoSRouting().route(net), sample_phases=40, seed=1
+    ).throughput_gbyte_per_s
+    assert tput[4] > tput[1]
+    assert tput[4] > 0.7 * t2q

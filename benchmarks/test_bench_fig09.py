@@ -1,0 +1,67 @@
+"""Fig. 9 / Sec. 5.1 — edge forwarding index on a random topology.
+
+One paper-sized random topology (125 switches / 1,000 channels / 1,000
+terminals); Γ statistics per routing land in ``extra_info``.  The
+1,000-topology averaging lives in ``repro.experiments.fig09`` —
+box-plot statistics, not wall-clock, are the figure's content.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueRouting
+from repro.metrics import gamma_summary, path_length_stats
+from repro.network.topologies import random_topology
+from repro.routing import DFSSSPRouting, LASHRouting
+
+
+@pytest.fixture(scope="module")
+def net():
+    return random_topology(125, 1000, 8, seed=2016)
+
+
+def _record(benchmark, result):
+    g = gamma_summary(result)
+    p = path_length_stats(result)
+    benchmark.extra_info.update({
+        "gamma_min": g.minimum,
+        "gamma_avg": round(g.average, 1),
+        "gamma_max": g.maximum,
+        "gamma_sd": round(g.stddev, 1),
+        "max_path_len": p.maximum,
+    })
+    return g, p
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+def test_fig09_nue(benchmark, net, k):
+    result = run_once(benchmark, NueRouting(k).route, net, None, 7)
+    g, p = _record(benchmark, result)
+    benchmark.extra_info["fallback_rate"] = result.stats["fallback_rate"]
+    assert g.maximum > 0
+
+
+def test_fig09_lash(benchmark, net):
+    result = run_once(benchmark, LASHRouting(max_vls=16).route, net)
+    _record(benchmark, result)
+    benchmark.extra_info["vls"] = result.n_vls
+
+
+def test_fig09_dfsssp(benchmark, net):
+    result = run_once(benchmark, DFSSSPRouting(max_vls=16).route, net)
+    _record(benchmark, result)
+    benchmark.extra_info["vls"] = result.n_vls
+
+
+def test_fig09_shape(net):
+    """The figure's orderings: more VLs improve Nue's balance toward
+    DFSSSP's; path lengths shrink to minimal at high k (Sec. 5.1)."""
+    g1 = gamma_summary(NueRouting(1).route(net, seed=7))
+    g8 = gamma_summary(NueRouting(8).route(net, seed=7))
+    gd = gamma_summary(DFSSSPRouting(max_vls=16).route(net, seed=7))
+    assert g8.maximum < g1.maximum
+    assert g8.maximum < 2.0 * gd.maximum  # "almost similar to DFSSSP"
+
+    p8 = path_length_stats(NueRouting(8).route(net, seed=7))
+    pd = path_length_stats(DFSSSPRouting(max_vls=16).route(net, seed=7))
+    assert p8.maximum <= pd.maximum + 2

@@ -1,0 +1,96 @@
+"""Fig. 10 — all-to-all throughput across the topology classes.
+
+Quick-scale structural twins of the Tab. 1 topologies (the paper-scale
+run is ``python -m repro.experiments.fig10 --paper-scale``).  Each
+benchmark routes one topology with one algorithm and records the
+simulated throughput; shape tests assert the figure's orderings.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueRouting
+from repro.experiments.fig10 import quick_topologies
+from repro.fabric.flow import simulate_all_to_all
+from repro.routing import (
+    DFSSSPRouting,
+    FatTreeRouting,
+    LASHRouting,
+    Torus2QoSRouting,
+    UpDownRouting,
+)
+
+TOPOLOGIES = quick_topologies(seed=1)
+
+
+@pytest.fixture(scope="module")
+def nets():
+    return {name: build() for name, build in TOPOLOGIES.items()}
+
+
+def _throughput(result):
+    return simulate_all_to_all(
+        result, sample_phases=24, seed=1
+    ).throughput_gbyte_per_s
+
+
+@pytest.mark.parametrize("topo", list(TOPOLOGIES))
+def test_fig10_nue_8vl(benchmark, nets, topo):
+    net = nets[topo]
+    result = run_once(benchmark, NueRouting(8).route, net, None, 1)
+    benchmark.extra_info["throughput_gbs"] = round(_throughput(result), 1)
+    benchmark.extra_info["topology"] = topo
+
+
+@pytest.mark.parametrize("topo", list(TOPOLOGIES))
+def test_fig10_dfsssp(benchmark, nets, topo):
+    net = nets[topo]
+    result = run_once(
+        benchmark, DFSSSPRouting(max_vls=16).route, net, None, 1
+    )
+    benchmark.extra_info["throughput_gbs"] = round(_throughput(result), 1)
+    benchmark.extra_info["vls"] = result.n_vls
+
+
+@pytest.mark.parametrize("topo", list(TOPOLOGIES))
+def test_fig10_updn(benchmark, nets, topo):
+    net = nets[topo]
+    result = run_once(benchmark, UpDownRouting().route, net, None, 1)
+    benchmark.extra_info["throughput_gbs"] = round(_throughput(result), 1)
+
+
+def test_fig10_shape_torus(nets):
+    """On the torus, the topology-aware Torus-2QoS leads and Nue
+    closes most of the gap with enough VLs (paper: 83.5–121.4 % of the
+    per-topology best)."""
+    net = nets["torus-4x4x3"]
+    t_t2q = _throughput(Torus2QoSRouting().route(net, seed=1))
+    t_nue = max(
+        _throughput(NueRouting(k).route(net, seed=1)) for k in (6, 8)
+    )
+    t_updn = _throughput(UpDownRouting().route(net, seed=1))
+    assert t_nue > t_updn
+    assert t_nue >= 0.6 * t_t2q
+
+
+def test_fig10_shape_tree(nets):
+    """On the fat tree, ftree/dfsssp-class routing beats Up*/Down*."""
+    net = nets["4-ary-3-tree"]
+    t_ftree = _throughput(FatTreeRouting().route(net, seed=1))
+    t_updn = _throughput(UpDownRouting().route(net, seed=1))
+    t_nue = _throughput(NueRouting(4).route(net, seed=1))
+    assert t_ftree > t_updn
+    assert t_nue > t_updn
+
+
+def test_fig10_shape_random(nets):
+    """On the random topology Nue with many VLs rivals DFSSSP and both
+    beat LASH (Fig. 10's left group)."""
+    net = nets["random"]
+    t_dfsssp = _throughput(DFSSSPRouting(max_vls=16).route(net, seed=1))
+    t_lash = _throughput(LASHRouting(max_vls=16).route(net, seed=1))
+    t_nue = max(
+        _throughput(NueRouting(k).route(net, seed=1)) for k in (4, 8)
+    )
+    assert t_nue >= 0.75 * t_dfsssp
+    assert t_nue >= t_lash * 0.9

@@ -1,0 +1,73 @@
+"""Fig. 11 — routing runtime and applicability on faulty 3D tori.
+
+Here the benchmark clock IS the figure: wall-clock of each
+deadlock-free routing on 1 %-degraded tori, with the applicability
+cross-over (DFSSSP running out of VLs) asserted as shape.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import NueRouting
+from repro.network.faults import inject_random_link_faults
+from repro.network.topologies import torus
+from repro.routing import (
+    DFSSSPRouting,
+    LASHRouting,
+    RoutingError,
+    Torus2QoSRouting,
+)
+
+SIZES = [(3, 3, 3), (4, 4, 4), (5, 5, 5)]
+
+
+@pytest.fixture(scope="module")
+def nets():
+    out = {}
+    for dims in SIZES:
+        net = torus(dims, 4)
+        out[dims] = inject_random_link_faults(net, 0.01, seed=11)
+    return out
+
+
+@pytest.mark.parametrize("dims", SIZES, ids=["x".join(map(str, d))
+                                             for d in SIZES])
+def test_fig11_nue(benchmark, nets, dims):
+    """Nue routes every size — the paper's 100 % applicability claim."""
+    result = run_once(benchmark, NueRouting(8).route, nets[dims], None, 1)
+    benchmark.extra_info["n_nodes"] = nets[dims].n_nodes
+    assert result.n_vls <= 8
+
+
+@pytest.mark.parametrize("dims", SIZES, ids=["x".join(map(str, d))
+                                             for d in SIZES])
+def test_fig11_torus2qos(benchmark, nets, dims):
+    result = run_once(benchmark, Torus2QoSRouting().route, nets[dims])
+    assert result.n_vls == 2
+
+
+@pytest.mark.parametrize("dims", SIZES[:2], ids=["3x3x3", "4x4x4"])
+def test_fig11_lash(benchmark, nets, dims):
+    run_once(benchmark, LASHRouting(max_vls=8).route, nets[dims])
+
+
+def test_fig11_dfsssp_small(benchmark, nets):
+    run_once(benchmark, DFSSSPRouting(max_vls=8).route, nets[(3, 3, 3)])
+
+
+def test_fig11_shape_dfsssp_fails_first(nets):
+    """The applicability crossover: DFSSSP exceeds 8 VLs on the 4x4x4
+    torus while Nue keeps routing it (and everything larger)."""
+    with pytest.raises(RoutingError, match="virtual layers"):
+        DFSSSPRouting(max_vls=8).route(nets[(4, 4, 4)], seed=1)
+    NueRouting(8).route(nets[(4, 4, 4)], seed=1)
+    NueRouting(8).route(nets[(5, 5, 5)], seed=1)
+
+
+def test_fig11_shape_torus2qos_fastest(nets):
+    """Topology-aware analytic routing stays much faster than the
+    agnostic algorithms (paper: ~9x vs Nue)."""
+    net = nets[(4, 4, 4)]
+    t2q = Torus2QoSRouting().route(net)
+    nue = NueRouting(8).route(net, seed=1)
+    assert t2q.runtime_s < nue.runtime_s

@@ -1,0 +1,40 @@
+"""Prop. 1 — Nue's empirical runtime scaling (O(|N|² log |N|) bound)."""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import NueRouting
+from repro.network.topologies import random_topology
+
+SIZES = [16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def nets():
+    return {
+        n: random_topology(n, n * 3, 2, seed=3) for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_nue_k1(benchmark, nets, n):
+    result = run_once(benchmark, NueRouting(1).route, nets[n], None, 3)
+    benchmark.extra_info["n_nodes"] = nets[n].n_nodes
+    assert result.n_vls == 1
+
+
+def test_scaling_slope_below_cubic(nets):
+    """The log-log slope of runtime vs |N| must stay well under 3 —
+    the paper's quadratic(ish) envelope, far from smart routing's
+    O(N^9)."""
+    import time
+    points = []
+    for n in SIZES:
+        t0 = time.perf_counter()
+        NueRouting(1).route(nets[n], seed=3)
+        points.append((nets[n].n_nodes, time.perf_counter() - t0))
+    xs = np.log([p[0] for p in points])
+    ys = np.log([max(p[1], 1e-4) for p in points])
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    assert slope < 3.0

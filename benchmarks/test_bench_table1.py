@@ -1,0 +1,32 @@
+"""Tab. 1 — generation of the seven evaluation topologies.
+
+The benchmark clock measures generator construction; the structural
+counts are asserted against the paper's table (the one deliberate
+substitution — Tsubame2.5's shape — is checked against DESIGN.md's
+documented value instead).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.table1 import PAPER_ROWS, paper_topologies
+
+BUILDERS = paper_topologies(seed=1)
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+def test_table1_generation(benchmark, name):
+    net = run_once(benchmark, BUILDERS[name])
+    sw, term, ch, _r = PAPER_ROWS[name]
+    assert len(net.switches) == sw
+    assert len(net.terminals) == term
+    got_ch = len(net.switch_to_switch_links())
+    if name == "tsubame2.5":
+        assert got_ch == 3420  # documented substitution (DESIGN.md §3)
+    else:
+        assert got_ch == ch
+    benchmark.extra_info.update({
+        "switches": len(net.switches),
+        "terminals": len(net.terminals),
+        "s2s_channels": got_ch,
+    })

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Network-on-chip: watch a real deadlock happen, then route it away.
+
+NoC routers rarely have spare virtual channels, so deadlock freedom
+must come from the routing function alone.  This example drives the
+flit-level wormhole simulator on a small ring-based NoC:
+
+* balanced minimal routing (MinHop) has a cyclic channel dependency
+  graph — under all-to-all pressure the simulator *visibly wedges*
+  (zero flits moving, packets stuck forever);
+* Nue with k = 1 (no virtual channels at all!) routes the same
+  traffic to completion.
+
+Run:  python examples/noc_mesh_router.py
+"""
+
+from repro import MinHopRouting, NueRouting, is_deadlock_free, topologies
+from repro.fabric.flit import FlitSimConfig, FlitSimulator
+from repro.fabric.traffic import shift_phase
+
+
+def drive(result, messages, label):
+    sim = FlitSimulator(
+        result,
+        FlitSimConfig(buffer_flits=2, flits_per_packet=16,
+                      deadlock_threshold=500),
+    )
+    sim.inject(messages)
+    stats = sim.run()
+    state = "DEADLOCKED" if stats.deadlocked else (
+        "completed" if stats.completed else "timed out"
+    )
+    print(f"  {label:12s} {state:11s} "
+          f"delivered {stats.delivered_packets}/{stats.injected_packets}"
+          + (f", avg latency {stats.avg_latency:.0f} cycles"
+             if stats.latencies else ""))
+    return stats
+
+
+def main() -> None:
+    # an 8-tile ring NoC, one core per router
+    net = topologies.ring(8, terminals_per_switch=1, name="noc-ring8")
+    print(f"network: {net}\n")
+
+    # adversarial all-to-all pressure: two simultaneous shift phases
+    messages = (
+        shift_phase(net.terminals, 3)
+        + shift_phase(net.terminals, 4)
+    )
+
+    minhop = MinHopRouting().route(net)
+    nue = NueRouting(max_vls=1).route(net, seed=3)
+
+    print("static analysis (Theorem 1, induced CDG acyclicity):")
+    print(f"  minhop       deadlock-free: {is_deadlock_free(minhop)}")
+    print(f"  nue (1 VC)   deadlock-free: {is_deadlock_free(nue)}\n")
+
+    print("dynamic check (cycle-accurate wormhole simulation):")
+    drive(minhop, messages, "minhop")
+    stats = drive(nue, messages, "nue (1 VC)")
+    assert stats.completed
+
+    print(
+        "\nThe cyclic CDG prediction and the observed wormhole deadlock"
+        "\nagree — and Nue needs zero extra buffers to avoid it."
+    )
+
+
+if __name__ == "__main__":
+    main()

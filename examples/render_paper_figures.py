@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's worked-example figures as Graphviz files.
+
+Writes DOT sources for:
+
+* ``fig2a_network.dot``  — the 5-node ring with shortcut;
+* ``fig3_complete_cdg.dot`` — its complete CDG, all states unused;
+* ``fig4_escape_paths.dot`` — escape paths for root n5 marked used;
+* ``routing_tree.dot``   — a Nue forwarding tree on the same network.
+
+Render any of them with Graphviz, e.g.:
+
+    dot -Tsvg fig3_complete_cdg.dot -o fig3.svg
+
+Run:  python examples/render_paper_figures.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import NueRouting
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.escape import EscapePaths
+from repro.network.topologies import paper_ring_with_shortcut
+from repro.viz import cdg_to_dot, network_to_dot, routing_tree_to_dot
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    outdir.mkdir(parents=True, exist_ok=True)
+    net = paper_ring_with_shortcut()
+
+    (outdir / "fig2a_network.dot").write_text(network_to_dot(net))
+
+    cdg = CompleteCDG(net)
+    (outdir / "fig3_complete_cdg.dot").write_text(cdg_to_dot(cdg))
+
+    n5 = net.node_names.index("n5")
+    esc_cdg = CompleteCDG(net)
+    EscapePaths(net, esc_cdg, n5, list(range(net.n_nodes)))
+    (outdir / "fig4_escape_paths.dot").write_text(cdg_to_dot(esc_cdg))
+
+    result = NueRouting(1).route(
+        net, dests=list(range(net.n_nodes)), seed=1
+    )
+    dot = routing_tree_to_dot(result, dest=0, highlight_src=2)
+    (outdir / "routing_tree.dot").write_text(dot)
+
+    for name in ("fig2a_network", "fig3_complete_cdg",
+                 "fig4_escape_paths", "routing_tree"):
+        print(f"wrote {outdir / (name + '.dot')}")
+    print("render with: dot -Tsvg <file>.dot -o <file>.svg")
+
+
+if __name__ == "__main__":
+    main()

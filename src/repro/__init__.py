@@ -1,0 +1,74 @@
+"""repro — Nue routing (HPDC'16) reproduction library.
+
+Deadlock-free, oblivious, destination-based routing on the complete
+channel dependency graph, plus every substrate the paper's evaluation
+needs: topology generators, the OpenSM baseline routing set, deadlock
+and balance metrics, and flow-/flit-level simulators.
+
+Quickstart::
+
+    from repro import topologies, NueRouting, validate_routing
+
+    net = topologies.torus([4, 4, 3], terminals_per_switch=4)
+    result = NueRouting(max_vls=2).route(net)
+    validate_routing(result)          # cycle-free, connected, DL-free
+    print(result.path_nodes(net.terminals[0], net.terminals[-1]))
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced tables/figures.
+"""
+
+from repro.core import NueRouting, NueConfig
+from repro.metrics import (
+    validate_routing,
+    is_deadlock_free,
+    required_vcs,
+    gamma_summary,
+    path_length_stats,
+)
+from repro.network import Network, NetworkBuilder
+from repro.network import topologies
+from repro.routing import (
+    RoutingAlgorithm,
+    RoutingResult,
+    RoutingError,
+    NotApplicableError,
+    MinHopRouting,
+    UpDownRouting,
+    DownUpRouting,
+    DORRouting,
+    Torus2QoSRouting,
+    FatTreeRouting,
+    LASHRouting,
+    DFSSSPRouting,
+    algorithm_registry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NueRouting",
+    "NueConfig",
+    "Network",
+    "NetworkBuilder",
+    "topologies",
+    "RoutingAlgorithm",
+    "RoutingResult",
+    "RoutingError",
+    "NotApplicableError",
+    "MinHopRouting",
+    "UpDownRouting",
+    "DownUpRouting",
+    "DORRouting",
+    "Torus2QoSRouting",
+    "FatTreeRouting",
+    "LASHRouting",
+    "DFSSSPRouting",
+    "algorithm_registry",
+    "validate_routing",
+    "is_deadlock_free",
+    "required_vcs",
+    "gamma_summary",
+    "path_length_stats",
+    "__version__",
+]

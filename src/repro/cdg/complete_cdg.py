@@ -1,0 +1,320 @@
+"""Complete channel dependency graph with state tracking (paper §4.1, §4.6.1).
+
+The complete CDG ``D̄ = G(C, Ē)`` has one vertex per directed channel of
+the network and an edge ``(c_p, c_q)`` whenever the head of ``c_p`` is
+the tail of ``c_q`` and the pair is not a 180-degree turn
+(``src(c_p) != dst(c_q)``, Def. 6 — note this is node-based, so a turn
+back over a *parallel* channel is excluded too).
+
+Vertices and edges carry the paper's three states — *unused*, *used*,
+*blocked* — plus the ω subgraph numbering of Section 4.6.1, realised
+here as a union–find over channels:
+
+* condition (a): a blocked edge stays blocked — O(1);
+* condition (b): a used edge is part of an acyclic subgraph — O(1);
+* condition (c): endpoints in different ω components can never close a
+  cycle — O(α);
+* condition (d): same component ⇒ one DFS over *used* edges from
+  ``c_q`` looking for ``c_p`` decides it exactly.
+
+The union–find is monotone; the §4.6.3 shortcut optimisation may revert
+an edge to unused without splitting components, which is conservative
+(it can only force an extra DFS, never a wrong answer) — see
+``repro/utils/unionfind.py``.
+
+Adjacency of ``D̄`` is *implicit* (derived from the network adjacency on
+demand), so building a CDG is O(|C|) and the memory stays proportional
+to the number of *touched* edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.network.graph import Network
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["CompleteCDG", "UNUSED", "USED", "BLOCKED"]
+
+UNUSED = 0
+USED = 1
+BLOCKED = -1
+
+
+class CompleteCDG:
+    """Mutable per-virtual-layer view of the complete CDG.
+
+    One instance per virtual layer: Nue creates a fresh ``CompleteCDG``
+    for every layer (paper Alg. 2 line 6) because the states and
+    routing restrictions of different layers are independent.
+    """
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.n_channels = net.n_channels
+        self._edge_state: Dict[int, int] = {}
+        self._used_out: List[List[int]] = [[] for _ in range(self.n_channels)]
+        self._used_in: List[List[int]] = [[] for _ in range(self.n_channels)]
+        self._vertex_used = bytearray(self.n_channels)
+        self._uf = UnionFind(self.n_channels)
+        #: Pearce-Kelly dynamic topological order of the used subgraph;
+        #: initialised arbitrarily (channel id) and repaired locally on
+        #: order-violating insertions.
+        self._ord: List[int] = list(range(self.n_channels))
+        self.n_used_edges = 0
+        self.n_blocked_edges = 0
+        self.cycle_searches = 0  #: number of condition-(d) DFS runs
+
+    # -- structure -------------------------------------------------------------
+
+    def _key(self, cp: int, cq: int) -> int:
+        return cp * self.n_channels + cq
+
+    def dependency_exists(self, cp: int, cq: int) -> bool:
+        """True when ``(c_p, c_q)`` is an edge of the complete CDG."""
+        net = self.net
+        return (
+            net.channel_dst[cp] == net.channel_src[cq]
+            and net.channel_src[cp] != net.channel_dst[cq]
+        )
+
+    def out_dependencies(self, cp: int) -> Iterator[int]:
+        """All successors ``c_q`` of ``c_p`` in the complete CDG."""
+        net = self.net
+        src_cp = net.channel_src[cp]
+        for cq in net.out_channels[net.channel_dst[cp]]:
+            if net.channel_dst[cq] != src_cp:
+                yield cq
+
+    def n_edges(self) -> int:
+        """Total |Ē| of the complete CDG (counted, not stored)."""
+        return sum(
+            1 for cp in range(self.n_channels)
+            for _ in self.out_dependencies(cp)
+        )
+
+    # -- states ----------------------------------------------------------------
+
+    def edge_state(self, cp: int, cq: int) -> int:
+        """State of edge ``(c_p, c_q)``: UNUSED, USED or BLOCKED."""
+        return self._edge_state.get(self._key(cp, cq), UNUSED)
+
+    def is_vertex_used(self, c: int) -> bool:
+        """True when channel ``c`` is in the *used* state."""
+        return bool(self._vertex_used[c])
+
+    def mark_vertex_used(self, c: int) -> None:
+        """Put channel ``c`` into the *used* state (idempotent)."""
+        self._vertex_used[c] = 1
+
+    def component(self, c: int) -> int:
+        """ω subgraph representative of channel ``c``."""
+        return self._uf.find(c)
+
+    def used_out_edges(self, c: int) -> List[int]:
+        """Successor channels of ``c`` along *used* edges."""
+        return self._used_out[c]
+
+    def used_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all used edges."""
+        for cp in range(self.n_channels):
+            for cq in self._used_out[cp]:
+                yield (cp, cq)
+
+    def blocked_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all blocked edges."""
+        n = self.n_channels
+        for key, st in self._edge_state.items():
+            if st == BLOCKED:
+                yield divmod(key, n)
+
+    # -- mutation --------------------------------------------------------------
+
+    def _mark_used(self, cp: int, cq: int) -> None:
+        self._edge_state[self._key(cp, cq)] = USED
+        self._used_out[cp].append(cq)
+        self._used_in[cq].append(cp)
+        self._vertex_used[cp] = 1
+        self._vertex_used[cq] = 1
+        self._uf.union(cp, cq)
+        self.n_used_edges += 1
+
+    def block_edge(self, cp: int, cq: int) -> None:
+        """Put edge into the *blocked* state (a routing restriction)."""
+        key = self._key(cp, cq)
+        prev = self._edge_state.get(key, UNUSED)
+        if prev == USED:
+            raise ValueError("cannot block a used edge")
+        if prev != BLOCKED:
+            self._edge_state[key] = BLOCKED
+            self.n_blocked_edges += 1
+
+    def unblock_edge(self, cp: int, cq: int) -> None:
+        """Revert a blocked edge to unused.
+
+        Nue never does this (its restrictions are permanent within a
+        layer); the LASH/DFSSSP layer-assignment machinery uses it to
+        roll back a failed what-if path insertion exactly.
+        """
+        key = self._key(cp, cq)
+        if self._edge_state.get(key, UNUSED) != BLOCKED:
+            raise ValueError(f"edge ({cp}, {cq}) is not blocked")
+        del self._edge_state[key]
+        self.n_blocked_edges -= 1
+
+    def unuse_edge(self, cp: int, cq: int) -> None:
+        """Revert a used edge to unused (§4.6.3 shortcut reversal).
+
+        The ω component merge is deliberately *not* reverted (safe,
+        conservative — see module docstring).  Vertex states are left
+        untouched; callers revert them explicitly when appropriate.
+        """
+        key = self._key(cp, cq)
+        if self._edge_state.get(key, UNUSED) != USED:
+            raise ValueError(f"edge ({cp}, {cq}) is not used")
+        del self._edge_state[key]
+        self._used_out[cp].remove(cq)
+        self._used_in[cq].remove(cp)
+        self.n_used_edges -= 1
+
+    # -- cycle machinery (Algorithm 3 + Pearce-Kelly order) ----------------------
+
+    def _forward_discover(
+        self, start: int, ub: int, target: int
+    ) -> Optional[List[int]]:
+        """Bounded forward DFS from ``start`` over used edges.
+
+        Visits only vertices with order <= ``ub``; returns None when
+        ``target`` is reached (a cycle), otherwise the visited set.
+        """
+        self.cycle_searches += 1
+        ordv = self._ord
+        used_out = self._used_out
+        visited = {start}
+        stack = [start]
+        while stack:
+            c = stack.pop()
+            for nxt in used_out[c]:
+                if nxt == target:
+                    return None
+                if nxt not in visited and ordv[nxt] < ub:
+                    visited.add(nxt)
+                    stack.append(nxt)
+        return list(visited)
+
+    def _backward_discover(self, start: int, lb: int) -> List[int]:
+        """Bounded backward DFS from ``start`` (order >= ``lb``)."""
+        ordv = self._ord
+        used_in = self._used_in
+        visited = {start}
+        stack = [start]
+        while stack:
+            c = stack.pop()
+            for prv in used_in[c]:
+                if prv not in visited and ordv[prv] > lb:
+                    visited.add(prv)
+                    stack.append(prv)
+        return list(visited)
+
+    def _pk_insert_check(self, cp: int, cq: int) -> bool:
+        """Pearce-Kelly: check edge ``(cp, cq)`` and repair the order.
+
+        Returns False when the edge would close a cycle (no state is
+        changed); otherwise locally reorders the affected region so the
+        topological order stays valid and returns True.
+        """
+        ordv = self._ord
+        lb, ub = ordv[cq], ordv[cp]
+        if ub < lb:
+            return True  # order already consistent: no cycle possible
+        d_forward = self._forward_discover(cq, ub, cp)
+        if d_forward is None:
+            return False  # cq reaches cp: the edge closes a cycle
+        d_backward = self._backward_discover(cp, lb)
+        # reorder: the backward region must precede the forward region;
+        # both keep their internal relative order and together reuse
+        # the union of their old order slots, smallest first
+        slots = sorted(ordv[c] for c in d_backward + d_forward)
+        merged = (
+            sorted(d_backward, key=lambda c: ordv[c])
+            + sorted(d_forward, key=lambda c: ordv[c])
+        )
+        for c, slot in zip(merged, slots):
+            ordv[c] = slot
+        return True
+
+    def try_use_edge(self, cp: int, cq: int) -> bool:
+        """Algorithm 3: use edge ``(c_p, c_q)`` unless it closes a cycle.
+
+        Returns True and marks the edge (and its endpoints) used when
+        the used subgraph stays acyclic; otherwise marks the edge
+        blocked and returns False.  ``(c_p, c_q)`` must be an edge of
+        the complete CDG.
+
+        Conditions (a) and (b) of Section 4.6.1 are the two O(1) state
+        checks below; conditions (c)/(d) — "does the edge connect two
+        disjoint acyclic subgraphs or close a cycle inside one?" — are
+        decided by a Pearce-Kelly dynamic topological order, which
+        answers order-consistent insertions in O(1) and pays a DFS
+        bounded to the affected region otherwise (a strict
+        strengthening of the paper's ω memoization: same answers,
+        smaller searches).
+        """
+        key = self._key(cp, cq)
+        state = self._edge_state.get(key, UNUSED)
+        if state == BLOCKED:                       # condition (a)
+            return False
+        if state == USED:                          # condition (b)
+            return True
+        if not self._pk_insert_check(cp, cq):      # conditions (c)+(d)
+            self._edge_state[key] = BLOCKED
+            self.n_blocked_edges += 1
+            return False
+        self._mark_used(cp, cq)
+        return True
+
+    def would_close_cycle(self, cp: int, cq: int) -> bool:
+        """Non-mutating variant: would using ``(c_p, c_q)`` create a cycle?
+
+        Blocked edges answer True, used edges False; otherwise the
+        topological order answers O(1) when consistent, and a bounded
+        DFS decides the rest (no state is updated).
+        """
+        state = self._edge_state.get(self._key(cp, cq), UNUSED)
+        if state == BLOCKED:
+            return True
+        if state == USED:
+            return False
+        if self._ord[cp] < self._ord[cq]:
+            return False
+        return self._forward_discover(cq, self._ord[cp], cp) is None
+
+    # -- verification ----------------------------------------------------------
+
+    def assert_acyclic(self) -> None:
+        """Kahn's algorithm over the used edges; raises on a cycle.
+
+        Exact full check used by tests and the validation layer; the
+        incremental machinery above never lets a cycle appear, so this
+        should always pass.
+        """
+        indeg: Dict[int, int] = {}
+        vertices: Set[int] = set()
+        for cp, cq in self.used_edges():
+            vertices.add(cp)
+            vertices.add(cq)
+            indeg[cq] = indeg.get(cq, 0) + 1
+        queue = [v for v in vertices if indeg.get(v, 0) == 0]
+        seen = 0
+        while queue:
+            v = queue.pop()
+            seen += 1
+            for w in self._used_out[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if seen != len(vertices):
+            raise AssertionError(
+                f"used CDG contains a cycle ({len(vertices) - seen} vertices"
+                " on cycles)"
+            )

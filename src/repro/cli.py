@@ -1,0 +1,231 @@
+"""Command-line interface — generate, route, analyse, simulate.
+
+The workflow OpenSM admins know, as a standalone tool:
+
+```
+repro generate torus --dims 4 4 3 --terminals 4 -o fabric.topo
+repro route fabric.topo --algorithm nue --vls 2 -o tables.json --lft
+repro analyze fabric.topo tables.json
+repro simulate fabric.topo tables.json --sample-phases 40
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import NueConfig, NueRouting
+from repro.fabric.flow import simulate_all_to_all
+from repro.io import (
+    format_lft,
+    load_routing,
+    load_topology,
+    save_routing,
+    save_topology,
+)
+from repro.metrics import (
+    gamma_summary,
+    is_deadlock_free,
+    path_length_stats,
+    required_vcs,
+    validate_routing,
+)
+from repro.metrics.deadlock import find_vc_cycle, induced_vc_dependencies
+from repro.network.faults import (
+    inject_random_link_faults,
+    inject_random_switch_faults,
+)
+from repro.network.topologies import (
+    dragonfly,
+    hypercube,
+    hyperx,
+    k_ary_n_tree,
+    kautz,
+    mesh,
+    random_topology,
+    ring,
+    torus,
+)
+from repro.routing import RoutingError, algorithm_registry
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "torus":
+        net = torus(args.dims, args.terminals, redundancy=args.redundancy)
+    elif args.kind == "mesh":
+        net = mesh(args.dims, args.terminals)
+    elif args.kind == "ring":
+        net = ring(args.dims[0], args.terminals)
+    elif args.kind == "fattree":
+        k, n = args.dims[0], args.dims[1]
+        net = k_ary_n_tree(k, n)
+    elif args.kind == "kautz":
+        net = kautz(args.dims[0], args.dims[1], args.terminals,
+                    redundancy=args.redundancy)
+    elif args.kind == "dragonfly":
+        a, p, h, g = args.dims
+        net = dragonfly(a, p, h, g)
+    elif args.kind == "hypercube":
+        net = hypercube(args.dims[0], args.terminals)
+    elif args.kind == "hyperx":
+        net = hyperx(args.dims, args.terminals,
+                     redundancy=args.redundancy)
+    elif args.kind == "random":
+        n_sw, n_links = args.dims[0], args.dims[1]
+        net = random_topology(n_sw, n_links, args.terminals,
+                              seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.kind)
+    if args.link_faults:
+        net = inject_random_link_faults(net, args.link_faults,
+                                        seed=args.seed)
+    if args.switch_faults:
+        net = inject_random_switch_faults(net, args.switch_faults,
+                                          seed=args.seed)
+    save_topology(net, args.output)
+    print(f"wrote {args.output}: {net}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    net = load_topology(args.topology)
+    if args.algorithm == "nue":
+        algo = NueRouting(
+            args.vls, NueConfig(partitioner=args.partitioner)
+        )
+    else:
+        registry = algorithm_registry(args.vls)
+        if args.algorithm not in registry:
+            print(f"unknown algorithm {args.algorithm!r}; choose from "
+                  f"{['nue'] + sorted(registry)}", file=sys.stderr)
+            return 2
+        algo = registry[args.algorithm]
+    try:
+        result = algo.route(net, seed=args.seed)
+    except RoutingError as exc:
+        print(f"routing failed: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        validate_routing(result)
+    print(f"routed {net.name} with {result.algorithm}: "
+          f"{result.n_vls} VL(s), {result.runtime_s:.2f}s")
+    if args.output:
+        save_routing(result, args.output)
+        print(f"wrote {args.output}")
+    if args.lft:
+        sys.stdout.write(format_lft(result, max_dests=args.lft_dests))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    net = load_topology(args.topology)
+    result = load_routing(net, args.tables)
+    adj = induced_vc_dependencies(result)
+    cycle = find_vc_cycle(adj)
+    dl_free = cycle is None
+    g = gamma_summary(result)
+    p = path_length_stats(result)
+    print(f"algorithm:        {result.algorithm}")
+    print(f"virtual lanes:    {result.n_vls}")
+    print(f"deadlock-free:    {dl_free}")
+    print(f"required VCs:     {required_vcs(result)}")
+    print(f"gamma (min/avg/max/sd): {g.minimum:.0f} / {g.average:.1f} "
+          f"/ {g.maximum:.0f} / {g.stddev:.1f}")
+    print(f"path length (min/avg/max): {p.minimum} / {p.average:.2f} "
+          f"/ {p.maximum}")
+    if cycle is not None and args.explain:
+        print("dependency cycle (Theorem 1 witness):")
+        for c, vl in cycle:
+            u, v = net.endpoints(c)
+            print(f"  {net.node_names[u]} -> {net.node_names[v]} "
+                  f"(VL {vl})")
+    return 0 if dl_free else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    net = load_topology(args.topology)
+    result = load_routing(net, args.tables)
+    sim = simulate_all_to_all(
+        result,
+        size_bytes=args.message_bytes,
+        sample_phases=args.sample_phases,
+        seed=args.seed,
+    )
+    print(f"all-to-all throughput: {sim.throughput_gbyte_per_s:.1f} GB/s "
+          f"({sim.n_phases} phases, worst bottleneck "
+          f"{sim.max_phase_load} flows/channel)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a topology file")
+    g.add_argument("kind", choices=[
+        "torus", "mesh", "ring", "fattree", "kautz", "dragonfly",
+        "hypercube", "hyperx", "random",
+    ])
+    g.add_argument("--dims", type=int, nargs="+", required=True,
+                   help="shape parameters (e.g. torus: 4 4 3; "
+                        "fattree: k n; random: switches links)")
+    g.add_argument("--terminals", type=int, default=1,
+                   help="terminals per switch")
+    g.add_argument("--redundancy", type=int, default=1)
+    g.add_argument("--link-faults", type=float, default=0.0,
+                   help="fraction of links to fail")
+    g.add_argument("--switch-faults", type=int, default=0)
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("-o", "--output", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    r = sub.add_parser("route", help="compute forwarding tables")
+    r.add_argument("topology")
+    r.add_argument("-a", "--algorithm", default="nue")
+    r.add_argument("--vls", type=int, default=8,
+                   help="virtual-lane budget")
+    r.add_argument("--partitioner", default="kway",
+                   choices=["kway", "random", "cluster", "spectral"])
+    r.add_argument("--seed", type=int, default=None)
+    r.add_argument("-o", "--output", default=None,
+                   help="write tables as JSON")
+    r.add_argument("--lft", action="store_true",
+                   help="print a human-readable LFT dump")
+    r.add_argument("--lft-dests", type=int, default=4,
+                   help="destinations in the LFT dump (0 = all)")
+    r.add_argument("--validate", action="store_true",
+                   help="run the full Def.-3 validity gate")
+    r.set_defaults(func=_cmd_route)
+
+    a = sub.add_parser("analyze", help="deadlock/balance report")
+    a.add_argument("topology")
+    a.add_argument("tables")
+    a.add_argument("--explain", action="store_true",
+                   help="print a concrete dependency cycle when the "
+                        "routing is not deadlock-free")
+    a.set_defaults(func=_cmd_analyze)
+
+    s = sub.add_parser("simulate", help="flow-level all-to-all throughput")
+    s.add_argument("topology")
+    s.add_argument("tables")
+    s.add_argument("--message-bytes", type=int, default=2048)
+    s.add_argument("--sample-phases", type=int, default=None)
+    s.add_argument("--seed", type=int, default=1)
+    s.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

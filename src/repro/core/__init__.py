@@ -1,0 +1,28 @@
+"""Nue routing — the paper's primary contribution.
+
+Public entry point: :class:`repro.core.NueRouting` (an implementation
+of :class:`repro.routing.RoutingAlgorithm`), configured via
+:class:`repro.core.NueConfig`.  Supporting pieces — complete-CDG
+Dijkstra, escape paths, root selection, backtracking — live in the
+submodules and are exported for tests, benchmarks and curious users.
+"""
+
+from repro.core.nue import NueRouting, NueConfig
+from repro.core.dijkstra import NueLayerRouter, RoutingStep
+from repro.core.escape import EscapePaths, SpanningTree
+from repro.core.root import select_root, convex_subgraph, betweenness_centrality
+from repro.core.source_routed import SourceRoutedNue, SourceRoutedResult
+
+__all__ = [
+    "NueRouting",
+    "NueConfig",
+    "NueLayerRouter",
+    "RoutingStep",
+    "EscapePaths",
+    "SpanningTree",
+    "select_root",
+    "convex_subgraph",
+    "betweenness_centrality",
+    "SourceRoutedNue",
+    "SourceRoutedResult",
+]

@@ -1,0 +1,420 @@
+"""Modified Dijkstra inside the complete CDG (paper Algorithm 1).
+
+One *routing step* computes deadlock-free routes from every node toward
+one destination within one virtual layer, walking the layer's complete
+CDG and blocking cycle-closing dependencies on the fly.
+
+Orientation
+-----------
+The search starts at the route **destination** and discovers the
+network outward, exactly as Algorithm 1 does (its ``Result`` is
+``P_{n_y, n_0}`` — paths *toward* the search source).  A node's
+forwarding channel toward the destination is the reverse of its
+``usedChannel``.  The dependencies recorded in the CDG are therefore
+the *mirror* (channel-reversal image) of the traffic-direction
+dependencies.  This is sound because the complete CDG is closed under
+reversal — ``(c_p, c_q) ∈ Ē  ⇔  (rev(c_q), rev(c_p)) ∈ Ē`` by Def. 6 —
+and reversal maps cycles to cycles, so the recorded dependency set is
+acyclic iff the real traffic CDG is.
+
+Expansion discipline
+--------------------
+A popped channel expands only when it *is* the head node's current
+``usedChannel``.  Expanding a stale (superseded) channel would record
+dependencies from a predecessor the destination-based forwarding never
+uses, silently leaving the *actual* dependency
+``(usedChannel[x], c_q)`` unchecked.  Alternative in-channels are
+instead explored by the Section-4.6.2 local backtracking, which
+re-bases a node onto an alternative only after re-validating its
+upstream dependency and every already-recorded downstream dependency
+(see :mod:`repro.core.backtrack`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+import heapq
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.escape import EscapePaths
+from repro.network.graph import Network
+
+__all__ = ["RoutingStep", "NueLayerRouter"]
+
+
+@dataclass
+class RoutingStep:
+    """Outcome of one Algorithm-1 routing step (one destination).
+
+    ``used_channel[v]`` is the search-orientation channel entering
+    ``v``; node ``v`` forwards toward the destination on its reverse.
+    """
+
+    dest: int
+    used_channel: List[int]
+    dist_node: np.ndarray
+    fell_back: bool = False
+    islands_resolved: int = 0
+    shortcuts_taken: int = 0
+
+
+class NueLayerRouter:
+    """Routing state of one virtual layer: CDG, escape paths, weights.
+
+    Destinations of the layer are routed one
+    :meth:`route_step` at a time; blocked dependencies and channel
+    weights accumulate across steps, which is what makes later steps
+    respect the restrictions and balance of earlier ones.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        cdg: CompleteCDG,
+        escape: EscapePaths,
+        enable_backtracking: bool = True,
+        enable_shortcuts: bool = True,
+        layer_index: int = 0,
+    ) -> None:
+        self.net = net
+        self.cdg = cdg
+        self.escape = escape
+        self.enable_backtracking = enable_backtracking
+        self.enable_shortcuts = enable_shortcuts
+        #: search-orientation channel weights (DFSSSP-style balancing);
+        #: consistently search-side: entry c reflects the accumulated
+        #: load of traffic channel rev(c).  The initial weight exceeds
+        #: any load the updates can accumulate, so balancing only
+        #: breaks ties among minimal paths — like DFSSSP, Nue prefers
+        #: shortest routes and detours only around CDG restrictions.
+        n_dests = len(net.terminals) or net.n_nodes
+        base = float((len(net.terminals) or net.n_nodes) * n_dests + 1)
+        self.weights = np.full(net.n_channels, base)
+        self.layer_index = layer_index
+        # parallel-channel bundles (redundant links) and each channel's
+        # copy index within its bundle — used to rotate the preferred
+        # copy per destination, OpenSM's port-group balancing trick
+        self._bundles: List[List[int]] = []
+        self._copy_index = np.zeros(net.n_channels, dtype=np.int64)
+        seen = set()
+        for c in range(net.n_channels):
+            if c in seen:
+                continue
+            bundle = sorted(net.find_channels(
+                net.channel_src[c], net.channel_dst[c]
+            ))
+            seen.update(bundle)
+            if len(bundle) > 1:
+                self._bundles.append(bundle)
+                for i, ch in enumerate(bundle):
+                    self._copy_index[ch] = i
+        # transient per-step state; the heap is a lazy-deletion binary
+        # heap of (distance, channel) — stale entries are skipped on
+        # pop, which profiling showed beats an addressable heap in
+        # CPython by a wide margin on these workloads
+        self._dist_node: np.ndarray = np.empty(0)
+        self._dist_chan: np.ndarray = np.empty(0)
+        self._used: List[int] = []
+        self._heap: List[Tuple[float, int]] = []
+        self._step_marked: Set[Tuple[int, int]] = set()
+
+    # -- public API --------------------------------------------------------------
+
+    def route_step(self, dest: int) -> RoutingStep:
+        """Algorithm 1 for one destination, with impasse resolution.
+
+        Never fails: when the local backtracking cannot reconnect all
+        islands, the entire step falls back to the escape paths
+        (Section 4.6.2, option one), which Definition 7 guarantees to
+        work.
+        """
+        from repro.core.backtrack import resolve_islands
+
+        net = self.net
+        self._dist_node = np.full(net.n_nodes, np.inf)
+        self._dist_chan = np.full(net.n_channels, np.inf)
+        self._used = [-1] * net.n_nodes
+        self._heap = []
+        self._step_marked = set()
+        step = RoutingStep(
+            dest=dest,
+            used_channel=self._used,
+            dist_node=self._dist_node,
+        )
+
+        # rotate which parallel copy this destination prefers (a
+        # transient sub-unit epsilon; hop-count dominance and the
+        # >=1-unit balancing updates are never overpowered) — the
+        # destination-hash port-group rotation redundant fabrics need
+        bias = self._apply_copy_rotation(dest)
+        self._seed(dest)
+        self._run_main_loop()
+        while self.enable_backtracking and self._unreached(dest):
+            progressed, shortcuts = resolve_islands(self, dest)
+            step.shortcuts_taken += shortcuts
+            if not progressed:
+                break
+            step.islands_resolved += 1
+            self._run_main_loop()
+
+        if self._unreached(dest):
+            self._fall_back(dest)
+            step.fell_back = True
+
+        self._remove_copy_rotation(bias)
+        self._update_weights(dest)
+        return step
+
+    def _apply_copy_rotation(self, dest: int):
+        """Bias each bundle's copies so copy ``(i - dest) mod m`` is
+        cheapest for this destination; returns the bias to remove."""
+        if not self._bundles:
+            return None
+        eps = 1.0 / 1024.0
+        bias = np.zeros(self.net.n_channels)
+        for bundle in self._bundles:
+            m = len(bundle)
+            for i, ch in enumerate(bundle):
+                bias[ch] = eps * ((i - dest) % m)
+        self.weights += bias
+        return bias
+
+    def _remove_copy_rotation(self, bias) -> None:
+        if bias is not None:
+            self.weights -= bias
+
+    # -- initialisation ------------------------------------------------------------
+
+    def _seed(self, dest: int) -> None:
+        """Algorithm 1 lines 6–9: source channel(s) of the search.
+
+        A terminal destination seeds its unique channel at distance 0;
+        a switch destination acts through the paper's fake channel
+        ``(∅, n_0)``, realised by seeding every outgoing channel with
+        its own weight (fake dependencies are never recorded — traffic
+        *arriving* at the destination has no successor dependency).
+        """
+        net = self.net
+        self._dist_node[dest] = 0.0
+        if net.is_terminal(dest):
+            c0 = net.out_channels[dest][0]
+            s = net.channel_dst[c0]
+            self._dist_chan[c0] = 0.0
+            self._dist_node[s] = 0.0
+            self._used[s] = c0
+            self.cdg.mark_vertex_used(c0)
+            self.heap_push(c0, 0.0)
+        else:
+            for cq in sorted(net.out_channels[dest]):
+                y = net.channel_dst[cq]
+                alt = self.weights[cq]
+                if alt < self._dist_node[y]:
+                    self.cdg.mark_vertex_used(cq)
+                    self._dist_node[y] = alt
+                    self._dist_chan[cq] = alt
+                    self._used[y] = cq
+                    self.heap_push(cq, alt)
+
+    # -- main loop -------------------------------------------------------------------
+
+    def heap_push(self, chan: int, dist: float) -> None:
+        """Enqueue (or re-enqueue with a better key) a channel."""
+        heapq.heappush(self._heap, (dist, chan))
+
+    def _run_main_loop(self) -> None:
+        """Algorithm 1 lines 10–23 under the expansion discipline."""
+        net = self.net
+        cdg = self.cdg
+        heap = self._heap
+        dist_node = self._dist_node
+        dist_chan = self._dist_chan
+        used = self._used
+        weights = self.weights
+        dst_of = net.channel_dst
+        while heap:
+            d_cp, cp = heapq.heappop(heap)
+            if d_cp > dist_chan[cp]:
+                continue  # stale key: the channel was re-queued cheaper
+            x = dst_of[cp]
+            if used[x] != cp:
+                continue  # stale: x was re-wired to a better channel
+            for cq in cdg.out_dependencies(cp):
+                y = dst_of[cq]
+                alt = d_cp + weights[cq]
+                if alt < dist_node[y]:
+                    if used[y] < 0:
+                        if self.try_use_dependency(cp, cq):
+                            used[y] = cq
+                            dist_node[y] = alt
+                            dist_chan[cq] = alt
+                            heapq.heappush(heap, (alt, cq))
+                        # else: edge became a blocked routing restriction
+                    elif used[y] != cq:
+                        # y is being *re-wired*.  Under plain Dijkstra a
+                        # node's channel is final once it pops, but the
+                        # backtracking of §4.6.2 can open shorter routes
+                        # afterwards; re-wiring a reached node is the
+                        # lazy form of the §4.6.3 shortcut and shares
+                        # its enable flag.  Any dependency already
+                        # recorded toward y's current tree children must
+                        # be re-validated on the new in-channel, exactly
+                        # as a backtracking re-base would.
+                        if not self.enable_shortcuts:
+                            continue
+                        needed = self.child_rebase_dependencies(y, cq)
+                        if needed is None:
+                            continue
+                        old = used[y]
+                        if self.try_use_dependencies_atomic(
+                            [(cp, cq)] + needed
+                        ):
+                            for _, child in needed:
+                                self.unuse_step_dependency(old, child)
+                            used[y] = cq
+                            dist_node[y] = alt
+                            dist_chan[cq] = alt
+                            heapq.heappush(heap, (alt, cq))
+                    else:
+                        # same channel, better distance (new shorter way
+                        # to feed it is impossible — cq's dependency from
+                        # cp is what improved); just update the keys
+                        if self.try_use_dependency(cp, cq):
+                            dist_node[y] = alt
+                            dist_chan[cq] = alt
+                            heapq.heappush(heap, (alt, cq))
+
+    def child_rebase_dependencies(
+        self, node: int, alt: int
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Dependencies ``(alt, out)`` needed to re-base ``node`` onto
+        in-channel ``alt`` — one per current tree child.
+
+        Returns None when a child sits behind a 180-degree turn from
+        ``alt``, in which case the re-base is impossible.
+        """
+        net = self.net
+        cdg = self.cdg
+        needed: List[Tuple[int, int]] = []
+        for cq in net.out_channels[node]:
+            if self._used[net.channel_dst[cq]] == cq:
+                if not cdg.dependency_exists(alt, cq):
+                    return None
+                needed.append((alt, cq))
+        return needed
+
+    def try_use_dependency(self, cp: int, cq: int) -> bool:
+        """Cycle-checked edge use with per-step bookkeeping.
+
+        Wraps :meth:`CompleteCDG.try_use_edge`, remembering which edges
+        *this* step marked so the shortcut optimisation can revert
+        exactly those (Section 4.6.3) without touching dependencies
+        owned by earlier destinations.
+        """
+        was_used = self.cdg.edge_state(cp, cq) == 1
+        ok = self.cdg.try_use_edge(cp, cq)
+        if ok and not was_used:
+            self._step_marked.add((cp, cq))
+        return ok
+
+    def try_use_dependencies_atomic(
+        self, edges: Sequence[Tuple[int, int]]
+    ) -> bool:
+        """Mark a set of edges used, all or nothing.
+
+        Edges are checked sequentially (each cycle check sees the ones
+        already added — they can interact); on failure everything this
+        call added is reverted, including the fresh blocked marker, so
+        the CDG returns to its exact prior state.
+        """
+        added: List[Tuple[int, int]] = []
+        for cp, cq in edges:
+            before = self.cdg.edge_state(cp, cq)
+            if self.try_use_dependency(cp, cq):
+                if before != 1:
+                    added.append((cp, cq))
+            else:
+                for a, b in reversed(added):
+                    self.cdg.unuse_edge(a, b)
+                    self._step_marked.discard((a, b))
+                if before == 0:
+                    # try_use_edge just blocked it against a state we
+                    # are rolling back — restore exactly
+                    self.cdg.unblock_edge(cp, cq)
+                return False
+        return True
+
+    def unuse_step_dependency(self, cp: int, cq: int) -> bool:
+        """Revert an edge if (and only if) this step marked it."""
+        if (cp, cq) in self._step_marked:
+            self.cdg.unuse_edge(cp, cq)
+            self._step_marked.discard((cp, cq))
+            return True
+        return False
+
+    # -- impasse handling ----------------------------------------------------------
+
+    def _unreached(self, dest: int) -> List[int]:
+        return [
+            v for v in range(self.net.n_nodes)
+            if v != dest and self._used[v] < 0
+        ]
+
+    def _fall_back(self, dest: int) -> None:
+        """Escape-path fallback for the entire routing step.
+
+        Partial fallbacks would break the destination-based property
+        (paper Section 4.6.2), so *every* node's used channel becomes
+        its escape-path channel.  The corresponding dependencies were
+        marked used when the layer was initialised.
+        """
+        chans = self.escape.fallback_channels(dest)
+        for v in range(self.net.n_nodes):
+            self._used[v] = chans[v] if v != dest else -1
+
+    # -- balancing -------------------------------------------------------------------
+
+    def _update_weights(self, dest: int) -> None:
+        """DFSSSP-style positive weight update after a routing step.
+
+        Adds, to every channel of the step's forwarding forest, the
+        number of terminal routes crossing it (computed by subtree
+        accumulation in O(|N|)).
+        """
+        net = self.net
+        sources = net.terminals or list(range(net.n_nodes))
+        total = np.zeros(net.n_nodes, dtype=np.int64)
+        for s in sources:
+            if s != dest:
+                total[s] += 1
+        # depth over the used-channel forest (distances can be
+        # non-monotone after backtracking, so follow the tree itself)
+        used = self._used
+        depth = np.full(net.n_nodes, -1, dtype=np.int64)
+        depth[dest] = 0
+        for v in range(net.n_nodes):
+            if depth[v] >= 0 or used[v] < 0:
+                continue
+            chain = []
+            u = v
+            while depth[u] < 0 and used[u] >= 0:
+                chain.append(u)
+                u = net.channel_src[used[u]]
+            base = depth[u]
+            if base < 0:
+                continue
+            for i, w in enumerate(reversed(chain), start=1):
+                depth[w] = base + i
+        order = np.argsort(-depth, kind="stable")
+        for v in order:
+            v = int(v)
+            c = used[v]
+            if c < 0 or v == dest or depth[v] <= 0:
+                continue
+            self.weights[c] += total[v]
+            total[net.channel_src[c]] += total[v]
+        # weights grow monotonically and stay positive (Lemma 1 relies
+        # on strictly positive weights)

@@ -1,0 +1,235 @@
+"""Source-routed Nue (paper Section 3's other instantiation).
+
+Section 3: *"The type of graph search and the information assigned to
+this graph influence the resulting routes, e.g., source-routing or
+destination-based routing could be possible."*  The paper develops the
+destination-based variant (InfiniBand needs it); this module implements
+the source-routed one for technologies that carry the full route in the
+packet header (many NoCs, segment routing): every ``(source,
+destination)`` pair gets its own explicit channel path, searched
+directly in the complete CDG, with cycle-closing dependencies blocked
+exactly as in Algorithm 1.
+
+Differences from destination-based Nue:
+
+* no ``usedChannel`` uniqueness constraint — two pairs sharing a node
+  may leave it on different channels, so no backtracking/re-basing
+  machinery is needed;
+* the search runs in *traffic orientation* (source outward), since no
+  per-node forwarding table has to be derived by reversal;
+* impasses still exist (restrictions from earlier pairs can wall off a
+  destination); the escape-path tree provides the guaranteed fallback,
+  per pair instead of per destination.
+
+Deadlock freedom holds by the same Theorem-1 argument: every committed
+path dependency is *used* in the layer's acyclic CDG.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.escape import EscapePaths
+from repro.core.root import select_root
+from repro.network.graph import Network
+from repro.partition import make_partitioner, partition_destinations
+from repro.utils.prng import SeedLike, make_rng, spawn_seed
+
+__all__ = ["SourceRoutedNue", "SourceRoutedResult"]
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class SourceRoutedResult:
+    """Explicit per-pair routes with their virtual lanes."""
+
+    net: Network
+    paths: Dict[Pair, List[int]]       #: channel sequence per (src, dst)
+    vls: Dict[Pair, int]               #: virtual lane per (src, dst)
+    n_vls: int
+    fallbacks: int = 0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def path_nodes(self, src: int, dst: int) -> List[int]:
+        nodes = [src]
+        for c in self.paths[(src, dst)]:
+            nodes.append(self.net.channel_dst[c])
+        return nodes
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.paths[(src, dst)])
+
+
+class SourceRoutedNue:
+    """Deadlock-free explicit paths for any VC budget ``k >= 1``."""
+
+    name = "nue-source-routed"
+
+    def __init__(self, max_vls: int = 1, partitioner: str = "kway") -> None:
+        if max_vls < 1:
+            raise ValueError("max_vls must be >= 1")
+        self.max_vls = max_vls
+        self.partitioner = partitioner
+
+    # -- public API -------------------------------------------------------------
+
+    def route_pairs(
+        self,
+        net: Network,
+        pairs: Optional[Sequence[Pair]] = None,
+        seed: SeedLike = None,
+    ) -> SourceRoutedResult:
+        """Compute explicit routes for ``pairs`` (default: all terminal
+        pairs).  Pairs are grouped into layers by their destination's
+        partition, mirroring Algorithm 2's structure."""
+        rng = make_rng(seed)
+        if pairs is None:
+            terms = net.terminals or list(range(net.n_nodes))
+            pairs = [(s, d) for s in terms for d in terms if s != d]
+        pairs = list(pairs)
+        dests = sorted({d for _, d in pairs})
+        k = min(self.max_vls, max(1, len(dests)))
+        parts = partition_destinations(
+            net, dests, k, make_partitioner(self.partitioner),
+            spawn_seed(rng),
+        )
+
+        paths: Dict[Pair, List[int]] = {}
+        vls: Dict[Pair, int] = {}
+        fallbacks = 0
+        for layer_idx, subset in enumerate(parts):
+            subset_set = set(subset)
+            layer_pairs = [p for p in pairs if p[1] in subset_set]
+            if not layer_pairs:
+                continue
+            root = select_root(net, subset, all_dests=(len(parts) == 1))
+            cdg = CompleteCDG(net)
+            escape = EscapePaths(net, cdg, root, subset,
+                                 traffic_orientation=True)
+            weights = np.ones(net.n_channels)
+            for (s, d) in layer_pairs:
+                path = self._search(net, cdg, s, d, weights)
+                if path is None:
+                    path = self._escape_path(net, escape, s, d)
+                    fallbacks += 1
+                paths[(s, d)] = path
+                vls[(s, d)] = layer_idx
+                for c in path:
+                    weights[c] += 1.0
+            cdg.assert_acyclic()
+
+        return SourceRoutedResult(
+            net=net,
+            paths=paths,
+            vls=vls,
+            n_vls=len(parts),
+            fallbacks=fallbacks,
+            stats={"pairs": len(pairs), "layers": len(parts)},
+        )
+
+    # -- search -----------------------------------------------------------------
+
+    def _search(
+        self,
+        net: Network,
+        cdg: CompleteCDG,
+        src: int,
+        dst: int,
+        weights: np.ndarray,
+    ) -> Optional[List[int]]:
+        """Dijkstra over channels in traffic orientation.
+
+        A step from channel ``c_p`` to ``c_q`` is admissible when the
+        dependency is not blocked and would not close a cycle given the
+        dependencies already *used*; the winning path's dependencies
+        are committed afterwards (marking during the search would
+        poison the CDG with restrictions from explorations that lose).
+        """
+        dist: Dict[int, float] = {}
+        pred: Dict[int, int] = {}
+        heap: List[Tuple[float, int]] = []
+        for c in net.out_channels[src]:
+            if net.channel_dst[c] == dst:
+                # direct hit (terminal to its switch etc.)
+                if self._commit(cdg, [c]):
+                    return [c]
+            dist[c] = float(weights[c])
+            heapq.heappush(heap, (dist[c], c))
+        best_final: Optional[int] = None
+        while heap:
+            d_cp, cp = heapq.heappop(heap)
+            if d_cp > dist.get(cp, np.inf):
+                continue
+            if net.channel_dst[cp] == dst:
+                best_final = cp
+                break
+            for cq in cdg.out_dependencies(cp):
+                if cdg.would_close_cycle(cp, cq):
+                    continue
+                alt = d_cp + float(weights[cq])
+                if alt < dist.get(cq, np.inf):
+                    dist[cq] = alt
+                    pred[cq] = cp
+                    heapq.heappush(heap, (alt, cq))
+        if best_final is None:
+            return None
+        path = [best_final]
+        while path[-1] in pred:
+            path.append(pred[path[-1]])
+        path.reverse()
+        # commit: each dependency individually re-checked (earlier
+        # commits may have changed the CDG between search and commit —
+        # they cannot have, within one pair, but be exact anyway)
+        if self._commit(cdg, path):
+            return path
+        return None
+
+    @staticmethod
+    def _commit(cdg: CompleteCDG, path: List[int]) -> bool:
+        """Mark the path's dependencies used, all or nothing.
+
+        The per-edge checks during the search are against the CDG
+        *without* the path's earlier edges, so a joint commit can still
+        discover a cycle through a mix of new and old dependencies;
+        everything (including the freshly blocked marker) is rolled
+        back then and the pair falls back to the escape route."""
+        added: List[Tuple[int, int]] = []
+        for cp, cq in zip(path, path[1:]):
+            before = cdg.edge_state(cp, cq)
+            if cdg.try_use_edge(cp, cq):
+                if before != 1:
+                    added.append((cp, cq))
+            else:
+                for a, b in reversed(added):
+                    cdg.unuse_edge(a, b)
+                if before == 0:
+                    cdg.unblock_edge(cp, cq)
+                return False
+        for c in path:
+            cdg.mark_vertex_used(c)
+        return True
+
+    @staticmethod
+    def _escape_path(
+        net: Network, escape: EscapePaths, src: int, dst: int
+    ) -> List[int]:
+        """The guaranteed tree route for an impasse pair.
+
+        ``fallback_channels`` yields search-orientation in-channels
+        (tree walked from ``dst``); the traffic route hops over their
+        reverses, from ``src`` toward ``dst``.
+        """
+        chans = escape.fallback_channels(dst)
+        path: List[int] = []
+        node = src
+        while node != dst:
+            c = net.channel_reverse[chans[node]]
+            path.append(c)
+            node = net.channel_dst[c]
+        return path

@@ -1,0 +1,104 @@
+"""Shared experiment infrastructure.
+
+* :func:`routing_suite` — the OpenSM algorithm set plus Nue at every
+  VC count, as the paper's figures sweep them.
+* :func:`run_routing` — route-and-measure with uniform handling of the
+  two failure modes the paper distinguishes: *inapplicable to the
+  topology* (Torus-2QoS on a tree) and *failed within the VC budget*
+  (DFSSSP beyond its layer limit).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import NueRouting
+from repro.metrics import required_vcs
+from repro.network.graph import Network
+from repro.routing import (
+    DFSSSPRouting,
+    DORRouting,
+    DownUpRouting,
+    FatTreeRouting,
+    LASHRouting,
+    MinHopRouting,
+    NotApplicableError,
+    RoutingAlgorithm,
+    RoutingError,
+    RoutingResult,
+    Torus2QoSRouting,
+    UpDownRouting,
+)
+
+__all__ = ["RoutingOutcome", "routing_suite", "nue_suite", "run_routing"]
+
+
+@dataclass
+class RoutingOutcome:
+    """One routing attempt: result or the reason it was impossible."""
+
+    label: str
+    result: Optional[RoutingResult] = None
+    error: Optional[str] = None
+    runtime_s: float = 0.0
+    required_vcs: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def routing_suite(max_vls: int = 8) -> Dict[str, RoutingAlgorithm]:
+    """The paper's baseline set (OpenSM 3.3.16 engines)."""
+    return {
+        a.name: a
+        for a in (
+            MinHopRouting(max_vls),
+            UpDownRouting(max_vls),
+            DownUpRouting(max_vls),
+            DORRouting(max_vls),
+            FatTreeRouting(max_vls),
+            LASHRouting(max_vls),
+            DFSSSPRouting(max_vls),
+            Torus2QoSRouting(max(2, max_vls)),
+        )
+    }
+
+
+def nue_suite(max_k: int = 8) -> Dict[str, RoutingAlgorithm]:
+    """Nue at every VC count 1..max_k (the per-figure sweep)."""
+    return {f"nue-{k}vl": NueRouting(k) for k in range(1, max_k + 1)}
+
+
+def run_routing(
+    algo: RoutingAlgorithm,
+    net: Network,
+    label: Optional[str] = None,
+    seed: Optional[int] = None,
+    compute_required_vcs: bool = False,
+) -> RoutingOutcome:
+    """Route ``net`` and classify the outcome like the paper's figures."""
+    label = label or algo.name
+    started = time.perf_counter()
+    try:
+        result = algo.route(net, seed=seed)
+    except NotApplicableError as exc:
+        return RoutingOutcome(
+            label=label,
+            error=f"not applicable: {exc}",
+            runtime_s=time.perf_counter() - started,
+        )
+    except RoutingError as exc:
+        return RoutingOutcome(
+            label=label,
+            error=str(exc),
+            runtime_s=time.perf_counter() - started,
+        )
+    outcome = RoutingOutcome(
+        label=label, result=result, runtime_s=result.runtime_s
+    )
+    if compute_required_vcs:
+        outcome.required_vcs = required_vcs(result)
+    return outcome

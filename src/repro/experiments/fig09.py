@@ -1,0 +1,122 @@
+"""Figure 9 + Section 5.1 — edge forwarding index on random topologies.
+
+Paper setup: 1,000 random topologies of 125 switches, 1,000
+switch-to-switch channels and 8 terminals per switch; Nue at 1..8 VCs
+vs LASH vs DFSSSP.  Reported: the per-topology minimum / maximum /
+average / standard deviation of the edge forwarding index γ, averaged
+over the topologies (the Γ box plot), plus the Section-5.1 side
+statistics — maximum path length and the escape-path fallback rate.
+
+The topology count is configurable (box statistics stabilise far below
+1,000 samples; see DESIGN.md §3): ``python -m repro.experiments.fig09
+--topologies 1000`` is the paper-scale run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import NueRouting
+from repro.experiments.report import dump_json, render_table
+from repro.metrics import gamma_summary, path_length_stats
+from repro.network.topologies import random_topology
+from repro.routing import DFSSSPRouting, LASHRouting
+from repro.utils.prng import make_rng, spawn_seed
+
+__all__ = ["run"]
+
+N_SWITCHES = 125
+N_LINKS = 1000
+TERMINALS_PER_SWITCH = 8
+
+
+def run(
+    n_topologies: int = 5,
+    max_k: int = 8,
+    seed: int = 2016,
+    n_switches: int = N_SWITCHES,
+    n_links: int = N_LINKS,
+    terminals_per_switch: int = TERMINALS_PER_SWITCH,
+    json_path: Optional[str] = None,
+) -> Dict[str, Dict[str, float]]:
+    rng = make_rng(seed)
+    labels = [f"nue-{k}vl" for k in range(1, max_k + 1)] + ["lash", "dfsssp"]
+    acc: Dict[str, Dict[str, List[float]]] = {
+        lab: {"min": [], "max": [], "avg": [], "sd": [],
+              "maxlen": [], "fallback": []}
+        for lab in labels
+    }
+
+    for t in range(n_topologies):
+        net = random_topology(
+            n_switches, n_links, terminals_per_switch, seed=spawn_seed(rng)
+        )
+        run_seed = spawn_seed(rng)
+        for lab in labels:
+            if lab.startswith("nue"):
+                k = int(lab.split("-")[1].removesuffix("vl"))
+                algo = NueRouting(k)
+            elif lab == "lash":
+                algo = LASHRouting(max_vls=64)
+            else:
+                algo = DFSSSPRouting(max_vls=64)
+            result = algo.route(net, seed=run_seed)
+            g = gamma_summary(result)
+            p = path_length_stats(result)
+            acc[lab]["min"].append(g.minimum)
+            acc[lab]["max"].append(g.maximum)
+            acc[lab]["avg"].append(g.average)
+            acc[lab]["sd"].append(g.stddev)
+            acc[lab]["maxlen"].append(p.maximum)
+            acc[lab]["fallback"].append(
+                float(result.stats.get("fallback_rate", 0.0))
+            )
+
+    summary: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for lab in labels:
+        s = {
+            key: float(np.mean(vals)) for key, vals in acc[lab].items()
+        }
+        summary[lab] = s
+        rows.append([
+            lab, s["min"], s["avg"], s["sd"], s["max"],
+            s["maxlen"], f"{100 * s['fallback']:.2f}%",
+        ])
+
+    print(render_table(
+        ["routing", "Γ_min", "Γ_avg", "Γ_SD", "Γ_max",
+         "max path len", "escape fallback"],
+        rows,
+        title=(
+            "Fig. 9 / Sec. 5.1 - edge forwarding index, averaged over "
+            f"{n_topologies} random topologies "
+            f"({n_switches} sw / {n_switches * terminals_per_switch} T / "
+            f"{n_links} ch)"
+        ),
+    ))
+    if json_path:
+        dump_json(json_path, {"figure": "fig09", "summary": summary,
+                              "n_topologies": n_topologies})
+    return summary
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--topologies", type=int, default=5)
+    ap.add_argument("--max-k", type=int, default=8)
+    ap.add_argument("--seed", type=int, default=2016)
+    ap.add_argument("--switches", type=int, default=N_SWITCHES)
+    ap.add_argument("--links", type=int, default=N_LINKS)
+    ap.add_argument("--terminals", type=int, default=TERMINALS_PER_SWITCH)
+    ap.add_argument("--json", dest="json_path", default=None)
+    args = ap.parse_args()
+    run(args.topologies, args.max_k, args.seed, args.switches,
+        args.links, args.terminals, args.json_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Experiment dispatcher: ``repro-experiments <name> [args...]``.
+
+Each experiment is also runnable directly, e.g.
+``python -m repro.experiments.fig01 --help``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fallbacks,
+    fig01,
+    fig09,
+    fig10,
+    fig11,
+    scaling,
+    table1,
+)
+
+__all__ = ["main"]
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fallbacks": fallbacks.main,
+    "fig01": fig01.main,
+    "fig09": fig09.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "table1": table1.main,
+    "scaling": scaling.main,
+}
+
+
+def main() -> None:
+    if len(sys.argv) < 2 or sys.argv[1] in ("-h", "--help"):
+        names = ", ".join(sorted(EXPERIMENTS))
+        print(f"usage: repro-experiments <{names}> [args...]")
+        raise SystemExit(0 if len(sys.argv) >= 2 else 2)
+    name = sys.argv[1]
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; "
+              f"choose from {sorted(EXPERIMENTS)}")
+        raise SystemExit(2)
+    sys.argv = [f"repro-experiments {name}"] + sys.argv[2:]
+    EXPERIMENTS[name]()
+
+
+if __name__ == "__main__":
+    main()

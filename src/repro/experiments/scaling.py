@@ -1,0 +1,85 @@
+"""Proposition 1 — empirical runtime scaling of Nue.
+
+The paper derives O(|N|² log |N|) time for fixed switch radix and VC
+count.  This harness measures Nue's wall-clock over a size sweep of
+constant-radix random topologies and fits the log–log slope of runtime
+against |N|: the fit should land near 2 (the log factor is invisible at
+these scales), confirming the quadratic envelope.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import NueRouting
+from repro.experiments.report import dump_json, render_table
+from repro.network.topologies import random_topology
+
+__all__ = ["run"]
+
+
+def run(
+    sizes: Optional[List[int]] = None,
+    k: int = 1,
+    degree: int = 6,
+    terminals_per_switch: int = 2,
+    seed: int = 3,
+    json_path: Optional[str] = None,
+) -> Tuple[List[Tuple[int, float]], float]:
+    sizes = sizes or [16, 32, 64, 128]
+    points: List[Tuple[int, float]] = []
+    for n_switches in sizes:
+        net = random_topology(
+            n_switches,
+            n_switches * degree // 2,
+            terminals_per_switch,
+            seed=seed,
+        )
+        algo = NueRouting(k)
+        started = time.perf_counter()
+        algo.route(net, seed=seed)
+        elapsed = time.perf_counter() - started
+        points.append((net.n_nodes, elapsed))
+
+    xs = np.log([p[0] for p in points])
+    ys = np.log([p[1] for p in points])
+    slope = float(np.polyfit(xs, ys, 1)[0])
+
+    print(render_table(
+        ["|N| (nodes)", "runtime (s)"],
+        [[n, f"{t:.3f}"] for n, t in points],
+        title=(
+            f"Prop. 1 - Nue (k={k}) runtime scaling on degree-{degree} "
+            "random topologies"
+        ),
+    ))
+    print(f"\nlog-log slope: {slope:.2f}  "
+          "(paper bound O(|N|^2 log|N|) => slope ~2)")
+    if json_path:
+        dump_json(json_path, {
+            "experiment": "scaling",
+            "points": points,
+            "slope": slope,
+        })
+    return points, slope
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sizes", type=int, nargs="*", default=None)
+    ap.add_argument("--k", type=int, default=1)
+    ap.add_argument("--degree", type=int, default=6)
+    ap.add_argument("--terminals", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument("--json", dest="json_path", default=None)
+    args = ap.parse_args()
+    run(args.sizes, args.k, args.degree, args.terminals, args.seed,
+        args.json_path)
+
+
+if __name__ == "__main__":
+    main()

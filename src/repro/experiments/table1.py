@@ -1,0 +1,95 @@
+"""Table 1 — topology configurations for the throughput simulations.
+
+Regenerates each evaluation topology and reports switch / terminal /
+switch-to-switch channel counts next to the paper's numbers.  The two
+deliberate substitutions (Kautz parameters, Tsubame2.5 shape) are
+documented in DESIGN.md §3 and show up as the only deltas.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.report import dump_json, render_table
+from repro.network.graph import Network
+from repro.network.topologies import (
+    cascade,
+    dragonfly,
+    k_ary_n_tree,
+    kautz,
+    random_topology,
+    torus,
+    tsubame25_like,
+)
+
+__all__ = ["run", "paper_topologies", "PAPER_ROWS"]
+
+#: paper Tab. 1: (switches, terminals, channels, redundancy)
+PAPER_ROWS: Dict[str, Tuple[int, int, int, int]] = {
+    "random": (125, 1000, 1000, 1),
+    "torus-6x5x5": (150, 1050, 1800, 4),
+    "10-ary-3-tree": (300, 1100, 2000, 1),
+    "kautz": (150, 1050, 1500, 2),
+    "dragonfly": (180, 1080, 1515, 1),
+    "cascade": (192, 1536, 3072, 1),
+    "tsubame2.5": (243, 1407, 3384, 1),
+}
+
+
+def paper_topologies(seed: int = 1) -> Dict[str, Callable[[], Network]]:
+    """Constructors for the seven Tab. 1 topologies at paper scale."""
+    return {
+        "random": lambda: random_topology(125, 1000, 8, seed=seed),
+        "torus-6x5x5": lambda: torus([6, 5, 5], 7, redundancy=4),
+        "10-ary-3-tree": lambda: k_ary_n_tree(10, 3, terminals=1100),
+        "kautz": lambda: kautz(5, 3, 7, redundancy=2),
+        "dragonfly": lambda: dragonfly(12, 6, 6, 15),
+        "cascade": lambda: cascade(),
+        "tsubame2.5": lambda: tsubame25_like(),
+    }
+
+
+def run(seed: int = 1, json_path: Optional[str] = None) -> List[Dict]:
+    rows: List[Dict] = []
+    for name, build in paper_topologies(seed).items():
+        net = build()
+        got = (
+            len(net.switches),
+            len(net.terminals),
+            len(net.switch_to_switch_links()),
+        )
+        paper = PAPER_ROWS[name]
+        rows.append({
+            "topology": name,
+            "switches": got[0], "paper_switches": paper[0],
+            "terminals": got[1], "paper_terminals": paper[1],
+            "channels": got[2], "paper_channels": paper[2],
+            "redundancy": paper[3],
+        })
+    print(render_table(
+        ["topology", "switches", "(paper)", "terminals", "(paper)",
+         "s2s channels", "(paper)", "r"],
+        [
+            [r["topology"], r["switches"], r["paper_switches"],
+             r["terminals"], r["paper_terminals"],
+             r["channels"], r["paper_channels"], r["redundancy"]]
+            for r in rows
+        ],
+        title="Tab. 1 - topology configurations (generated vs paper)",
+    ))
+    if json_path:
+        dump_json(json_path, {"table": "table1", "rows": rows})
+    return rows
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--json", dest="json_path", default=None)
+    args = ap.parse_args()
+    run(args.seed, args.json_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Network fabric simulation: traffic patterns, flow-level throughput
+model, and a cycle-accurate flit-level wormhole simulator.
+
+The flow model (:mod:`repro.fabric.flow`) regenerates the paper's
+throughput figures at ~1,000-terminal scale; the flit simulator
+(:mod:`repro.fabric.flit`) reproduces the *dynamics* — including actual
+deadlock under non-deadlock-free routings — at NoC scale.
+"""
+
+from repro.fabric.traffic import (
+    Message,
+    shift_phase,
+    all_to_all_phases,
+    uniform_random_pairs,
+    bit_complement_pairs,
+    MESSAGE_BYTES_PAPER,
+)
+from repro.fabric.flow import (
+    FlowSimResult,
+    simulate_all_to_all,
+    simulate_uniform_random,
+    phase_channel_loads,
+    QDR_LINK_BANDWIDTH,
+)
+from repro.fabric.flit import FlitSimulator, FlitSimConfig, FlitSimStats
+from repro.fabric.sweep import LoadPoint, load_latency_sweep, saturation_load
+
+__all__ = [
+    "Message",
+    "shift_phase",
+    "all_to_all_phases",
+    "uniform_random_pairs",
+    "bit_complement_pairs",
+    "MESSAGE_BYTES_PAPER",
+    "FlowSimResult",
+    "simulate_all_to_all",
+    "simulate_uniform_random",
+    "phase_channel_loads",
+    "QDR_LINK_BANDWIDTH",
+    "FlitSimulator",
+    "FlitSimConfig",
+    "FlitSimStats",
+    "LoadPoint",
+    "load_latency_sweep",
+    "saturation_load",
+]

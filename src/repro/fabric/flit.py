@@ -1,0 +1,324 @@
+"""Cycle-accurate flit-level network simulator (wormhole, credit/VL).
+
+A compact stand-in for the paper's OMNeT++ InfiniBand model: input-
+buffered switches with one buffer per (channel, virtual lane), wormhole
+switching (a head flit allocates the downstream VC and the allocation
+is held until the tail departs it), one flit per physical channel per
+cycle, and back-pressure through buffer occupancy — the lossless
+behaviour that makes routing-induced deadlock *observable*: with a
+cyclic channel dependency graph and adversarial traffic the simulator
+visibly wedges (no flit moves while packets remain in flight), and
+with any deadlock-free routing it provably cannot.
+
+The simulator is synchronous (two-phase per cycle: collect moves, then
+apply) so results are independent of iteration order, and entirely
+deterministic given the injection schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.traffic import Message
+from repro.routing.base import RoutingResult
+
+__all__ = ["FlitSimConfig", "FlitSimStats", "FlitSimulator"]
+
+
+@dataclass(frozen=True)
+class FlitSimConfig:
+    """Simulator parameters.
+
+    ``flits_per_packet`` defaults to 8 (a 2 KiB message at 256-byte
+    flits); ``buffer_flits`` per (channel, VL) buffer is deliberately
+    smaller than a packet so wormhole dependencies span switches, as on
+    real hardware.  ``deadlock_threshold`` idle cycles with packets in
+    flight declare a deadlock.
+    """
+
+    buffer_flits: int = 4
+    flits_per_packet: int = 8
+    max_cycles: int = 1_000_000
+    deadlock_threshold: int = 2_000
+
+
+@dataclass
+class FlitSimStats:
+    """Outcome of a simulation run."""
+
+    delivered_packets: int = 0
+    injected_packets: int = 0
+    cycles: int = 0
+    deadlocked: bool = False
+    stalled_packets: int = 0
+    latencies: List[int] = field(default_factory=list)
+
+    @property
+    def avg_latency(self) -> float:
+        return (
+            sum(self.latencies) / len(self.latencies)
+            if self.latencies else 0.0
+        )
+
+    @property
+    def completed(self) -> bool:
+        return (
+            not self.deadlocked
+            and self.delivered_packets == self.injected_packets
+        )
+
+
+class _Packet:
+    __slots__ = (
+        "pid", "src", "dst", "size", "path", "vls",
+        "arrival", "injected_at", "flits_sent", "flits_delivered",
+    )
+
+    def __init__(self, pid, src, dst, size, path, vls, injected_at,
+                 arrival=0):
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.path = path  # channel ids, injection through ejection
+        self.vls = vls    # VL per hop
+        self.arrival = arrival    # cycle the NIC receives the packet
+        self.injected_at = injected_at
+        self.flits_sent = 0       # flits that left the source NIC
+        self.flits_delivered = 0  # flits consumed at the destination
+
+
+class _Flit:
+    __slots__ = ("packet", "hop", "is_head", "is_tail")
+
+    def __init__(self, packet: _Packet, hop: int, is_head: bool,
+                 is_tail: bool):
+        self.packet = packet
+        self.hop = hop  # index into packet.path of the channel whose
+        #                 buffer currently holds this flit
+        self.is_head = is_head
+        self.is_tail = is_tail
+
+
+class FlitSimulator:
+    """Wormhole simulator over a routing result's forwarding tables."""
+
+    def __init__(
+        self, result: RoutingResult, config: Optional[FlitSimConfig] = None
+    ) -> None:
+        self.result = result
+        self.net = result.net
+        self.config = config or FlitSimConfig()
+        n_vls = max(1, result.n_vls)
+        self.n_vls = n_vls
+        # buffers[(channel, vl)] -> FIFO of flits at the channel's head
+        self._buffers: Dict[Tuple[int, int], Deque[_Flit]] = {}
+        # VC allocation: packet currently holding (channel, vl), or None
+        self._owner: Dict[Tuple[int, int], Optional[_Packet]] = {}
+        # round-robin arbitration pointer per physical channel
+        self._rr: Dict[int, int] = {}
+        # per-source injection state: FIFO of queued packets and the
+        # packet currently streaming out of the NIC (one worm at a time)
+        self._queue: Dict[int, Deque[_Packet]] = {}
+        self._sending: Dict[int, _Packet] = {}
+        self._inflight: int = 0  # packets with >= 1 flit in the network
+        self._next_pid = 0
+        self.stats = FlitSimStats()
+
+    # -- workload ------------------------------------------------------------
+
+    def inject(self, messages: Sequence[Message]) -> None:
+        """Queue messages for injection at cycle 0."""
+        self.schedule((m, 0) for m in messages)
+
+    def schedule(self, timed_messages) -> None:
+        """Queue ``(message, arrival_cycle)`` pairs (open-loop traffic).
+
+        A packet becomes eligible for injection at its arrival cycle;
+        latency is measured from arrival, so source queueing counts —
+        the convention load/latency sweeps require.  Arrivals per
+        source must be scheduled in non-decreasing time order."""
+        cfg = self.config
+        for m, arrival in timed_messages:
+            if m.src == m.dst:
+                continue
+            path = self.result.path(m.src, m.dst)
+            vls = self.result.path_vls(m.src, m.dst)
+            pkt = _Packet(
+                self._next_pid, m.src, m.dst,
+                cfg.flits_per_packet, path, vls, injected_at=0,
+                arrival=int(arrival),
+            )
+            self._next_pid += 1
+            queue = self._queue.setdefault(m.src, deque())
+            if queue and queue[-1].arrival > pkt.arrival:
+                raise ValueError(
+                    "per-source arrivals must be non-decreasing"
+                )
+            queue.append(pkt)
+            self.stats.injected_packets += 1
+
+    # -- helpers -------------------------------------------------------------
+
+    def _buffer(self, chan: int, vl: int) -> Deque[_Flit]:
+        key = (chan, vl)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = deque()
+            self._buffers[key] = buf
+            self._owner[key] = None
+        return buf
+
+    def _space(self, chan: int, vl: int) -> bool:
+        return len(self._buffer(chan, vl)) < self.config.buffer_flits
+
+    def _vc_free_for(self, chan: int, vl: int, pkt: _Packet) -> bool:
+        self._buffer(chan, vl)  # ensure owner entry exists
+        owner = self._owner[(chan, vl)]
+        return owner is None or owner is pkt
+
+    # -- simulation ----------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> FlitSimStats:
+        """Simulate until every injected packet is delivered, a deadlock
+        is detected, or the cycle budget runs out."""
+        cfg = self.config
+        budget = max_cycles if max_cycles is not None else cfg.max_cycles
+        idle_cycles = 0
+        cycle = 0
+        while cycle < budget:
+            if (
+                self._inflight == 0
+                and not self._sending
+                and not any(self._queue.values())
+            ):
+                break
+            moved = self._step(cycle)
+            cycle += 1
+            if moved:
+                idle_cycles = 0
+            elif self._inflight == 0 and not self._sending:
+                idle_cycles = 0  # quiescent, waiting for future arrivals
+            else:
+                idle_cycles += 1
+                if idle_cycles >= cfg.deadlock_threshold:
+                    self.stats.deadlocked = True
+                    break
+        self.stats.cycles = cycle
+        self.stats.stalled_packets = (
+            self.stats.injected_packets - self.stats.delivered_packets
+        )
+        return self.stats
+
+    def _step(self, cycle: int) -> bool:
+        """One synchronous cycle; returns True when any flit moved."""
+        net = self.net
+        cfg = self.config
+
+        # gather transfer requests per physical channel: in-network
+        # flits at buffer fronts plus one injection candidate per NIC
+        requests: Dict[int, List[Tuple[Optional[Tuple[int, int]], _Flit]]] = {}
+        ejections: List[Tuple[Tuple[int, int], _Flit]] = []
+        for key, buf in self._buffers.items():
+            if not buf:
+                continue
+            flit = buf[0]
+            nxt_hop = flit.hop + 1
+            if nxt_hop >= len(flit.packet.path):
+                ejections.append((key, flit))
+            else:
+                nxt_chan = flit.packet.path[nxt_hop]
+                requests.setdefault(nxt_chan, []).append((key, flit))
+        for src, pkt in list(self._sending.items()):
+            flit = self._make_next_flit(pkt)
+            requests.setdefault(pkt.path[0], []).append((None, flit))
+        for src, queue in self._queue.items():
+            if src in self._sending or not queue:
+                continue
+            pkt = queue[0]
+            if pkt.arrival > cycle:
+                continue  # not yet handed to the NIC
+            flit = self._make_next_flit(pkt)
+            requests.setdefault(pkt.path[0], []).append((None, flit))
+
+        # plan: at most one flit per physical channel per cycle
+        moves: List[Tuple[Optional[Tuple[int, int]],
+                          Optional[Tuple[int, int]], _Flit, int]] = []
+        reserved: Dict[Tuple[int, int], int] = {}
+        for chan, cands in requests.items():
+            start = self._rr.get(chan, 0) % len(cands)
+            picked = None
+            for i in range(len(cands)):
+                src_key, flit = cands[(start + i) % len(cands)]
+                pkt = flit.packet
+                hop = flit.hop + 1 if src_key is not None else 0
+                vl_out = pkt.vls[hop]
+                dst_key = (chan, vl_out)
+                if flit.is_head:
+                    if not self._vc_free_for(chan, vl_out, pkt):
+                        continue
+                elif self._owner.get(dst_key) is not pkt:
+                    continue  # body flits follow their own worm only
+                space = (
+                    cfg.buffer_flits
+                    - len(self._buffer(chan, vl_out))
+                    - reserved.get(dst_key, 0)
+                )
+                if space <= 0:
+                    continue
+                picked = (src_key, dst_key, flit, hop)
+                break
+            if picked is None:
+                continue
+            reserved[picked[1]] = reserved.get(picked[1], 0) + 1
+            self._rr[chan] = start + 1
+            moves.append(picked)
+
+        # apply ejections (one flit per ejection VC per cycle)
+        for src_key, flit in ejections:
+            moves.append((src_key, None, flit, -1))
+
+        for src_key, dst_key, flit, hop in moves:
+            pkt = flit.packet
+            if src_key is not None:
+                buf = self._buffers[src_key]
+                assert buf[0] is flit
+                buf.popleft()
+                if flit.is_tail:
+                    self._owner[src_key] = None
+            else:
+                # the flit leaves the source NIC
+                if pkt.flits_sent == 0:
+                    pkt.injected_at = cycle
+                    self._queue[pkt.src].popleft()
+                    self._sending[pkt.src] = pkt
+                    self._inflight += 1
+                pkt.flits_sent += 1
+                if pkt.flits_sent == pkt.size:
+                    del self._sending[pkt.src]
+            if dst_key is None:
+                pkt.flits_delivered += 1
+                if flit.is_tail:
+                    self._deliver(pkt, cycle)
+            else:
+                if flit.is_head:
+                    self._owner[dst_key] = pkt
+                flit.hop = hop
+                self._buffers[dst_key].append(flit)
+        return bool(moves)
+
+    def _make_next_flit(self, pkt: _Packet) -> _Flit:
+        idx = pkt.flits_sent
+        return _Flit(
+            pkt,
+            hop=-1,  # not yet in any buffer
+            is_head=(idx == 0),
+            is_tail=(idx == pkt.size - 1),
+        )
+
+    def _deliver(self, pkt: _Packet, cycle: int) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.latencies.append(cycle - pkt.arrival)
+        self._inflight -= 1

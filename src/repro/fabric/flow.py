@@ -1,0 +1,161 @@
+"""Flow-level all-to-all throughput model (substitute for the paper's
+OMNeT++ flit-level toolchain at ~1,000-terminal scale — DESIGN.md §3).
+
+The all-to-all exchange runs phase by phase; within a phase every
+terminal sends one message and the phase completes when the most
+congested channel has drained, i.e. phase time is proportional to the
+maximum number of flows sharing a channel (uniform capacities).  The
+aggregate throughput is then
+
+    total_bytes / Σ_phases (max_load_phase * msg_bytes / link_bw)
+
+This preserves exactly the quantity the paper's figures rank on — the
+per-phase bottleneck congestion induced by the forwarding tables —
+while staying tractable in pure Python.  Absolute numbers assume QDR
+InfiniBand's 4 GB/s effective data rate per link, like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fabric.traffic import (
+    MESSAGE_BYTES_PAPER,
+    Message,
+    all_to_all_phases,
+)
+from repro.routing.base import RoutingResult
+from repro.utils.prng import SeedLike
+
+__all__ = [
+    "FlowSimResult",
+    "phase_channel_loads",
+    "simulate_all_to_all",
+    "simulate_uniform_random",
+]
+
+#: QDR InfiniBand 4x effective data bandwidth (bytes/second)
+QDR_LINK_BANDWIDTH = 4.0e9
+
+
+@dataclass(frozen=True)
+class FlowSimResult:
+    """Outcome of a flow-level all-to-all simulation."""
+
+    throughput_bytes_per_s: float  #: aggregate all-to-all throughput
+    total_bytes: int
+    total_time_s: float
+    n_phases: int
+    max_phase_load: int  #: worst bottleneck over all phases
+    avg_phase_load: float
+
+    @property
+    def throughput_gbyte_per_s(self) -> float:
+        return self.throughput_bytes_per_s / 1e9
+
+
+def phase_channel_loads(
+    result: RoutingResult, messages: Sequence[Message]
+) -> np.ndarray:
+    """Flows per channel for one phase's message set."""
+    net = result.net
+    loads = np.zeros(net.n_channels, dtype=np.int64)
+    for m in messages:
+        for c in result.path(m.src, m.dst):
+            loads[c] += 1
+    return loads
+
+
+def simulate_all_to_all(
+    result: RoutingResult,
+    size_bytes: int = MESSAGE_BYTES_PAPER,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    sample_phases: Optional[int] = None,
+    seed: SeedLike = None,
+) -> FlowSimResult:
+    """All-to-all exchange over all terminals of the routed network.
+
+    ``sample_phases`` simulates a uniform subset of the shift phases
+    and extrapolates (phase loads are identically distributed across
+    shifts for these patterns, so the estimate is unbiased).
+    """
+    net = result.net
+    terminals = net.terminals
+    if len(terminals) < 2:
+        raise ValueError("all-to-all needs at least two terminals")
+    n = len(terminals)
+    total_phases = n - 1
+
+    sum_max_load = 0.0
+    worst = 0
+    simulated = 0
+    for _, messages in all_to_all_phases(
+        terminals, size_bytes, sample=sample_phases, seed=seed
+    ):
+        loads = phase_channel_loads(result, messages)
+        peak = int(loads.max())
+        sum_max_load += peak
+        worst = max(worst, peak)
+        simulated += 1
+
+    # extrapolate sampled phases to the full exchange
+    scale = total_phases / simulated
+    total_time = sum_max_load * scale * (size_bytes / link_bandwidth)
+    total_bytes = n * total_phases * size_bytes
+    return FlowSimResult(
+        throughput_bytes_per_s=total_bytes / total_time,
+        total_bytes=total_bytes,
+        total_time_s=total_time,
+        n_phases=simulated,
+        max_phase_load=worst,
+        avg_phase_load=sum_max_load / simulated,
+    )
+
+
+def simulate_uniform_random(
+    result: RoutingResult,
+    rounds: int = 64,
+    size_bytes: int = MESSAGE_BYTES_PAPER,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    seed: SeedLike = None,
+) -> FlowSimResult:
+    """Uniform random injection (the paper's footnote-7 pattern).
+
+    Each round every terminal sends one message to an independently
+    drawn random peer; round time is set by the bottleneck channel as
+    in :func:`simulate_all_to_all`.  The paper notes this workload
+    ranks routings like the shift exchange does — a property the test
+    suite checks.
+    """
+    from repro.fabric.traffic import uniform_random_pairs
+    from repro.utils.prng import make_rng, spawn_seed
+
+    net = result.net
+    terminals = net.terminals
+    if len(terminals) < 2:
+        raise ValueError("uniform random traffic needs two terminals")
+    rng = make_rng(seed)
+    n = len(terminals)
+    sum_max_load = 0.0
+    worst = 0
+    for _ in range(rounds):
+        messages = uniform_random_pairs(
+            terminals, n, size_bytes, seed=spawn_seed(rng)
+        )
+        loads = phase_channel_loads(result, messages)
+        peak = int(loads.max())
+        sum_max_load += peak
+        worst = max(worst, peak)
+    total_time = sum_max_load * (size_bytes / link_bandwidth)
+    total_bytes = n * rounds * size_bytes
+    return FlowSimResult(
+        throughput_bytes_per_s=total_bytes / total_time,
+        total_bytes=total_bytes,
+        total_time_s=total_time,
+        n_phases=rounds,
+        max_phase_load=worst,
+        avg_phase_load=sum_max_load / rounds,
+    )

@@ -1,0 +1,108 @@
+"""Open-loop load/latency sweeps — the classic interconnect curve.
+
+Injects Bernoulli traffic (each terminal sources a packet with
+probability λ per cycle, uniform random destinations) into the
+flit-level simulator for a warmup + measurement window, and reports
+offered vs. accepted load and average packet latency per point.  The
+knee of the latency curve is the network's saturation throughput under
+the routing being tested — the dynamic counterpart of the flow model's
+bottleneck estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.fabric.flit import FlitSimConfig, FlitSimulator
+from repro.fabric.traffic import Message
+from repro.routing.base import RoutingResult
+from repro.utils.prng import SeedLike, make_rng
+
+__all__ = ["LoadPoint", "load_latency_sweep", "saturation_load"]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One operating point of the load/latency curve."""
+
+    offered_load: float       #: packets per terminal per cycle
+    accepted_load: float      #: delivered packets per terminal per cycle
+    avg_latency: float        #: cycles, arrival to tail delivery
+    delivered: int
+    injected: int
+    deadlocked: bool
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: accepting well under the offered load."""
+        return self.accepted_load < 0.85 * self.offered_load
+
+
+def _bernoulli_schedule(
+    terminals: Sequence[int],
+    rate: float,
+    cycles: int,
+    rng,
+) -> List[tuple]:
+    out = []
+    n = len(terminals)
+    for t in range(cycles):
+        draws = rng.random(n)
+        for i, src in enumerate(terminals):
+            if draws[i] < rate:
+                dst = terminals[int(rng.integers(0, n))]
+                if dst != src:
+                    out.append((Message(src, dst), t))
+    return out
+
+
+def load_latency_sweep(
+    result: RoutingResult,
+    loads: Sequence[float],
+    window: int = 600,
+    drain: int = 4000,
+    config: Optional[FlitSimConfig] = None,
+    seed: SeedLike = None,
+) -> List[LoadPoint]:
+    """Measure one :class:`LoadPoint` per offered load.
+
+    Each point injects Bernoulli traffic for ``window`` cycles and lets
+    the network drain for up to ``drain`` more; accepted load counts
+    deliveries over the whole run (so a saturated or deadlocked network
+    shows accepted << offered).
+    """
+    rng = make_rng(seed)
+    terminals = result.net.terminals
+    if len(terminals) < 2:
+        raise ValueError("sweep needs at least two terminals")
+    points: List[LoadPoint] = []
+    for rate in loads:
+        if not (0 < rate <= 1):
+            raise ValueError(f"load must be in (0, 1]: {rate}")
+        sim = FlitSimulator(result, config)
+        schedule = _bernoulli_schedule(
+            terminals, rate, window, rng
+        )
+        sim.schedule(schedule)
+        stats = sim.run(max_cycles=window + drain)
+        cycles = max(stats.cycles, 1)
+        points.append(LoadPoint(
+            offered_load=rate,
+            accepted_load=(
+                stats.delivered_packets / (len(terminals) * window)
+            ),
+            avg_latency=stats.avg_latency,
+            delivered=stats.delivered_packets,
+            injected=stats.injected_packets,
+            deadlocked=stats.deadlocked,
+        ))
+    return points
+
+
+def saturation_load(points: Sequence[LoadPoint]) -> Optional[float]:
+    """First offered load at which the network saturates (or None)."""
+    for p in points:
+        if p.saturated or p.deadlocked:
+            return p.offered_load
+    return None

@@ -1,0 +1,103 @@
+"""Traffic patterns (paper Section 5.2).
+
+The paper's throughput workload is an all-to-all send operation with
+2 KiB messages, realised as an *exchange pattern of varying shift
+distances*: in phase ``s`` every terminal ``i`` sends one message to
+terminal ``(i + s) mod N``.  Uniform random injection is provided as
+well (the paper notes it behaves similarly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.prng import SeedLike, make_rng
+
+__all__ = [
+    "Message",
+    "shift_phase",
+    "all_to_all_phases",
+    "uniform_random_pairs",
+    "bit_complement_pairs",
+    "MESSAGE_BYTES_PAPER",
+]
+
+#: the paper's all-to-all message size (2 KiB)
+MESSAGE_BYTES_PAPER = 2048
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer."""
+
+    src: int
+    dst: int
+    size_bytes: int = MESSAGE_BYTES_PAPER
+
+
+def shift_phase(
+    terminals: Sequence[int], shift: int, size_bytes: int = MESSAGE_BYTES_PAPER
+) -> List[Message]:
+    """Phase ``shift`` of the exchange pattern: ``i -> i + shift``."""
+    n = len(terminals)
+    if not 1 <= shift < n:
+        raise ValueError(f"shift must be in [1, {n - 1}]")
+    return [
+        Message(terminals[i], terminals[(i + shift) % n], size_bytes)
+        for i in range(n)
+    ]
+
+
+def all_to_all_phases(
+    terminals: Sequence[int],
+    size_bytes: int = MESSAGE_BYTES_PAPER,
+    sample: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Iterator[Tuple[int, List[Message]]]:
+    """All ``N - 1`` shift phases of the all-to-all exchange.
+
+    ``sample`` draws that many distinct phases uniformly instead (the
+    quick-mode subsetting used by the benchmarks; results are scaled
+    back by the caller via the phase count).
+    """
+    n = len(terminals)
+    shifts: Sequence[int] = range(1, n)
+    if sample is not None and sample < n - 1:
+        rng = make_rng(seed)
+        shifts = sorted(
+            int(s) for s in rng.choice(range(1, n), size=sample, replace=False)
+        )
+    for s in shifts:
+        yield s, shift_phase(terminals, s, size_bytes)
+
+
+def uniform_random_pairs(
+    terminals: Sequence[int],
+    n_messages: int,
+    size_bytes: int = MESSAGE_BYTES_PAPER,
+    seed: SeedLike = None,
+) -> List[Message]:
+    """Uniform random traffic: sources and destinations drawn i.i.d."""
+    rng = make_rng(seed)
+    out: List[Message] = []
+    n = len(terminals)
+    while len(out) < n_messages:
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(0, n))
+        if i != j:
+            out.append(Message(terminals[i], terminals[j], size_bytes))
+    return out
+
+
+def bit_complement_pairs(
+    terminals: Sequence[int],
+    size_bytes: int = MESSAGE_BYTES_PAPER,
+) -> List[Message]:
+    """Bit-complement permutation (a classic adversarial NoC pattern)."""
+    n = len(terminals)
+    return [
+        Message(terminals[i], terminals[n - 1 - i], size_bytes)
+        for i in range(n)
+        if i != n - 1 - i
+    ]

@@ -1,0 +1,23 @@
+"""InfiniBand management-plane substrate.
+
+LIDs, port numbering and linear forwarding tables — the concrete
+artifacts the paper's OpenSM implementation emits.  Any
+:class:`repro.routing.RoutingResult` lowers losslessly to per-switch
+``LID -> port`` tables plus an SL table and back.
+"""
+
+from repro.ib.subnet import Subnet
+from repro.ib.lft import (
+    LinearForwardingTables,
+    build_lfts,
+    build_slvl,
+    lfts_to_routing,
+)
+
+__all__ = [
+    "Subnet",
+    "LinearForwardingTables",
+    "build_lfts",
+    "build_slvl",
+    "lfts_to_routing",
+]

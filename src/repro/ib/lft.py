@@ -1,0 +1,133 @@
+"""Linear forwarding tables and SL2VL maps — OpenSM's actual output.
+
+:func:`build_lfts` lowers a :class:`RoutingResult` into per-switch
+``LID -> output port`` arrays (what ``opensm --dump`` calls an LFT),
+and :func:`build_slvl` extracts the ``(source, destination) -> service
+level`` assignment that realises the routing's virtual-lane plan.
+:func:`lfts_to_routing` raises them back, so the lowering is proven
+lossless by round-trip tests.
+
+The pair (LFT, SL table) is exactly the artifact a subnet manager
+pushes to hardware; everything above this module is management-plane
+abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ib.subnet import Subnet
+from repro.network.graph import Network
+from repro.routing.base import RoutingResult
+
+__all__ = ["LinearForwardingTables", "build_lfts", "build_slvl",
+           "lfts_to_routing"]
+
+
+@dataclass
+class LinearForwardingTables:
+    """Per-switch LID-indexed output ports.
+
+    ``tables[switch][lid]`` is the output port (0 = no route / self).
+    """
+
+    subnet: Subnet
+    tables: Dict[int, Dict[int, int]]
+    dest_lids: List[int]
+
+    def out_port(self, switch: int, dest_lid: int) -> int:
+        return self.tables[switch].get(dest_lid, 0)
+
+    def dump(self, max_switches: int = 0) -> str:
+        """OpenSM-style text dump."""
+        net = self.subnet.net
+        switches = list(self.tables)
+        if max_switches:
+            switches = switches[:max_switches]
+        out = []
+        for sw in switches:
+            out.append(
+                f"Switch {net.node_names[sw]} "
+                f"(LID {self.subnet.lid(sw)}):"
+            )
+            out.append("  LID : Port")
+            for lid in self.dest_lids:
+                port = self.tables[sw].get(lid, 0)
+                out.append(f"  {lid:4d} : {port:3d}")
+        return "\n".join(out) + "\n"
+
+
+def build_lfts(result: RoutingResult,
+               subnet: Optional[Subnet] = None) -> LinearForwardingTables:
+    """Lower next-channel tables to per-switch LID->port arrays."""
+    net = result.net
+    subnet = subnet or Subnet(net)
+    tables: Dict[int, Dict[int, int]] = {s: {} for s in net.switches}
+    dest_lids = [subnet.lid(d) for d in result.dests]
+    for j, d in enumerate(result.dests):
+        lid = subnet.lid(d)
+        for sw in net.switches:
+            c = int(result.next_channel[sw, j])
+            if c >= 0:
+                tables[sw][lid] = subnet.port_of_channel(c)
+    return LinearForwardingTables(
+        subnet=subnet, tables=tables, dest_lids=dest_lids
+    )
+
+
+def build_slvl(result: RoutingResult,
+               subnet: Optional[Subnet] = None) -> Dict[Tuple[int, int], int]:
+    """``(source LID, destination LID) -> SL`` for the VL plan.
+
+    InfiniBand applications query this via path records; the SL is then
+    mapped to a VL per hop (identically for the static-layer routings
+    reproduced here).
+    """
+    net = result.net
+    subnet = subnet or Subnet(net)
+    out: Dict[Tuple[int, int], int] = {}
+    for j, d in enumerate(result.dests):
+        dlid = subnet.lid(d)
+        for s in range(net.n_nodes):
+            if s == d:
+                continue
+            out[(subnet.lid(s), dlid)] = int(result.vl[s, j])
+    return out
+
+
+def lfts_to_routing(
+    net: Network,
+    lfts: LinearForwardingTables,
+    algorithm: str = "lft",
+) -> RoutingResult:
+    """Raise LID/port tables back into a :class:`RoutingResult`.
+
+    Terminals forward over their unique channel; switch entries follow
+    the LFT.  Virtual lanes are not part of an LFT and come back as 0 —
+    combine with :func:`build_slvl` to restore them.
+    """
+    subnet = lfts.subnet
+    dests = [subnet.node(lid) for lid in lfts.dest_lids]
+    nxt = np.full((net.n_nodes, len(dests)), -1, dtype=np.int32)
+    vl = np.zeros((net.n_nodes, len(dests)), dtype=np.int8)
+    for j, (lid, d) in enumerate(zip(lfts.dest_lids, dests)):
+        for t in net.terminals:
+            if t != d:
+                nxt[t, j] = net.out_channels[t][0]
+        for sw in net.switches:
+            if sw == d:
+                continue
+            port = lfts.tables[sw].get(lid, 0)
+            if port > 0:
+                nxt[sw, j] = subnet.channel_of_port(sw, port)
+    return RoutingResult(
+        net=net,
+        dests=dests,
+        next_channel=nxt,
+        vl=vl,
+        n_vls=1,
+        algorithm=algorithm,
+    )

@@ -1,0 +1,82 @@
+"""InfiniBand-flavoured subnet model: LIDs and ports.
+
+The paper's artifact lives inside OpenSM, whose output is not an
+abstract next-channel function but *linear forwarding tables*: per
+switch, an array mapping destination **LID** (local identifier) to an
+output **port number**.  This module provides that last-mile mapping
+for our networks:
+
+* every node gets a LID (1-based, like real subnets);
+* every node's channels get port numbers (1-based, port 0 being the
+  switch management port in real IB);
+* :class:`Subnet` translates between (node, channel) and (LID, port).
+
+The numbering is deterministic: LIDs follow node ids, ports follow
+channel creation order — stable across runs and across fault-free
+reloads from a topology file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.graph import Network
+
+__all__ = ["Subnet"]
+
+
+class Subnet:
+    """LID and port numbering over a :class:`Network`."""
+
+    def __init__(self, net: Network, base_lid: int = 1) -> None:
+        if base_lid < 1:
+            raise ValueError("LIDs start at 1 in InfiniBand")
+        self.net = net
+        self.base_lid = base_lid
+        #: node id -> LID
+        self.lid_of: List[int] = [base_lid + v for v in range(net.n_nodes)]
+        #: LID -> node id
+        self.node_of_lid: Dict[int, int] = {
+            lid: v for v, lid in enumerate(self.lid_of)
+        }
+        #: channel id -> (source node, port number)
+        self._port_of_channel: List[Tuple[int, int]] = [
+            (-1, -1)
+        ] * net.n_channels
+        #: (node, port) -> channel id
+        self._channel_of_port: Dict[Tuple[int, int], int] = {}
+        for v in range(net.n_nodes):
+            for port, c in enumerate(sorted(net.out_channels[v]), start=1):
+                self._port_of_channel[c] = (v, port)
+                self._channel_of_port[(v, port)] = c
+
+    # -- queries -----------------------------------------------------------------
+
+    def lid(self, node: int) -> int:
+        """LID of ``node``."""
+        return self.lid_of[node]
+
+    def node(self, lid: int) -> int:
+        """Node id owning ``lid`` (KeyError when unassigned)."""
+        return self.node_of_lid[lid]
+
+    def port_of_channel(self, channel: int) -> int:
+        """Output port number a channel leaves through."""
+        node, port = self._port_of_channel[channel]
+        if port < 0:
+            raise ValueError(f"unknown channel {channel}")
+        return port
+
+    def channel_of_port(self, node: int, port: int) -> int:
+        """Channel id behind ``(node, port)`` (KeyError when absent)."""
+        return self._channel_of_port[(node, port)]
+
+    def n_ports(self, node: int) -> int:
+        """Number of (data) ports on ``node``."""
+        return len(self.net.out_channels[node])
+
+    def peer(self, node: int, port: int) -> Tuple[int, int]:
+        """The remote ``(node, port)`` a local port's cable ends at."""
+        c = self.channel_of_port(node, port)
+        rev = self.net.channel_reverse[c]
+        return self._port_of_channel[rev]

@@ -1,0 +1,29 @@
+"""Persistence: topology files and forwarding-table dumps."""
+
+from repro.io.topofile import (
+    TopologyFormatError,
+    format_topology,
+    load_topology,
+    parse_topology,
+    save_topology,
+)
+from repro.io.tables import (
+    format_lft,
+    load_routing,
+    routing_from_json,
+    routing_to_json,
+    save_routing,
+)
+
+__all__ = [
+    "TopologyFormatError",
+    "format_topology",
+    "load_topology",
+    "parse_topology",
+    "save_topology",
+    "format_lft",
+    "load_routing",
+    "routing_from_json",
+    "routing_to_json",
+    "save_routing",
+]

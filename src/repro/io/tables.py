@@ -1,0 +1,123 @@
+"""Forwarding-table serialisation.
+
+Two formats:
+
+* :func:`format_lft` — a human-readable linear-forwarding-table dump in
+  the spirit of OpenSM's ``dump_lfts``: per destination, every node's
+  next hop and virtual lane.
+* :func:`routing_to_json` / :func:`routing_from_json` — a lossless JSON
+  round-trip of a :class:`RoutingResult` against a given network, so
+  expensive routing runs can be cached and re-analysed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingResult
+
+__all__ = [
+    "format_lft",
+    "routing_to_json",
+    "routing_from_json",
+    "save_routing",
+    "load_routing",
+]
+
+
+def format_lft(result: RoutingResult, max_dests: int = 0) -> str:
+    """Dump per-destination forwarding entries as text.
+
+    ``max_dests`` truncates the dump (0 = all destinations).
+    """
+    net = result.net
+    out = [
+        f"# LFT dump: {net.name}, algorithm={result.algorithm}, "
+        f"vls={result.n_vls}"
+    ]
+    dests = result.dests[:max_dests] if max_dests else result.dests
+    for d in dests:
+        j = result.dest_index(d)
+        out.append(f"destination {net.node_names[d]}:")
+        for v in range(net.n_nodes):
+            c = int(result.next_channel[v, j])
+            if c < 0:
+                continue
+            out.append(
+                f"  {net.node_names[v]:16s} -> "
+                f"{net.node_names[net.channel_dst[c]]:16s} "
+                f"(channel {c}, VL {int(result.vl[v, j])})"
+            )
+    return "\n".join(out) + "\n"
+
+
+def routing_to_json(result: RoutingResult) -> str:
+    """Serialise tables + VLs + stats (not the network) to JSON."""
+    payload = {
+        "algorithm": result.algorithm,
+        "network": result.net.name,
+        "n_nodes": result.net.n_nodes,
+        "dests": list(map(int, result.dests)),
+        "next_channel": result.next_channel.tolist(),
+        "vl": result.vl.tolist(),
+        "n_vls": int(result.n_vls),
+        "runtime_s": float(result.runtime_s),
+        "stats": _jsonable(result.stats),
+    }
+    return json.dumps(payload, indent=1)
+
+
+def routing_from_json(net: Network, text: str) -> RoutingResult:
+    """Rebuild a :class:`RoutingResult` against ``net``.
+
+    Raises ``ValueError`` when the payload does not match the network
+    (different node count or name) — silently attaching tables to the
+    wrong fabric would be a debugging nightmare.
+    """
+    payload = json.loads(text)
+    if payload["n_nodes"] != net.n_nodes:
+        raise ValueError(
+            f"payload has {payload['n_nodes']} nodes, network has "
+            f"{net.n_nodes}"
+        )
+    if payload["network"] != net.name:
+        raise ValueError(
+            f"payload was routed on {payload['network']!r}, "
+            f"not {net.name!r}"
+        )
+    result = RoutingResult(
+        net=net,
+        dests=list(payload["dests"]),
+        next_channel=np.asarray(payload["next_channel"], dtype=np.int32),
+        vl=np.asarray(payload["vl"], dtype=np.int8),
+        n_vls=int(payload["n_vls"]),
+        algorithm=payload["algorithm"],
+        runtime_s=float(payload.get("runtime_s", 0.0)),
+    )
+    result.stats = payload.get("stats", {})
+    return result
+
+
+def save_routing(result: RoutingResult, path: Union[str, Path]) -> None:
+    Path(path).write_text(routing_to_json(result), encoding="utf-8")
+
+
+def load_routing(net: Network, path: Union[str, Path]) -> RoutingResult:
+    return routing_from_json(net, Path(path).read_text(encoding="utf-8"))
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

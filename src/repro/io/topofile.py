@@ -1,0 +1,141 @@
+"""Plain-text topology files.
+
+A minimal, diff-friendly format so fabrics can be stored in a repo,
+edited by hand, and fed to the CLI — the role ibnetdiscover output
+plays for OpenSM:
+
+```
+# anything after '#' is a comment
+name my-cluster
+switch  s0
+switch  s1
+terminal t0
+link s0 s1        # one duplex link
+link s0 s1 x2     # two parallel links
+link t0 s0
+meta topology {"type": "custom"}   # optional JSON metadata
+```
+
+Node order and link order are preserved, so ids round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.network.graph import Network, NetworkBuilder
+
+__all__ = ["load_topology", "save_topology", "parse_topology",
+           "format_topology", "TopologyFormatError"]
+
+
+class TopologyFormatError(ValueError):
+    """Malformed topology file."""
+
+
+def parse_topology(text: str) -> Network:
+    """Parse the text format into a :class:`Network`."""
+    builder = NetworkBuilder()
+    meta = {}
+    seen_any = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 2)
+        keyword = parts[0].lower()
+        try:
+            if keyword == "name":
+                builder.name = parts[1]
+            elif keyword == "switch":
+                builder.add_switch(parts[1])
+                seen_any = True
+            elif keyword == "terminal":
+                builder.add_terminal(parts[1])
+                seen_any = True
+            elif keyword == "link":
+                rest = line.split()[1:]
+                if len(rest) not in (2, 3):
+                    raise TopologyFormatError(
+                        f"line {lineno}: link needs two node names"
+                    )
+                count = 1
+                if len(rest) == 3:
+                    if not rest[2].startswith("x"):
+                        raise TopologyFormatError(
+                            f"line {lineno}: link multiplicity must be "
+                            f"'xN', got {rest[2]!r}"
+                        )
+                    count = int(rest[2][1:])
+                builder.add_link(
+                    builder.node_id(rest[0]),
+                    builder.node_id(rest[1]),
+                    count=count,
+                )
+            elif keyword == "meta":
+                key, payload = parts[1], parts[2]
+                meta[key] = json.loads(payload)
+            else:
+                raise TopologyFormatError(
+                    f"line {lineno}: unknown keyword {keyword!r}"
+                )
+        except TopologyFormatError:
+            raise
+        except (KeyError, IndexError, ValueError) as exc:
+            raise TopologyFormatError(f"line {lineno}: {exc}") from exc
+    if not seen_any:
+        raise TopologyFormatError("no nodes defined")
+    try:
+        net = builder.build()
+    except ValueError as exc:
+        raise TopologyFormatError(str(exc)) from exc
+    net.meta.update(meta)
+    return net
+
+
+def format_topology(net: Network) -> str:
+    """Serialise a network into the text format (exact round-trip)."""
+    lines: List[str] = [f"name {net.name}"]
+    for v in range(net.n_nodes):
+        kind = "switch" if net.is_switch(v) else "terminal"
+        lines.append(f"{kind} {net.node_names[v]}")
+    # merge consecutive identical links into multiplicities
+    links = net.links()
+    i = 0
+    while i < len(links):
+        u, v = links[i]
+        count = 1
+        while i + count < len(links) and links[i + count] == (u, v):
+            count += 1
+        suffix = f" x{count}" if count > 1 else ""
+        lines.append(
+            f"link {net.node_names[u]} {net.node_names[v]}{suffix}"
+        )
+        i += count
+    for key, value in net.meta.items():
+        try:
+            lines.append(f"meta {key} {json.dumps(_jsonable(value))}")
+        except TypeError:
+            pass  # non-serialisable metadata stays in memory only
+    return "\n".join(lines) + "\n"
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata (tuples/dict keys) to JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def load_topology(path: Union[str, Path]) -> Network:
+    """Read a topology file from disk."""
+    return parse_topology(Path(path).read_text(encoding="utf-8"))
+
+
+def save_topology(net: Network, path: Union[str, Path]) -> None:
+    """Write a topology file to disk."""
+    Path(path).write_text(format_topology(net), encoding="utf-8")

@@ -1,0 +1,49 @@
+"""Routing quality and validity metrics.
+
+* :mod:`repro.metrics.deadlock` — induced VC dependency graph,
+  Theorem-1 acyclicity check, required-VC computation (Fig. 1b).
+* :mod:`repro.metrics.forwarding_index` — edge forwarding index γ
+  (Fig. 9).
+* :mod:`repro.metrics.path_stats` — hop-count statistics (Sec. 5.1).
+* :mod:`repro.metrics.validate` — the Def.-3 validity gate.
+"""
+
+from repro.metrics.deadlock import (
+    induced_vc_dependencies,
+    is_deadlock_free,
+    find_vc_cycle,
+    required_vcs,
+)
+from repro.metrics.forwarding_index import (
+    edge_forwarding_indices,
+    gamma_summary,
+    GammaSummary,
+)
+from repro.metrics.path_stats import (
+    path_length_stats,
+    tree_depths,
+    PathLengthStats,
+)
+from repro.metrics.layers import layer_usage, layer_balance, LayerUsage
+from repro.metrics.report import quality_report, QualityReport
+from repro.metrics.validate import validate_routing, ValidationError
+
+__all__ = [
+    "induced_vc_dependencies",
+    "is_deadlock_free",
+    "find_vc_cycle",
+    "required_vcs",
+    "edge_forwarding_indices",
+    "gamma_summary",
+    "GammaSummary",
+    "path_length_stats",
+    "tree_depths",
+    "PathLengthStats",
+    "validate_routing",
+    "ValidationError",
+    "layer_usage",
+    "layer_balance",
+    "LayerUsage",
+    "quality_report",
+    "QualityReport",
+]

@@ -1,0 +1,179 @@
+"""Deadlock analysis of routing results (paper Theorem 1).
+
+A destination-based routing is deadlock-free iff its induced channel
+dependency graph is acyclic.  With virtual channels the right object is
+the *virtual-channel* dependency graph: vertices ``(channel, vl)`` and
+an edge between consecutive hops of any route, each hop taken on its
+own VL (Dally & Seitz).  Static-layer routings (Nue, DFSSSP, LASH)
+yield per-layer subgraphs with no cross-layer edges; per-hop-VL
+routings (Torus-2QoS datelines) yield genuine VL transitions — both
+are covered by consuming :meth:`RoutingResult.path_vls`.
+
+Only switch-to-switch channels are considered: a terminal's injection
+channel cannot sit on a cycle (the only dependency into it would be a
+180-degree turn, excluded by Def. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.routing.base import RoutingResult
+from repro.routing.layering import break_cycles_into_layers
+
+__all__ = [
+    "induced_vc_dependencies",
+    "is_deadlock_free",
+    "find_vc_cycle",
+    "required_vcs",
+    "explicit_paths_deadlock_free",
+]
+
+VCNode = Tuple[int, int]  # (channel id, virtual layer)
+
+
+def induced_vc_dependencies(
+    result: RoutingResult,
+    sources: Optional[Sequence[int]] = None,
+) -> Dict[VCNode, Set[VCNode]]:
+    """Adjacency of the induced virtual-channel dependency graph.
+
+    ``sources`` defaults to all switches — sufficient for deadlock
+    analysis because every terminal's route coincides with its switch's
+    route after the injection hop.
+    """
+    net = result.net
+    if sources is None:
+        sources = net.switches
+    adj: Dict[VCNode, Set[VCNode]] = {}
+    for d in result.dests:
+        for s in sources:
+            if s == d:
+                continue
+            path = result.path(s, d)
+            vls = result.path_vls(s, d)
+            prev: Optional[VCNode] = None
+            for c, v in zip(path, vls):
+                u, w = net.channel_src[c], net.channel_dst[c]
+                if net.is_switch(u) and net.is_switch(w):
+                    node = (c, v)
+                    adj.setdefault(node, set())
+                    if prev is not None:
+                        adj[prev].add(node)
+                    prev = node
+                else:
+                    prev = None
+    return adj
+
+
+def find_vc_cycle(
+    adj: Dict[VCNode, Set[VCNode]]
+) -> Optional[List[VCNode]]:
+    """A vertex cycle of the VC dependency graph, or None when acyclic.
+
+    Kahn peeling: everything left after repeatedly removing zero
+    in-degree vertices lies on or feeds a cycle; a DFS walk inside the
+    remainder extracts one concrete cycle for diagnostics.
+    """
+    indeg: Dict[VCNode, int] = {v: 0 for v in adj}
+    for v, outs in adj.items():
+        for w in outs:
+            indeg[w] = indeg.get(w, 0) + 1
+    queue = [v for v, deg in indeg.items() if deg == 0]
+    removed: Set[VCNode] = set()
+    while queue:
+        v = queue.pop()
+        removed.add(v)
+        for w in adj.get(v, ()):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    # reverse peel (zero out-degree) so every survivor has a live
+    # successor — otherwise the cycle walk below could hit a dead end
+    # on a sink that is merely *fed* by a cycle.
+    outdeg: Dict[VCNode, int] = {}
+    radj: Dict[VCNode, Set[VCNode]] = {}
+    for v in adj:
+        if v in removed:
+            continue
+        live = {w for w in adj[v] if w not in removed}
+        outdeg[v] = len(live)
+        for w in live:
+            radj.setdefault(w, set()).add(v)
+    queue = [v for v, deg in outdeg.items() if deg == 0]
+    while queue:
+        v = queue.pop()
+        removed.add(v)
+        for w in radj.get(v, ()):
+            if w in removed:
+                continue
+            outdeg[w] -= 1
+            if outdeg[w] == 0:
+                queue.append(w)
+    remainder = [v for v in adj if v not in removed]
+    if not remainder:
+        return None
+    # walk inside the remainder until a vertex repeats
+    walk: List[VCNode] = [remainder[0]]
+    seen = {remainder[0]: 0}
+    while True:
+        nxt = next(w for w in adj[walk[-1]] if w not in removed)
+        if nxt in seen:
+            return walk[seen[nxt]:]
+        seen[nxt] = len(walk)
+        walk.append(nxt)
+
+
+def is_deadlock_free(
+    result: RoutingResult,
+    sources: Optional[Sequence[int]] = None,
+) -> bool:
+    """Theorem 1 check: acyclic induced VC dependency graph."""
+    return find_vc_cycle(induced_vc_dependencies(result, sources)) is None
+
+
+def required_vcs(result: RoutingResult) -> int:
+    """Virtual channels this routing's *paths* need for deadlock freedom.
+
+    When the declared VL assignment is already deadlock-free, that
+    assignment's layer count is the answer (Fig. 1b's hatched 1-VC bars
+    and Torus-2QoS's 2).  Otherwise — MinHop, DOR and friends that do
+    no deadlock avoidance — the DFSSSP cycle-breaking is run on the
+    path set to determine how many layers *would* be needed.
+    """
+    adj = induced_vc_dependencies(result)
+    if find_vc_cycle(adj) is None:
+        layers = {v for (_, v) in adj}
+        return max(layers) + 1 if layers else 1
+    net = result.net
+    pair_paths = {
+        (s, j): result.path(s, d)
+        for j, d in enumerate(result.dests)
+        for s in net.switches
+        if s != d
+    }
+    _, n_layers = break_cycles_into_layers(net, pair_paths)
+    return n_layers
+
+
+def explicit_paths_deadlock_free(net, paths_and_vls) -> bool:
+    """Theorem-1 check over explicit routes (source-routed results).
+
+    ``paths_and_vls`` yields ``(channel_path, vl)`` pairs; per-hop VLs
+    are constant per path here (the source-routed variant assigns one
+    lane per pair).  Terminal channels are excluded as always.
+    """
+    adj: Dict[VCNode, Set[VCNode]] = {}
+    for path, vl in paths_and_vls:
+        prev: Optional[VCNode] = None
+        for c in path:
+            u, w = net.channel_src[c], net.channel_dst[c]
+            if net.is_switch(u) and net.is_switch(w):
+                node = (c, vl)
+                adj.setdefault(node, set())
+                if prev is not None:
+                    adj[prev].add(node)
+                prev = node
+            else:
+                prev = None
+    return find_vc_cycle(adj) is None

@@ -1,0 +1,83 @@
+"""Routing validation: the paper's three validity properties (Def. 3).
+
+A routing function is *valid* iff it is cycle-free, destination-based
+and deadlock-free.  :func:`validate_routing` checks all three plus full
+connectivity (Lemma 3) and raises :class:`ValidationError` with a
+precise message on the first violation — every routing result produced
+in the test suite goes through this gate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics.deadlock import find_vc_cycle, induced_vc_dependencies
+from repro.routing.base import RoutingError, RoutingResult
+
+__all__ = ["ValidationError", "validate_routing"]
+
+
+class ValidationError(AssertionError):
+    """A routing result violates one of the validity properties."""
+
+
+def validate_routing(
+    result: RoutingResult,
+    sources: Optional[Sequence[int]] = None,
+    check_deadlock: bool = True,
+) -> None:
+    """Assert validity of a routing result.
+
+    Checks, in order:
+
+    1. **table sanity** — every forwarding entry leaves its own node;
+    2. **connectivity & cycle-freedom** (Lemma 3 / Def. 2) — every
+       ``(source, destination)`` pair has a route that visits no node
+       twice (destination-basedness is structural: the tables hold one
+       next-channel per (node, destination));
+    3. **deadlock-freedom** (Theorem 1) — the induced virtual-channel
+       dependency graph is acyclic.
+
+    ``sources`` defaults to all nodes.
+    """
+    net = result.net
+    if sources is None:
+        sources = range(net.n_nodes)
+
+    for j, d in enumerate(result.dests):
+        for v in range(net.n_nodes):
+            c = int(result.next_channel[v, j])
+            if c < 0:
+                continue
+            if net.channel_src[c] != v:
+                raise ValidationError(
+                    f"{result.algorithm}: table entry at node "
+                    f"{net.node_names[v]} toward {net.node_names[d]} uses "
+                    f"channel {c} that does not originate there"
+                )
+
+    for d in result.dests:
+        for s in sources:
+            if s == d:
+                continue
+            try:
+                nodes = result.path_nodes(s, d)
+            except RoutingError as exc:  # missing route / forwarding loop
+                raise ValidationError(str(exc)) from exc
+            if len(set(nodes)) != len(nodes):
+                raise ValidationError(
+                    f"{result.algorithm}: route {net.node_names[s]} -> "
+                    f"{net.node_names[d]} revisits a node (not cycle-free)"
+                )
+
+    if check_deadlock:
+        cycle = find_vc_cycle(induced_vc_dependencies(result))
+        if cycle is not None:
+            pretty = " -> ".join(
+                f"({net.node_names[net.channel_src[c]]}->"
+                f"{net.node_names[net.channel_dst[c]]}, VL{v})"
+                for c, v in cycle
+            )
+            raise ValidationError(
+                f"{result.algorithm}: induced CDG has a cycle: {pretty}"
+            )

@@ -1,0 +1,28 @@
+"""Interconnection-network substrate.
+
+* :mod:`repro.network.graph` — the multigraph model of paper Section 2.
+* :mod:`repro.network.topologies` — generators for every topology used in
+  the paper's evaluation (Tab. 1) plus the worked examples (Figs. 2, 7).
+* :mod:`repro.network.faults` — link/switch failure injection (Sec. 5.3).
+"""
+
+from repro.network.graph import Network, NetworkBuilder, Channel, attach_terminals
+from repro.network.faults import (
+    FaultInjectionError,
+    remove_links,
+    remove_switches,
+    inject_random_link_faults,
+    inject_random_switch_faults,
+)
+
+__all__ = [
+    "Network",
+    "NetworkBuilder",
+    "Channel",
+    "attach_terminals",
+    "FaultInjectionError",
+    "remove_links",
+    "remove_switches",
+    "inject_random_link_faults",
+    "inject_random_switch_faults",
+]

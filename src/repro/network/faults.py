@@ -1,0 +1,165 @@
+"""Fault injection (paper Sections 1 and 5.3).
+
+The paper evaluates routing resilience by failing switches (Fig. 1's
+4x4x3 torus with one dead switch) and by injecting 1 % random link
+failures chosen "according to the observed annual failure rate of
+production HPC systems" (Fig. 11).  Networks are immutable, so each
+injection builds a degraded copy; node identities are *not* preserved
+(ids are re-densified) but names are, which is how tests map nodes
+across the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.network.graph import Network
+from repro.utils.prng import SeedLike, make_rng
+
+__all__ = [
+    "FaultInjectionError",
+    "remove_links",
+    "remove_switches",
+    "inject_random_link_faults",
+    "inject_random_switch_faults",
+]
+
+
+class FaultInjectionError(RuntimeError):
+    """Raised when a requested failure would disconnect the network."""
+
+
+def _rebuild(
+    net: Network,
+    dead_nodes: Set[int],
+    dead_links: Set[int],
+    name_suffix: str,
+) -> Network:
+    """Build a new network without the given nodes / link indices."""
+    links = net.links()
+    keep_nodes: List[int] = []
+    remap = [-1] * net.n_nodes
+    # Terminals of a dead switch die with it (they would be degree-0).
+    implicitly_dead: Set[int] = set()
+    for t in range(net.n_nodes):
+        if net.is_terminal(t) and net.terminal_switch(t) in dead_nodes:
+            implicitly_dead.add(t)
+    # Terminals whose only link is failed also die.
+    for li in dead_links:
+        u, v = links[li]
+        for endpoint in (u, v):
+            if net.is_terminal(endpoint):
+                still_alive = any(
+                    i not in dead_links
+                    for i, (a, b) in enumerate(links)
+                    if endpoint in (a, b)
+                )
+                if not still_alive:
+                    implicitly_dead.add(endpoint)
+
+    all_dead = dead_nodes | implicitly_dead
+    for node in range(net.n_nodes):
+        if node not in all_dead:
+            remap[node] = len(keep_nodes)
+            keep_nodes.append(node)
+
+    new_links: List[Tuple[int, int]] = []
+    for i, (u, v) in enumerate(links):
+        if i in dead_links or u in all_dead or v in all_dead:
+            continue
+        new_links.append((remap[u], remap[v]))
+
+    try:
+        degraded = Network(
+            n_nodes=len(keep_nodes),
+            links=new_links,
+            switch_flags=[net.is_switch(n) for n in keep_nodes],
+            node_names=[net.node_names[n] for n in keep_nodes],
+            name=net.name + name_suffix,
+        )
+    except ValueError as exc:
+        raise FaultInjectionError(str(exc)) from exc
+    degraded.meta = dict(net.meta)
+    degraded.meta["faults"] = {
+        "dead_nodes": sorted(net.node_names[n] for n in all_dead),
+        "dead_links": sorted(dead_links),
+    }
+    return degraded
+
+
+def remove_switches(net: Network, switches: Iterable[int]) -> Network:
+    """Fail the given switches (and their now-orphaned terminals)."""
+    dead = set(switches)
+    for s in dead:
+        if not net.is_switch(s):
+            raise ValueError(f"node {s} is not a switch")
+    return _rebuild(net, dead, set(), "+swfault")
+
+
+def remove_links(net: Network, link_indices: Iterable[int]) -> Network:
+    """Fail the given duplex links (indices into :meth:`Network.links`)."""
+    dead = set(link_indices)
+    n = len(net.links())
+    for li in dead:
+        if not (0 <= li < n):
+            raise ValueError(f"link index out of range: {li}")
+    return _rebuild(net, set(), dead, "+linkfault")
+
+
+def inject_random_link_faults(
+    net: Network,
+    fraction: float,
+    seed: SeedLike = None,
+    switch_to_switch_only: bool = True,
+    max_attempts: int = 100,
+) -> Network:
+    """Fail ``fraction`` of links uniformly at random, keeping connectivity.
+
+    Mirrors the Fig. 11 methodology (1 % random link failures).  Retries
+    a fresh random subset when the sampled one would disconnect the
+    network; raises :class:`FaultInjectionError` after ``max_attempts``.
+    """
+    if not (0 <= fraction < 1):
+        raise ValueError("fraction must be in [0, 1)")
+    rng = make_rng(seed)
+    links = net.links()
+    candidates = [
+        i for i, (u, v) in enumerate(links)
+        if not switch_to_switch_only or (net.is_switch(u) and net.is_switch(v))
+    ]
+    k = int(round(fraction * len(candidates)))
+    if k == 0:
+        return net
+    for _ in range(max_attempts):
+        chosen = rng.choice(len(candidates), size=k, replace=False)
+        try:
+            return remove_links(net, [candidates[int(i)] for i in chosen])
+        except FaultInjectionError:
+            continue
+    raise FaultInjectionError(
+        f"could not fail {k} links without disconnecting {net.name}"
+    )
+
+
+def inject_random_switch_faults(
+    net: Network,
+    count: int,
+    seed: SeedLike = None,
+    max_attempts: int = 100,
+) -> Network:
+    """Fail ``count`` random switches, keeping the network connected."""
+    rng = make_rng(seed)
+    switches = net.switches
+    if count > len(switches):
+        raise ValueError("more faults than switches")
+    if count == 0:
+        return net
+    for _ in range(max_attempts):
+        chosen = rng.choice(len(switches), size=count, replace=False)
+        try:
+            return remove_switches(net, [switches[int(i)] for i in chosen])
+        except FaultInjectionError:
+            continue
+    raise FaultInjectionError(
+        f"could not fail {count} switches without disconnecting {net.name}"
+    )

@@ -1,0 +1,339 @@
+"""Interconnection-network model (paper Section 2).
+
+A network is a connected multigraph ``I = G(N, C)`` whose duplex links
+are split into two directed channels of opposite direction (Def. 1).  A
+node is a *terminal* when it has exactly one neighbouring link,
+otherwise it is a *switch*.  Channel capacity is uniform.
+
+The model is deliberately array-oriented: nodes and channels are dense
+integer ids, adjacency is a list of channel-id lists.  All routing and
+CDG code operates on these integers; human-readable names live in
+``node_names`` purely for diagnostics.  Networks are immutable after
+construction — fault injection produces a *new* network (see
+:mod:`repro.network.faults`), which keeps invariants trivial to reason
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Network", "NetworkBuilder", "Channel"]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed channel (view onto the network's channel arrays)."""
+
+    id: int
+    src: int
+    dst: int
+    reverse: int  #: channel id of the opposite direction of the same link
+
+
+class Network:
+    """Immutable interconnection network (multigraph of directed channels).
+
+    Construct via :class:`NetworkBuilder` or a topology generator from
+    :mod:`repro.network.topologies`.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes ``|N|`` (terminals + switches).
+    n_channels:
+        Number of *directed* channels ``|C|`` (2x the duplex link count).
+    channel_src / channel_dst / channel_reverse:
+        Per-channel endpoint and reverse-channel arrays.
+    out_channels / in_channels:
+        Adjacency: channel ids leaving / entering each node.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        links: Sequence[Tuple[int, int]],
+        switch_flags: Sequence[bool],
+        node_names: Optional[Sequence[str]] = None,
+        name: str = "network",
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("network needs at least one node")
+        self.name = name
+        self.n_nodes = n_nodes
+        #: auxiliary, non-structural metadata (topology parameters such as
+        #: torus dimensions); used by topology-aware routings only.
+        self.meta: Dict[str, object] = {}
+        self._switch = list(switch_flags)
+        if len(self._switch) != n_nodes:
+            raise ValueError("switch_flags length mismatch")
+        self.node_names: List[str] = (
+            list(node_names) if node_names is not None
+            else [f"n{i}" for i in range(n_nodes)]
+        )
+        if len(self.node_names) != n_nodes:
+            raise ValueError("node_names length mismatch")
+
+        self.channel_src: List[int] = []
+        self.channel_dst: List[int] = []
+        self.channel_reverse: List[int] = []
+        self.out_channels: List[List[int]] = [[] for _ in range(n_nodes)]
+        self.in_channels: List[List[int]] = [[] for _ in range(n_nodes)]
+
+        for (u, v) in links:
+            if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+                raise ValueError(f"link endpoint out of range: ({u}, {v})")
+            if u == v:
+                raise ValueError(f"self-loop link at node {u}")
+            a = len(self.channel_src)      # u -> v
+            b = a + 1                      # v -> u
+            self.channel_src += [u, v]
+            self.channel_dst += [v, u]
+            self.channel_reverse += [b, a]
+            self.out_channels[u].append(a)
+            self.in_channels[v].append(a)
+            self.out_channels[v].append(b)
+            self.in_channels[u].append(b)
+
+        self.n_channels = len(self.channel_src)
+        self._validate()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _validate(self) -> None:
+        for node in range(self.n_nodes):
+            degree = len(self.out_channels[node])
+            if degree == 0:
+                raise ValueError(
+                    f"node {self.node_names[node]} is disconnected"
+                )
+            if not self._switch[node] and degree != 1:
+                raise ValueError(
+                    f"terminal {self.node_names[node]} has degree {degree}"
+                    " (Def. 1 requires exactly one link)"
+                )
+        if not self.is_connected():
+            raise ValueError("network must be connected (Def. 1)")
+
+    # -- basic queries ---------------------------------------------------------
+
+    def is_switch(self, node: int) -> bool:
+        """True when ``node`` is a switch (degree > 1 or declared)."""
+        return self._switch[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True when ``node`` is a terminal (exactly one link, Def. 1)."""
+        return not self._switch[node]
+
+    @property
+    def switches(self) -> List[int]:
+        """Node ids of all switches."""
+        return [n for n in range(self.n_nodes) if self._switch[n]]
+
+    @property
+    def terminals(self) -> List[int]:
+        """Node ids of all terminals."""
+        return [n for n in range(self.n_nodes) if not self._switch[n]]
+
+    @property
+    def n_links(self) -> int:
+        """Number of duplex links (``n_channels / 2``)."""
+        return self.n_channels // 2
+
+    def channel(self, cid: int) -> Channel:
+        """Structured view of channel ``cid``."""
+        return Channel(
+            cid,
+            self.channel_src[cid],
+            self.channel_dst[cid],
+            self.channel_reverse[cid],
+        )
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate over all directed channels."""
+        for cid in range(self.n_channels):
+            yield self.channel(cid)
+
+    def endpoints(self, cid: int) -> Tuple[int, int]:
+        """``(src, dst)`` node ids of channel ``cid``."""
+        return self.channel_src[cid], self.channel_dst[cid]
+
+    def neighbors(self, node: int) -> List[int]:
+        """Distinct neighbour node ids of ``node``."""
+        seen: Dict[int, None] = {}
+        for cid in self.out_channels[node]:
+            seen.setdefault(self.channel_dst[cid], None)
+        return list(seen)
+
+    def degree(self, node: int) -> int:
+        """Number of outgoing channels (= incident links) of ``node``."""
+        return len(self.out_channels[node])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ over all nodes (paper's complexity parameter)."""
+        return max(self.degree(n) for n in range(self.n_nodes))
+
+    def find_channels(self, src: int, dst: int) -> List[int]:
+        """All (parallel) channel ids from ``src`` to ``dst``."""
+        return [
+            cid for cid in self.out_channels[src]
+            if self.channel_dst[cid] == dst
+        ]
+
+    def terminal_switch(self, terminal: int) -> int:
+        """The switch a terminal hangs off (its unique neighbour)."""
+        if self._switch[terminal]:
+            raise ValueError(f"node {terminal} is a switch")
+        return self.channel_dst[self.out_channels[terminal][0]]
+
+    def attached_terminals(self, switch: int) -> List[int]:
+        """Terminals directly attached to ``switch``."""
+        return [
+            self.channel_dst[cid]
+            for cid in self.out_channels[switch]
+            if self.is_terminal(self.channel_dst[cid])
+        ]
+
+    # -- traversal -------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check over the undirected structure."""
+        seen = [False] * self.n_nodes
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            node = stack.pop()
+            for cid in self.out_channels[node]:
+                nxt = self.channel_dst[cid]
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    count += 1
+                    stack.append(nxt)
+        return count == self.n_nodes
+
+    def bfs_levels(self, root: int) -> List[int]:
+        """Hop distance of every node from ``root`` (-1 if unreachable)."""
+        dist = [-1] * self.n_nodes
+        dist[root] = 0
+        frontier = [root]
+        while frontier:
+            nxt_frontier: List[int] = []
+            for node in frontier:
+                for cid in self.out_channels[node]:
+                    nxt = self.channel_dst[cid]
+                    if dist[nxt] < 0:
+                        dist[nxt] = dist[node] + 1
+                        nxt_frontier.append(nxt)
+            frontier = nxt_frontier
+        return dist
+
+    # -- misc ------------------------------------------------------------------
+
+    def links(self) -> List[Tuple[int, int]]:
+        """Duplex links as ``(u, v)`` pairs (one entry per link)."""
+        return [
+            (self.channel_src[cid], self.channel_dst[cid])
+            for cid in range(0, self.n_channels, 2)
+        ]
+
+    def switch_to_switch_links(self) -> List[Tuple[int, int]]:
+        """Duplex links whose both endpoints are switches."""
+        return [
+            (u, v) for (u, v) in self.links()
+            if self._switch[u] and self._switch[v]
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.name!r}, nodes={self.n_nodes}, "
+            f"switches={len(self.switches)}, links={self.n_links})"
+        )
+
+
+class NetworkBuilder:
+    """Incremental construction of a :class:`Network`.
+
+    >>> b = NetworkBuilder("ring")
+    >>> s = [b.add_switch(f"s{i}") for i in range(3)]
+    >>> for i in range(3):
+    ...     _ = b.add_link(s[i], s[(i + 1) % 3])
+    >>> t = b.add_terminal("t0"); _ = b.add_link(t, s[0])
+    >>> net = b.build()
+    >>> net.n_nodes, net.n_links
+    (4, 4)
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._names: List[str] = []
+        self._switch: List[bool] = []
+        self._links: List[Tuple[int, int]] = []
+        self._by_name: Dict[str, int] = {}
+
+    def add_switch(self, name: Optional[str] = None) -> int:
+        """Add a switch node; returns its id."""
+        return self._add_node(name, switch=True)
+
+    def add_terminal(self, name: Optional[str] = None) -> int:
+        """Add a terminal node; returns its id."""
+        return self._add_node(name, switch=False)
+
+    def _add_node(self, name: Optional[str], switch: bool) -> int:
+        node = len(self._names)
+        if name is None:
+            name = f"{'sw' if switch else 't'}{node}"
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name: {name}")
+        self._by_name[name] = node
+        self._names.append(name)
+        self._switch.append(switch)
+        return node
+
+    def add_link(self, u: int, v: int, count: int = 1) -> List[int]:
+        """Add ``count`` parallel duplex links between ``u`` and ``v``.
+
+        Returns the link indices (into :meth:`Network.links`).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        out = []
+        for _ in range(count):
+            out.append(len(self._links))
+            self._links.append((u, v))
+        return out
+
+    def node_id(self, name: str) -> int:
+        """Resolve a node name to its id."""
+        return self._by_name[name]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._names)
+
+    def build(self) -> Network:
+        """Finalize into an immutable, validated :class:`Network`."""
+        return Network(
+            n_nodes=len(self._names),
+            links=self._links,
+            switch_flags=self._switch,
+            node_names=self._names,
+            name=self.name,
+        )
+
+
+def attach_terminals(
+    builder: NetworkBuilder,
+    switches: Iterable[int],
+    per_switch: int,
+    prefix: str = "t",
+) -> List[int]:
+    """Attach ``per_switch`` terminals to each switch; returns terminal ids."""
+    terminals: List[int] = []
+    for s in switches:
+        for j in range(per_switch):
+            t = builder.add_terminal(f"{prefix}{s}_{j}")
+            builder.add_link(t, s)
+            terminals.append(t)
+    return terminals

@@ -1,0 +1,42 @@
+"""Topology generators for every network class in the paper's evaluation.
+
+All generators return a :class:`repro.network.Network` with
+``meta["topology"]`` describing the construction parameters; the
+topology-aware routings (DOR, Torus-2QoS, fat-tree) read that metadata.
+"""
+
+from repro.network.topologies.ring import (
+    ring,
+    paper_ring_with_shortcut,
+    binary_tree,
+)
+from repro.network.topologies.torus import torus, mesh, torus_coordinates
+from repro.network.topologies.fattree import (
+    k_ary_n_tree,
+    two_tier_clos,
+    tsubame25_like,
+)
+from repro.network.topologies.kautz import kautz
+from repro.network.topologies.dragonfly import dragonfly
+from repro.network.topologies.cascade import cascade
+from repro.network.topologies.random_topo import random_topology
+from repro.network.topologies.hypercube import hypercube
+from repro.network.topologies.hyperx import hyperx
+
+__all__ = [
+    "ring",
+    "paper_ring_with_shortcut",
+    "binary_tree",
+    "torus",
+    "mesh",
+    "torus_coordinates",
+    "k_ary_n_tree",
+    "two_tier_clos",
+    "tsubame25_like",
+    "kautz",
+    "dragonfly",
+    "cascade",
+    "random_topology",
+    "hypercube",
+    "hyperx",
+]

@@ -1,0 +1,99 @@
+"""Cray Cascade (XC30) topology — paper Tab. 1 row 6.
+
+A Cascade *group* is a 6 (chassis) x 16 (slot) array of Aries routers:
+
+* **black** links: all-to-all among the 16 routers of a chassis;
+* **green** links: 3 parallel links between same-slot routers of every
+  chassis pair within the group;
+* **blue** (global) links: connect groups; the paper configures 192
+  global channels between its two electrical groups.
+
+Counts for 2 groups: ``2 * (6*C(16,2) + 16*C(6,2)*3) + 192
+= 2 * (720 + 720) + 192 = 3,072`` switch-to-switch channels and
+``192`` switches — matching Tab. 1 exactly.  Eight terminals per router
+give the 1,536 terminals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["cascade"]
+
+CHASSIS_PER_GROUP = 6
+SLOTS_PER_CHASSIS = 16
+GREEN_PARALLEL = 3
+
+
+def cascade(
+    groups: int = 2,
+    global_channels: int = 192,
+    terminals_per_switch: int = 8,
+    name: Optional[str] = None,
+    chassis_per_group: int = CHASSIS_PER_GROUP,
+    slots_per_chassis: int = SLOTS_PER_CHASSIS,
+) -> Network:
+    """Build a Cascade network of ``groups`` electrical groups.
+
+    ``global_channels`` blue links are distributed round-robin over the
+    routers of each unordered group pair.  The chassis/slot dimensions
+    default to the Aries values (6 x 16); smaller values give
+    structurally identical scale-downs for quick experiments.
+    """
+    if groups < 1:
+        raise ValueError("need at least one group")
+    if groups == 1 and global_channels:
+        global_channels = 0
+    per_group = chassis_per_group * slots_per_chassis
+    b = NetworkBuilder(name or f"cascade-{groups}g")
+    routers: List[List[int]] = []  # routers[group][chassis*slots + slot]
+    for gi in range(groups):
+        grp = [
+            b.add_switch(f"g{gi}c{ci}s{si}")
+            for ci in range(chassis_per_group)
+            for si in range(slots_per_chassis)
+        ]
+        routers.append(grp)
+        # black: chassis-internal all-to-all
+        for ci in range(chassis_per_group):
+            base = ci * slots_per_chassis
+            for i in range(slots_per_chassis):
+                for j in range(i + 1, slots_per_chassis):
+                    b.add_link(grp[base + i], grp[base + j])
+        # green: same slot, chassis pairs, 3 parallel
+        for si in range(slots_per_chassis):
+            for ci in range(chassis_per_group):
+                for cj in range(ci + 1, chassis_per_group):
+                    b.add_link(
+                        grp[ci * slots_per_chassis + si],
+                        grp[cj * slots_per_chassis + si],
+                        count=GREEN_PARALLEL,
+                    )
+
+    # blue: distribute the global channels over group pairs round-robin
+    if groups > 1 and global_channels:
+        pairs = [
+            (gi, gj) for gi in range(groups) for gj in range(gi + 1, groups)
+        ]
+        per_pair = global_channels // len(pairs)
+        cursor = [0] * groups
+        for (gi, gj) in pairs:
+            for _ in range(per_pair):
+                a = routers[gi][cursor[gi] % per_group]
+                c = routers[gj][cursor[gj] % per_group]
+                cursor[gi] += 1
+                cursor[gj] += 1
+                b.add_link(a, c)
+
+    all_routers = [r for grp in routers for r in grp]
+    if terminals_per_switch:
+        attach_terminals(b, all_routers, terminals_per_switch)
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "cascade",
+        "groups": groups,
+        "global_channels": global_channels,
+    }
+    return net

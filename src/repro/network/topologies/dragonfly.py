@@ -1,0 +1,79 @@
+"""Dragonfly topology (Kim et al., ISCA'08) — paper Tab. 1 row 5.
+
+Parameters follow the original paper: ``a`` switches per group, ``p``
+terminals per switch, ``h`` global channels per switch, ``g`` groups.
+Intra-group wiring is a full mesh; global links are assigned by the
+canonical "consecutive" arrangement: group ``i``'s ``a*h`` global ports
+connect, in order, to every other group (one or more links per group
+pair depending on ``a*h`` vs ``g-1``).
+
+The paper's configuration (a=12, p=6, h=6, g=15) gives 180 switches,
+1,080 terminals, and — wiring complete rounds of one-link-per-group-pair
+until fewer than ``g-1`` global ports remain per group — exactly the
+1,515 switch-to-switch channels of Tab. 1 (15 full-mesh groups x 66
+local + 5 rounds x 105 global).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["dragonfly"]
+
+
+def dragonfly(
+    a: int,
+    p: int,
+    h: int,
+    g: int,
+    name: Optional[str] = None,
+) -> Network:
+    """Build a dragonfly ``(a, p, h, g)``.
+
+    Requires ``a*h >= g - 1`` so each group can reach every other group.
+    """
+    if min(a, p, h, g) < 1:
+        raise ValueError("all parameters must be >= 1")
+    if a * h < g - 1:
+        raise ValueError(
+            f"a*h = {a * h} global ports/group cannot reach {g - 1} peers"
+        )
+    b = NetworkBuilder(name or f"dragonfly-a{a}p{p}h{h}g{g}")
+    groups: List[List[int]] = []
+    for gi in range(g):
+        groups.append([b.add_switch(f"g{gi}s{si}") for si in range(a)])
+        # intra-group full mesh ("local" channels)
+        for i in range(a):
+            for j in range(i + 1, a):
+                b.add_link(groups[gi][i], groups[gi][j])
+
+    # Global links: group gi's global port q (0 <= q < a*h, port q lives
+    # on switch q // h) connects toward peer group in consecutive order.
+    # Link (gi, gj) is created once, by the lower-numbered group, using
+    # each group's next free port toward that peer.
+    port_cursor = [0] * g
+
+    def next_port(gi: int) -> int:
+        q = port_cursor[gi]
+        port_cursor[gi] += 1
+        return q
+
+    rounds = (a * h) // (g - 1) if g > 1 else 0
+    for r in range(rounds):
+        for gi in range(g):
+            for gj in range(gi + 1, g):
+                qi, qj = next_port(gi), next_port(gj)
+                b.add_link(groups[gi][qi // h], groups[gj][qj // h])
+
+    terminals = attach_terminals(
+        b, [s for grp in groups for s in grp], p
+    )
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "dragonfly",
+        "a": a, "p": p, "h": h, "g": g,
+        "n_terminals": len(terminals),
+    }
+    return net

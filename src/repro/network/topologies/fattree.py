@@ -1,0 +1,130 @@
+"""Fat-tree topologies: k-ary n-trees, two-tier Clos, and the
+Tsubame2.5-like fabric of paper Tab. 1.
+
+A *k-ary n-tree* (Petrini/Vanneschi) has ``n`` levels of ``k**(n-1)``
+switches each; level-0 switches face the terminals.  The paper's
+"10-ary 3-tree" config (Tab. 1) is exactly ``k=10, n=3``: 300 switches
+and 2,000 switch-to-switch links, carrying 1,100 terminals (a 10 %
+oversubscription of the 1,000 natural end ports, reproduced here by
+round-robin attachment).
+
+The Tsubame2.5 2nd-rail fabric is substituted by a two-tier full-mesh
+Clos sized to the paper's Tab. 1 row (243 switches, ~3,384
+switch-to-switch channels, 1,407 terminals) — see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.graph import Network, NetworkBuilder
+
+__all__ = ["k_ary_n_tree", "two_tier_clos", "tsubame25_like"]
+
+
+def k_ary_n_tree(
+    k: int,
+    n: int,
+    terminals: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Network:
+    """Build a k-ary n-tree.
+
+    Switches are identified by ``(level, word)`` with ``word`` a
+    ``(n-1)``-digit base-``k`` string.  A level-``l`` switch
+    ``w_0 .. w_{n-2}`` connects to the level-``l+1`` switches whose words
+    agree everywhere except at digit ``l`` (the classic butterfly
+    wiring), giving each non-top switch ``k`` up-links.
+
+    ``terminals`` defaults to the natural ``k**n``; larger values
+    oversubscribe leaf switches round-robin (as in the paper's 1,100).
+    """
+    if k < 2 or n < 2:
+        raise ValueError("need k >= 2 and n >= 2")
+    per_level = k ** (n - 1)
+    b = NetworkBuilder(name or f"{k}-ary-{n}-tree")
+
+    words: List[List[int]] = []
+
+    def build_words(prefix: List[int]) -> None:
+        if len(prefix) == n - 1:
+            words.append(list(prefix))
+            return
+        for digit in range(k):
+            build_words(prefix + [digit])
+
+    build_words([])
+    assert len(words) == per_level
+
+    ids: List[List[int]] = []  # ids[level][word_index]
+    for level in range(n):
+        ids.append([
+            b.add_switch(f"L{level}_" + "".join(map(str, w)))
+            for w in words
+        ])
+
+    word_index = {tuple(w): i for i, w in enumerate(words)}
+    for level in range(n - 1):
+        for wi, w in enumerate(words):
+            for digit in range(k):
+                up = list(w)
+                up[level] = digit
+                b.add_link(ids[level][wi], ids[level + 1][word_index[tuple(up)]])
+
+    n_terms = k**n if terminals is None else terminals
+    for t in range(n_terms):
+        # consecutive attachment (leaf = t // k) is what the d-mod-k
+        # spreading rule of ftree routing assumes; indices beyond the
+        # natural k**n wrap around (oversubscription, as in Tab. 1)
+        leaf = ids[0][(t // k) % per_level]
+        term = b.add_terminal(f"t{t}")
+        b.add_link(term, leaf)
+
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "k-ary-n-tree",
+        "k": k,
+        "n": n,
+        "levels": [[net.node_names[s] for s in lvl] for lvl in ids],
+    }
+    return net
+
+
+def two_tier_clos(
+    n_edge: int,
+    n_spine: int,
+    terminals: int,
+    links_per_pair: int = 1,
+    name: Optional[str] = None,
+) -> Network:
+    """Two-tier Clos: every edge switch links to every spine switch."""
+    if n_edge < 1 or n_spine < 1:
+        raise ValueError("need at least one edge and one spine switch")
+    b = NetworkBuilder(name or f"clos-{n_edge}x{n_spine}")
+    edges = [b.add_switch(f"e{i}") for i in range(n_edge)]
+    spines = [b.add_switch(f"c{i}") for i in range(n_spine)]
+    for e in edges:
+        for s in spines:
+            b.add_link(e, s, count=links_per_pair)
+    for t in range(terminals):
+        term = b.add_terminal(f"t{t}")
+        b.add_link(term, edges[t % n_edge])
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "clos",
+        "n_edge": n_edge,
+        "n_spine": n_spine,
+        "edge_names": [net.node_names[e] for e in edges],
+        "spine_names": [net.node_names[s] for s in spines],
+    }
+    return net
+
+
+def tsubame25_like() -> Network:
+    """Tsubame2.5 2nd-rail substitute (Tab. 1: 243 sw / 1,407 T / ~3.4k ch).
+
+    228 edge + 15 spine switches in a full-mesh Clos gives 243 switches
+    and 3,420 switch-to-switch channels (paper: 3,384, within 1.1 %),
+    with the 1,407 compute nodes spread round-robin over the edges.
+    """
+    return two_tier_clos(228, 15, 1407, name="tsubame2.5-like")

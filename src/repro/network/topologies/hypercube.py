@@ -1,0 +1,36 @@
+"""Hypercube topology — a regular substrate for tests and examples."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["hypercube"]
+
+
+def hypercube(
+    dimension: int,
+    terminals_per_switch: int = 0,
+    name: Optional[str] = None,
+) -> Network:
+    """Binary hypercube of ``2**dimension`` switches.
+
+    Switch ``i`` links to every ``i ^ (1 << b)``; a classic k-ary n-cube
+    special case (k=2) that needs deadlock handling like any cube.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    n = 1 << dimension
+    b = NetworkBuilder(name or f"hypercube-{dimension}")
+    switches = [b.add_switch(f"h{i:0{dimension}b}") for i in range(n)]
+    for i in range(n):
+        for bit in range(dimension):
+            j = i ^ (1 << bit)
+            if j > i:
+                b.add_link(switches[i], switches[j])
+    if terminals_per_switch:
+        attach_terminals(b, switches, terminals_per_switch)
+    net = b.build()
+    net.meta["topology"] = {"type": "hypercube", "dimension": dimension}
+    return net

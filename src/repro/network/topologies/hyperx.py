@@ -1,0 +1,60 @@
+"""HyperX topology (Ahn et al., SC'09).
+
+A modern datacenter/HPC class the paper's conclusion targets with
+"arbitrary topologies": switches sit on an L-dimensional lattice with a
+*complete* graph in every dimension (the hypercube generalised from
+size-2 to size-S_k dimensions).  Minimal paths offset one dimension at
+a time, so topology-aware routing needs DOR-style deadlock handling —
+or a topology-agnostic scheme like Nue.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional, Sequence
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["hyperx"]
+
+
+def hyperx(
+    shape: Sequence[int],
+    terminals_per_switch: int = 0,
+    redundancy: int = 1,
+    name: Optional[str] = None,
+) -> Network:
+    """Build a HyperX with the given per-dimension sizes.
+
+    ``shape=[4, 4]`` is a 2D HyperX of 16 switches where every switch
+    connects to the 3 others in its row and the 3 in its column.
+    ``shape=[2] * n`` degenerates to the binary hypercube.
+    """
+    if not shape or any(s < 2 for s in shape):
+        raise ValueError("every dimension must have size >= 2")
+    if redundancy < 1:
+        raise ValueError("redundancy must be >= 1")
+    b = NetworkBuilder(name or ("hyperx-" + "x".join(map(str, shape))))
+    coords = list(product(*(range(s) for s in shape)))
+    index = {c: i for i, c in enumerate(coords)}
+    switches = [
+        b.add_switch("h" + "_".join(map(str, c))) for c in coords
+    ]
+    for c in coords:
+        for dim, size in enumerate(shape):
+            for other in range(c[dim] + 1, size):
+                peer = list(c)
+                peer[dim] = other
+                b.add_link(
+                    switches[index[c]], switches[index[tuple(peer)]],
+                    count=redundancy,
+                )
+    if terminals_per_switch:
+        attach_terminals(b, switches, terminals_per_switch)
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "hyperx",
+        "shape": tuple(shape),
+        "redundancy": redundancy,
+    }
+    return net

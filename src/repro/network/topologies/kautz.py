@@ -1,0 +1,72 @@
+"""Kautz-graph topology (paper Tab. 1).
+
+The Kautz digraph ``K(d, k)`` has ``(d+1) * d**(k-1)`` vertices — the
+length-``k`` strings over ``d+1`` symbols with no two consecutive
+symbols equal — and an arc from ``s1 s2 .. sk`` to ``s2 .. sk x`` for
+every valid ``x``.  As an interconnect each arc is realised as a duplex
+link (arc pairs that are mutual reverses share one link).
+
+Paper note: Tab. 1 lists "Kautz (d=7, k=3)" with 150 switches and 1,500
+channels at redundancy 2.  Those counts are produced by ``K(5, 3)``
+(``6 * 25 = 150`` vertices, 750 arcs -> 750 duplex links, x2
+redundancy = 1,500); we therefore expose ``d``/``k`` as parameters and
+use (5, 3) for the Tab. 1 configuration.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional, Tuple
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["kautz"]
+
+
+def _kautz_strings(d: int, k: int) -> List[Tuple[int, ...]]:
+    out: List[Tuple[int, ...]] = []
+    for s in product(range(d + 1), repeat=k):
+        if all(s[i] != s[i + 1] for i in range(k - 1)):
+            out.append(s)
+    return out
+
+
+def kautz(
+    d: int,
+    k: int,
+    terminals_per_switch: int = 0,
+    redundancy: int = 1,
+    name: Optional[str] = None,
+) -> Network:
+    """Kautz graph ``K(d, k)`` as a duplex-link interconnect."""
+    if d < 2 or k < 2:
+        raise ValueError("need d >= 2 and k >= 2")
+    strings = _kautz_strings(d, k)
+    index = {s: i for i, s in enumerate(strings)}
+    b = NetworkBuilder(name or f"kautz-{d}-{k}")
+    switches = [
+        b.add_switch("k" + "".join(map(str, s))) for s in strings
+    ]
+    # Every arc becomes its own duplex link; the few mutual arc pairs
+    # (alternating strings a,b,a <-> b,a,b) yield parallel links, which
+    # keeps the link count at N*d — matching Tab. 1's 1,500 channels
+    # for K(5,3) at redundancy 2.
+    for s in strings:
+        for x in range(d + 1):
+            if x == s[-1]:
+                continue
+            t = s[1:] + (x,)
+            a, bnode = index[s], index[t]
+            if a == bnode:
+                continue  # K(d,k) has no self-loops, guard anyway
+            b.add_link(switches[a], switches[bnode], count=redundancy)
+    if terminals_per_switch:
+        attach_terminals(b, switches, terminals_per_switch)
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "kautz",
+        "d": d,
+        "k": k,
+        "redundancy": redundancy,
+    }
+    return net

@@ -1,0 +1,80 @@
+"""Random irregular topologies (paper Sections 5.1/5.2).
+
+The paper evaluates on 1,000 random topologies of 125 switches,
+1,000 switch-to-switch channels and 8 terminals per switch.  We follow
+the same construction idea as the fail-in-place toolchain: draw random
+switch pairs for the requested number of duplex links (multigraph —
+parallel links allowed, self-loops not), then retry until the switch
+graph is connected.  A spanning-tree seed guarantees quick convergence
+while keeping the degree distribution close to the plain random draw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+from repro.utils.prng import SeedLike, make_rng
+
+__all__ = ["random_topology"]
+
+
+def random_topology(
+    n_switches: int,
+    n_links: int,
+    terminals_per_switch: int = 0,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+    spanning_tree_seeded: bool = True,
+) -> Network:
+    """Random connected multigraph of switches.
+
+    Parameters
+    ----------
+    n_switches, n_links:
+        Switch count and number of switch-to-switch duplex links;
+        ``n_links >= n_switches - 1`` is required for connectivity.
+    spanning_tree_seeded:
+        When True (default) the first ``n_switches - 1`` links form a
+        random spanning tree (random permutation, each node links to a
+        random predecessor) and only the remainder is drawn i.i.d.;
+        this guarantees connectivity in one shot.  When False, plain
+        i.i.d. pairs are drawn and the construction retries until
+        connected.
+    """
+    if n_switches < 2:
+        raise ValueError("need at least two switches")
+    if n_links < n_switches - 1:
+        raise ValueError("too few links for a connected network")
+    rng = make_rng(seed)
+
+    for _attempt in range(1000):
+        b = NetworkBuilder(name or f"random-{n_switches}-{n_links}")
+        switches = [b.add_switch(f"s{i}") for i in range(n_switches)]
+        remaining = n_links
+        if spanning_tree_seeded:
+            order = rng.permutation(n_switches)
+            for i in range(1, n_switches):
+                u = int(order[i])
+                v = int(order[int(rng.integers(0, i))])
+                b.add_link(switches[u], switches[v])
+            remaining -= n_switches - 1
+        for _ in range(remaining):
+            u = int(rng.integers(0, n_switches))
+            v = int(rng.integers(0, n_switches))
+            while v == u:
+                v = int(rng.integers(0, n_switches))
+            b.add_link(switches[u], switches[v])
+        if terminals_per_switch:
+            attach_terminals(b, switches, terminals_per_switch)
+        try:
+            net = b.build()
+        except ValueError:
+            continue  # disconnected draw (possible in non-seeded mode)
+        net.meta["topology"] = {
+            "type": "random",
+            "n_switches": n_switches,
+            "n_links": n_links,
+        }
+        return net
+    raise RuntimeError("failed to draw a connected random topology")

@@ -1,0 +1,77 @@
+"""Ring topologies, including the paper's worked example (Fig. 2a).
+
+The 5-node ring with a shortcut between ``n3`` and ``n5`` is the example
+the paper uses throughout Sections 2–4 to illustrate the complete CDG
+(Fig. 3), escape paths (Figs. 4/5) and the ω subgraph numbering
+(Fig. 6).  We reproduce it exactly so the unit tests can check those
+figures structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["ring", "paper_ring_with_shortcut", "binary_tree"]
+
+
+def ring(
+    n_switches: int,
+    terminals_per_switch: int = 0,
+    name: Optional[str] = None,
+) -> Network:
+    """Unidirectional-cycle topology of ``n_switches`` switches.
+
+    Rings are the minimal deadlock-prone topology: shortest-path routing
+    on a ring of >= 3 switches induces a cyclic CDG (paper Fig. 2b),
+    which makes them the canonical unit-test substrate.
+    """
+    if n_switches < 3:
+        raise ValueError("ring needs >= 3 switches")
+    b = NetworkBuilder(name or f"ring-{n_switches}")
+    switches = [b.add_switch(f"s{i}") for i in range(n_switches)]
+    for i in range(n_switches):
+        b.add_link(switches[i], switches[(i + 1) % n_switches])
+    if terminals_per_switch:
+        attach_terminals(b, switches, terminals_per_switch)
+    net = b.build()
+    net.meta["topology"] = {"type": "ring", "n_switches": n_switches}
+    return net
+
+
+def paper_ring_with_shortcut() -> Network:
+    """The 5-node ring with the ``n3 -- n5`` shortcut of paper Fig. 2a.
+
+    Nodes are named ``n1 .. n5`` to match the paper's figures; all five
+    are switches (the paper's example has no terminals).  Node ids are
+    0-based: ``n1`` is node 0, ..., ``n5`` is node 4.
+    """
+    b = NetworkBuilder("paper-fig2a")
+    nodes = [b.add_switch(f"n{i + 1}") for i in range(5)]
+    for i in range(5):
+        b.add_link(nodes[i], nodes[(i + 1) % 5])
+    b.add_link(nodes[2], nodes[4])  # the n3 -- n5 shortcut
+    net = b.build()
+    net.meta["topology"] = {"type": "paper-fig2a"}
+    return net
+
+
+def binary_tree(depth: int, name: Optional[str] = None) -> Network:
+    """Complete binary tree of switches (used for the Fig. 7 impasse example).
+
+    ``depth`` levels; the root is node 0.  Trees never deadlock on their
+    own (their CDG is acyclic), which makes them useful as pockets
+    attached to larger networks when reproducing the Section 4.6.2
+    island scenario.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    b = NetworkBuilder(name or f"bintree-{depth}")
+    n = 2**depth - 1
+    nodes = [b.add_switch(f"b{i}") for i in range(n)]
+    for i in range(1, n):
+        b.add_link(nodes[(i - 1) // 2], nodes[i])
+    net = b.build()
+    net.meta["topology"] = {"type": "binary-tree", "depth": depth}
+    return net

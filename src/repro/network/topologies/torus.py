@@ -1,0 +1,107 @@
+"""k-ary n-dimensional torus and mesh generators.
+
+The paper's flagship fault-tolerance scenario (Fig. 1) is a 4x4x3 torus
+with four terminals per switch and one failed switch; the runtime sweep
+(Fig. 11) uses 3D tori from 2x2x2 up to 10x10x10; the throughput study
+(Fig. 10 / Tab. 1) uses a 6x5x5 torus with channel redundancy r=4.
+
+``meta["topology"]`` records the dimensions and per-switch coordinates
+so the topology-aware routings (DOR, Torus-2QoS) can recover them.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+__all__ = ["torus", "mesh", "torus_coordinates"]
+
+
+def _grid(
+    dims: Sequence[int],
+    wraparound: bool,
+    terminals_per_switch: int,
+    redundancy: int,
+    name: str,
+) -> Network:
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("each dimension must be >= 2")
+    if redundancy < 1:
+        raise ValueError("redundancy must be >= 1")
+    b = NetworkBuilder(name)
+    coords = list(product(*(range(d) for d in dims)))
+    index = {c: i for i, c in enumerate(coords)}
+    switches = [
+        b.add_switch("s" + "_".join(map(str, c))) for c in coords
+    ]
+    for c in coords:
+        for axis, size in enumerate(dims):
+            if c[axis] + 1 < size:
+                nxt = list(c)
+                nxt[axis] += 1
+                b.add_link(switches[index[c]], switches[index[tuple(nxt)]],
+                           count=redundancy)
+            elif wraparound and size > 2:
+                # wrap link closes the ring; for size 2 the single link
+                # between the two positions already exists.
+                nxt = list(c)
+                nxt[axis] = 0
+                b.add_link(switches[index[c]], switches[index[tuple(nxt)]],
+                           count=redundancy)
+    if terminals_per_switch:
+        attach_terminals(b, switches, terminals_per_switch)
+    net = b.build()
+    net.meta["topology"] = {
+        "type": "torus" if wraparound else "mesh",
+        "dims": tuple(dims),
+        "redundancy": redundancy,
+        # keyed by node *name* so the mapping survives fault injection,
+        # which re-densifies node ids but preserves names.
+        "coords": {net.node_names[switches[index[c]]]: c for c in coords},
+    }
+    return net
+
+
+def torus(
+    dims: Sequence[int],
+    terminals_per_switch: int = 0,
+    redundancy: int = 1,
+    name: Optional[str] = None,
+) -> Network:
+    """n-dimensional torus of switches (wraparound in every dimension).
+
+    A dimension of size 2 gets a single link between the two positions
+    (no doubled wrap link), matching physical torus cabling.
+    """
+    label = name or ("torus-" + "x".join(map(str, dims)))
+    return _grid(dims, True, terminals_per_switch, redundancy, label)
+
+
+def mesh(
+    dims: Sequence[int],
+    terminals_per_switch: int = 0,
+    redundancy: int = 1,
+    name: Optional[str] = None,
+) -> Network:
+    """n-dimensional mesh (no wraparound) — the classic NoC substrate."""
+    label = name or ("mesh-" + "x".join(map(str, dims)))
+    return _grid(dims, False, terminals_per_switch, redundancy, label)
+
+
+def torus_coordinates(net: Network) -> Tuple[Tuple[int, ...], dict]:
+    """Recover ``(dims, {switch_id: coord})`` from a torus/mesh network.
+
+    Raises ``ValueError`` when the network was not produced by
+    :func:`torus`/:func:`mesh` (topology-aware routings need this)."""
+    info = net.meta.get("topology")
+    if not isinstance(info, dict) or info.get("type") not in ("torus", "mesh"):
+        raise ValueError(f"{net.name} is not a generated torus/mesh")
+    by_name = {name: i for i, name in enumerate(net.node_names)}
+    coords = {
+        by_name[name]: tuple(coord)  # lists after a JSON round-trip
+        for name, coord in info["coords"].items()  # type: ignore[union-attr]
+        if name in by_name  # switches lost to faults drop out
+    }
+    return tuple(info["dims"]), coords  # type: ignore[arg-type]

@@ -1,0 +1,36 @@
+"""Destination partitioners for Nue's virtual layers (paper §4.5).
+
+``spectral`` implements the paper's future-work direction of improved
+partitioning (recursive spectral bisection).
+"""
+
+from repro.partition.base import Partitioner, partition_destinations
+from repro.partition.kway import KWayPartitioner
+from repro.partition.simple import RandomPartitioner, ClusterPartitioner
+from repro.partition.spectral import SpectralPartitioner
+
+__all__ = [
+    "Partitioner",
+    "partition_destinations",
+    "KWayPartitioner",
+    "RandomPartitioner",
+    "ClusterPartitioner",
+    "SpectralPartitioner",
+    "make_partitioner",
+]
+
+
+def make_partitioner(name: str) -> Partitioner:
+    """Instantiate a partitioner by name (``kway``/``random``/``cluster``)."""
+    registry = {
+        "kway": KWayPartitioner,
+        "random": RandomPartitioner,
+        "cluster": ClusterPartitioner,
+        "spectral": SpectralPartitioner,
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; choose from {sorted(registry)}"
+        ) from None

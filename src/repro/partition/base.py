@@ -1,0 +1,62 @@
+"""Destination partitioning interface (paper Section 4.5).
+
+Nue splits the destination set across the ``k`` virtual layers.  The
+partitioning never affects *whether* Nue can route (any split works) —
+only the path balance, so partitioners are pluggable.  The paper ships
+three: multilevel k-way (the default, best balance), random, and
+partial clustering (terminals of one switch stay together).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.network.graph import Network
+from repro.utils.prng import SeedLike
+
+__all__ = ["Partitioner", "partition_destinations"]
+
+
+class Partitioner:
+    """Strategy object: split a network's nodes into ``k`` balanced parts."""
+
+    name = "abstract"
+
+    def assign(
+        self, net: Network, k: int, seed: SeedLike = None
+    ) -> List[int]:
+        """Part id (``0..k-1``) per node of ``net``."""
+        raise NotImplementedError
+
+
+def partition_destinations(
+    net: Network,
+    dests: Sequence[int],
+    k: int,
+    partitioner: Partitioner,
+    seed: SeedLike = None,
+) -> List[List[int]]:
+    """Split ``dests`` into ``k`` disjoint subsets via ``partitioner``.
+
+    The partitioner labels *all* nodes (it works on the network graph,
+    as the paper's multilevel k-way does); the destination set is then
+    filtered per part.  Parts that end up without any destination are
+    backfilled by stealing from the largest part, so every layer routes
+    at least one destination whenever ``len(dests) >= k``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return [list(dests)]
+    labels = partitioner.assign(net, k, seed)
+    parts: List[List[int]] = [[] for _ in range(k)]
+    for d in dests:
+        parts[labels[d]].append(d)
+    if len(dests) >= k:
+        for i in range(k):
+            while not parts[i]:
+                donor = max(range(k), key=lambda p: len(parts[p]))
+                if len(parts[donor]) <= 1:
+                    break
+                parts[i].append(parts[donor].pop())
+    return [p for p in parts if p] or [list(dests)]

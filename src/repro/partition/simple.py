@@ -1,0 +1,70 @@
+"""Random and clustering partitioners (paper Section 4.5).
+
+Both are the paper's comparison partitioners: uniform random
+assignment, and *partial clustering* — all terminals attached to a
+switch land in the same part, switches spread round-robin — which keeps
+a switch's destination traffic inside one virtual layer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.partition.base import Partitioner
+from repro.utils.prng import SeedLike, make_rng
+
+__all__ = ["RandomPartitioner", "ClusterPartitioner"]
+
+
+class RandomPartitioner(Partitioner):
+    """Uniform random part per node (balanced in expectation only)."""
+
+    name = "random"
+
+    def assign(
+        self, net: Network, k: int, seed: SeedLike = None
+    ) -> List[int]:
+        rng = make_rng(seed)
+        return [int(x) for x in rng.integers(0, k, size=net.n_nodes)]
+
+
+class ClusterPartitioner(Partitioner):
+    """Terminals follow their switch; switches deal round-robin.
+
+    Switches are visited in BFS order from node 0 so neighbouring
+    switches tend to land in different parts, spreading each layer's
+    destinations across the machine.
+    """
+
+    name = "cluster"
+
+    def assign(
+        self, net: Network, k: int, seed: SeedLike = None
+    ) -> List[int]:
+        labels = [0] * net.n_nodes
+        switches = net.switches
+        if not switches:
+            return [i % k for i in range(net.n_nodes)]
+        # BFS order over switches for spatial spread
+        order: List[int] = []
+        seen = set()
+        for start in switches:
+            if start in seen:
+                continue
+            queue = [start]
+            seen.add(start)
+            while queue:
+                u = queue.pop(0)
+                order.append(u)
+                for w in net.neighbors(u):
+                    if net.is_switch(w) and w not in seen:
+                        seen.add(w)
+                        queue.append(w)
+        for i, s in enumerate(order):
+            labels[s] = i % k
+        for t in net.terminals:
+            labels[t] = labels[net.terminal_switch(t)]
+        return labels

@@ -1,0 +1,63 @@
+"""Routing algorithms: Nue's baselines — the OpenSM 3.3.x engine set.
+
+============  =====================================================
+``minhop``    balanced minimal paths, no deadlock avoidance
+``updn``      Up*/Down* (BFS-tree turn restriction), 1 VL
+``dnup``      Down*/Up* (inverted rule), 1 VL
+``dor``       dimension-order routing on tori/meshes, no DL avoidance
+``torus-2qos``fault-tolerant dateline DOR, 2 VLs, tori only
+``ftree``     d-mod-k fat-tree routing, k-ary n-trees only
+``lash``      minimal paths + greedy layer assignment
+``dfsssp``    balanced SSSP + cycle-breaking layer assignment
+``nue``       this paper — see :mod:`repro.core`
+============  =====================================================
+"""
+
+from repro.routing.base import (
+    RoutingAlgorithm,
+    RoutingResult,
+    RoutingError,
+    NotApplicableError,
+)
+from repro.routing.minhop import MinHopRouting
+from repro.routing.updn import UpDownRouting, DownUpRouting, pick_tree_root
+from repro.routing.dor import DORRouting
+from repro.routing.torus2qos import Torus2QoSRouting, TorusQoSResult
+from repro.routing.ftree import FatTreeRouting
+from repro.routing.lash import LASHRouting
+from repro.routing.dfsssp import DFSSSPRouting
+
+__all__ = [
+    "RoutingAlgorithm",
+    "RoutingResult",
+    "RoutingError",
+    "NotApplicableError",
+    "MinHopRouting",
+    "UpDownRouting",
+    "DownUpRouting",
+    "pick_tree_root",
+    "DORRouting",
+    "Torus2QoSRouting",
+    "TorusQoSResult",
+    "FatTreeRouting",
+    "LASHRouting",
+    "DFSSSPRouting",
+    "algorithm_registry",
+]
+
+
+def algorithm_registry(max_vls: int = 8) -> dict:
+    """Name -> instance for every baseline (Nue is added by repro.core)."""
+    return {
+        a.name: a
+        for a in (
+            MinHopRouting(max_vls),
+            UpDownRouting(max_vls),
+            DownUpRouting(max_vls),
+            DORRouting(max_vls),
+            Torus2QoSRouting(max(2, max_vls)),
+            FatTreeRouting(max_vls),
+            LASHRouting(max_vls),
+            DFSSSPRouting(max_vls),
+        )
+    }

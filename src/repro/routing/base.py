@@ -1,0 +1,203 @@
+"""Routing framework: algorithm interface and result container.
+
+All routing algorithms in this library are *destination-based*
+(Def. 3): the result is one next-channel per ``(node, destination)``
+pair, exactly like an InfiniBand linear forwarding table, plus a
+virtual-layer assignment per ``(source, destination)`` pair (the
+InfiniBand SL→VL analogue).  Algorithms that cannot route a given
+network within the virtual-channel budget raise
+:class:`RoutingError`; algorithms that do not apply to a topology at
+all (e.g. Torus-2QoS on a fat-tree) raise :class:`NotApplicableError`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.utils.prng import SeedLike
+
+__all__ = [
+    "RoutingError",
+    "NotApplicableError",
+    "RoutingResult",
+    "RoutingAlgorithm",
+]
+
+
+class RoutingError(RuntimeError):
+    """The algorithm failed on this network (e.g. exceeded the VC budget)."""
+
+
+class NotApplicableError(RoutingError):
+    """The algorithm does not support this topology class."""
+
+
+@dataclass
+class RoutingResult:
+    """Destination-based forwarding state produced by a routing algorithm.
+
+    Attributes
+    ----------
+    net:
+        The routed network.
+    dests:
+        Destination node ids, in column order of the tables.
+    next_channel:
+        ``(n_nodes, n_dests)`` int32 array; entry ``[v, j]`` is the
+        channel id node ``v`` forwards on toward ``dests[j]`` (-1 at
+        the destination itself, or when no route exists).
+    vl:
+        ``(n_nodes, n_dests)`` int8 array; virtual layer used by
+        traffic sourced at row-node toward ``dests[j]``.  Constant per
+        column for destination-layered routings (Nue), per-pair for
+        path-layered ones (DFSSSP, LASH).
+    n_vls:
+        Number of virtual layers actually used (``max(vl) + 1``).
+    algorithm:
+        Human-readable algorithm label.
+    runtime_s:
+        Wall-clock seconds spent inside :meth:`RoutingAlgorithm.route`.
+    stats:
+        Algorithm-specific diagnostics (e.g. Nue's escape-path
+        fallback count).
+    """
+
+    net: Network
+    dests: List[int]
+    next_channel: np.ndarray
+    vl: np.ndarray
+    n_vls: int
+    algorithm: str
+    runtime_s: float = 0.0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._dest_index = {d: j for j, d in enumerate(self.dests)}
+
+    def dest_index(self, dest: int) -> int:
+        """Column index of destination node ``dest``."""
+        return self._dest_index[dest]
+
+    def next_hop_channel(self, node: int, dest: int) -> int:
+        """Forwarding channel at ``node`` toward ``dest`` (-1 if none/at dest)."""
+        return int(self.next_channel[node, self._dest_index[dest]])
+
+    def virtual_layer(self, src: int, dest: int) -> int:
+        """Virtual layer of traffic from ``src`` to ``dest``."""
+        return int(self.vl[src, self._dest_index[dest]])
+
+    def path(self, src: int, dest: int) -> List[int]:
+        """Channel sequence of the route ``src -> dest``.
+
+        Returns ``[]`` for ``src == dest``.  Raises
+        :class:`RoutingError` when the tables contain no route or a
+        forwarding loop (more hops than nodes).
+        """
+        if src == dest:
+            return []
+        j = self._dest_index[dest]
+        out: List[int] = []
+        node = src
+        nxt = self.next_channel
+        dst_of = self.net.channel_dst
+        for _ in range(self.net.n_nodes):
+            c = int(nxt[node, j])
+            if c < 0:
+                raise RoutingError(
+                    f"no route from {self.net.node_names[src]} to "
+                    f"{self.net.node_names[dest]} (stuck at "
+                    f"{self.net.node_names[node]})"
+                )
+            out.append(c)
+            node = dst_of[c]
+            if node == dest:
+                return out
+        raise RoutingError(
+            f"forwarding loop routing {self.net.node_names[src]} -> "
+            f"{self.net.node_names[dest]}"
+        )
+
+    def path_vls(self, src: int, dest: int) -> List[int]:
+        """Virtual layer of each hop of the route ``src -> dest``.
+
+        The base implementation is the InfiniBand SL model: one layer
+        for the whole path, taken from ``vl[src, dest]``.  Routings
+        that transition VLs along a path (Torus-2QoS's datelines)
+        override this; the deadlock checker and the flit-level
+        simulator always consume per-hop VLs.
+        """
+        n_hops = len(self.path(src, dest))
+        return [int(self.vl[src, self._dest_index[dest]])] * n_hops
+
+    def path_nodes(self, src: int, dest: int) -> List[int]:
+        """Node sequence of the route (including both endpoints)."""
+        nodes = [src]
+        for c in self.path(src, dest):
+            nodes.append(self.net.channel_dst[c])
+        return nodes
+
+    def hop_count(self, src: int, dest: int) -> int:
+        """Number of channels on the route ``src -> dest``."""
+        return len(self.path(src, dest))
+
+
+class RoutingAlgorithm:
+    """Base class: a named, configurable routing function.
+
+    Subclasses implement :meth:`_route`; the public :meth:`route`
+    wrapper adds wall-clock accounting, which experiment Fig. 11
+    (runtime comparison) relies on.
+    """
+
+    name = "abstract"
+
+    def __init__(self, max_vls: int = 8) -> None:
+        if max_vls < 1:
+            raise ValueError("max_vls must be >= 1")
+        self.max_vls = max_vls
+
+    def route(
+        self,
+        net: Network,
+        dests: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> RoutingResult:
+        """Compute forwarding tables toward ``dests`` (default: terminals).
+
+        Following the paper's evaluation methodology (Section 5),
+        switches are excluded from the default destination set; pass
+        ``dests=range(net.n_nodes)`` to route switch targets too.
+        """
+        if dests is None:
+            dests = net.terminals or list(range(net.n_nodes))
+        dests = list(dests)
+        if not dests:
+            raise ValueError("empty destination set")
+        started = time.perf_counter()
+        result = self._route(net, dests, seed)
+        result.runtime_s = time.perf_counter() - started
+        return result
+
+    def _route(
+        self,
+        net: Network,
+        dests: List[int],
+        seed: SeedLike,
+    ) -> RoutingResult:
+        raise NotImplementedError
+
+    def _empty_tables(
+        self, net: Network, dests: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fresh (next_channel, vl) arrays filled with -1 / 0."""
+        nxt = np.full((net.n_nodes, len(dests)), -1, dtype=np.int32)
+        vl = np.zeros((net.n_nodes, len(dests)), dtype=np.int8)
+        return nxt, vl
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(max_vls={self.max_vls})"

@@ -1,0 +1,130 @@
+"""DFSSSP — deadlock-free single-source shortest-path routing
+(Domke, Hoefler, Nagel, IPDPS'11).
+
+Phase 1 computes one weighted shortest-path tree per destination with
+the positive weight update that balances consecutive trees away from
+loaded channels (the SSSP routing of Hoefler et al.).  Phase 2 removes
+deadlocks by searching cycles in the induced CDG of each virtual layer
+and moving the paths across the weakest cycle edge into the next layer
+(:func:`repro.routing.layering.break_cycles_into_layers`).
+
+The number of layers is whatever the cycle-breaking needs — when it
+exceeds the VC budget, DFSSSP is inapplicable on that network
+(:class:`RoutingError`); the required count is reported in the error
+and in ``stats["required_vls"]`` of successful runs, feeding the
+paper's Fig. 1b.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingAlgorithm, RoutingError, RoutingResult
+from repro.routing.sssp import (
+    apply_weight_update,
+    sssp_tree,
+    subtree_route_counts,
+)
+from repro.routing.layering import break_cycles_into_layers
+from repro.utils.prng import SeedLike
+
+__all__ = ["DFSSSPRouting"]
+
+
+class DFSSSPRouting(RoutingAlgorithm):
+    """Balanced SSSP paths + CDG cycle breaking across virtual layers."""
+
+    name = "dfsssp"
+
+    def __init__(self, max_vls: int = 8, spread_layers: bool = False) -> None:
+        """``spread_layers`` redistributes pairs round-robin over unused
+        layers after cycle breaking (OpenSM's "use all 8 VLs to improve
+        balancing" behaviour the paper mentions) — off by default so
+        ``n_vls`` reports the *required* count."""
+        super().__init__(max_vls)
+        self.spread_layers = spread_layers
+
+    def _route(
+        self, net: Network, dests: List[int], seed: SeedLike
+    ) -> RoutingResult:
+        nxt, vl = self._empty_tables(net, dests)
+        sources = [n for n in range(net.n_nodes) if net.is_terminal(n)]
+        if not sources:
+            sources = list(range(net.n_nodes))
+        # initial weight exceeds any accumulable load, so the weight
+        # updates only break ties among *minimal* paths (the published
+        # DFSSSP keeps shortest paths; without this, cost drift would
+        # let loaded regions push routes onto longer detours)
+        base = float(len(sources) * len(dests) + 1)
+        weights = np.full(net.n_channels, base)
+        for j, d in enumerate(dests):
+            fwd = sssp_tree(net, d, weights)
+            nxt[:, j] = fwd
+            counts = subtree_route_counts(net, fwd, d, sources)
+            apply_weight_update(weights, counts)
+
+        # deadlock removal over (source switch, dest column) pairs
+        pair_paths: Dict[Tuple[int, int], List[int]] = {}
+        for j, d in enumerate(dests):
+            for s in net.switches:
+                if s == d:
+                    continue
+                path = self._table_path(net, nxt, s, d, j)
+                if path:
+                    pair_paths[(s, j)] = path
+        pair_layer, n_layers = break_cycles_into_layers(net, pair_paths)
+        if n_layers > self.max_vls:
+            raise RoutingError(
+                f"DFSSSP needs {n_layers} virtual layers on {net.name}, "
+                f"budget is {self.max_vls}"
+            )
+
+        n_used_layers = n_layers
+        if self.spread_layers and n_layers < self.max_vls:
+            # split each required layer across several physical VLs to
+            # even the buffer usage (any subset of an acyclic layer
+            # stays acyclic, so this cannot reintroduce deadlock)
+            factor = self.max_vls // n_layers
+            pair_layer = {
+                (s, j): layer * factor + (s + j) % factor
+                for (s, j), layer in pair_layer.items()
+            }
+            n_used_layers = n_layers * factor
+
+        for (s, j), layer in pair_layer.items():
+            vl[s, j] = layer
+        for t in net.terminals:
+            ts = net.terminal_switch(t)
+            vl[t, :] = vl[ts, :]
+
+        result = RoutingResult(
+            net=net,
+            dests=dests,
+            next_channel=nxt,
+            vl=vl,
+            n_vls=n_used_layers,
+            algorithm=self.name,
+        )
+        result.stats["required_vls"] = n_layers
+        return result
+
+    @staticmethod
+    def _table_path(
+        net: Network, nxt: np.ndarray, src: int, dest: int, j: int
+    ) -> List[int]:
+        path: List[int] = []
+        node = src
+        for _ in range(net.n_nodes):
+            if node == dest:
+                return path
+            c = int(nxt[node, j])
+            if c < 0:
+                raise RoutingError(
+                    f"SSSP tree has no route {src} -> {dest}"
+                )
+            path.append(c)
+            node = net.channel_dst[c]
+        raise RoutingError(f"forwarding loop {src} -> {dest}")

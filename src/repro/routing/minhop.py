@@ -1,0 +1,44 @@
+"""MinHop routing — OpenSM's default engine.
+
+Minimal-hop, destination-based forwarding with port-counter balancing.
+MinHop performs **no** deadlock avoidance: on topologies with physical
+cycles its induced CDG is usually cyclic, which is exactly why the
+paper's Fig. 1b reports a "required VCs" count for it (computed here
+post-hoc via :mod:`repro.routing.layering`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingAlgorithm, RoutingResult
+from repro.routing.sssp import bfs_tree_balanced
+from repro.utils.prng import SeedLike
+
+__all__ = ["MinHopRouting"]
+
+
+class MinHopRouting(RoutingAlgorithm):
+    """Balanced minimal routing without deadlock avoidance."""
+
+    name = "minhop"
+
+    def _route(
+        self, net: Network, dests: List[int], seed: SeedLike
+    ) -> RoutingResult:
+        nxt, vl = self._empty_tables(net, dests)
+        port_load = np.zeros(net.n_channels, dtype=np.int64)
+        for j, d in enumerate(dests):
+            fwd = bfs_tree_balanced(net, d, port_load)
+            nxt[:, j] = fwd
+        return RoutingResult(
+            net=net,
+            dests=dests,
+            next_channel=nxt,
+            vl=vl,
+            n_vls=1,
+            algorithm=self.name,
+        )

@@ -1,0 +1,174 @@
+"""Per-destination shortest-path trees over traffic-direction channels.
+
+Shared machinery for the SSSP-family baselines (MinHop, DFSSSP) and for
+path accounting.  Trees are grown *from the destination* over incoming
+channels, so the tree pointer at node ``v`` is directly the forwarding
+channel ``v`` uses toward the destination — no reversal step needed.
+
+Channel weights are traffic-direction weights; the DFSSSP-style
+balancing (Hoefler et al. [17], Domke et al. [8]) adds the number of
+routes crossing a channel to its weight after each destination, which
+spreads subsequent trees away from already-loaded channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.utils.heap import PairingHeap
+
+__all__ = [
+    "sssp_tree",
+    "bfs_tree_balanced",
+    "subtree_route_counts",
+    "apply_weight_update",
+]
+
+
+def sssp_tree(
+    net: Network,
+    dest: int,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Shortest-path in-tree toward ``dest``.
+
+    Returns ``fwd`` with ``fwd[v]`` the channel id node ``v`` forwards
+    on toward ``dest`` (``-1`` at the destination).  ``weights`` is a
+    per-channel positive weight array (traffic direction).
+
+    Ties between parallel channels resolve to the smaller weight, then
+    the smaller channel id (deterministic).
+    """
+    n = net.n_nodes
+    dist = np.full(n, np.inf)
+    fwd = np.full(n, -1, dtype=np.int64)
+    dist[dest] = 0.0
+    heap = PairingHeap()
+    heap.push(dest, 0.0)
+    in_channels = net.in_channels
+    src_of = net.channel_src
+    while heap:
+        u, du = heap.pop()
+        if du > dist[u]:
+            continue  # stale (PairingHeap never stales, but keep the guard)
+        for c in in_channels[u]:
+            v = src_of[c]
+            alt = du + weights[c]
+            if alt < dist[v]:
+                dist[v] = alt
+                fwd[v] = c
+                heap.push_or_decrease(v, alt)
+            elif alt == dist[v] and fwd[v] >= 0:
+                # deterministic tie-break: prefer lighter, then lower id
+                old = fwd[v]
+                if (weights[c], c) < (weights[old], old):
+                    fwd[v] = c
+    return fwd
+
+
+def bfs_tree_balanced(
+    net: Network,
+    dest: int,
+    port_load: np.ndarray,
+    allowed_level: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Min-hop in-tree toward ``dest`` with load-balanced port choice.
+
+    Among all channels that keep the path minimal, node ``v`` picks the
+    one with the least accumulated ``port_load`` (then lowest id), and
+    the chosen channel's load is incremented — OpenSM MinHop's
+    port-counter balancing.  ``port_load`` is mutated in place.
+    """
+    n = net.n_nodes
+    hops = np.full(n, -1, dtype=np.int64)
+    fwd = np.full(n, -1, dtype=np.int64)
+    hops[dest] = 0
+    frontier = [dest]
+    src_of = net.channel_src
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for c in net.in_channels[u]:
+                v = src_of[c]
+                if hops[v] < 0:
+                    hops[v] = hops[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    # second pass: per node pick the least-loaded minimal channel
+    order = np.argsort(hops, kind="stable")
+    for v in order:
+        v = int(v)
+        if v == dest or hops[v] < 0:
+            continue
+        best = -1
+        best_key: Tuple[float, int] = (float("inf"), -1)
+        for c in net.out_channels[v]:
+            u = net.channel_dst[c]
+            if hops[u] != hops[v] - 1:
+                continue
+            key = (float(port_load[c]), c)
+            if key < best_key:
+                best_key = key
+                best = c
+        if best >= 0:
+            fwd[v] = best
+            port_load[best] += 1
+    return fwd
+
+
+def subtree_route_counts(
+    net: Network,
+    fwd: np.ndarray,
+    dest: int,
+    sources: Sequence[int],
+) -> np.ndarray:
+    """Routes per channel induced by ``sources`` forwarding along ``fwd``.
+
+    Returns a per-channel int64 array: entry ``c`` is the number of
+    listed sources whose path toward ``dest`` crosses channel ``c``.
+    Computed by accumulating subtree weights root-ward in O(|N|).
+    """
+    n = net.n_nodes
+    weight = np.zeros(n, dtype=np.int64)
+    for s in sources:
+        if s != dest:
+            weight[s] = 1
+    # process nodes by decreasing hop distance so children accumulate first
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[dest] = 0
+    # compute depth by following fwd chains with memoization
+    for v in range(n):
+        if depth[v] >= 0 or fwd[v] < 0:
+            continue
+        chain = []
+        u = v
+        while depth[u] < 0 and fwd[u] >= 0:
+            chain.append(u)
+            u = net.channel_dst[fwd[u]]
+        base = depth[u]
+        if base < 0:
+            continue  # dangling chain (no route) — contributes nothing
+        for i, w in enumerate(reversed(chain), start=1):
+            depth[w] = base + i
+    counts = np.zeros(net.n_channels, dtype=np.int64)
+    order = np.argsort(-depth, kind="stable")
+    total = weight.copy()
+    for v in order:
+        v = int(v)
+        if depth[v] <= 0 or fwd[v] < 0:
+            continue
+        c = fwd[v]
+        counts[c] += total[v]
+        total[net.channel_dst[c]] += total[v]
+    return counts
+
+
+def apply_weight_update(
+    weights: np.ndarray,
+    counts: np.ndarray,
+) -> None:
+    """DFSSSP-style positive weight update: add route counts in place."""
+    np.add(weights, counts, out=weights, casting="unsafe")

@@ -1,0 +1,205 @@
+"""Up*/Down* routing (Schroeder et al., Autonet) and its Down*/Up* dual.
+
+A BFS tree from a root orders the nodes by ``(level, id)``; a hop is
+*up* when it decreases that order and *down* when it increases it.
+Legal paths take all their up hops before any down hop, which provably
+leaves the induced CDG acyclic (up→down turns only), so one virtual
+layer always suffices — at the price of concentrating traffic around
+the root (the load imbalance the paper's Figs. 1 and 10 show).
+
+Per destination the forwarding tree is built in two passes:
+
+1. grow the *pure-down* region D (nodes whose entire path to the
+   destination descends) backwards from the destination;
+2. grow the rest via *up* hops into D or already-reached nodes.
+
+Both passes are min-hop with MinHop-style port-load tie-breaking.
+The root defaults to the node with the smallest BFS eccentricity
+(lowest id among ties), mirroring OpenSM's auto-selected spanning-tree
+root.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingAlgorithm, RoutingResult
+from repro.utils.heap import PairingHeap
+from repro.utils.prng import SeedLike
+
+__all__ = ["UpDownRouting", "DownUpRouting", "pick_tree_root"]
+
+
+def pick_tree_root(net: Network) -> int:
+    """Switch with minimal eccentricity (center of the switch graph)."""
+    best, best_key = 0, (np.inf, np.inf, 0)
+    for s in net.switches or range(net.n_nodes):
+        levels = net.bfs_levels(s)
+        ecc = max(levels)
+        total = sum(levels)
+        key = (ecc, total, s)
+        if key < best_key:
+            best_key, best = key, s
+    return best
+
+
+class UpDownRouting(RoutingAlgorithm):
+    """Classic Up*/Down*; deadlock-free with a single virtual layer."""
+
+    name = "updn"
+    _down_first = False
+
+    def __init__(self, max_vls: int = 8, root: Optional[int] = None) -> None:
+        super().__init__(max_vls)
+        self.root = root
+
+    def _order_key(self, levels: np.ndarray, node: int) -> Tuple[int, int]:
+        return (int(levels[node]), node)
+
+    def _is_down_hop(self, levels: np.ndarray, u: int, v: int) -> bool:
+        """True when hop ``u -> v`` moves *away* from the root."""
+        away = self._order_key(levels, v) > self._order_key(levels, u)
+        return not away if self._down_first else away
+
+    def _route(
+        self, net: Network, dests: List[int], seed: SeedLike
+    ) -> RoutingResult:
+        root = self.root if self.root is not None else pick_tree_root(net)
+        levels = np.asarray(net.bfs_levels(root), dtype=np.int64)
+        nxt, vl = self._empty_tables(net, dests)
+        port_load = np.zeros(net.n_channels, dtype=np.int64)
+        for j, d in enumerate(dests):
+            nxt[:, j] = self._tree_for_dest(net, d, levels, port_load)
+        res = RoutingResult(
+            net=net,
+            dests=dests,
+            next_channel=nxt,
+            vl=vl,
+            n_vls=1,
+            algorithm=self.name,
+        )
+        res.stats["root"] = net.node_names[root]
+        return res
+
+    def _tree_for_dest(
+        self,
+        net: Network,
+        dest: int,
+        levels: np.ndarray,
+        port_load: np.ndarray,
+    ) -> np.ndarray:
+        n = net.n_nodes
+        fwd = np.full(n, -1, dtype=np.int64)
+        hops = np.full(n, -1, dtype=np.int64)
+        src_of = net.channel_src
+
+        # The phase rule applies to the switch graph only: terminal
+        # hops can never sit on a CDG cycle (Def. 6 excludes the only
+        # turn through a terminal), so injection/ejection hops are
+        # phase-neutral and handled structurally at the end.
+        d_switch = dest if net.is_switch(dest) else net.terminal_switch(dest)
+        hops[d_switch] = 0
+
+        def switch_in_hops(u: int):
+            for c in net.in_channels[u]:
+                v = src_of[c]
+                if net.is_switch(v):
+                    yield v
+
+        # Pass 1: pure-down region D (traffic descends all the way to
+        # the destination switch) — uniform BFS over down hops.
+        down_nodes = [d_switch]
+        frontier = [d_switch]
+        while frontier:
+            nxt_frontier: List[int] = []
+            for u in frontier:
+                for v in switch_in_hops(u):
+                    if hops[v] >= 0:
+                        continue
+                    if not self._is_down_hop(levels, v, u):
+                        continue
+                    hops[v] = hops[u] + 1
+                    nxt_frontier.append(v)
+                    down_nodes.append(v)
+            frontier = nxt_frontier
+
+        # Pass 2: everyone else joins via up hops (up* before down*).
+        # Multi-source shortest path seeded by all of D at their depths
+        # (a heap, because the seeds sit at different hop counts).
+        # Nodes of D are frozen: lowering a pure-down node's hop count
+        # through a mixed path would strand its port selection, which
+        # must find a *descending* parent at hops-1.
+        in_down = np.zeros(n, dtype=bool)
+        in_down[down_nodes] = True
+        heap = PairingHeap()
+        for u in down_nodes:
+            heap.push(u, int(hops[u]))
+        while heap:
+            u, hu = heap.pop()
+            for v in switch_in_hops(u):
+                if in_down[v]:
+                    continue
+                if self._is_down_hop(levels, v, u):
+                    continue  # only up hops may extend a path backwards
+                alt = hu + 1
+                if hops[v] < 0 or alt < hops[v]:
+                    hops[v] = alt
+                    heap.push_or_decrease(v, alt)
+
+        unreached = [
+            s for s in net.switches if hops[s] < 0
+        ]
+        if unreached:
+            from repro.routing.base import RoutingError
+
+            raise RoutingError(
+                f"{self.name} cannot route {net.name}: no legal path from "
+                f"{net.node_names[unreached[0]]} (+{len(unreached) - 1} "
+                f"more) to {net.node_names[d_switch]}"
+            )
+
+        # Port selection: minimal under the phase constraint, balanced.
+        order = np.argsort(hops, kind="stable")
+        for v in order:
+            v = int(v)
+            if v == d_switch or hops[v] < 0 or not net.is_switch(v):
+                continue
+            best, best_key = -1, (np.inf, np.inf)
+            for c in net.out_channels[v]:
+                u = net.channel_dst[c]
+                if not net.is_switch(u) or hops[u] != hops[v] - 1:
+                    continue
+                down_hop = self._is_down_hop(levels, v, u)
+                if in_down[v]:
+                    # inside D the path must keep descending
+                    if not (down_hop and in_down[u]):
+                        continue
+                else:
+                    # outside D only up hops are legal
+                    if down_hop:
+                        continue
+                key = (float(port_load[c]), float(c))
+                if key < best_key:
+                    best_key, best = key, c
+            if best >= 0:
+                fwd[v] = best
+                port_load[best] += 1
+
+        # Terminal plumbing: injection everywhere, ejection at the
+        # destination switch, nothing at the destination itself.
+        for t in net.terminals:
+            fwd[t] = net.out_channels[t][0]
+        if dest != d_switch:
+            fwd[d_switch] = net.find_channels(d_switch, dest)[0]
+        fwd[dest] = -1
+        return fwd
+
+
+class DownUpRouting(UpDownRouting):
+    """Down*/Up* — OpenSM's ``dnup`` engine (inverted direction rule)."""
+
+    name = "dnup"
+    _down_first = True

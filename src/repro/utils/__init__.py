@@ -1,0 +1,16 @@
+"""Low-level data structures and helpers shared across the library.
+
+The routing core relies on two classic structures:
+
+* :class:`repro.utils.heap.PairingHeap` — an addressable min-heap with
+  ``O(1)`` amortised ``decrease_key``, standing in for the Fibonacci heap
+  that the paper's Algorithm 1 calls for.
+* :class:`repro.utils.unionfind.UnionFind` — disjoint sets with path
+  compression, used for the ω subgraph numbering of Section 4.6.1.
+"""
+
+from repro.utils.heap import PairingHeap
+from repro.utils.unionfind import UnionFind
+from repro.utils.prng import make_rng, spawn_seed
+
+__all__ = ["PairingHeap", "UnionFind", "make_rng", "spawn_seed"]

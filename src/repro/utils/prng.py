@@ -1,0 +1,37 @@
+"""Deterministic pseudo-random number handling.
+
+Every stochastic component of the library (topology generators, fault
+injection, random partitioning, tie-breaking) takes either an integer
+seed or a ``numpy.random.Generator``.  Centralising the conversion here
+keeps experiments reproducible bit-for-bit across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_seed", "SeedLike"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy`` Generator from a seed, a Generator, or None.
+
+    Passing an existing Generator returns it unchanged so that callers
+    can thread one RNG through a pipeline of components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit child seed from ``rng``.
+
+    Used when a component needs to hand independent deterministic
+    streams to sub-components (e.g. one per generated topology).
+    """
+    return int(rng.integers(0, 2**63 - 1))

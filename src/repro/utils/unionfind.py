@@ -1,0 +1,78 @@
+"""Disjoint-set forest (union–find) over dense integer keys.
+
+Used by the cycle-search memoization of paper Section 4.6.1: channels of
+the complete CDG carry a subgraph identification number ω; two channels
+with different representatives provably belong to vertex-disjoint *used*
+subgraphs, so connecting them cannot close a cycle (condition (c)).
+
+The structure is *monotone*: sets only ever merge.  The Nue shortcut
+optimization (Section 4.6.3) occasionally reverts a channel to the
+unused state; we deliberately keep the stale merge, which is
+conservative — it can only demote a cheap condition-(c) answer into an
+exact DFS, never produce a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union–find with path halving and union by size.
+
+    Elements are integers ``0..n-1``; :meth:`grow` appends fresh
+    singletons (used for channels added lazily, e.g. the fake source
+    channel of Algorithm 1).
+    """
+
+    def __init__(self, n: int = 0) -> None:
+        self._parent: List[int] = list(range(n))
+        self._size: List[int] = [1] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def grow(self, k: int = 1) -> int:
+        """Append ``k`` new singleton elements; return index of the first."""
+        first = len(self._parent)
+        for i in range(first, first + k):
+            self._parent.append(i)
+            self._size.append(1)
+        self._count += k
+        return first
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path halving)."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; return the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: int) -> int:
+        """Number of elements in ``x``'s set."""
+        return self._size[self.find(x)]

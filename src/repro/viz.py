@@ -1,0 +1,128 @@
+"""Graphviz DOT export for networks, CDGs and routing trees.
+
+Emitting DOT text costs no dependency and makes the paper's figures
+renderable from live objects:
+
+* :func:`network_to_dot` — the fabric itself (Fig. 2a style);
+* :func:`cdg_to_dot` — a complete CDG with its used/blocked state
+  colouring (Figs. 3/4/6 style);
+* :func:`routing_tree_to_dot` — one destination's forwarding tree.
+
+Render with ``dot -Tsvg out.dot -o out.svg`` (or any Graphviz tool).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cdg.complete_cdg import BLOCKED, USED, CompleteCDG
+from repro.network.graph import Network
+from repro.routing.base import RoutingResult
+
+__all__ = ["network_to_dot", "cdg_to_dot", "routing_tree_to_dot"]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r'\"') + '"'
+
+
+def network_to_dot(net: Network) -> str:
+    """Undirected rendering of the fabric (one edge per duplex link)."""
+    lines = [
+        f"graph {_quote(net.name)} {{",
+        "  layout=neato; overlap=false;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for v in range(net.n_nodes):
+        shape = "box" if net.is_switch(v) else "circle"
+        lines.append(
+            f"  {_quote(net.node_names[v])} [shape={shape}];"
+        )
+    for (u, v) in net.links():
+        lines.append(
+            f"  {_quote(net.node_names[u])} -- "
+            f"{_quote(net.node_names[v])};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def cdg_to_dot(
+    cdg: CompleteCDG,
+    include_unused_edges: bool = True,
+) -> str:
+    """The complete CDG with the paper's state colouring.
+
+    Vertices are channels (labelled ``src->dst``); used vertices/edges
+    render solid black, blocked edges red and crossed out, unused ones
+    grey and dashed — matching the visual language of Figs. 3–8.
+    """
+    net = cdg.net
+    lines = [
+        "digraph cdg {",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+
+    def label(c: int) -> str:
+        u, v = net.endpoints(c)
+        return _quote(f"{net.node_names[u]}->{net.node_names[v]}")
+
+    for c in range(cdg.n_channels):
+        style = (
+            "solid\", color=\"black" if cdg.is_vertex_used(c)
+            else "dashed\", color=\"grey50"
+        )
+        lines.append(f"  {label(c)} [style=\"{style}\"];")
+    for cp in range(cdg.n_channels):
+        for cq in cdg.out_dependencies(cp):
+            state = cdg.edge_state(cp, cq)
+            if state == USED:
+                attrs = 'color="black", penwidth=1.5'
+            elif state == BLOCKED:
+                attrs = 'color="red", style="bold", label="x"'
+            elif include_unused_edges:
+                attrs = 'color="grey70", style="dashed"'
+            else:
+                continue
+            lines.append(f"  {label(cp)} -> {label(cq)} [{attrs}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def routing_tree_to_dot(
+    result: RoutingResult,
+    dest: int,
+    highlight_src: Optional[int] = None,
+) -> str:
+    """One destination's forwarding tree (every node's next hop).
+
+    ``highlight_src`` additionally bolds that source's full route.
+    """
+    net = result.net
+    j = result.dest_index(dest)
+    on_route = set()
+    if highlight_src is not None and highlight_src != dest:
+        on_route = set(result.path(highlight_src, dest))
+    lines = [
+        "digraph routes {",
+        '  node [fontname="Helvetica"];',
+        f"  {_quote(net.node_names[dest])} "
+        "[shape=doublecircle, style=filled, fillcolor=gold];",
+    ]
+    for v in range(net.n_nodes):
+        if v == dest:
+            continue
+        shape = "box" if net.is_switch(v) else "circle"
+        lines.append(f"  {_quote(net.node_names[v])} [shape={shape}];")
+        c = int(result.next_channel[v, j])
+        if c < 0:
+            continue
+        attrs = f'label="VL{int(result.vl[v, j])}"'
+        if c in on_route:
+            attrs += ', penwidth=2.5, color="crimson"'
+        lines.append(
+            f"  {_quote(net.node_names[v])} -> "
+            f"{_quote(net.node_names[net.channel_dst[c]])} [{attrs}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

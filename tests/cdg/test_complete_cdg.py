@@ -1,0 +1,216 @@
+"""Complete CDG: Def. 6 structure, Algorithm-3 state machine, PK order."""
+
+import pytest
+
+from repro.cdg.complete_cdg import BLOCKED, UNUSED, USED, CompleteCDG
+from repro.network.graph import NetworkBuilder
+from repro.network.topologies import paper_ring_with_shortcut, ring
+
+
+def line3():
+    """s0 - s1 - s2 line network."""
+    b = NetworkBuilder()
+    s = [b.add_switch() for _ in range(3)]
+    b.add_link(s[0], s[1])
+    b.add_link(s[1], s[2])
+    return b.build()
+
+
+class TestStructure:
+    def test_dependency_requires_adjacency(self):
+        net = line3()
+        cdg = CompleteCDG(net)
+        c01 = net.find_channels(0, 1)[0]
+        c12 = net.find_channels(1, 2)[0]
+        c10 = net.find_channels(1, 0)[0]
+        assert cdg.dependency_exists(c01, c12)
+        assert not cdg.dependency_exists(c12, c01)   # not adjacent
+        assert not cdg.dependency_exists(c01, c10)   # 180-degree turn
+
+    def test_no_180_turn_even_over_parallel_channel(self):
+        b = NetworkBuilder()
+        s0, s1 = b.add_switch(), b.add_switch()
+        b.add_link(s0, s1, count=2)
+        net = b.build()
+        cdg = CompleteCDG(net)
+        fwd = net.find_channels(s0, s1)
+        back = net.find_channels(s1, s0)
+        for f in fwd:
+            for r in back:
+                assert not cdg.dependency_exists(f, r)
+
+    def test_out_dependencies_match_definition(self):
+        net = paper_ring_with_shortcut()
+        cdg = CompleteCDG(net)
+        for cp in range(net.n_channels):
+            outs = set(cdg.out_dependencies(cp))
+            expected = {
+                cq for cq in range(net.n_channels)
+                if cdg.dependency_exists(cp, cq)
+            }
+            assert outs == expected
+
+    def test_fig3_edge_count(self):
+        """Fig. 3: the 5-ring + shortcut complete CDG has 12 vertices."""
+        net = paper_ring_with_shortcut()
+        cdg = CompleteCDG(net)
+        assert cdg.n_channels == 12
+        # every vertex has at least one successor (the ring continues)
+        assert all(
+            any(True for _ in cdg.out_dependencies(c))
+            for c in range(12)
+        )
+        # |E| = sum over nodes of in*out minus the u-turns
+        assert cdg.n_edges() == sum(
+            1 for cp in range(12) for _ in cdg.out_dependencies(cp)
+        )
+
+
+class TestStateMachine:
+    def test_initial_states(self):
+        net = line3()
+        cdg = CompleteCDG(net)
+        c01 = net.find_channels(0, 1)[0]
+        c12 = net.find_channels(1, 2)[0]
+        assert cdg.edge_state(c01, c12) == UNUSED
+        assert not cdg.is_vertex_used(c01)
+        assert cdg.n_used_edges == 0
+
+    def test_use_marks_vertices(self):
+        net = line3()
+        cdg = CompleteCDG(net)
+        c01 = net.find_channels(0, 1)[0]
+        c12 = net.find_channels(1, 2)[0]
+        assert cdg.try_use_edge(c01, c12)
+        assert cdg.edge_state(c01, c12) == USED
+        assert cdg.is_vertex_used(c01)
+        assert cdg.is_vertex_used(c12)
+        assert cdg.n_used_edges == 1
+
+    def test_use_is_idempotent(self):
+        net = line3()
+        cdg = CompleteCDG(net)
+        c01 = net.find_channels(0, 1)[0]
+        c12 = net.find_channels(1, 2)[0]
+        assert cdg.try_use_edge(c01, c12)
+        assert cdg.try_use_edge(c01, c12)
+        assert cdg.n_used_edges == 1
+
+    def test_cycle_blocked(self):
+        """Closing the 3-ring's CDG cycle must be refused and blocked."""
+        net = ring(3)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        c01 = net.find_channels(s[0], s[1])[0]
+        c12 = net.find_channels(s[1], s[2])[0]
+        c20 = net.find_channels(s[2], s[0])[0]
+        assert cdg.try_use_edge(c01, c12)
+        assert cdg.try_use_edge(c12, c20)
+        assert not cdg.try_use_edge(c20, c01)  # closes the cycle
+        assert cdg.edge_state(c20, c01) == BLOCKED
+        assert cdg.n_blocked_edges == 1
+        # blocked is sticky (condition (a))
+        assert not cdg.try_use_edge(c20, c01)
+        assert cdg.n_blocked_edges == 1
+
+    def test_block_and_unblock(self):
+        net = line3()
+        cdg = CompleteCDG(net)
+        c01 = net.find_channels(0, 1)[0]
+        c12 = net.find_channels(1, 2)[0]
+        cdg.block_edge(c01, c12)
+        assert cdg.edge_state(c01, c12) == BLOCKED
+        cdg.unblock_edge(c01, c12)
+        assert cdg.edge_state(c01, c12) == UNUSED
+        with pytest.raises(ValueError):
+            cdg.unblock_edge(c01, c12)
+
+    def test_block_used_edge_rejected(self):
+        net = line3()
+        cdg = CompleteCDG(net)
+        c01 = net.find_channels(0, 1)[0]
+        c12 = net.find_channels(1, 2)[0]
+        cdg.try_use_edge(c01, c12)
+        with pytest.raises(ValueError):
+            cdg.block_edge(c01, c12)
+
+    def test_unuse_edge(self):
+        net = ring(3)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        c01 = net.find_channels(s[0], s[1])[0]
+        c12 = net.find_channels(s[1], s[2])[0]
+        c20 = net.find_channels(s[2], s[0])[0]
+        cdg.try_use_edge(c01, c12)
+        cdg.try_use_edge(c12, c20)
+        cdg.unuse_edge(c12, c20)
+        assert cdg.edge_state(c12, c20) == UNUSED
+        assert cdg.n_used_edges == 1
+        # after un-using, the previously cycle-closing edge fits
+        assert cdg.try_use_edge(c20, c01)
+        with pytest.raises(ValueError):
+            cdg.unuse_edge(c12, c20)
+
+    def test_would_close_cycle_is_pure(self):
+        net = ring(3)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        c01 = net.find_channels(s[0], s[1])[0]
+        c12 = net.find_channels(s[1], s[2])[0]
+        c20 = net.find_channels(s[2], s[0])[0]
+        cdg.try_use_edge(c01, c12)
+        cdg.try_use_edge(c12, c20)
+        before_used = cdg.n_used_edges
+        before_blocked = cdg.n_blocked_edges
+        assert cdg.would_close_cycle(c20, c01)
+        assert not cdg.would_close_cycle(c01, c12)  # already used
+        assert cdg.n_used_edges == before_used
+        assert cdg.n_blocked_edges == before_blocked
+        assert cdg.edge_state(c20, c01) == UNUSED
+
+    def test_used_and_blocked_iterators(self):
+        net = ring(3)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        c01 = net.find_channels(s[0], s[1])[0]
+        c12 = net.find_channels(s[1], s[2])[0]
+        c20 = net.find_channels(s[2], s[0])[0]
+        cdg.try_use_edge(c01, c12)
+        cdg.try_use_edge(c12, c20)
+        cdg.try_use_edge(c20, c01)
+        assert set(cdg.used_edges()) == {(c01, c12), (c12, c20)}
+        assert set(cdg.blocked_edges()) == {(c20, c01)}
+
+    def test_assert_acyclic_catches_forced_cycle(self):
+        net = ring(3)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        c01 = net.find_channels(s[0], s[1])[0]
+        c12 = net.find_channels(s[1], s[2])[0]
+        c20 = net.find_channels(s[2], s[0])[0]
+        cdg.try_use_edge(c01, c12)
+        cdg.try_use_edge(c12, c20)
+        cdg.assert_acyclic()
+        cdg._mark_used(c20, c01)  # bypass the guard deliberately
+        with pytest.raises(AssertionError, match="cycle"):
+            cdg.assert_acyclic()
+
+
+class TestComponentBookkeeping:
+    def test_component_merging(self):
+        net = paper_ring_with_shortcut()
+        cdg = CompleteCDG(net)
+        c_a = net.find_channels(0, 1)[0]  # n1->n2
+        c_b = net.find_channels(1, 2)[0]  # n2->n3
+        assert cdg.component(c_a) != cdg.component(c_b)
+        cdg.try_use_edge(c_a, c_b)
+        assert cdg.component(c_a) == cdg.component(c_b)
+
+    def test_cycle_search_counter_grows_only_on_search(self):
+        net = ring(4)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        c01 = net.find_channels(s[0], s[1])[0]
+        c12 = net.find_channels(s[1], s[2])[0]
+        cdg.try_use_edge(c01, c12)   # disjoint/consistent: no search
+        assert cdg.cycle_searches == 0

@@ -1,0 +1,129 @@
+"""Worked examples from the paper, reproduced structurally.
+
+* Fig. 2b — shortest-path counter-clockwise routing on the 5-ring with
+  shortcut induces a cyclic CDG (the dashed potential deadlock).
+* Fig. 3  — the complete CDG of that network.
+* Fig. 6  — the ω/cycle-search walk-through of Section 4.6.1.
+"""
+
+import pytest
+
+from repro.cdg.complete_cdg import BLOCKED, USED, CompleteCDG
+from repro.network.topologies import paper_ring_with_shortcut
+
+
+@pytest.fixture
+def net():
+    return paper_ring_with_shortcut()
+
+
+def chan(net, a, b):
+    """Channel n{a} -> n{b} using the paper's 1-based names."""
+    na = net.node_names.index(f"n{a}")
+    nb = net.node_names.index(f"n{b}")
+    return net.find_channels(na, nb)[0]
+
+
+class TestFig2b:
+    def test_counter_clockwise_two_hop_cycle(self, net):
+        """The dashed dependencies of Fig. 2b close a cycle: 2-hop
+        counter-clockwise routes n1->n3, n2->n4, ... use every ring
+        channel and chain them circularly."""
+        cdg = CompleteCDG(net)
+        ring_deps = [
+            (chan(net, 1, 2), chan(net, 2, 3)),
+            (chan(net, 2, 3), chan(net, 3, 4)),
+            (chan(net, 3, 4), chan(net, 4, 5)),
+            (chan(net, 4, 5), chan(net, 5, 1)),
+            (chan(net, 5, 1), chan(net, 1, 2)),
+        ]
+        # the first four insert fine; the fifth closes the cycle
+        for cp, cq in ring_deps[:-1]:
+            assert cdg.try_use_edge(cp, cq)
+        assert not cdg.try_use_edge(*ring_deps[-1])
+        assert cdg.edge_state(*ring_deps[-1]) == BLOCKED
+
+
+class TestFig3:
+    def test_complete_cdg_shape(self, net):
+        """12 channels; out-degrees follow Def. 6 (in*out minus turns)."""
+        cdg = CompleteCDG(net)
+        assert cdg.n_channels == 12
+        for c in range(12):
+            head = net.channel_dst[c]
+            expected = sum(
+                1 for cq in net.out_channels[head]
+                if net.channel_dst[cq] != net.channel_src[c]
+            )
+            assert len(list(cdg.out_dependencies(c))) == expected
+
+    def test_degree_3_node_has_richer_dependencies(self, net):
+        """n3 and n5 (degree 3) fan out to 2 successors per in-channel."""
+        c_12 = chan(net, 1, 2)
+        c_23 = chan(net, 2, 3)
+        cdg = CompleteCDG(net)
+        outs = set(cdg.out_dependencies(c_23))
+        assert outs == {chan(net, 3, 4), chan(net, 3, 5)}
+        assert set(cdg.out_dependencies(c_12)) == {c_23}
+
+
+class TestFig6Walkthrough:
+    def test_section_461_conditions(self, net):
+        """Replays the Section 4.6.1 narrative: escape paths of Fig. 4
+        (spanning tree without links n1-n2 and n3-n4, root n5), then
+        the five Algorithm-1 steps of Fig. 6 starting from c_{n1,n2}."""
+        cdg = CompleteCDG(net)
+        c12, c23 = chan(net, 1, 2), chan(net, 2, 3)
+        c34, c45 = chan(net, 3, 4), chan(net, 4, 5)
+        c35, c51 = chan(net, 3, 5), chan(net, 5, 1)
+        c53, c32 = chan(net, 5, 3), chan(net, 3, 2)
+        c15, c54 = chan(net, 1, 5), chan(net, 5, 4)
+
+        # Fig. 4 escape paths (ω = 1): all through-dependencies of the
+        # spanning tree {n2-n3, n3-n5, n4-n5, n5-n1} for N^d = N
+        escape = [
+            (c23, c35), (c53, c32),             # through n3
+            (c35, c51), (c35, c54),             # through n5
+            (c15, c53), (c15, c54),
+            (c45, c51), (c45, c53),
+        ]
+        for cp, cq in escape:
+            assert cdg.try_use_edge(cp, cq)
+        cdg.assert_acyclic()
+
+        # step 1: (c12, c23) joins the fresh channel to the escape
+        # subgraph — condition (c), two disjoint acyclic subgraphs merge
+        assert cdg.try_use_edge(c12, c23)
+        assert cdg.component(c12) == cdg.component(c23)
+
+        # adjacents of c23: (c23, c35) is condition (b) — already used
+        assert cdg.edge_state(c23, c35) == USED
+        assert cdg.try_use_edge(c23, c35)
+
+        # (c23, c34): c34 still untouched — condition (c) again
+        assert cdg.try_use_edge(c23, c34)
+
+        # (c34, c45): both inside one used subgraph now — the paper's
+        # condition (d); the exact search finds no cycle (the DFS walks
+        # c51 / c53 / c32 territory only) and the edge becomes used
+        assert cdg.try_use_edge(c34, c45)
+        assert cdg.edge_state(c34, c45) == USED
+        cdg.assert_acyclic()
+
+        # the ring is now one dependency short of closing: c12 -> c23
+        # -> c34 -> c45 -> c51 exists, so (c51, c12) must be refused
+        assert not cdg.try_use_edge(c51, c12)
+        assert cdg.edge_state(c51, c12) == BLOCKED
+        cdg.assert_acyclic()
+
+
+class TestReversalMirror:
+    def test_complete_cdg_closed_under_reversal(self, net):
+        """Def. 6: (cp, cq) ∈ Ē  <=>  (rev(cq), rev(cp)) ∈ Ē — the
+        property that makes the search-orientation recording sound."""
+        cdg = CompleteCDG(net)
+        rev = net.channel_reverse
+        for cp in range(net.n_channels):
+            for cq in range(net.n_channels):
+                assert cdg.dependency_exists(cp, cq) == \
+                    cdg.dependency_exists(rev[cq], rev[cp])

@@ -1,0 +1,104 @@
+"""Pearce–Kelly internals: order maintenance and bounded discovery.
+
+These are white-box tests of the cycle machinery that replaces the
+paper's ω bookkeeping (same answers, bounded searches); the black-box
+equivalence to a networkx oracle lives in the property suite.
+"""
+
+import pytest
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.network.topologies import paper_ring_with_shortcut, ring
+
+
+@pytest.fixture
+def cdg():
+    return CompleteCDG(paper_ring_with_shortcut())
+
+
+def chan(net, a, b):
+    na = net.node_names.index(f"n{a}")
+    nb = net.node_names.index(f"n{b}")
+    return net.find_channels(na, nb)[0]
+
+
+class TestOrderMaintenance:
+    def test_initial_order_is_identity_permutation(self, cdg):
+        assert sorted(cdg._ord) == list(range(cdg.n_channels))
+
+    def test_consistent_insert_keeps_order(self, cdg):
+        net = cdg.net
+        before = list(cdg._ord)
+        # channel ids grow along the ring, so this edge is consistent
+        cp, cq = chan(net, 1, 2), chan(net, 2, 3)
+        assert cdg._ord[cp] < cdg._ord[cq]
+        assert cdg.try_use_edge(cp, cq)
+        assert cdg._ord == before  # no reorder needed
+
+    def test_violating_insert_repairs_order(self, cdg):
+        net = cdg.net
+        # pick an edge that goes against the initial id order
+        cp, cq = chan(net, 2, 1), chan(net, 1, 5)
+        if cdg._ord[cp] < cdg._ord[cq]:
+            pytest.skip("channel numbering made this consistent")
+        assert cdg.try_use_edge(cp, cq)
+        assert cdg._ord[cp] < cdg._ord[cq]
+
+    def test_order_stays_a_permutation_after_many_inserts(self, cdg):
+        inserted = 0
+        for cp in range(cdg.n_channels):
+            for cq in cdg.out_dependencies(cp):
+                inserted += cdg.try_use_edge(cp, cq)
+        assert sorted(cdg._ord) == list(range(cdg.n_channels))
+        for cp, cq in cdg.used_edges():
+            assert cdg._ord[cp] < cdg._ord[cq]
+        cdg.assert_acyclic()
+        assert inserted == cdg.n_used_edges
+
+
+class TestBoundedDiscovery:
+    def test_forward_discover_respects_bound(self, cdg):
+        net = cdg.net
+        c12, c23 = chan(net, 1, 2), chan(net, 2, 3)
+        c34 = chan(net, 3, 4)
+        cdg.try_use_edge(c12, c23)
+        cdg.try_use_edge(c23, c34)
+        # searching from c12 with a bound below c34's order must not
+        # enumerate past the bound
+        visited = cdg._forward_discover(
+            c12, ub=cdg._ord[c23] + 1, target=-1
+        )
+        assert visited is not None
+        assert c12 in visited
+
+    def test_forward_discover_finds_target(self, cdg):
+        net = cdg.net
+        c12, c23 = chan(net, 1, 2), chan(net, 2, 3)
+        cdg.try_use_edge(c12, c23)
+        assert cdg._forward_discover(
+            c12, ub=cdg.n_channels + 1, target=c23
+        ) is None  # None encodes "target reached" (a cycle)
+
+    def test_backward_discover(self, cdg):
+        net = cdg.net
+        c12, c23 = chan(net, 1, 2), chan(net, 2, 3)
+        cdg.try_use_edge(c12, c23)
+        back = cdg._backward_discover(c23, lb=-1)
+        assert set(back) >= {c23, c12}
+
+
+class TestCounters:
+    def test_cycle_searches_counts_discoveries(self):
+        net = ring(4)
+        cdg = CompleteCDG(net)
+        s = net.switches
+        edges = [
+            (net.find_channels(s[i], s[(i + 1) % 4])[0],
+             net.find_channels(s[(i + 1) % 4], s[(i + 2) % 4])[0])
+            for i in range(4)
+        ]
+        for cp, cq in edges[:-1]:
+            cdg.try_use_edge(cp, cq)
+        before = cdg.cycle_searches
+        assert not cdg.try_use_edge(*edges[-1])  # closes the ring
+        assert cdg.cycle_searches > before

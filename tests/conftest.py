@@ -1,0 +1,71 @@
+"""Shared fixtures: small networks exercised across the suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# make this directory importable so test modules can do
+# ``from conftest import small_network_zoo`` regardless of which
+# subdirectory they live in
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.network.topologies import (
+    binary_tree,
+    hypercube,
+    k_ary_n_tree,
+    mesh,
+    paper_ring_with_shortcut,
+    random_topology,
+    ring,
+    torus,
+)
+
+
+@pytest.fixture
+def fig2a_net():
+    """The paper's 5-node ring with shortcut (all switches)."""
+    return paper_ring_with_shortcut()
+
+
+@pytest.fixture
+def ring6():
+    """6-switch ring, 2 terminals each — smallest deadlock-prone net."""
+    return ring(6, 2)
+
+
+@pytest.fixture
+def torus443():
+    """The Fig. 1 torus (pristine), 2 terminals per switch for speed."""
+    return torus([4, 4, 3], 2)
+
+
+@pytest.fixture
+def mesh33():
+    return mesh([3, 3], 1)
+
+
+@pytest.fixture
+def tree42():
+    return k_ary_n_tree(4, 2)
+
+
+@pytest.fixture
+def random_small():
+    return random_topology(20, 60, 3, seed=5)
+
+
+def small_network_zoo():
+    """(name, builder) pairs for parametrised validity sweeps."""
+    return [
+        ("fig2a", paper_ring_with_shortcut),
+        ("ring5", lambda: ring(5, 1)),
+        ("torus333", lambda: torus([3, 3, 3], 2)),
+        ("mesh43", lambda: mesh([4, 3], 2)),
+        ("hypercube3", lambda: hypercube(3, 2)),
+        ("tree32", lambda: k_ary_n_tree(3, 2)),
+        ("random15", lambda: random_topology(15, 40, 2, seed=9)),
+        ("bintree3", lambda: binary_tree(3)),
+    ]

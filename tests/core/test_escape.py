@@ -1,0 +1,152 @@
+"""Escape paths: spanning tree, dependency marking, fallbacks (§4.2)."""
+
+import pytest
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.escape import EscapePaths, SpanningTree
+from repro.network.topologies import (
+    paper_ring_with_shortcut,
+    random_topology,
+    ring,
+    torus,
+)
+
+
+class TestSpanningTree:
+    def test_covers_all_nodes(self):
+        net = torus([3, 3], 2)
+        tree = SpanningTree(net, net.switches[0])
+        assert tree.parent[net.switches[0]] == -1
+        assert sum(1 for p in tree.parent if p == -1) == 1
+        assert len(tree.bfs_order) == net.n_nodes
+
+    def test_parent_child_consistency(self):
+        net = random_topology(12, 30, 2, seed=6)
+        tree = SpanningTree(net, 0)
+        for v in range(net.n_nodes):
+            if tree.parent[v] >= 0:
+                assert v in tree.children[tree.parent[v]]
+                c = tree.down_channel[v]
+                assert net.channel_src[c] == tree.parent[v]
+                assert net.channel_dst[c] == v
+
+    def test_channel_between(self):
+        net = ring(4)
+        tree = SpanningTree(net, 0)
+        child = tree.children[0][0]
+        down = tree.channel_between(0, child)
+        up = tree.channel_between(child, 0)
+        assert net.channel_reverse[down] == up
+        with pytest.raises(ValueError):
+            # two leaves are not tree-adjacent
+            leaves = [v for v in range(net.n_nodes) if not tree.children[v]]
+            tree.channel_between(leaves[0], leaves[1])
+
+    def test_bfs_minimizes_depth(self):
+        net = ring(8)
+        tree = SpanningTree(net, 0)
+        # BFS tree on an 8-ring: max depth 4
+        def depth(v):
+            d = 0
+            while tree.parent[v] >= 0:
+                v = tree.parent[v]
+                d += 1
+            return d
+        assert max(depth(v) for v in range(net.n_nodes)) == 4
+
+
+class TestEscapeMarking:
+    def test_acyclic_and_counts(self):
+        net = random_topology(10, 25, 2, seed=3)
+        cdg = CompleteCDG(net)
+        esc = EscapePaths(net, cdg, 0, list(range(net.n_nodes)))
+        cdg.assert_acyclic()
+        assert esc.initial_dependencies == cdg.n_used_edges
+        assert cdg.n_blocked_edges == 0
+
+    def test_fig5_counts(self):
+        """Paper Fig. 5: for N_d = {n1,n2,n3} the subset-central root
+        n2 induces fewer initial channel dependencies than the
+        globally-central n5 (paper: 4 vs 5 on its hand-picked tree; our
+        BFS tree reproduces the 4 for n2 exactly, and the n5 count --
+        which depends on the spanning tree's tie-breaking -- lands at
+        6, preserving the section's conclusion)."""
+        net = paper_ring_with_shortcut()
+        dests = [net.node_names.index(f"n{i}") for i in (1, 2, 3)]
+        n2 = net.node_names.index("n2")
+        n5 = net.node_names.index("n5")
+        deps_n5 = EscapePaths(
+            net, CompleteCDG(net), n5, dests
+        ).initial_dependencies
+        deps_n2 = EscapePaths(
+            net, CompleteCDG(net), n2, dests
+        ).initial_dependencies
+        assert deps_n2 == 4
+        assert deps_n2 < deps_n5
+
+    def test_only_tree_channels_marked(self):
+        net = ring(5)
+        cdg = CompleteCDG(net)
+        tree = EscapePaths(net, cdg, 0, list(range(5))).tree
+        tree_channels = set()
+        for v in range(5):
+            if tree.parent[v] >= 0:
+                c = tree.down_channel[v]
+                tree_channels.add(c)
+                tree_channels.add(net.channel_reverse[c])
+        for c in range(net.n_channels):
+            if cdg.is_vertex_used(c):
+                assert c in tree_channels
+
+    def test_single_destination_marks_one_direction(self):
+        """With one destination at a leaf, only root-ward deps arise."""
+        net = ring(4, 1)
+        cdg = CompleteCDG(net)
+        d = net.terminals[0]
+        esc = EscapePaths(net, cdg, net.terminal_switch(d), [d])
+        cdg.assert_acyclic()
+        # all marked deps lie on tree paths from d outward
+        assert esc.initial_dependencies > 0
+
+
+class TestFallback:
+    def test_fallback_channels_reach_everybody(self):
+        net = random_topology(12, 30, 2, seed=13)
+        cdg = CompleteCDG(net)
+        esc = EscapePaths(net, cdg, 0, list(net.terminals))
+        d = net.terminals[0]
+        chans = esc.fallback_channels(d)
+        assert chans[d] == -1
+        for v in range(net.n_nodes):
+            if v == d:
+                continue
+            # follow the reverse chain: v must reach d through the tree
+            node, hops = v, 0
+            while node != d:
+                c = chans[node]
+                assert c >= 0
+                node = net.channel_src[c]
+                hops += 1
+                assert hops <= net.n_nodes
+        # single-node variant agrees (both are search-orientation)
+        for v in range(net.n_nodes):
+            if v != d:
+                assert esc.fallback_channel(d, v) == chans[v]
+
+    def test_fallback_dependencies_are_premarked(self):
+        """Every dependency a full fallback would induce is already in
+        the used state, so falling back can never create a cycle."""
+        net = torus([3, 3], 1)
+        cdg = CompleteCDG(net)
+        dests = net.terminals
+        esc = EscapePaths(net, cdg, net.switches[0], dests)
+        for d in dests:
+            chans = esc.fallback_channels(d)
+            for v in range(net.n_nodes):
+                c = chans[v]
+                if c < 0:
+                    continue
+                parent = net.channel_src[c]
+                cp = chans[parent]
+                if cp >= 0 and cdg.dependency_exists(cp, c):
+                    assert cdg.edge_state(cp, c) == 1

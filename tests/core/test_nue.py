@@ -1,0 +1,152 @@
+"""Nue routing end-to-end: the paper's headline guarantees.
+
+Lemmas 1–3: destination-based, cycle-free, deadlock-free, fully
+connected — for any topology and ANY number of virtual channels,
+including k = 1.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import small_network_zoo
+from repro.core import NueConfig, NueRouting
+from repro.metrics import (
+    is_deadlock_free,
+    required_vcs,
+    validate_routing,
+)
+from repro.network.faults import remove_switches
+from repro.network.topologies import random_topology, ring, torus
+
+
+@pytest.mark.parametrize(
+    "name,build", small_network_zoo(), ids=[n for n, _ in small_network_zoo()]
+)
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_valid_on_any_topology_and_k(name, build, k):
+    """The distinguishing property: Nue always routes, always DL-free."""
+    net = build()
+    dests = None if net.terminals else list(range(net.n_nodes))
+    result = NueRouting(k).route(net, dests=dests, seed=1)
+    validate_routing(result)
+    assert result.n_vls <= k
+
+
+class TestLayerAccounting:
+    def test_vls_match_partition(self):
+        net = random_topology(15, 40, 4, seed=2)
+        result = NueRouting(4).route(net, seed=3)
+        assert result.n_vls == 4
+        assert len(result.stats["layers"]) == 4
+        # every destination belongs to exactly one layer
+        total = sum(
+            lay["destinations"] for lay in result.stats["layers"]
+        )
+        assert total == len(result.dests)
+
+    def test_k_capped_by_destination_count(self):
+        net = ring(4, 1)  # 4 terminals
+        result = NueRouting(8).route(net, seed=1)
+        assert result.n_vls <= 4
+
+    def test_vl_constant_per_destination_column(self):
+        net = random_topology(12, 30, 2, seed=4)
+        result = NueRouting(3).route(net, seed=5)
+        for j in range(len(result.dests)):
+            col = result.vl[:, j]
+            assert (col == col[0]).all()
+
+    def test_required_vcs_within_budget(self):
+        net = torus([3, 3, 3], 2)
+        for k in (1, 2, 3):
+            result = NueRouting(k).route(net, seed=6)
+            assert required_vcs(result) <= k
+
+
+class TestDeterminism:
+    def test_same_seed_same_tables(self):
+        net = random_topology(15, 40, 3, seed=7)
+        a = NueRouting(2).route(net, seed=42)
+        b = NueRouting(2).route(net, seed=42)
+        assert (a.next_channel == b.next_channel).all()
+        assert (a.vl == b.vl).all()
+
+    def test_runtime_recorded(self):
+        net = ring(5, 1)
+        result = NueRouting(1).route(net)
+        assert result.runtime_s > 0
+
+
+class TestDestinationSubsets:
+    def test_explicit_dest_subset(self):
+        net = torus([3, 3], 2)
+        dests = net.terminals[:5]
+        result = NueRouting(2).route(net, dests=dests, seed=1)
+        validate_routing(result)
+        assert result.dests == dests
+
+    def test_switch_destinations_supported(self):
+        net = ring(5, 1)
+        result = NueRouting(1).route(
+            net, dests=list(range(net.n_nodes)), seed=1
+        )
+        validate_routing(result)
+
+    def test_default_dests_are_terminals(self):
+        net = ring(5, 2)
+        result = NueRouting(1).route(net, seed=1)
+        assert sorted(result.dests) == sorted(net.terminals)
+
+    def test_empty_dests_rejected(self):
+        net = ring(5)
+        with pytest.raises(ValueError):
+            NueRouting(1).route(net, dests=[])
+
+
+class TestConfig:
+    def test_partitioner_choices(self):
+        net = random_topology(12, 30, 2, seed=8)
+        for part in ("kway", "random", "cluster"):
+            cfg = NueConfig(partitioner=part)
+            result = NueRouting(3, cfg).route(net, seed=9)
+            validate_routing(result)
+
+    def test_unknown_partitioner(self):
+        net = ring(4, 1)
+        cfg = NueConfig(partitioner="magic")
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            NueRouting(2, cfg).route(net)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            NueRouting(0)
+
+    def test_stats_surface(self):
+        net = torus([4, 4, 3], 2)
+        result = NueRouting(1).route(net, seed=1)
+        for key in ("fallbacks", "islands_resolved", "shortcuts_taken",
+                    "cycle_searches", "fallback_rate", "layers"):
+            assert key in result.stats
+
+
+class TestFaultTolerance:
+    def test_faulty_torus_all_k(self):
+        """The Fig. 1 scenario: Nue routes the broken torus at every k."""
+        net = remove_switches(torus([4, 4, 3], 2), [0])
+        for k in (1, 2, 3, 4):
+            result = NueRouting(k).route(net, seed=1)
+            validate_routing(result)
+            assert is_deadlock_free(result)
+
+    def test_forwarding_reverses_used_channels(self):
+        """Spot-check the orientation contract: the forwarding channel
+        at a node is the reverse of the recorded search channel, so
+        every hop moves strictly toward the destination tree root."""
+        net = ring(6, 1)
+        result = NueRouting(1).route(net, seed=1)
+        d = result.dests[0]
+        for s in net.terminals:
+            if s == d:
+                continue
+            nodes = result.path_nodes(s, d)
+            assert nodes[0] == s and nodes[-1] == d

@@ -1,0 +1,170 @@
+"""Experiment harness smoke tests (tiny parameterizations)."""
+
+import json
+
+import pytest
+
+from repro.experiments import fig09, fig10, fig11, scaling, table1
+from repro.experiments.common import (
+    nue_suite,
+    routing_suite,
+    run_routing,
+)
+from repro.experiments.report import format_value, render_table
+from repro.network.topologies import ring, torus
+from repro.routing import Torus2QoSRouting
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["xx", None]],
+                           title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[-1]  # None renders as '-'
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(0.0) == "0"
+        assert format_value(12345.0) == "12,345"
+        assert format_value(12.34) == "12.3"
+        assert format_value(1.2345) == "1.234"
+        assert format_value("x") == "x"
+
+
+class TestCommon:
+    def test_run_routing_success(self, ring6):
+        from repro.routing import MinHopRouting
+        outcome = run_routing(MinHopRouting(), ring6,
+                              compute_required_vcs=True)
+        assert outcome.ok
+        assert outcome.required_vcs >= 2
+
+    def test_run_routing_not_applicable(self, ring6):
+        outcome = run_routing(Torus2QoSRouting(), ring6)
+        assert not outcome.ok
+        assert "not applicable" in outcome.error
+
+    def test_suites(self):
+        assert len(routing_suite(4)) == 8
+        assert set(nue_suite(3)) == {"nue-1vl", "nue-2vl", "nue-3vl"}
+
+
+class TestHarnesses:
+    def test_table1(self, capsys, tmp_path):
+        out = tmp_path / "t1.json"
+        rows = table1.run(seed=1, json_path=str(out))
+        assert len(rows) == 7
+        printed = capsys.readouterr().out
+        assert "Tab. 1" in printed
+        payload = json.loads(out.read_text())
+        assert payload["table"] == "table1"
+
+    def test_fig09_tiny(self, capsys, tmp_path):
+        out = tmp_path / "f9.json"
+        summary = fig09.run(
+            n_topologies=2, max_k=2, seed=3,
+            n_switches=10, n_links=25, terminals_per_switch=2,
+            json_path=str(out),
+        )
+        assert set(summary) == {"nue-1vl", "nue-2vl", "lash", "dfsssp"}
+        for stats in summary.values():
+            assert stats["max"] >= stats["min"] >= 0
+        assert "Fig. 9" in capsys.readouterr().out
+
+    def test_fig10_single_topology(self, capsys):
+        table = fig10.run(
+            paper_scale=False, max_vls=2, sample_phases=8, seed=1,
+            only=["torus-4x4x3"],
+        )
+        assert "torus-4x4x3" in table
+        row = table["torus-4x4x3"]
+        assert row["torus-2qos"] is not None
+        assert row["ftree"] is None  # not applicable off-tree
+        assert row["nue-1vl"] is not None
+
+    def test_fig11_tiny(self, capsys, tmp_path):
+        out = tmp_path / "f11.json"
+        runtimes = fig11.run(
+            max_dim=2, max_vls=8, fault_fraction=0.0,
+            terminals_per_switch=1, seed=1, json_path=str(out),
+        )
+        assert set(runtimes) == {"nue-8vl", "dfsssp", "lash", "torus-2qos"}
+        assert runtimes["nue-8vl"]["2x2x2"] is not None
+        printed = capsys.readouterr().out
+        assert "applicability" in printed
+
+    def test_scaling_tiny(self, capsys):
+        points, slope = scaling.run(sizes=[8, 16], k=1, degree=4,
+                                    terminals_per_switch=1, seed=2)
+        assert len(points) == 2
+        assert points[1][0] > points[0][0]
+
+    def test_tori_dimensions_sequence(self):
+        dims = fig11.tori_dimensions(3)
+        assert dims[0] == (2, 2, 2)
+        assert (2, 2, 3) in dims and (3, 3, 3) in dims
+        assert all(max(d) - min(d) <= 1 for d in dims)
+
+
+class TestFallbacksHarness:
+    def test_fallbacks_tiny(self, capsys, tmp_path):
+        from repro.experiments import fallbacks
+        out = tmp_path / "fb.json"
+        summary = fallbacks.run(
+            n_topologies=2, ks=[1, 2], seed=3,
+            n_switches=12, n_links=30, terminals_per_switch=2,
+            json_path=str(out),
+        )
+        assert set(summary) == {1, 2}
+        for stats in summary.values():
+            assert 0 <= stats["min_rate"] <= stats["max_rate"] <= 1
+        assert "fallback" in capsys.readouterr().out
+        assert json.loads(out.read_text())["experiment"] == "fallbacks"
+
+
+class TestRunnerDispatch:
+    def test_unknown_experiment(self, capsys):
+        import sys
+        from repro.experiments import runner
+        argv = sys.argv
+        sys.argv = ["repro-experiments", "figZZ"]
+        try:
+            with pytest.raises(SystemExit) as exc:
+                runner.main()
+            assert exc.value.code == 2
+        finally:
+            sys.argv = argv
+
+    def test_usage_line(self, capsys):
+        import sys
+        from repro.experiments import runner
+        argv = sys.argv
+        sys.argv = ["repro-experiments"]
+        try:
+            with pytest.raises(SystemExit) as exc:
+                runner.main()
+            assert exc.value.code == 2
+            assert "usage" in capsys.readouterr().out
+        finally:
+            sys.argv = argv
+
+    def test_dispatch_runs_experiment(self, capsys):
+        import sys
+        from repro.experiments import runner
+        argv = sys.argv
+        sys.argv = ["repro-experiments", "table1"]
+        try:
+            runner.main()
+            assert "Tab. 1" in capsys.readouterr().out
+        finally:
+            sys.argv = argv
+
+
+class TestFig01Network:
+    def test_build_network_counts(self):
+        from repro.experiments.fig01 import build_network
+        net = build_network()
+        assert len(net.switches) == 47
+        assert len(net.terminals) == 188

@@ -1,0 +1,116 @@
+"""Flow-level throughput model: loads, aggregation, ranking behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.flow import (
+    QDR_LINK_BANDWIDTH,
+    phase_channel_loads,
+    simulate_all_to_all,
+)
+from repro.fabric.traffic import Message, shift_phase
+from repro.network.topologies import k_ary_n_tree, ring
+from repro.routing import MinHopRouting, UpDownRouting
+
+
+class TestPhaseLoads:
+    def test_single_message_loads_its_path(self, ring6):
+        res = MinHopRouting().route(ring6)
+        s, d = ring6.terminals[0], ring6.terminals[4]
+        loads = phase_channel_loads(res, [Message(s, d)])
+        path = res.path(s, d)
+        assert loads.sum() == len(path)
+        assert all(loads[c] == 1 for c in path)
+
+    def test_loads_accumulate(self, ring6):
+        res = MinHopRouting().route(ring6)
+        msgs = shift_phase(ring6.terminals, 1)
+        loads = phase_channel_loads(res, msgs)
+        total_hops = sum(len(res.path(m.src, m.dst)) for m in msgs)
+        assert loads.sum() == total_hops
+
+
+class TestSimulation:
+    def test_result_arithmetic(self, ring6):
+        res = MinHopRouting().route(ring6)
+        sim = simulate_all_to_all(res)
+        n = len(ring6.terminals)
+        assert sim.total_bytes == n * (n - 1) * 2048
+        assert sim.total_time_s > 0
+        assert sim.throughput_bytes_per_s == pytest.approx(
+            sim.total_bytes / sim.total_time_s
+        )
+        assert sim.throughput_gbyte_per_s == pytest.approx(
+            sim.throughput_bytes_per_s / 1e9
+        )
+        assert sim.n_phases == n - 1
+
+    def test_sampling_approximates_full(self, ring6):
+        res = MinHopRouting().route(ring6)
+        full = simulate_all_to_all(res)
+        sampled = simulate_all_to_all(res, sample_phases=6, seed=1)
+        assert sampled.n_phases == 6
+        assert sampled.throughput_bytes_per_s == pytest.approx(
+            full.throughput_bytes_per_s, rel=0.5
+        )
+
+    def test_balanced_routing_outranks_root_bound(self, ring6):
+        """The metric must rank balanced minhop above Up*/Down* on a
+        ring — the ordering all the throughput figures rely on."""
+        t_minhop = simulate_all_to_all(
+            MinHopRouting().route(ring6)
+        ).throughput_bytes_per_s
+        t_updn = simulate_all_to_all(
+            UpDownRouting().route(ring6)
+        ).throughput_bytes_per_s
+        assert t_minhop > t_updn
+
+    def test_contention_free_tree_hits_injection_bound(self):
+        """On a non-oversubscribed tree, every shift phase is limited
+        only by injection (max load 1), so aggregate throughput equals
+        n_terminals * link bandwidth."""
+        net = k_ary_n_tree(2, 2)
+        from repro.routing import FatTreeRouting
+        res = FatTreeRouting().route(net)
+        sim = simulate_all_to_all(res)
+        assert sim.max_phase_load >= 1
+        n = len(net.terminals)
+        bound = n * QDR_LINK_BANDWIDTH
+        assert sim.throughput_bytes_per_s <= bound + 1e-6
+        # within a factor of the ideal (d-mod-k is contention-free on
+        # most shifts of a 2-ary 2-tree)
+        assert sim.throughput_bytes_per_s >= bound / 3
+
+    def test_needs_two_terminals(self):
+        net = ring(3, 0)
+        res = MinHopRouting().route(net)
+        with pytest.raises(ValueError):
+            simulate_all_to_all(res)
+
+
+class TestUniformRandom:
+    def test_ranks_like_all_to_all(self, ring6):
+        """Footnote 7: uniform random injection yields the same
+        routing ordering as the shift exchange."""
+        from repro.fabric.flow import simulate_uniform_random
+        t_minhop = simulate_uniform_random(
+            MinHopRouting().route(ring6), rounds=24, seed=5
+        ).throughput_bytes_per_s
+        t_updn = simulate_uniform_random(
+            UpDownRouting().route(ring6), rounds=24, seed=5
+        ).throughput_bytes_per_s
+        assert t_minhop > t_updn
+
+    def test_deterministic(self, ring6):
+        from repro.fabric.flow import simulate_uniform_random
+        res = MinHopRouting().route(ring6)
+        a = simulate_uniform_random(res, rounds=8, seed=9)
+        b = simulate_uniform_random(res, rounds=8, seed=9)
+        assert a.throughput_bytes_per_s == b.throughput_bytes_per_s
+
+    def test_round_accounting(self, ring6):
+        from repro.fabric.flow import simulate_uniform_random
+        res = MinHopRouting().route(ring6)
+        sim = simulate_uniform_random(res, rounds=8, seed=9)
+        assert sim.n_phases == 8
+        assert sim.total_bytes == 8 * len(ring6.terminals) * 2048

@@ -1,0 +1,57 @@
+"""Load/latency sweeps: curve shape and saturation detection."""
+
+import pytest
+
+from repro.core import NueRouting
+from repro.fabric.flit import FlitSimConfig
+from repro.fabric.sweep import load_latency_sweep, saturation_load
+from repro.network.topologies import ring
+from repro.routing import UpDownRouting
+
+
+CFG = FlitSimConfig(buffer_flits=2, flits_per_packet=4,
+                    deadlock_threshold=400)
+
+
+def test_low_load_delivers_everything(ring6):
+    res = UpDownRouting().route(ring6)
+    [point] = load_latency_sweep(
+        res, [0.02], window=300, config=CFG, seed=3
+    )
+    assert not point.deadlocked
+    assert point.delivered == point.injected
+    assert point.avg_latency > 0
+
+
+def test_latency_grows_with_load(ring6):
+    res = UpDownRouting().route(ring6)
+    points = load_latency_sweep(
+        res, [0.01, 0.30], window=300, config=CFG, seed=3
+    )
+    assert points[1].avg_latency > points[0].avg_latency
+
+
+def test_saturation_detected_at_extreme_load(ring6):
+    res = UpDownRouting().route(ring6)
+    points = load_latency_sweep(
+        res, [0.02, 0.9], window=300, drain=300, config=CFG, seed=3
+    )
+    sat = saturation_load(points)
+    assert sat == 0.9  # the ring cannot accept 0.9 pkts/terminal/cycle
+    assert saturation_load(points[:1]) is None
+
+
+def test_invalid_load_rejected(ring6):
+    res = UpDownRouting().route(ring6)
+    with pytest.raises(ValueError):
+        load_latency_sweep(res, [0.0], config=CFG)
+
+
+def test_nue_sustains_modest_load():
+    net = ring(6, 1)
+    res = NueRouting(1).route(net, seed=1)
+    [point] = load_latency_sweep(
+        res, [0.05], window=400, config=CFG, seed=7
+    )
+    assert not point.deadlocked
+    assert point.delivered == point.injected  # fully drained

@@ -1,0 +1,73 @@
+"""Traffic patterns: shift phases, sampling, random pairs."""
+
+import pytest
+
+from repro.fabric.traffic import (
+    MESSAGE_BYTES_PAPER,
+    all_to_all_phases,
+    bit_complement_pairs,
+    shift_phase,
+    uniform_random_pairs,
+)
+
+
+TERMS = [10, 11, 12, 13, 14]
+
+
+class TestShiftPhase:
+    def test_every_terminal_sends_once(self):
+        msgs = shift_phase(TERMS, 2)
+        assert sorted(m.src for m in msgs) == sorted(TERMS)
+        assert sorted(m.dst for m in msgs) == sorted(TERMS)
+
+    def test_shift_distance(self):
+        msgs = shift_phase(TERMS, 1)
+        assert msgs[0].src == 10 and msgs[0].dst == 11
+        assert msgs[-1].src == 14 and msgs[-1].dst == 10
+
+    def test_default_message_size(self):
+        assert shift_phase(TERMS, 1)[0].size_bytes == MESSAGE_BYTES_PAPER
+
+    def test_bad_shift(self):
+        with pytest.raises(ValueError):
+            shift_phase(TERMS, 0)
+        with pytest.raises(ValueError):
+            shift_phase(TERMS, 5)
+
+
+class TestAllToAll:
+    def test_covers_all_pairs(self):
+        pairs = set()
+        for shift, msgs in all_to_all_phases(TERMS):
+            for m in msgs:
+                pairs.add((m.src, m.dst))
+        assert len(pairs) == len(TERMS) * (len(TERMS) - 1)
+
+    def test_phase_count(self):
+        phases = list(all_to_all_phases(TERMS))
+        assert len(phases) == len(TERMS) - 1
+
+    def test_sampling(self):
+        phases = list(all_to_all_phases(TERMS, sample=2, seed=3))
+        assert len(phases) == 2
+        shifts = [s for s, _ in phases]
+        assert all(1 <= s <= 4 for s in shifts)
+
+    def test_sampling_deterministic(self):
+        a = [s for s, _ in all_to_all_phases(TERMS, sample=2, seed=5)]
+        b = [s for s, _ in all_to_all_phases(TERMS, sample=2, seed=5)]
+        assert a == b
+
+
+class TestOtherPatterns:
+    def test_uniform_random(self):
+        msgs = uniform_random_pairs(TERMS, 20, seed=1)
+        assert len(msgs) == 20
+        assert all(m.src != m.dst for m in msgs)
+        assert all(m.src in TERMS and m.dst in TERMS for m in msgs)
+
+    def test_bit_complement(self):
+        msgs = bit_complement_pairs(TERMS)
+        # middle terminal maps to itself and is dropped
+        assert len(msgs) == 4
+        assert msgs[0].src == 10 and msgs[0].dst == 14

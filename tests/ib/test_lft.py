@@ -1,0 +1,84 @@
+"""LFT lowering: lossless round-trip and dump format."""
+
+import numpy as np
+import pytest
+
+from repro.core import NueRouting
+from repro.ib import Subnet, build_lfts, build_slvl, lfts_to_routing
+from repro.metrics import validate_routing
+from repro.network.topologies import random_topology, torus
+from repro.routing import UpDownRouting
+
+
+@pytest.fixture
+def routed(torus443):
+    return NueRouting(2).route(torus443, seed=4)
+
+
+class TestLowering:
+    def test_every_switch_routes_every_dest(self, torus443, routed):
+        lfts = build_lfts(routed)
+        for sw in torus443.switches:
+            for j, d in enumerate(routed.dests):
+                lid = lfts.subnet.lid(d)
+                port = lfts.out_port(sw, lid)
+                if sw == d:
+                    continue
+                assert port >= 1
+
+    def test_ports_match_channels(self, torus443, routed):
+        lfts = build_lfts(routed)
+        sn = lfts.subnet
+        for sw in torus443.switches[:8]:
+            for j, d in enumerate(routed.dests[:10]):
+                c = int(routed.next_channel[sw, j])
+                if c < 0:
+                    continue
+                assert sn.channel_of_port(
+                    sw, lfts.out_port(sw, sn.lid(d))
+                ) == c
+
+    def test_round_trip_paths_identical(self, torus443, routed):
+        lfts = build_lfts(routed)
+        raised = lfts_to_routing(torus443, lfts, algorithm="nue-lft")
+        for d in routed.dests[:8]:
+            for s in torus443.terminals[:16]:
+                if s == d:
+                    continue
+                assert raised.path(s, d) == routed.path(s, d)
+        validate_routing(raised, sources=torus443.terminals[:8],
+                         check_deadlock=False)
+
+    def test_dump_format(self, routed):
+        lfts = build_lfts(routed)
+        text = lfts.dump(max_switches=2)
+        assert text.count("Switch ") == 2
+        assert "LID : Port" in text
+
+
+class TestSLVL:
+    def test_sl_matches_vl_plan(self, torus443, routed):
+        slvl = build_slvl(routed)
+        sn = Subnet(torus443)
+        for j, d in enumerate(routed.dests[:6]):
+            for s in torus443.terminals[:10]:
+                if s == d:
+                    continue
+                assert slvl[(sn.lid(s), sn.lid(d))] == \
+                    int(routed.vl[s, j])
+
+    def test_single_layer_routing_all_sl0(self, ring6):
+        res = UpDownRouting().route(ring6)
+        slvl = build_slvl(res)
+        assert set(slvl.values()) == {0}
+
+
+def test_works_on_random_topology():
+    net = random_topology(12, 30, 2, seed=3)
+    res = NueRouting(3).route(net, seed=5)
+    lfts = build_lfts(res)
+    raised = lfts_to_routing(net, lfts)
+    for d in res.dests[:5]:
+        for s in net.terminals[:5]:
+            if s != d:
+                assert raised.path_nodes(s, d) == res.path_nodes(s, d)

@@ -1,0 +1,54 @@
+"""Subnet numbering: LIDs, ports, cable peers."""
+
+import pytest
+
+from repro.ib import Subnet
+from repro.network.topologies import ring, torus
+
+
+def test_lids_dense_and_one_based(ring6):
+    sn = Subnet(ring6)
+    assert sn.lid(0) == 1
+    assert sn.lid(ring6.n_nodes - 1) == ring6.n_nodes
+    for v in range(ring6.n_nodes):
+        assert sn.node(sn.lid(v)) == v
+
+
+def test_custom_base_lid(ring6):
+    sn = Subnet(ring6, base_lid=100)
+    assert sn.lid(0) == 100
+    with pytest.raises(ValueError):
+        Subnet(ring6, base_lid=0)
+
+
+def test_ports_one_based_and_bijective(torus443):
+    sn = Subnet(torus443)
+    for v in range(torus443.n_nodes):
+        n = sn.n_ports(v)
+        seen = set()
+        for port in range(1, n + 1):
+            c = sn.channel_of_port(v, port)
+            assert torus443.channel_src[c] == v
+            assert sn.port_of_channel(c) == port
+            seen.add(c)
+        assert len(seen) == n
+
+
+def test_terminal_has_one_port(ring6):
+    sn = Subnet(ring6)
+    t = ring6.terminals[0]
+    assert sn.n_ports(t) == 1
+
+
+def test_peer_is_symmetric(torus443):
+    sn = Subnet(torus443)
+    for v in torus443.switches[:6]:
+        for port in range(1, sn.n_ports(v) + 1):
+            pv, pp = sn.peer(v, port)
+            assert sn.peer(pv, pp) == (v, port)
+
+
+def test_unknown_channel_rejected(ring6):
+    sn = Subnet(ring6)
+    with pytest.raises((ValueError, IndexError)):
+        sn.port_of_channel(10**6)

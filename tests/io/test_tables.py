@@ -1,0 +1,73 @@
+"""Forwarding-table serialisation round-trips and the LFT dump."""
+
+import numpy as np
+import pytest
+
+from repro.core import NueRouting
+from repro.io.tables import (
+    format_lft,
+    load_routing,
+    routing_from_json,
+    routing_to_json,
+    save_routing,
+)
+from repro.metrics import validate_routing
+from repro.network.topologies import ring, torus
+from repro.routing import MinHopRouting
+
+
+@pytest.fixture
+def result(ring6):
+    return NueRouting(2).route(ring6, seed=3)
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, ring6, result):
+        clone = routing_from_json(ring6, routing_to_json(result))
+        assert (clone.next_channel == result.next_channel).all()
+        assert (clone.vl == result.vl).all()
+        assert clone.dests == result.dests
+        assert clone.n_vls == result.n_vls
+        assert clone.algorithm == result.algorithm
+        validate_routing(clone)
+
+    def test_stats_preserved(self, ring6, result):
+        clone = routing_from_json(ring6, routing_to_json(result))
+        assert clone.stats["fallbacks"] == result.stats["fallbacks"]
+
+    def test_wrong_network_rejected(self, result):
+        other = torus([3, 3], 2)
+        with pytest.raises(ValueError, match="nodes"):
+            routing_from_json(other, routing_to_json(result))
+
+    def test_wrong_name_rejected(self, ring6, result):
+        other = ring(6, 2, name="different-name")
+        with pytest.raises(ValueError, match="routed on"):
+            routing_from_json(other, routing_to_json(result))
+
+    def test_disk_roundtrip(self, tmp_path, ring6, result):
+        path = tmp_path / "tables.json"
+        save_routing(result, path)
+        clone = load_routing(ring6, path)
+        assert (clone.next_channel == result.next_channel).all()
+
+
+class TestLFT:
+    def test_contains_every_node_per_dest(self, ring6, result):
+        dump = format_lft(result, max_dests=1)
+        d = result.dests[0]
+        assert f"destination {ring6.node_names[d]}:" in dump
+        for v in range(ring6.n_nodes):
+            if v != d:
+                assert ring6.node_names[v] in dump
+
+    def test_truncation(self, ring6, result):
+        full = format_lft(result)
+        short = format_lft(result, max_dests=2)
+        assert full.count("destination ") == len(result.dests)
+        assert short.count("destination ") == 2
+
+    def test_vls_shown(self, ring6):
+        res = NueRouting(2).route(ring6, seed=1)
+        dump = format_lft(res)
+        assert "VL 0" in dump and "VL 1" in dump

@@ -1,0 +1,98 @@
+"""Topology file format: parsing, serialisation, round-trips."""
+
+import pytest
+
+from repro.io.topofile import (
+    TopologyFormatError,
+    format_topology,
+    load_topology,
+    parse_topology,
+    save_topology,
+)
+from repro.network.topologies import (
+    paper_ring_with_shortcut,
+    random_topology,
+    torus,
+)
+
+
+GOOD = """
+# a comment
+name tiny
+switch s0
+switch s1
+terminal t0
+link s0 s1
+link s0 s1 x2     # parallel pair
+link t0 s0
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        net = parse_topology(GOOD)
+        assert net.name == "tiny"
+        assert len(net.switches) == 2
+        assert len(net.terminals) == 1
+        assert len(net.find_channels(0, 1)) == 3
+
+    def test_unknown_keyword(self):
+        with pytest.raises(TopologyFormatError, match="unknown keyword"):
+            parse_topology("frobnicate s0")
+
+    def test_unknown_node_in_link(self):
+        with pytest.raises(TopologyFormatError, match="line 2"):
+            parse_topology("switch a\nlink a ghost")
+
+    def test_bad_multiplicity(self):
+        with pytest.raises(TopologyFormatError, match="multiplicity"):
+            parse_topology("switch a\nswitch b\nlink a b twice")
+
+    def test_empty_file(self):
+        with pytest.raises(TopologyFormatError, match="no nodes"):
+            parse_topology("# nothing here\n")
+
+    def test_invalid_network_reported(self):
+        with pytest.raises(TopologyFormatError, match="connected"):
+            parse_topology(
+                "switch a\nswitch b\nswitch c\nswitch d\n"
+                "link a b\nlink c d"
+            )
+
+    def test_meta_roundtrip(self):
+        net = parse_topology(
+            'switch a\nswitch b\nlink a b\nmeta rack {"row": 3}'
+        )
+        assert net.meta["rack"] == {"row": 3}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("build", [
+        paper_ring_with_shortcut,
+        lambda: torus([3, 3], 2),
+        lambda: random_topology(10, 25, 2, seed=4),
+    ])
+    def test_structure_preserved(self, build):
+        net = build()
+        clone = parse_topology(format_topology(net))
+        assert clone.n_nodes == net.n_nodes
+        assert clone.node_names == net.node_names
+        assert clone.links() == net.links()
+        assert [clone.is_switch(v) for v in range(clone.n_nodes)] == \
+            [net.is_switch(v) for v in range(net.n_nodes)]
+
+    def test_torus_meta_survives_enough_for_dor(self):
+        """Torus coords serialise as JSON, so topology-aware routing
+        works on a reloaded file."""
+        from repro.routing import DORRouting
+        net = torus([3, 3], 1)
+        clone = parse_topology(format_topology(net))
+        res = DORRouting().route(clone)
+        assert res.algorithm == "dor"
+
+    def test_disk_roundtrip(self, tmp_path):
+        net = torus([2, 2, 2], 1)
+        path = tmp_path / "net.topo"
+        save_topology(net, path)
+        clone = load_topology(path)
+        assert clone.links() == net.links()

@@ -1,0 +1,121 @@
+"""Deadlock metric: Theorem-1 checks against a networkx oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.core import NueRouting
+from repro.metrics.deadlock import (
+    find_vc_cycle,
+    induced_vc_dependencies,
+    is_deadlock_free,
+    required_vcs,
+)
+from repro.network.topologies import mesh, ring, torus
+from repro.routing import (
+    DORRouting,
+    MinHopRouting,
+    Torus2QoSRouting,
+    UpDownRouting,
+)
+
+
+class TestInducedGraph:
+    def test_matches_networkx_acyclicity(self, ring6, torus443):
+        for net, algo in [
+            (ring6, MinHopRouting()),
+            (ring6, UpDownRouting()),
+            (torus443, DORRouting()),
+            (torus443, Torus2QoSRouting()),
+        ]:
+            res = algo.route(net)
+            adj = induced_vc_dependencies(res)
+            g = nx.DiGraph()
+            g.add_nodes_from(adj)
+            for v, outs in adj.items():
+                for w in outs:
+                    g.add_edge(v, w)
+            assert (find_vc_cycle(adj) is None) == \
+                nx.is_directed_acyclic_graph(g)
+
+    def test_cycle_is_a_real_cycle(self, ring6):
+        res = MinHopRouting().route(ring6)
+        adj = induced_vc_dependencies(res)
+        cycle = find_vc_cycle(adj)
+        assert cycle is not None
+        assert len(cycle) >= 2
+        for a, b in zip(cycle, cycle[1:]):
+            assert b in adj[a]
+        assert cycle[0] in adj[cycle[-1]]
+
+    def test_terminal_channels_excluded(self, ring6):
+        res = UpDownRouting().route(ring6)
+        adj = induced_vc_dependencies(res)
+        for (c, _vl) in adj:
+            u, v = ring6.endpoints(c)
+            assert ring6.is_switch(u) and ring6.is_switch(v)
+
+
+class TestFindCycleEdgeCases:
+    def test_sink_fed_by_cycle(self):
+        """A vertex fed by a cycle but with no outgoing edges must not
+        break the cycle walk (regression: needs the reverse peel)."""
+        adj = {
+            ("a", 0): {("b", 0)},
+            ("b", 0): {("c", 0)},
+            ("c", 0): {("a", 0), ("sink", 0)},
+            ("sink", 0): set(),
+        }
+        cycle = find_vc_cycle(adj)
+        assert cycle is not None
+        assert ("sink", 0) not in cycle
+
+    def test_source_feeding_cycle(self):
+        adj = {
+            ("s", 0): {("a", 0)},
+            ("a", 0): {("b", 0)},
+            ("b", 0): {("a", 0)},
+        }
+        cycle = find_vc_cycle(adj)
+        assert cycle is not None
+        assert set(cycle) == {("a", 0), ("b", 0)}
+
+    def test_empty_graph(self):
+        assert find_vc_cycle({}) is None
+
+    def test_dag(self):
+        adj = {(i, 0): {(i + 1, 0)} for i in range(5)}
+        adj[(5, 0)] = set()
+        assert find_vc_cycle(adj) is None
+
+
+class TestRequiredVCs:
+    def test_deadlock_free_routing_reports_layers(self, torus443):
+        res = Torus2QoSRouting().route(torus443)
+        assert required_vcs(res) == 2
+
+    def test_single_layer_routing(self, tree42):
+        res = UpDownRouting().route(tree42)
+        assert required_vcs(res) == 1
+
+    def test_cyclic_routing_gets_layering_estimate(self, ring6):
+        res = MinHopRouting().route(ring6)
+        assert required_vcs(res) >= 2
+
+    def test_mesh_dor_single_vc(self):
+        net = mesh([3, 3], 1)
+        res = DORRouting().route(net)
+        assert required_vcs(res) == 1
+
+    def test_nue_within_budget(self, torus443):
+        for k in (1, 2):
+            res = NueRouting(k).route(torus443, seed=1)
+            assert required_vcs(res) <= k
+
+
+class TestIsDeadlockFree:
+    def test_known_results(self, ring6, torus443):
+        assert not is_deadlock_free(MinHopRouting().route(ring6))
+        assert is_deadlock_free(UpDownRouting().route(ring6))
+        assert not is_deadlock_free(DORRouting().route(torus443))
+        assert is_deadlock_free(Torus2QoSRouting().route(torus443))
+        assert is_deadlock_free(NueRouting(1).route(ring6, seed=1))

@@ -1,0 +1,62 @@
+"""Edge forwarding index: subtree accumulation vs brute-force walks."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.forwarding_index import (
+    edge_forwarding_indices,
+    gamma_summary,
+)
+from repro.network.topologies import random_topology, ring, torus
+from repro.routing import MinHopRouting, UpDownRouting
+
+
+def brute_force_gamma(result, sources):
+    net = result.net
+    gamma = np.zeros(net.n_channels, dtype=np.int64)
+    for d in result.dests:
+        for s in sources:
+            if s == d:
+                continue
+            for c in result.path(s, d):
+                gamma[c] += 1
+    return gamma
+
+
+@pytest.mark.parametrize("build", [
+    lambda: ring(6, 2),
+    lambda: torus([3, 3], 2),
+    lambda: random_topology(10, 25, 3, seed=6),
+])
+def test_matches_brute_force(build):
+    net = build()
+    res = MinHopRouting().route(net)
+    fast = edge_forwarding_indices(res)
+    slow = brute_force_gamma(res, net.terminals)
+    assert (fast == slow).all()
+
+
+def test_custom_sources(ring6):
+    res = MinHopRouting().route(ring6)
+    subset = ring6.terminals[:3]
+    fast = edge_forwarding_indices(res, sources=subset)
+    slow = brute_force_gamma(res, subset)
+    assert (fast == slow).all()
+
+
+def test_gamma_summary_switch_channels_only(ring6):
+    res = MinHopRouting().route(ring6)
+    g = gamma_summary(res)
+    # every terminal pair's route crosses at least one s2s channel on a
+    # ring, and summary values are ordered sanely
+    assert 0 <= g.minimum <= g.average <= g.maximum
+    assert g.stddev >= 0
+    assert g.as_tuple() == (g.minimum, g.maximum, g.average, g.stddev)
+
+
+def test_updn_concentrates_near_root(ring6):
+    """Up*/Down* must have a worse (higher) max than balanced minhop —
+    the imbalance the paper's Fig. 9 shows."""
+    g_updn = gamma_summary(UpDownRouting().route(ring6))
+    g_minhop = gamma_summary(MinHopRouting().route(ring6))
+    assert g_updn.maximum >= g_minhop.maximum

@@ -1,0 +1,49 @@
+"""Virtual-layer usage accounting."""
+
+import pytest
+
+from repro.core import NueRouting
+from repro.metrics.layers import layer_balance, layer_usage
+from repro.network.topologies import random_topology, torus
+from repro.routing import Torus2QoSRouting, UpDownRouting
+
+
+def test_single_layer_routing(ring6):
+    res = UpDownRouting().route(ring6)
+    usage = layer_usage(res)
+    assert usage.used_layers == [0]
+    assert layer_balance(res) == 1.0
+
+
+def test_nue_uses_every_granted_layer():
+    net = random_topology(15, 40, 4, seed=3)
+    res = NueRouting(4).route(net, seed=2)
+    usage = layer_usage(res)
+    assert usage.used_layers == [0, 1, 2, 3]
+    n = len(net.terminals)
+    assert sum(usage.routes_per_layer.values()) == n * (n - 1)
+
+
+def test_balance_in_unit_interval():
+    net = random_topology(15, 40, 4, seed=3)
+    for k in (1, 2, 4):
+        res = NueRouting(k).route(net, seed=2)
+        assert 0.0 <= layer_balance(res) <= 1.0
+
+
+def test_torus2qos_counts_transition_hops(torus443):
+    res = Torus2QoSRouting().route(torus443)
+    usage = layer_usage(res)
+    # dateline hops put volume on VL 1 even though routes start on VL 0
+    assert usage.hops_per_layer.get(1, 0) > 0
+    assert usage.routes_per_layer.get(1, 0) == 0
+
+
+def test_hops_match_total_path_volume(ring6):
+    res = UpDownRouting().route(ring6)
+    usage = layer_usage(res)
+    total = sum(
+        len(res.path(s, d))
+        for d in res.dests for s in ring6.terminals if s != d
+    )
+    assert sum(usage.hops_per_layer.values()) == total

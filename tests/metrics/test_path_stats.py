@@ -1,0 +1,47 @@
+"""Path-length statistics vs explicit path walking."""
+
+import pytest
+
+from repro.metrics.path_stats import path_length_stats, tree_depths
+from repro.network.topologies import random_topology, ring
+from repro.routing import MinHopRouting
+
+
+def test_tree_depths_match_hop_counts(ring6):
+    res = MinHopRouting().route(ring6)
+    for j, d in enumerate(res.dests):
+        depth = tree_depths(res, j)
+        for s in ring6.terminals:
+            if s == d:
+                assert depth[s] == 0 or s == d
+                continue
+            assert depth[s] == res.hop_count(s, d)
+
+
+def test_stats_match_brute_force():
+    net = random_topology(10, 25, 2, seed=9)
+    res = MinHopRouting().route(net)
+    stats = path_length_stats(res)
+    lengths = [
+        res.hop_count(s, d)
+        for d in res.dests
+        for s in net.terminals
+        if s != d
+    ]
+    assert stats.minimum == min(lengths)
+    assert stats.maximum == max(lengths)
+    assert stats.average == pytest.approx(sum(lengths) / len(lengths))
+    assert stats.n_routes == len(lengths)
+    assert sum(stats.histogram.values()) == len(lengths)
+
+
+def test_custom_sources(ring6):
+    res = MinHopRouting().route(ring6)
+    stats = path_length_stats(res, sources=ring6.terminals[:2])
+    assert stats.n_routes == 2 * len(res.dests) - 2
+
+
+def test_histogram_keys_are_lengths(ring6):
+    res = MinHopRouting().route(ring6)
+    stats = path_length_stats(res)
+    assert all(isinstance(k, int) and k > 0 for k in stats.histogram)

@@ -1,0 +1,33 @@
+"""Quality report aggregation."""
+
+import pytest
+
+from repro.core import NueRouting
+from repro.metrics.report import quality_report
+from repro.routing import MinHopRouting, UpDownRouting
+
+
+def test_report_on_valid_routing(ring6):
+    res = NueRouting(2).route(ring6, seed=1)
+    rep = quality_report(res)
+    assert rep.valid and rep.deadlock_free
+    assert rep.required_vcs <= 2
+    assert rep.algorithm == "nue"
+    text = rep.render()
+    assert "deadlock-free:       True" in text
+    assert "gamma" in text
+
+
+def test_report_on_deadlocky_routing(ring6):
+    res = MinHopRouting().route(ring6)
+    rep = quality_report(res)
+    assert not rep.valid
+    assert not rep.deadlock_free
+    assert rep.required_vcs >= 2
+    assert rep.validity_error
+
+
+def test_report_never_raises_and_orders_sanely(ring6):
+    rep = quality_report(UpDownRouting().route(ring6))
+    assert rep.gamma.minimum <= rep.gamma.average <= rep.gamma.maximum
+    assert 0 <= rep.layer_balance <= 1

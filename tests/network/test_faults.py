@@ -1,0 +1,124 @@
+"""Fault injection: degraded copies, orphan handling, connectivity."""
+
+import pytest
+
+from repro.network.faults import (
+    FaultInjectionError,
+    inject_random_link_faults,
+    inject_random_switch_faults,
+    remove_links,
+    remove_switches,
+)
+from repro.network.topologies import ring, torus, torus_coordinates
+
+
+class TestRemoveSwitches:
+    def test_switch_and_its_terminals_die(self):
+        net = torus([3, 3], 2)
+        dead = net.switches[0]
+        degraded = remove_switches(net, [dead])
+        assert len(degraded.switches) == 8
+        assert len(degraded.terminals) == 16
+        assert net.node_names[dead] not in degraded.node_names
+
+    def test_names_preserved(self):
+        net = torus([3, 3], 1)
+        degraded = remove_switches(net, [net.switches[4]])
+        assert set(degraded.node_names) < set(net.node_names)
+
+    def test_coords_survive_via_names(self):
+        net = torus([3, 3, 3])
+        degraded = remove_switches(net, [net.switches[13]])
+        dims, coords = torus_coordinates(degraded)
+        assert dims == (3, 3, 3)
+        assert len(coords) == 26
+
+    def test_disconnecting_removal_rejected(self):
+        # a path of 3 switches: killing the middle disconnects
+        from repro.network.graph import NetworkBuilder
+        b = NetworkBuilder()
+        s = [b.add_switch() for _ in range(3)]
+        b.add_link(s[0], s[1])
+        b.add_link(s[1], s[2])
+        net = b.build()
+        with pytest.raises(FaultInjectionError):
+            remove_switches(net, [s[1]])
+
+    def test_not_a_switch_rejected(self):
+        net = ring(4, 1)
+        with pytest.raises(ValueError):
+            remove_switches(net, [net.terminals[0]])
+
+    def test_meta_records_faults(self):
+        net = torus([3, 3])
+        degraded = remove_switches(net, [net.switches[0]])
+        assert degraded.meta["faults"]["dead_nodes"]
+
+
+class TestRemoveLinks:
+    def test_link_removal(self):
+        net = ring(5)
+        degraded = remove_links(net, [0])
+        assert degraded.n_links == 4
+        assert degraded.is_connected()
+
+    def test_terminal_orphaned_by_link_death(self):
+        net = ring(4, 1)
+        links = net.links()
+        term_link = next(
+            i for i, (u, v) in enumerate(links)
+            if net.is_terminal(u) or net.is_terminal(v)
+        )
+        degraded = remove_links(net, [term_link])
+        assert len(degraded.terminals) == 3
+
+    def test_out_of_range(self):
+        net = ring(4)
+        with pytest.raises(ValueError):
+            remove_links(net, [999])
+
+    def test_ring_split_rejected(self):
+        net = ring(4)
+        with pytest.raises(FaultInjectionError):
+            remove_links(net, [0, 2])
+
+
+class TestRandomFaults:
+    def test_fraction_of_links(self):
+        net = torus([4, 4, 4], 1)
+        degraded = inject_random_link_faults(net, 0.05, seed=3)
+        lost = len(net.switch_to_switch_links()) - len(
+            degraded.switch_to_switch_links()
+        )
+        assert lost == round(0.05 * len(net.switch_to_switch_links()))
+        assert degraded.is_connected()
+
+    def test_zero_fraction_is_identity(self):
+        net = ring(5)
+        assert inject_random_link_faults(net, 0.0, seed=1) is net
+
+    def test_deterministic(self):
+        net = torus([4, 4], 1)
+        a = inject_random_link_faults(net, 0.1, seed=7)
+        b = inject_random_link_faults(net, 0.1, seed=7)
+        assert a.links() == b.links()
+
+    def test_switch_to_switch_only(self):
+        net = torus([3, 3], 4)
+        degraded = inject_random_link_faults(net, 0.2, seed=2)
+        assert len(degraded.terminals) == len(net.terminals)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            inject_random_link_faults(ring(4), 1.5)
+
+    def test_random_switch_faults(self):
+        net = torus([4, 4], 2)
+        degraded = inject_random_switch_faults(net, 2, seed=5)
+        assert len(degraded.switches) == 14
+        assert degraded.is_connected()
+
+    def test_too_many_switch_faults(self):
+        net = ring(4)
+        with pytest.raises(ValueError):
+            inject_random_switch_faults(net, 10)

@@ -1,0 +1,167 @@
+"""Network model: construction invariants of paper Definition 1."""
+
+import pytest
+
+from repro.network.graph import Network, NetworkBuilder, attach_terminals
+
+
+def build_triangle():
+    b = NetworkBuilder("tri")
+    s = [b.add_switch(f"s{i}") for i in range(3)]
+    for i in range(3):
+        b.add_link(s[i], s[(i + 1) % 3])
+    return b, s
+
+
+class TestBuilder:
+    def test_basic_counts(self):
+        b, s = build_triangle()
+        net = b.build()
+        assert net.n_nodes == 3
+        assert net.n_links == 3
+        assert net.n_channels == 6
+
+    def test_duplicate_name_rejected(self):
+        b = NetworkBuilder()
+        b.add_switch("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.add_switch("x")
+
+    def test_node_id_lookup(self):
+        b, s = build_triangle()
+        assert b.node_id("s1") == s[1]
+
+    def test_parallel_links(self):
+        b, s = build_triangle()
+        b.add_link(s[0], s[1], count=2)
+        net = b.build()
+        assert len(net.find_channels(s[0], s[1])) == 3
+
+    def test_zero_count_rejected(self):
+        b, s = build_triangle()
+        with pytest.raises(ValueError):
+            b.add_link(s[0], s[1], count=0)
+
+    def test_attach_terminals(self):
+        b, s = build_triangle()
+        terms = attach_terminals(b, s, 2)
+        net = b.build()
+        assert len(terms) == 6
+        assert len(net.terminals) == 6
+        assert all(net.is_terminal(t) for t in terms)
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        b = NetworkBuilder()
+        s = b.add_switch()
+        b.add_link(s, s)
+        with pytest.raises(ValueError, match="self-loop"):
+            b.build()
+
+    def test_disconnected_rejected(self):
+        b = NetworkBuilder()
+        a, c = b.add_switch(), b.add_switch()
+        x, y = b.add_switch(), b.add_switch()
+        b.add_link(a, c)
+        b.add_link(x, y)
+        with pytest.raises(ValueError, match="connected"):
+            b.build()
+
+    def test_terminal_with_two_links_rejected(self):
+        b = NetworkBuilder()
+        s1, s2 = b.add_switch(), b.add_switch()
+        t = b.add_terminal()
+        b.add_link(s1, s2)
+        b.add_link(t, s1)
+        b.add_link(t, s2)
+        with pytest.raises(ValueError, match="terminal"):
+            b.build()
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            Network(3, [(0, 1)], [True, True, True])
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Network(2, [(0, 5)], [True, True])
+
+
+class TestChannels:
+    def test_reverse_pairing(self):
+        net = build_triangle()[0].build()
+        for c in range(net.n_channels):
+            r = net.channel_reverse[c]
+            assert net.channel_reverse[r] == c
+            assert net.channel_src[c] == net.channel_dst[r]
+            assert net.channel_dst[c] == net.channel_src[r]
+
+    def test_channel_view(self):
+        net = build_triangle()[0].build()
+        ch = net.channel(0)
+        assert (ch.src, ch.dst) == net.endpoints(0)
+        assert ch.reverse == net.channel_reverse[0]
+
+    def test_adjacency_consistency(self):
+        net = build_triangle()[0].build()
+        for v in range(net.n_nodes):
+            for c in net.out_channels[v]:
+                assert net.channel_src[c] == v
+            for c in net.in_channels[v]:
+                assert net.channel_dst[c] == v
+
+    def test_channels_iterator(self):
+        net = build_triangle()[0].build()
+        assert len(list(net.channels())) == net.n_channels
+
+
+class TestQueries:
+    def test_neighbors_dedup_parallel(self):
+        b, s = build_triangle()
+        b.add_link(s[0], s[1], count=3)
+        net = b.build()
+        assert sorted(net.neighbors(s[0])) == sorted([s[1], s[2]])
+
+    def test_degree_and_max_degree(self):
+        b, s = build_triangle()
+        b.add_link(s[0], s[1])
+        net = b.build()
+        assert net.degree(s[0]) == 3
+        assert net.max_degree() == 3
+
+    def test_terminal_switch(self):
+        b, s = build_triangle()
+        t = b.add_terminal("t")
+        b.add_link(t, s[2])
+        net = b.build()
+        assert net.terminal_switch(t) == s[2]
+        with pytest.raises(ValueError):
+            net.terminal_switch(s[0])
+
+    def test_attached_terminals(self):
+        b, s = build_triangle()
+        terms = attach_terminals(b, [s[0]], 2)
+        net = b.build()
+        assert sorted(net.attached_terminals(s[0])) == sorted(terms)
+        assert net.attached_terminals(s[1]) == []
+
+    def test_bfs_levels(self):
+        b = NetworkBuilder()
+        s = [b.add_switch() for _ in range(4)]
+        for i in range(3):
+            b.add_link(s[i], s[i + 1])
+        net = b.build()
+        assert net.bfs_levels(s[0]) == [0, 1, 2, 3]
+
+    def test_switch_to_switch_links(self):
+        b, s = build_triangle()
+        t = b.add_terminal()
+        b.add_link(t, s[0])
+        net = b.build()
+        assert len(net.switch_to_switch_links()) == 3
+        assert len(net.links()) == 4
+
+    def test_meta_is_mutable_aux(self):
+        net = build_triangle()[0].build()
+        net.meta["topology"] = {"type": "test"}
+        assert net.meta["topology"]["type"] == "test"

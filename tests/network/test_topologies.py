@@ -1,0 +1,277 @@
+"""Topology generators: structural invariants and paper Tab. 1 counts."""
+
+import pytest
+
+from repro.network.topologies import (
+    binary_tree,
+    cascade,
+    dragonfly,
+    hypercube,
+    k_ary_n_tree,
+    kautz,
+    mesh,
+    paper_ring_with_shortcut,
+    random_topology,
+    ring,
+    torus,
+    torus_coordinates,
+    tsubame25_like,
+    two_tier_clos,
+)
+
+
+class TestRing:
+    def test_counts(self):
+        net = ring(6, 2)
+        assert len(net.switches) == 6
+        assert len(net.terminals) == 12
+        assert len(net.switch_to_switch_links()) == 6
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_paper_fig2a(self):
+        net = paper_ring_with_shortcut()
+        assert net.n_nodes == 5
+        assert net.n_links == 6          # 5 ring links + shortcut
+        assert net.n_channels == 12
+        n3, n5 = net.node_names.index("n3"), net.node_names.index("n5")
+        assert net.find_channels(n3, n5)  # the shortcut exists
+
+    def test_binary_tree(self):
+        net = binary_tree(4)
+        assert net.n_nodes == 15
+        assert net.n_links == 14  # a tree
+        with pytest.raises(ValueError):
+            binary_tree(0)
+
+
+class TestTorus:
+    def test_3d_counts(self):
+        net = torus([4, 4, 3], 4)
+        assert len(net.switches) == 48
+        assert len(net.terminals) == 192
+        # 48 switches * 3 dims = 144 duplex s2s links
+        assert len(net.switch_to_switch_links()) == 144
+
+    def test_dim2_no_double_link(self):
+        net = torus([2, 2])
+        # a 2x2 torus has exactly 4 links (no doubled wrap links)
+        assert net.n_links == 4
+
+    def test_redundancy(self):
+        net = torus([3, 3], redundancy=2)
+        assert len(net.switch_to_switch_links()) == 2 * 2 * 9
+
+    def test_coordinates_roundtrip(self):
+        net = torus([3, 2, 2])
+        dims, coords = torus_coordinates(net)
+        assert dims == (3, 2, 2)
+        assert len(coords) == 12
+        assert sorted(coords.values()) == sorted(
+            (a, b, c) for a in range(3) for b in range(2) for c in range(2)
+        )
+
+    def test_coordinates_reject_foreign(self):
+        with pytest.raises(ValueError):
+            torus_coordinates(ring(4))
+
+    def test_mesh_no_wrap(self):
+        net = mesh([3, 3])
+        # mesh 3x3: 2*3*2 = 12 links
+        assert net.n_links == 12
+        # corner has degree 2
+        degrees = sorted(net.degree(s) for s in net.switches)
+        assert degrees[0] == 2
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            torus([1, 3])
+
+
+class TestFatTree:
+    def test_k_ary_n_tree_counts(self):
+        net = k_ary_n_tree(4, 2)
+        assert len(net.switches) == 8      # 2 levels x 4
+        assert len(net.terminals) == 16    # 4^2
+        assert len(net.switch_to_switch_links()) == 16
+
+    def test_paper_10_ary_3_tree(self):
+        net = k_ary_n_tree(10, 3, terminals=1100)
+        assert len(net.switches) == 300
+        assert len(net.terminals) == 1100
+        assert len(net.switch_to_switch_links()) == 2000
+
+    def test_terminals_consecutive_on_leaves(self):
+        net = k_ary_n_tree(3, 2)
+        # terminals t0..t2 share leaf 0, t3..t5 leaf 1, ...
+        t0, t1, t2, t3 = net.terminals[:4]
+        assert net.terminal_switch(t0) == net.terminal_switch(t2)
+        assert net.terminal_switch(t0) != net.terminal_switch(t3)
+
+    def test_butterfly_wiring(self):
+        net = k_ary_n_tree(3, 3)
+        info = net.meta["topology"]
+        assert info["k"] == 3 and info["n"] == 3
+        # every non-top switch has k up-links
+        by_name = {n: i for i, n in enumerate(net.node_names)}
+        for level in range(2):
+            for name in info["levels"][level]:
+                s = by_name[name]
+                ups = [
+                    c for c in net.out_channels[s]
+                    if net.is_switch(net.channel_dst[c])
+                    and net.node_names[net.channel_dst[c]].startswith(
+                        f"L{level + 1}_"
+                    )
+                ]
+                assert len(ups) == 3
+
+    def test_two_tier_clos(self):
+        net = two_tier_clos(4, 2, 12)
+        assert len(net.switches) == 6
+        assert len(net.switch_to_switch_links()) == 8
+        assert len(net.terminals) == 12
+
+    def test_tsubame_like(self):
+        net = tsubame25_like()
+        assert len(net.switches) == 243
+        assert len(net.terminals) == 1407
+
+
+class TestKautz:
+    def test_paper_counts(self):
+        net = kautz(5, 3, 7, redundancy=2)
+        assert len(net.switches) == 150
+        assert len(net.terminals) == 1050
+        assert len(net.switch_to_switch_links()) == 1500
+
+    def test_small(self):
+        net = kautz(2, 2)
+        # K(2,2): (2+1)*2 = 6 vertices, 6*2 = 12 arcs -> 12 links
+        assert len(net.switches) == 6
+        assert len(net.switch_to_switch_links()) == 12
+
+    def test_no_self_loops(self):
+        net = kautz(3, 2)
+        assert all(u != v for u, v in net.links())
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            kautz(1, 3)
+
+
+class TestDragonfly:
+    def test_paper_counts(self):
+        net = dragonfly(12, 6, 6, 15)
+        assert len(net.switches) == 180
+        assert len(net.terminals) == 1080
+        assert len(net.switch_to_switch_links()) == 1515
+
+    def test_local_mesh(self):
+        net = dragonfly(4, 1, 2, 3)
+        # group 0's switches are g0s0..g0s3, pairwise connected
+        ids = [net.node_names.index(f"g0s{i}") for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert net.find_channels(ids[i], ids[j])
+
+    def test_insufficient_global_ports(self):
+        with pytest.raises(ValueError, match="cannot reach"):
+            dragonfly(2, 1, 1, 9)
+
+
+class TestCascade:
+    def test_paper_counts(self):
+        net = cascade()
+        assert len(net.switches) == 192
+        assert len(net.terminals) == 1536
+        assert len(net.switch_to_switch_links()) == 3072
+
+    def test_scaled_down(self):
+        net = cascade(2, 8, 1, chassis_per_group=2, slots_per_chassis=3)
+        # per group: 2 chassis x C(3,2) black = ... black: 2*3=6;
+        # green: 3 slots * 1 pair * 3 = 9; total 15/group, 30 + 8 global
+        assert len(net.switches) == 12
+        assert len(net.switch_to_switch_links()) == 38
+
+    def test_single_group_has_no_globals(self):
+        net = cascade(1, 100, 1, chassis_per_group=2, slots_per_chassis=2)
+        assert len(net.switch_to_switch_links()) == 2 * 1 + 2 * 3
+
+
+class TestRandom:
+    def test_counts_and_connectivity(self):
+        net = random_topology(30, 90, 4, seed=3)
+        assert len(net.switches) == 30
+        assert len(net.switch_to_switch_links()) == 90
+        assert len(net.terminals) == 120
+        assert net.is_connected()
+
+    def test_deterministic(self):
+        a = random_topology(20, 50, 2, seed=11)
+        b = random_topology(20, 50, 2, seed=11)
+        assert a.links() == b.links()
+
+    def test_different_seeds_differ(self):
+        a = random_topology(20, 50, 2, seed=1)
+        b = random_topology(20, 50, 2, seed=2)
+        assert a.links() != b.links()
+
+    def test_non_seeded_mode(self):
+        net = random_topology(
+            10, 30, 0, seed=5, spanning_tree_seeded=False
+        )
+        assert net.is_connected()
+
+    def test_too_few_links(self):
+        with pytest.raises(ValueError):
+            random_topology(10, 5)
+
+
+class TestHypercube:
+    def test_counts(self):
+        net = hypercube(4)
+        assert len(net.switches) == 16
+        assert len(net.switch_to_switch_links()) == 32
+        assert all(net.degree(s) == 4 for s in net.switches)
+
+    def test_adjacency_is_xor(self):
+        net = hypercube(3)
+        for u, v in net.switch_to_switch_links():
+            iu = int(net.node_names[u][1:], 2)
+            iv = int(net.node_names[v][1:], 2)
+            assert bin(iu ^ iv).count("1") == 1
+
+
+class TestHyperX:
+    def test_counts_2d(self):
+        from repro.network.topologies import hyperx
+        net = hyperx([4, 4], 2)
+        assert len(net.switches) == 16
+        # per switch: 3 row + 3 col peers; links = 16*6/2 = 48
+        assert len(net.switch_to_switch_links()) == 48
+        assert all(net.degree(s) == 6 + 2 for s in net.switches)
+
+    def test_degenerates_to_hypercube(self):
+        from repro.network.topologies import hyperx, hypercube
+        hx = hyperx([2, 2, 2])
+        hc = hypercube(3)
+        assert len(hx.switches) == len(hc.switches)
+        assert len(hx.switch_to_switch_links()) == \
+            len(hc.switch_to_switch_links())
+
+    def test_nue_routes_it(self):
+        from repro.core import NueRouting
+        from repro.metrics import validate_routing
+        from repro.network.topologies import hyperx
+        net = hyperx([3, 3], 1)
+        result = NueRouting(1).route(net, seed=2)
+        validate_routing(result)
+
+    def test_bad_shape(self):
+        from repro.network.topologies import hyperx
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            hyperx([1, 4])

@@ -1,0 +1,66 @@
+"""Hypothesis: baseline invariants over random topologies."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.metrics import is_deadlock_free, validate_routing
+from repro.network.topologies import random_topology, torus
+from repro.routing import (
+    LASHRouting,
+    DFSSSPRouting,
+    MinHopRouting,
+    RoutingError,
+    UpDownRouting,
+)
+
+
+@st.composite
+def networks(draw):
+    n_switches = draw(st.integers(4, 12))
+    n_links = n_switches - 1 + draw(st.integers(1, 12))
+    terminals = draw(st.integers(1, 2))
+    seed = draw(st.integers(0, 2**31))
+    return random_topology(n_switches, n_links, terminals, seed=seed)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(net=networks())
+def test_updn_always_valid_and_single_layer(net):
+    result = UpDownRouting().route(net)
+    validate_routing(result)
+    assert result.n_vls == 1
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(net=networks())
+def test_minhop_paths_are_minimal(net):
+    result = MinHopRouting().route(net)
+    validate_routing(result, check_deadlock=False)
+    for d in result.dests[:4]:
+        levels = net.bfs_levels(d)
+        for s in net.terminals[:6]:
+            if s != d:
+                assert result.hop_count(s, d) == levels[s]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(net=networks())
+def test_lash_and_dfsssp_always_deadlock_free(net):
+    for algo in (LASHRouting(max_vls=64), DFSSSPRouting(max_vls=64)):
+        result = algo.route(net)
+        validate_routing(result)
+        assert is_deadlock_free(result)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=st.integers(2, 4), b=st.integers(2, 4), c=st.integers(2, 4),
+       terms=st.integers(1, 2))
+def test_torus2qos_on_arbitrary_torus(a, b, c, terms):
+    from repro.routing import Torus2QoSRouting
+    net = torus([a, b, c], terms)
+    result = Torus2QoSRouting().route(net)
+    validate_routing(result)
+    assert result.n_vls == 2

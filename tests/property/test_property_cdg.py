@@ -1,0 +1,77 @@
+"""Hypothesis: the CDG state machine never admits a cycle.
+
+Random edge-insertion sequences against a networkx oracle: whatever
+order dependencies are tried in, ``try_use_edge`` accepts exactly the
+insertions that keep the used graph acyclic, and the Pearce–Kelly
+topological order stays consistent with the used edges throughout.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.network.topologies import random_topology
+
+
+@st.composite
+def net_and_ops(draw):
+    n_switches = draw(st.integers(4, 10))
+    n_links = n_switches - 1 + draw(st.integers(2, 12))
+    seed = draw(st.integers(0, 2**31))
+    net = random_topology(n_switches, n_links, 0, seed=seed)
+    cdg = CompleteCDG(net)
+    all_edges = [
+        (cp, cq)
+        for cp in range(net.n_channels)
+        for cq in cdg.out_dependencies(cp)
+    ]
+    indices = draw(st.lists(
+        st.integers(0, len(all_edges) - 1), min_size=1, max_size=60
+    ))
+    return net, [all_edges[i] for i in indices]
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=net_and_ops())
+def test_try_use_edge_matches_oracle(data):
+    net, ops = data
+    cdg = CompleteCDG(net)
+    g = nx.DiGraph()
+    for cp, cq in ops:
+        already_used = cdg.edge_state(cp, cq) == 1
+        already_blocked = cdg.edge_state(cp, cq) == -1
+        accepted = cdg.try_use_edge(cp, cq)
+        if already_used:
+            assert accepted
+            continue
+        if already_blocked:
+            assert not accepted
+            continue
+        # oracle: does adding the edge keep the graph acyclic?
+        g.add_edge(cp, cq)
+        oracle_ok = nx.is_directed_acyclic_graph(g)
+        assert accepted == oracle_ok
+        if not accepted:
+            g.remove_edge(cp, cq)
+    cdg.assert_acyclic()
+    # PK order consistency: every used edge points order-forward
+    for cp, cq in cdg.used_edges():
+        assert cdg._ord[cp] < cdg._ord[cq]
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=net_and_ops())
+def test_would_close_cycle_is_consistent_and_pure(data):
+    net, ops = data
+    cdg = CompleteCDG(net)
+    for cp, cq in ops:
+        pure_answer = cdg.would_close_cycle(cp, cq)
+        used_before = cdg.n_used_edges
+        blocked_before = cdg.n_blocked_edges
+        # purity: asking must not change anything
+        assert cdg.n_used_edges == used_before
+        assert cdg.n_blocked_edges == blocked_before
+        accepted = cdg.try_use_edge(cp, cq)
+        assert accepted == (not pure_answer)

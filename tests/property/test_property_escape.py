@@ -1,0 +1,91 @@
+"""Hypothesis: escape paths are always a valid deadlock-free fallback.
+
+For any connected random topology, any root and any destination
+subset: the marked escape dependencies stay acyclic, and the fallback
+chains for every destination walk the spanning tree to the destination
+without leaving the premarked dependency set.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.escape import EscapePaths
+from repro.network.topologies import random_topology
+
+
+@st.composite
+def escape_cases(draw):
+    n_switches = draw(st.integers(4, 12))
+    n_links = n_switches - 1 + draw(st.integers(0, 10))
+    seed = draw(st.integers(0, 2**31))
+    net = random_topology(n_switches, n_links, 1, seed=seed)
+    root = draw(st.integers(0, net.n_nodes - 1))
+    size = draw(st.integers(1, len(net.terminals)))
+    dests = net.terminals[:size]
+    return net, root, dests
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=escape_cases())
+def test_escape_paths_always_safe(case):
+    net, root, dests = case
+    cdg = CompleteCDG(net)
+    esc = EscapePaths(net, cdg, root, dests)
+    cdg.assert_acyclic()
+    assert cdg.n_blocked_edges == 0
+    for d in dests:
+        chans = esc.fallback_channels(d)
+        for v in range(net.n_nodes):
+            if v == d:
+                assert chans[v] == -1
+                continue
+            # chain walks to d in <= |N| hops
+            node, hops = v, 0
+            while node != d:
+                c = chans[node]
+                assert c >= 0
+                assert net.channel_dst[c] == node
+                node = net.channel_src[c]
+                hops += 1
+                assert hops <= net.n_nodes
+            # every chain dependency was premarked used
+            c = chans[v]
+            parent = net.channel_src[c]
+            cp = chans[parent]
+            if cp >= 0 and cdg.dependency_exists(cp, c):
+                assert cdg.edge_state(cp, c) == 1
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=escape_cases())
+def test_initial_dependency_count_consistent(case):
+    """The O(Σ deg²) union marking equals per-destination walking."""
+    net, root, dests = case
+    cdg_fast = CompleteCDG(net)
+    esc = EscapePaths(net, cdg_fast, root, dests)
+
+    # reference: walk the tree once per destination
+    cdg_ref = CompleteCDG(net)
+    tree = esc.tree
+    count = 0
+    for d in dests:
+        stack = [(d, -1)]
+        visited = [False] * net.n_nodes
+        visited[d] = True
+        while stack:
+            u, c_in = stack.pop()
+            for v in tree.neighbors(u):
+                if visited[v]:
+                    continue
+                visited[v] = True
+                c_out = tree.channel_between(u, v)
+                cdg_ref.mark_vertex_used(c_out)
+                if c_in >= 0 and cdg_ref.dependency_exists(c_in, c_out):
+                    if cdg_ref.edge_state(c_in, c_out) != 1:
+                        count += 1
+                        assert cdg_ref.try_use_edge(c_in, c_out)
+                stack.append((v, c_out))
+    assert esc.initial_dependencies == count
+    assert set(cdg_fast.used_edges()) == set(cdg_ref.used_edges())

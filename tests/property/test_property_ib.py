@@ -1,0 +1,34 @@
+"""Hypothesis: the LFT lowering is lossless for any routing result."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import NueRouting
+from repro.ib import build_lfts, lfts_to_routing
+from repro.network.topologies import random_topology
+from repro.routing import MinHopRouting, UpDownRouting
+
+
+@st.composite
+def routed_networks(draw):
+    n_switches = draw(st.integers(4, 12))
+    n_links = n_switches - 1 + draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 2**31))
+    net = random_topology(n_switches, n_links, 2, seed=seed)
+    algo = draw(st.sampled_from([
+        MinHopRouting(), UpDownRouting(), NueRouting(2),
+    ]))
+    return net, algo.route(net, seed=seed)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=routed_networks())
+def test_lft_round_trip_preserves_every_path(case):
+    net, result = case
+    lfts = build_lfts(result)
+    raised = lfts_to_routing(net, lfts)
+    for d in result.dests:
+        for s in net.terminals:
+            if s == d:
+                continue
+            assert raised.path(s, d) == result.path(s, d)

@@ -1,0 +1,49 @@
+"""Hypothesis: Nue is valid on arbitrary random topologies for any k.
+
+This is the library's central property — Lemmas 1–3 hold for *every*
+connected multigraph and *every* VC budget, so we let hypothesis draw
+both and run the full validity gate each time.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import NueConfig, NueRouting
+from repro.metrics import validate_routing
+from repro.network.topologies import random_topology
+
+
+@st.composite
+def networks(draw):
+    n_switches = draw(st.integers(4, 14))
+    extra = draw(st.integers(0, 16))
+    n_links = n_switches - 1 + extra
+    terminals = draw(st.integers(0, 2))
+    seed = draw(st.integers(0, 2**31))
+    return random_topology(n_switches, n_links, terminals, seed=seed)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(net=networks(), k=st.integers(1, 4), seed=st.integers(0, 2**31))
+def test_nue_always_valid(net, k, seed):
+    dests = None if net.terminals else list(range(net.n_nodes))
+    result = NueRouting(k).route(net, dests=dests, seed=seed)
+    validate_routing(result)
+    assert result.n_vls <= k
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(net=networks(), seed=st.integers(0, 2**31),
+       partitioner=st.sampled_from(["kway", "random", "cluster"]),
+       backtracking=st.booleans(), shortcuts=st.booleans())
+def test_nue_valid_under_any_config(net, seed, partitioner,
+                                    backtracking, shortcuts):
+    cfg = NueConfig(
+        partitioner=partitioner,
+        enable_backtracking=backtracking,
+        enable_shortcuts=shortcuts,
+    )
+    dests = None if net.terminals else list(range(net.n_nodes))
+    result = NueRouting(2, cfg).route(net, dests=dests, seed=seed)
+    validate_routing(result)

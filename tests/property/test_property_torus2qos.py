@@ -1,0 +1,50 @@
+"""Hypothesis: Torus-2QoS dateline VLs obey the Dally invariants.
+
+For arbitrary torus shapes and terminal counts, every route's per-hop
+VL sequence must (a) stay in {0, 1}, (b) never drop from 1 back to 0
+within one dimension's segment, and (c) use VL 1 exactly from the hop
+after the packet first reaches ring position 0 of the dimension it is
+traversing.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.network.topologies import torus, torus_coordinates
+from repro.routing import Torus2QoSRouting
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    a=st.integers(2, 5), b=st.integers(2, 5), c=st.integers(2, 4),
+    sample=st.integers(0, 10**6),
+)
+def test_vl_sequences_follow_datelines(a, b, c, sample):
+    net = torus([a, b, c], 1)
+    res = Torus2QoSRouting().route(net)
+    dims, coords = torus_coordinates(net)
+    terms = net.terminals
+    # sample a handful of pairs deterministically
+    pairs = [
+        (terms[(sample + i) % len(terms)],
+         terms[(sample * 7 + 3 * i + 1) % len(terms)])
+        for i in range(6)
+    ]
+    for s, d in pairs:
+        if s == d:
+            continue
+        path = res.path(s, d)
+        vls = res.path_vls(s, d)
+        assert len(path) == len(vls)
+        assert set(vls) <= {0, 1}
+        passed_zero = [False] * len(dims)
+        for ch, vl in zip(path, vls):
+            u, v = net.endpoints(ch)
+            if not (net.is_switch(u) and net.is_switch(v)):
+                assert vl == 0
+                continue
+            cu, cv = coords[u], coords[v]
+            dim = next(i for i in range(len(dims)) if cu[i] != cv[i])
+            assert vl == (1 if passed_zero[dim] else 0)
+            if cv[dim] == 0:
+                passed_zero[dim] = True

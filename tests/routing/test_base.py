@@ -1,0 +1,87 @@
+"""RoutingResult mechanics: path extraction, loops, VL access."""
+
+import numpy as np
+import pytest
+
+from repro.routing.base import RoutingError, RoutingResult
+from repro.routing.minhop import MinHopRouting
+from repro.network.topologies import ring
+
+
+@pytest.fixture
+def small_result(ring6):
+    return MinHopRouting().route(ring6)
+
+
+class TestPaths:
+    def test_path_endpoints(self, ring6, small_result):
+        s, d = ring6.terminals[0], ring6.terminals[5]
+        nodes = small_result.path_nodes(s, d)
+        assert nodes[0] == s and nodes[-1] == d
+
+    def test_self_path_empty(self, ring6, small_result):
+        t = ring6.terminals[0]
+        assert small_result.path(t, t) == []
+        assert small_result.hop_count(t, t) == 0
+
+    def test_path_channels_chain(self, ring6, small_result):
+        s, d = ring6.terminals[1], ring6.terminals[8]
+        path = small_result.path(s, d)
+        for a, b in zip(path, path[1:]):
+            assert ring6.channel_dst[a] == ring6.channel_src[b]
+
+    def test_missing_route_raises(self, ring6, small_result):
+        j = small_result.dest_index(small_result.dests[0])
+        small_result.next_channel[ring6.terminals[3], j] = -1
+        with pytest.raises(RoutingError, match="no route"):
+            small_result.path(ring6.terminals[3], small_result.dests[0])
+
+    def test_forwarding_loop_detected(self, ring6, small_result):
+        d = small_result.dests[0]
+        j = small_result.dest_index(d)
+        # forge a 2-cycle between two switches
+        s0, s1 = ring6.switches[0], ring6.switches[1]
+        small_result.next_channel[s0, j] = ring6.find_channels(s0, s1)[0]
+        small_result.next_channel[s1, j] = ring6.find_channels(s1, s0)[0]
+        if d not in (s0, s1):
+            with pytest.raises(RoutingError, match="loop"):
+                small_result.path(s0, d)
+
+    def test_hop_count_matches_path(self, ring6, small_result):
+        s, d = ring6.terminals[0], ring6.terminals[4]
+        assert small_result.hop_count(s, d) == len(small_result.path(s, d))
+
+
+class TestVLs:
+    def test_default_path_vls_constant(self, ring6, small_result):
+        s, d = ring6.terminals[0], ring6.terminals[7]
+        vls = small_result.path_vls(s, d)
+        assert len(vls) == small_result.hop_count(s, d)
+        assert set(vls) <= {0}
+
+    def test_virtual_layer_lookup(self, ring6, small_result):
+        s, d = ring6.terminals[0], ring6.terminals[7]
+        assert small_result.virtual_layer(s, d) == 0
+
+
+class TestRouteAPI:
+    def test_default_dests_terminals(self, ring6):
+        res = MinHopRouting().route(ring6)
+        assert sorted(res.dests) == sorted(ring6.terminals)
+
+    def test_empty_dests_rejected(self, ring6):
+        with pytest.raises(ValueError):
+            MinHopRouting().route(ring6, dests=[])
+
+    def test_runtime_measured(self, ring6):
+        res = MinHopRouting().route(ring6)
+        assert res.runtime_s >= 0
+
+    def test_bad_max_vls(self):
+        with pytest.raises(ValueError):
+            MinHopRouting(max_vls=0)
+
+    def test_switch_only_network_routes_all_nodes(self):
+        net = ring(4)  # no terminals at all
+        res = MinHopRouting().route(net)
+        assert sorted(res.dests) == list(range(net.n_nodes))

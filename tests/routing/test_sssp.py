@@ -1,0 +1,119 @@
+"""SSSP machinery: trees, subtree counting, weight updates."""
+
+import numpy as np
+import pytest
+
+from repro.network.topologies import random_topology, ring, torus
+from repro.routing.sssp import (
+    apply_weight_update,
+    bfs_tree_balanced,
+    sssp_tree,
+    subtree_route_counts,
+)
+
+
+class TestSSSPTree:
+    def test_tree_reaches_everyone(self, ring6):
+        weights = np.ones(ring6.n_channels)
+        fwd = sssp_tree(ring6, ring6.terminals[0], weights)
+        d = ring6.terminals[0]
+        for v in range(ring6.n_nodes):
+            if v == d:
+                assert fwd[v] == -1
+            else:
+                assert fwd[v] >= 0
+                assert ring6.channel_src[fwd[v]] == v
+
+    def test_unit_weights_give_min_hop(self, random_small):
+        d = random_small.terminals[0]
+        weights = np.ones(random_small.n_channels)
+        fwd = sssp_tree(random_small, d, weights)
+        levels = random_small.bfs_levels(d)
+        for v in range(random_small.n_nodes):
+            if v == d:
+                continue
+            hops = 0
+            node = v
+            while node != d:
+                node = random_small.channel_dst[fwd[node]]
+                hops += 1
+            assert hops == levels[v]
+
+    def test_weights_steer_choice(self):
+        """On a 4-ring, making one direction expensive pushes the
+        2-hop-equal... the tie at distance 2 resolves to the cheap side."""
+        net = ring(4)
+        s = net.switches
+        weights = np.ones(net.n_channels)
+        # make every channel through s1 expensive
+        for c in range(net.n_channels):
+            if net.channel_dst[c] == s[1] or net.channel_src[c] == s[1]:
+                weights[c] = 10.0
+        fwd = sssp_tree(net, s[0], weights)
+        # s2 (opposite corner) must route via s3, not s1
+        assert net.channel_dst[fwd[s[2]]] == s[3]
+
+
+class TestBalancedBFS:
+    def test_min_hop_and_load_spread(self):
+        net = torus([4, 4], 1)
+        load = np.zeros(net.n_channels, dtype=np.int64)
+        for d in net.terminals:
+            fwd = bfs_tree_balanced(net, d, load)
+            levels = net.bfs_levels(d)
+            for v in net.switches:
+                if fwd[v] >= 0:
+                    nxt = net.channel_dst[fwd[v]]
+                    assert levels[nxt] == levels[v] - 1
+        # counters got used
+        assert load.sum() > 0
+
+    def test_parallel_channels_alternate(self):
+        from repro.network.graph import NetworkBuilder
+        b = NetworkBuilder()
+        s0, s1 = b.add_switch(), b.add_switch()
+        b.add_link(s0, s1, count=4)
+        t = [b.add_terminal() for _ in range(2)]
+        b.add_link(t[0], s0)
+        b.add_link(t[1], s1)
+        net = b.build()
+        load = np.zeros(net.n_channels, dtype=np.int64)
+        used = set()
+        for _ in range(4):
+            fwd = bfs_tree_balanced(net, s1, load)
+            used.add(int(fwd[s0]))
+        assert len(used) == 4  # round-robins over the parallel pair
+
+
+class TestSubtreeCounts:
+    def test_matches_brute_force(self, random_small):
+        d = random_small.terminals[0]
+        weights = np.ones(random_small.n_channels)
+        fwd = sssp_tree(random_small, d, weights)
+        counts = subtree_route_counts(
+            random_small, fwd, d, random_small.terminals
+        )
+        brute = np.zeros(random_small.n_channels, dtype=np.int64)
+        for s in random_small.terminals:
+            node = s
+            while node != d:
+                c = int(fwd[node])
+                brute[c] += 1
+                node = random_small.channel_dst[c]
+        assert (counts == brute).all()
+
+    def test_weight_update_inplace(self):
+        weights = np.ones(4)
+        counts = np.array([0, 2, 5, 0])
+        apply_weight_update(weights, counts)
+        assert weights.tolist() == [1, 3, 6, 1]
+
+    def test_dangling_chain_ignored(self, ring6):
+        d = ring6.terminals[0]
+        weights = np.ones(ring6.n_channels)
+        fwd = sssp_tree(ring6, d, weights)
+        # orphan one switch: its subtree must simply not contribute
+        victim = ring6.switches[3]
+        fwd[victim] = -1
+        counts = subtree_route_counts(ring6, fwd, d, ring6.terminals)
+        assert counts.min() >= 0

@@ -1,0 +1,38 @@
+"""Public API surface: the names README documents must exist and work."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_snippet():
+    """The exact flow from README.md's Quickstart section."""
+    from repro import NueRouting, topologies, validate_routing
+    from repro.metrics import gamma_summary, required_vcs
+
+    net = topologies.torus([3, 3], terminals_per_switch=2)
+    result = NueRouting(max_vls=2).route(net, seed=7)
+    validate_routing(result)
+    assert required_vcs(result) <= 2
+    assert gamma_summary(result).maximum > 0
+    path = result.path_nodes(net.terminals[0], net.terminals[-1])
+    assert path[0] == net.terminals[0]
+
+
+def test_algorithm_registry_importable_from_top_level():
+    reg = repro.algorithm_registry(4)
+    assert "dfsssp" in reg
+
+
+def test_error_types_related():
+    assert issubclass(repro.NotApplicableError, repro.RoutingError)
+    assert issubclass(repro.RoutingError, RuntimeError)

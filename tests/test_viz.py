@@ -1,0 +1,54 @@
+"""DOT export: structure of the emitted graphs."""
+
+import pytest
+
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core import NueRouting
+from repro.network.topologies import paper_ring_with_shortcut, ring
+from repro.viz import cdg_to_dot, network_to_dot, routing_tree_to_dot
+
+
+def test_network_dot_structure():
+    net = ring(4, 1)
+    dot = network_to_dot(net)
+    assert dot.startswith("graph")
+    assert dot.count(" -- ") == net.n_links
+    assert "shape=box" in dot and "shape=circle" in dot
+
+
+def test_cdg_dot_states():
+    net = paper_ring_with_shortcut()
+    cdg = CompleteCDG(net)
+    c01 = net.find_channels(0, 1)[0]
+    c12 = net.find_channels(1, 2)[0]
+    assert cdg.try_use_edge(c01, c12)
+    cdg.block_edge(c12, net.find_channels(2, 3)[0])
+    dot = cdg_to_dot(cdg)
+    assert '"n1->n2" -> "n2->n3"' in dot
+    assert 'color="red"' in dot          # the blocked edge
+    assert 'color="black", penwidth' in dot  # the used edge
+    # unused edges can be suppressed
+    slim = cdg_to_dot(cdg, include_unused_edges=False)
+    assert "grey70" not in slim
+    assert len(slim) < len(dot)
+
+
+def test_routing_tree_dot():
+    net = ring(5, 1)
+    res = NueRouting(1).route(net, seed=1)
+    d = res.dests[0]
+    s = res.dests[1]
+    dot = routing_tree_to_dot(res, d, highlight_src=s)
+    assert "doublecircle" in dot
+    assert "crimson" in dot
+    # every node except the destination has exactly one out-edge
+    assert dot.count(" -> ") == net.n_nodes - 1
+
+
+def test_names_with_quotes_escaped():
+    from repro.network.graph import NetworkBuilder
+    b = NetworkBuilder('weird"name')
+    s0, s1 = b.add_switch('a"b'), b.add_switch("c")
+    b.add_link(s0, s1)
+    dot = network_to_dot(b.build())
+    assert r'\"' in dot

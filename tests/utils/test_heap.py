@@ -1,0 +1,137 @@
+"""Pairing heap: ordering, decrease-key, and a model-based property."""
+
+import heapq
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.heap import PairingHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = PairingHeap()
+        assert len(h) == 0
+        assert not h
+        with pytest.raises(IndexError):
+            h.pop()
+        with pytest.raises(IndexError):
+            h.peek()
+
+    def test_push_pop_single(self):
+        h = PairingHeap()
+        h.push("x", 1.5)
+        assert h.peek() == ("x", 1.5)
+        assert h.pop() == ("x", 1.5)
+        assert not h
+
+    def test_orders_by_key(self):
+        h = PairingHeap()
+        for item, key in [("a", 3), ("b", 1), ("c", 2)]:
+            h.push(item, key)
+        assert [h.pop()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_duplicate_item_rejected(self):
+        h = PairingHeap()
+        h.push("a", 1)
+        with pytest.raises(ValueError):
+            h.push("a", 2)
+
+    def test_contains_and_key_of(self):
+        h = PairingHeap()
+        h.push(7, 2.0)
+        assert 7 in h
+        assert 8 not in h
+        assert h.key_of(7) == 2.0
+        with pytest.raises(KeyError):
+            h.key_of(8)
+
+    def test_items(self):
+        h = PairingHeap()
+        for i in range(5):
+            h.push(i, i)
+        assert sorted(h.items()) == list(range(5))
+
+
+class TestDecreaseKey:
+    def test_decrease_moves_forward(self):
+        h = PairingHeap()
+        h.push("a", 10)
+        h.push("b", 5)
+        h.decrease_key("a", 1)
+        assert h.pop() == ("a", 1)
+
+    def test_decrease_root_is_noop_structurally(self):
+        h = PairingHeap()
+        h.push("a", 10)
+        h.decrease_key("a", 5)
+        assert h.pop() == ("a", 5)
+
+    def test_increase_rejected(self):
+        h = PairingHeap()
+        h.push("a", 1)
+        with pytest.raises(ValueError):
+            h.decrease_key("a", 2)
+
+    def test_equal_key_allowed(self):
+        h = PairingHeap()
+        h.push("a", 1)
+        h.decrease_key("a", 1)
+        assert h.pop() == ("a", 1)
+
+    def test_missing_item(self):
+        h = PairingHeap()
+        with pytest.raises(KeyError):
+            h.decrease_key("ghost", 0)
+
+    def test_push_or_decrease(self):
+        h = PairingHeap()
+        assert h.push_or_decrease("a", 5) is True     # insert
+        assert h.push_or_decrease("a", 7) is False    # larger: ignored
+        assert h.key_of("a") == 5
+        assert h.push_or_decrease("a", 2) is True     # decrease
+        assert h.pop() == ("a", 2)
+
+    def test_decrease_deep_node(self):
+        h = PairingHeap()
+        for i in range(50):
+            h.push(i, i)
+        # drain a few to build up real tree structure, then decrease
+        h.pop()
+        h.pop()
+        h.decrease_key(49, -1)
+        assert h.pop() == (49, -1)
+
+
+@given(st.lists(st.tuples(st.integers(), st.floats(allow_nan=False,
+                                                   allow_infinity=False)),
+                max_size=200))
+def test_heapsort_matches_sorted(pairs):
+    """Pushing unique items and draining yields sorted key order."""
+    h = PairingHeap()
+    seen = {}
+    for item, key in pairs:
+        if item not in seen:
+            seen[item] = key
+            h.push(item, key)
+    drained = []
+    while h:
+        drained.append(h.pop()[1])
+    assert drained == sorted(seen.values())
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcdefgh"),
+                          st.integers(0, 100)), min_size=1, max_size=120))
+def test_model_based_against_heapq(ops):
+    """push_or_decrease + pop behave like a reference lazy heapq model."""
+    h = PairingHeap()
+    best = {}
+    for item, key in ops:
+        h.push_or_decrease(item, key)
+        if item not in best or key < best[item]:
+            best[item] = key
+    drained = {}
+    while h:
+        item, key = h.pop()
+        drained[item] = key
+    assert drained == best

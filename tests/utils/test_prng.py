@@ -1,0 +1,29 @@
+"""Deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.prng import make_rng, spawn_seed
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).integers(0, 1000, size=5)
+    b = make_rng(42).integers(0, 1000, size=5)
+    assert (a == b).all()
+
+
+def test_make_rng_passthrough():
+    rng = np.random.default_rng(1)
+    assert make_rng(rng) is rng
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_seed_deterministic_stream():
+    rng = make_rng(7)
+    seeds = [spawn_seed(rng) for _ in range(4)]
+    rng2 = make_rng(7)
+    assert seeds == [spawn_seed(rng2) for _ in range(4)]
+    assert len(set(seeds)) == 4  # astronomically unlikely to collide
+    assert all(0 <= s < 2**63 for s in seeds)

@@ -1,0 +1,77 @@
+"""Union–find: merging semantics and a brute-force equivalence property."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind(4)
+        assert uf.n_sets == 4
+        assert len(uf) == 4
+        assert all(uf.find(i) == i for i in range(4))
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        r1 = uf.union(0, 1)
+        r2 = uf.union(1, 0)
+        assert r1 == r2
+        assert uf.n_sets == 2
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+
+    def test_set_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(0) == 3
+        assert uf.set_size(3) == 1
+
+    def test_grow(self):
+        uf = UnionFind(2)
+        first = uf.grow(3)
+        assert first == 2
+        assert len(uf) == 5
+        assert uf.n_sets == 5
+        uf.union(0, 4)
+        assert uf.connected(0, 4)
+
+    def test_empty_then_grow(self):
+        uf = UnionFind()
+        assert len(uf) == 0
+        uf.grow(2)
+        assert uf.find(1) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                max_size=60))
+def test_matches_naive_partition(unions):
+    """Representative equality matches a brute-force set partition."""
+    uf = UnionFind(15)
+    groups = [{i} for i in range(15)]
+    index = list(range(15))
+    for a, b in unions:
+        uf.union(a, b)
+        ga, gb = index[a], index[b]
+        if ga != gb:
+            groups[ga] |= groups[gb]
+            for x in groups[gb]:
+                index[x] = ga
+            groups[gb] = set()
+    for i in range(15):
+        for j in range(15):
+            assert uf.connected(i, j) == (index[i] == index[j])
