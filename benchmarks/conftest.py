@@ -11,7 +11,6 @@ Most benchmarks run ``pedantic(rounds=1)``: routing a network is a
 seconds-scale deterministic computation, not a microsecond kernel.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

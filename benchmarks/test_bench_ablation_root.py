@@ -11,7 +11,7 @@ from conftest import run_once
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.escape import EscapePaths
 from repro.core.root import select_root
-from repro.network.topologies import random_topology, torus
+from repro.network.topologies import random_topology
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,143 @@
+"""Guard: disabled observability must stay under 3 % of a routing step.
+
+The instrumentation threaded through the routing core was designed so
+that the *disabled* path (the default) costs almost nothing: hot loops
+tally plain local integers and route_step flushes them through a single
+``obs.enabled()``-gated call, and ``obs.span`` hands back a shared
+no-op object.  This benchmark turns that design claim into a regression
+test: it prices the disabled-path primitives per call, multiplies by
+how often a routing step actually touches them (taken from the live
+counters of the same workload), and asserts the total stays below 3 %
+of the measured median step time from ``test_bench_microkernels``'s
+routing-step workload.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import obs
+from repro.cdg.complete_cdg import CompleteCDG
+from repro.core.dijkstra import NueLayerRouter
+from repro.core.escape import EscapePaths
+from repro.network.topologies import random_topology
+
+OVERHEAD_BUDGET = 0.03  # fraction of the median routing-step time
+
+
+@pytest.fixture(scope="module")
+def net():
+    # same workload as test_bench_microkernels' routing step
+    return random_topology(60, 300, 4, seed=21)
+
+
+def _per_call_ns(fn, n=200_000):
+    fn()  # warm up
+    t0 = time.perf_counter_ns()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter_ns() - t0) / n
+
+
+def _local_add_ns(n=200_000):
+    """Cost of one ``x += 1`` — what the hot loops pay per tally."""
+    def base():
+        s = 0
+        for _ in range(n):
+            pass
+        return s
+
+    def adds():
+        a = b = c = d = 0
+        for _ in range(n):
+            a += 1
+            b += 1
+            c += 1
+            d += 1
+        return a + b + c + d
+
+    base()
+    adds()
+    t0 = time.perf_counter_ns()
+    base()
+    t_base = time.perf_counter_ns() - t0
+    t0 = time.perf_counter_ns()
+    adds()
+    t_adds = time.perf_counter_ns() - t0
+    return max(0.0, (t_adds - t_base) / (4 * n))
+
+
+def _median_step_ns(net, repeats=5):
+    """Median single routing-step wall clock, observability off."""
+    assert not obs.enabled()
+    medians = []
+    for _ in range(repeats):
+        cdg = CompleteCDG(net)
+        escape = EscapePaths(net, cdg, 0, net.terminals)
+        router = NueLayerRouter(net, cdg, escape)
+        samples = []
+        for dest in net.terminals[:10]:
+            t0 = time.perf_counter_ns()
+            router.route_step(dest)
+            samples.append(time.perf_counter_ns() - t0)
+        medians.append(statistics.median(samples))
+    return statistics.median(medians)
+
+
+def _per_step_touches(net):
+    """How often one routing step touches the tallies, from live counters."""
+    obs.reset()
+    obs.enable(obs.MemorySink(keep_events=False))
+    cdg = CompleteCDG(net)
+    escape = EscapePaths(net, cdg, 0, net.terminals)
+    router = NueLayerRouter(net, cdg, escape)
+    for dest in net.terminals[:10]:
+        router.route_step(dest)
+    obs.disable()
+    c = obs.counters()
+    steps = c["nue.route_steps"]
+    # pops tally twice (pop + possible stale branch), pushes and
+    # relaxations once each; ~10 covers the fixed per-step bookkeeping
+    adds = (2 * c["nue.heap_pops"] + c["nue.heap_pushes"]
+            + c["nue.relaxations"]) / steps + 10
+    enabled_checks = 2  # route_step flush + resolve_islands flush
+    obs.reset()
+    return adds, enabled_checks
+
+
+def test_noop_obs_path_within_budget(net):
+    enabled_ns = _per_call_ns(obs.enabled)
+    span_ns = _per_call_ns(lambda: obs.span("x"))
+    add_ns = _local_add_ns()
+    adds_per_step, checks_per_step = _per_step_touches(net)
+
+    step_ns = _median_step_ns(net)
+    # worst case per step: every tally add, every enabled() gate, and
+    # one disabled span for good measure (steps themselves have none)
+    overhead_ns = (adds_per_step * add_ns
+                   + checks_per_step * enabled_ns
+                   + span_ns)
+    ratio = overhead_ns / step_ns
+
+    print(f"\nenabled()={enabled_ns:.1f}ns span()={span_ns:.1f}ns "
+          f"add={add_ns:.2f}ns adds/step={adds_per_step:.0f} "
+          f"step={step_ns / 1e6:.2f}ms overhead={ratio * 100:.3f}%")
+    assert ratio < OVERHEAD_BUDGET, (
+        f"disabled obs path costs {ratio * 100:.2f}% of a routing step "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+
+
+def test_disabled_primitives_are_cheap():
+    """Absolute sanity floor: each disabled primitive is sub-microsecond."""
+    assert not obs.enabled()
+    assert _per_call_ns(obs.enabled, n=50_000) < 1_000
+    assert _per_call_ns(lambda: obs.count("x"), n=50_000) < 1_000
+    assert _per_call_ns(lambda: obs.span("x"), n=50_000) < 1_000
+
+
+def test_disabled_span_allocates_nothing():
+    a = obs.span("a")
+    b = obs.span("b")
+    assert a is b  # the shared singleton, not a fresh object per call

@@ -18,6 +18,7 @@ See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
 reproduced tables/figures.
 """
 
+from repro import obs
 from repro.core import NueRouting, NueConfig
 from repro.metrics import (
     validate_routing,
@@ -47,6 +48,7 @@ from repro.routing import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "NueRouting",
     "NueConfig",
     "Network",

@@ -29,7 +29,7 @@ to the number of *touched* edges.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.network.graph import Network
 from repro.utils.unionfind import UnionFind
@@ -64,6 +64,8 @@ class CompleteCDG:
         self.n_used_edges = 0
         self.n_blocked_edges = 0
         self.cycle_searches = 0  #: number of condition-(d) DFS runs
+        self.pk_reorders = 0     #: order-violating insertions repaired
+        self.pk_reorder_moved = 0  #: vertices moved by those repairs
 
     # -- structure -------------------------------------------------------------
 
@@ -231,6 +233,8 @@ class CompleteCDG:
         if d_forward is None:
             return False  # cq reaches cp: the edge closes a cycle
         d_backward = self._backward_discover(cp, lb)
+        self.pk_reorders += 1
+        self.pk_reorder_moved += len(d_forward) + len(d_backward)
         # reorder: the backward region must precede the forward region;
         # both keep their internal relative order and together reuse
         # the union of their old order slots, smallest first
@@ -288,6 +292,22 @@ class CompleteCDG:
         if self._ord[cp] < self._ord[cq]:
             return False
         return self._forward_discover(cq, self._ord[cp], cp) is None
+
+    # -- observability ---------------------------------------------------------
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        """This CDG's lifetime work tallies, keyed for :mod:`repro.obs`.
+
+        Layers own fresh CDGs, so a caller flushing the snapshot once
+        per finished layer accumulates per-run totals in the obs layer.
+        """
+        return {
+            "cdg.blocked_deps": self.n_blocked_edges,
+            "cdg.used_deps": self.n_used_edges,
+            "cdg.cycle_searches": self.cycle_searches,
+            "cdg.pk_reorders": self.pk_reorders,
+            "cdg.pk_reorder_moved": self.pk_reorder_moved,
+        }
 
     # -- verification ----------------------------------------------------------
 

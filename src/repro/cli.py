@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core import NueConfig, NueRouting
 from repro.fabric.flow import simulate_all_to_all
 from repro.io import (
@@ -166,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write span/counter events of the run as JSONL",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the span/counter summary after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="generate a topology file")
@@ -224,6 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace or args.profile:
+        obs.reset()
+        if args.trace:
+            try:
+                sink = obs.JsonlSink(args.trace)
+            except OSError as exc:
+                print(f"cannot open trace file {args.trace!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            obs.enable(sink)
+        if args.profile:
+            obs.enable(obs.MemorySink(keep_events=False))
+        try:
+            return args.func(args)
+        finally:
+            obs.disable()
+            if args.profile:
+                print()
+                print(obs.report())
     return args.func(args)
 
 

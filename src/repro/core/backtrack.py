@@ -35,7 +35,9 @@ so a forest cycle would be a used-CDG cycle, which the checks exclude.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.obs import core as obs
 
 __all__ = ["resolve_islands"]
 
@@ -88,8 +90,11 @@ def resolve_islands(
     weights = router.weights
     progressed = False
     shortcuts = 0
+    islands_seen = 0
+    candidates_tried = 0
 
     for v in router._unreached(dest):
+        islands_seen += 1
         if used[v] >= 0:
             continue  # reached meanwhile by an earlier detour
         # rank candidates (cost, a, c): island channel c = (u, v) plus
@@ -118,6 +123,7 @@ def resolve_islands(
                 )
                 candidates.append((cost, a, c))
         for cost, a, c in sorted(candidates):
+            candidates_tried += 1
             u = net.channel_src[c]
             if a != used[u]:
                 router._dist_chan[a] = router._dist_node[
@@ -134,6 +140,11 @@ def resolve_islands(
                 shortcuts += _try_shortcuts(router, v)
             break
 
+    if obs.enabled():
+        obs.count_many({
+            "nue.islands_seen": islands_seen,
+            "nue.backtrack_candidates": candidates_tried,
+        }, layer=router.layer_index)
     return progressed, shortcuts
 
 

@@ -32,8 +32,8 @@ upstream dependency and every already-recorded downstream dependency
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ import heapq
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.escape import EscapePaths
 from repro.network.graph import Network
+from repro.obs import core as obs
 
 __all__ = ["RoutingStep", "NueLayerRouter"]
 
@@ -52,6 +53,9 @@ class RoutingStep:
 
     ``used_channel[v]`` is the search-orientation channel entering
     ``v``; node ``v`` forwards toward the destination on its reverse.
+    The work tallies (heap traffic, edge relaxations) are kept as plain
+    local integers during the search and flushed to :mod:`repro.obs`
+    in one batch when observation is enabled.
     """
 
     dest: int
@@ -60,6 +64,11 @@ class RoutingStep:
     fell_back: bool = False
     islands_resolved: int = 0
     shortcuts_taken: int = 0
+    backtrack_rounds: int = 0
+    heap_pops: int = 0
+    stale_pops: int = 0
+    relaxations: int = 0
+    heap_pushes: int = 0
 
 
 class NueLayerRouter:
@@ -121,6 +130,11 @@ class NueLayerRouter:
         self._used: List[int] = []
         self._heap: List[Tuple[float, int]] = []
         self._step_marked: Set[Tuple[int, int]] = set()
+        # per-step work tallies (flushed to repro.obs once per step)
+        self._pops = 0
+        self._stale = 0
+        self._relax = 0
+        self._pushes = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -140,6 +154,7 @@ class NueLayerRouter:
         self._used = [-1] * net.n_nodes
         self._heap = []
         self._step_marked = set()
+        self._pops = self._stale = self._relax = self._pushes = 0
         step = RoutingStep(
             dest=dest,
             used_channel=self._used,
@@ -156,6 +171,7 @@ class NueLayerRouter:
         while self.enable_backtracking and self._unreached(dest):
             progressed, shortcuts = resolve_islands(self, dest)
             step.shortcuts_taken += shortcuts
+            step.backtrack_rounds += 1
             if not progressed:
                 break
             step.islands_resolved += 1
@@ -167,6 +183,22 @@ class NueLayerRouter:
 
         self._remove_copy_rotation(bias)
         self._update_weights(dest)
+        step.heap_pops = self._pops
+        step.stale_pops = self._stale
+        step.relaxations = self._relax
+        step.heap_pushes = self._pushes
+        if obs.enabled():
+            obs.count_many({
+                "nue.route_steps": 1,
+                "nue.heap_pops": step.heap_pops,
+                "nue.stale_pops": step.stale_pops,
+                "nue.relaxations": step.relaxations,
+                "nue.heap_pushes": step.heap_pushes,
+                "nue.backtracks": step.islands_resolved,
+                "nue.backtrack_rounds": step.backtrack_rounds,
+                "nue.shortcuts": step.shortcuts_taken,
+                "nue.escape_fallbacks": int(step.fell_back),
+            }, layer=self.layer_index)
         return step
 
     def _apply_copy_rotation(self, dest: int):
@@ -224,6 +256,7 @@ class NueLayerRouter:
     def heap_push(self, chan: int, dist: float) -> None:
         """Enqueue (or re-enqueue with a better key) a channel."""
         heapq.heappush(self._heap, (dist, chan))
+        self._pushes += 1
 
     def _run_main_loop(self) -> None:
         """Algorithm 1 lines 10–23 under the expansion discipline."""
@@ -235,16 +268,23 @@ class NueLayerRouter:
         used = self._used
         weights = self.weights
         dst_of = net.channel_dst
+        # plain local tallies: cheap enough to run unconditionally and
+        # folded into the per-step obs flush (see route_step)
+        pops = stale = relax = pushes = 0
         while heap:
             d_cp, cp = heapq.heappop(heap)
+            pops += 1
             if d_cp > dist_chan[cp]:
+                stale += 1
                 continue  # stale key: the channel was re-queued cheaper
             x = dst_of[cp]
             if used[x] != cp:
+                stale += 1
                 continue  # stale: x was re-wired to a better channel
             for cq in cdg.out_dependencies(cp):
                 y = dst_of[cq]
                 alt = d_cp + weights[cq]
+                relax += 1
                 if alt < dist_node[y]:
                     if used[y] < 0:
                         if self.try_use_dependency(cp, cq):
@@ -252,6 +292,7 @@ class NueLayerRouter:
                             dist_node[y] = alt
                             dist_chan[cq] = alt
                             heapq.heappush(heap, (alt, cq))
+                            pushes += 1
                         # else: edge became a blocked routing restriction
                     elif used[y] != cq:
                         # y is being *re-wired*.  Under plain Dijkstra a
@@ -278,6 +319,7 @@ class NueLayerRouter:
                             dist_node[y] = alt
                             dist_chan[cq] = alt
                             heapq.heappush(heap, (alt, cq))
+                            pushes += 1
                     else:
                         # same channel, better distance (new shorter way
                         # to feed it is impossible — cq's dependency from
@@ -286,6 +328,11 @@ class NueLayerRouter:
                             dist_node[y] = alt
                             dist_chan[cq] = alt
                             heapq.heappush(heap, (alt, cq))
+                            pushes += 1
+        self._pops += pops
+        self._stale += stale
+        self._relax += relax
+        self._pushes += pushes
 
     def child_rebase_dependencies(
         self, node: int, alt: int

@@ -17,10 +17,11 @@ dependence of the initial dependency count (paper Fig. 5) exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.network.graph import Network
+from repro.obs import core as obs
 
 __all__ = ["SpanningTree", "EscapePaths"]
 
@@ -104,6 +105,8 @@ class EscapePaths:
         self.traffic_orientation = traffic_orientation
         self.initial_dependencies = 0
         self._mark_all()
+        if obs.enabled():
+            obs.count("escape.trees_built", 1)
 
     def _mark_all(self) -> None:
         """Mark the union of tree-path dependencies of all destinations.
@@ -167,6 +170,8 @@ class EscapePaths:
         One tree-BFS from ``d``: entry ``v`` is the tree channel
         entering ``v`` on the tree path from ``d`` (-1 at ``d``).
         """
+        if obs.enabled():
+            obs.count("escape.fallback_walks", 1)
         chans = [-1] * self.net.n_nodes
         stack = [d]
         visited = [False] * self.net.n_nodes

@@ -20,17 +20,17 @@ among the baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.dijkstra import NueLayerRouter
 from repro.core.escape import EscapePaths
 from repro.core.root import select_root
 from repro.network.graph import Network
-from repro.partition import Partitioner, make_partitioner, partition_destinations
+from repro.obs import core as obs
+from repro.partition import make_partitioner, partition_destinations
 from repro.routing.base import RoutingAlgorithm, RoutingResult
 from repro.utils.prng import SeedLike, make_rng, spawn_seed
 
@@ -83,9 +83,10 @@ class NueRouting(RoutingAlgorithm):
         rng = make_rng(seed)
         partitioner = make_partitioner(cfg.partitioner)
         k = min(self.max_vls, len(dests))
-        parts = partition_destinations(
-            net, dests, k, partitioner, spawn_seed(rng)
-        )
+        with obs.span("nue.partition", k=k, method=cfg.partitioner):
+            parts = partition_destinations(
+                net, dests, k, partitioner, spawn_seed(rng)
+            )
 
         nxt, vl = self._empty_tables(net, dests)
         dest_col = {d: j for j, d in enumerate(dests)}
@@ -98,45 +99,56 @@ class NueRouting(RoutingAlgorithm):
         }
 
         for layer_idx, subset in enumerate(parts):
-            root = select_root(
-                net,
-                subset,
-                all_dests=(len(parts) == 1),
-            )
-            cdg = CompleteCDG(net)
-            escape = EscapePaths(net, cdg, root, subset)
-            router = NueLayerRouter(
-                net,
-                cdg,
-                escape,
-                enable_backtracking=cfg.enable_backtracking,
-                enable_shortcuts=cfg.enable_shortcuts,
-                layer_index=layer_idx,
-            )
-            layer_stats = {
-                "root": net.node_names[root],
-                "destinations": len(subset),
-                "initial_dependencies": escape.initial_dependencies,
-                "fallbacks": 0,
-                "islands_resolved": 0,
-                "shortcuts_taken": 0,
-            }
-            for d in subset:
-                step = router.route_step(d)
-                j = dest_col[d]
-                rev = net.channel_reverse
-                for v in range(net.n_nodes):
-                    c = step.used_channel[v]
-                    nxt[v, j] = rev[c] if c >= 0 else -1
-                nxt[d, j] = -1
-                vl[:, j] = layer_idx
-                if step.fell_back:
-                    layer_stats["fallbacks"] += 1
-                layer_stats["islands_resolved"] += step.islands_resolved
-                layer_stats["shortcuts_taken"] += step.shortcuts_taken
-            if cfg.verify_acyclic:
-                cdg.assert_acyclic()
-            layer_stats["cycle_searches"] = cdg.cycle_searches
+            with obs.span("nue.layer", layer=layer_idx,
+                          dests=len(subset)):
+                with obs.span("nue.select_root", layer=layer_idx):
+                    root = select_root(
+                        net,
+                        subset,
+                        all_dests=(len(parts) == 1),
+                    )
+                cdg = CompleteCDG(net)
+                with obs.span("nue.escape_mark", layer=layer_idx):
+                    escape = EscapePaths(net, cdg, root, subset)
+                router = NueLayerRouter(
+                    net,
+                    cdg,
+                    escape,
+                    enable_backtracking=cfg.enable_backtracking,
+                    enable_shortcuts=cfg.enable_shortcuts,
+                    layer_index=layer_idx,
+                )
+                layer_stats = {
+                    "root": net.node_names[root],
+                    "destinations": len(subset),
+                    "initial_dependencies": escape.initial_dependencies,
+                    "fallbacks": 0,
+                    "islands_resolved": 0,
+                    "shortcuts_taken": 0,
+                }
+                for d in subset:
+                    step = router.route_step(d)
+                    j = dest_col[d]
+                    rev = net.channel_reverse
+                    for v in range(net.n_nodes):
+                        c = step.used_channel[v]
+                        nxt[v, j] = rev[c] if c >= 0 else -1
+                    nxt[d, j] = -1
+                    vl[:, j] = layer_idx
+                    if step.fell_back:
+                        layer_stats["fallbacks"] += 1
+                    layer_stats["islands_resolved"] += step.islands_resolved
+                    layer_stats["shortcuts_taken"] += step.shortcuts_taken
+                if cfg.verify_acyclic:
+                    with obs.span("nue.verify_acyclic", layer=layer_idx):
+                        cdg.assert_acyclic()
+                layer_stats["cycle_searches"] = cdg.cycle_searches
+                if obs.enabled():
+                    obs.count_many(cdg.counter_snapshot(),
+                                   layer=layer_idx)
+                    obs.count("escape.initial_deps",
+                              escape.initial_dependencies,
+                              layer=layer_idx)
             stats["layers"].append(layer_stats)  # type: ignore[union-attr]
             stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
             stats["islands_resolved"] += layer_stats["islands_resolved"]  # type: ignore[operator]

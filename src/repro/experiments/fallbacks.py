@@ -11,12 +11,14 @@ the island/shortcut counters behind them.
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core import NueRouting
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
+from repro.io.tables import save_experiment
 from repro.network.topologies import random_topology
 from repro.utils.prng import make_rng, spawn_seed
 
@@ -32,6 +34,7 @@ def run(
     terminals_per_switch: int = 8,
     json_path: Optional[str] = None,
 ) -> Dict[int, Dict[str, float]]:
+    started = time.perf_counter()
     ks = ks or [1, 2, 4, 8]
     rng = make_rng(seed)
     rates: Dict[int, List[float]] = {k: [] for k in ks}
@@ -82,10 +85,15 @@ def run(
         ),
     ))
     if json_path:
-        dump_json(json_path, {
-            "experiment": "fallbacks",
-            "summary": {str(k): v for k, v in summary.items()},
-        })
+        save_experiment(
+            json_path, "fallbacks",
+            {"summary": {str(k): v for k, v in summary.items()}},
+            seed=seed,
+            config={"n_topologies": n_topologies, "ks": ks,
+                    "n_switches": n_switches, "n_links": n_links,
+                    "terminals_per_switch": terminals_per_switch},
+            runtime_s=time.perf_counter() - started,
+        )
     return summary
 
 

@@ -14,10 +14,12 @@ Run: ``python -m repro.experiments.fig01 [--json out.json]``
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Dict, List, Optional
 
 from repro.experiments.common import nue_suite, routing_suite, run_routing
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
+from repro.io.tables import save_experiment
 from repro.fabric.flow import simulate_all_to_all
 from repro.metrics import is_deadlock_free
 from repro.network.faults import remove_switches
@@ -39,6 +41,7 @@ def run(
     sample_phases: Optional[int] = None,
     json_path: Optional[str] = None,
 ) -> List[Dict]:
+    started = time.perf_counter()
     net = build_network()
     rows: List[Dict] = []
 
@@ -92,7 +95,14 @@ def run(
         ),
     ))
     if json_path:
-        dump_json(json_path, {"figure": "fig01", "rows": rows})
+        save_experiment(
+            json_path, "fig01", {"rows": rows},
+            seed=seed,
+            config={"sample_phases": sample_phases,
+                    "vc_limit": VC_LIMIT,
+                    "topology": net.name},
+            runtime_s=time.perf_counter() - started,
+        )
     return rows
 
 

@@ -15,12 +15,14 @@ The topology count is configurable (box statistics stabilise far below
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core import NueRouting
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
+from repro.io.tables import save_experiment
 from repro.metrics import gamma_summary, path_length_stats
 from repro.network.topologies import random_topology
 from repro.routing import DFSSSPRouting, LASHRouting
@@ -42,6 +44,7 @@ def run(
     terminals_per_switch: int = TERMINALS_PER_SWITCH,
     json_path: Optional[str] = None,
 ) -> Dict[str, Dict[str, float]]:
+    started = time.perf_counter()
     rng = make_rng(seed)
     labels = [f"nue-{k}vl" for k in range(1, max_k + 1)] + ["lash", "dfsssp"]
     acc: Dict[str, Dict[str, List[float]]] = {
@@ -99,8 +102,15 @@ def run(
         ),
     ))
     if json_path:
-        dump_json(json_path, {"figure": "fig09", "summary": summary,
-                              "n_topologies": n_topologies})
+        save_experiment(
+            json_path, "fig09",
+            {"summary": summary, "n_topologies": n_topologies},
+            seed=seed,
+            config={"n_topologies": n_topologies, "max_k": max_k,
+                    "n_switches": n_switches, "n_links": n_links,
+                    "terminals_per_switch": terminals_per_switch},
+            runtime_s=time.perf_counter() - started,
+        )
     return summary
 
 

@@ -18,11 +18,13 @@ Two scales:
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.common import nue_suite, routing_suite, run_routing
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
 from repro.experiments.table1 import paper_topologies
+from repro.io.tables import save_experiment
 from repro.fabric.flow import simulate_all_to_all
 from repro.network.graph import Network
 from repro.network.topologies import (
@@ -62,6 +64,7 @@ def run(
     only: Optional[List[str]] = None,
     json_path: Optional[str] = None,
 ) -> Dict[str, Dict[str, Optional[float]]]:
+    started = time.perf_counter()
     builders = (
         paper_topologies(seed) if paper_scale else quick_topologies(seed)
     )
@@ -115,11 +118,14 @@ def run(
         ),
     ))
     if json_path:
-        dump_json(json_path, {
-            "figure": "fig10",
-            "throughput_gbs": table,
-            "vls_used": vls_used,
-        })
+        save_experiment(
+            json_path, "fig10",
+            {"throughput_gbs": table, "vls_used": vls_used},
+            seed=seed,
+            config={"paper_scale": paper_scale, "max_vls": max_vls,
+                    "sample_phases": sample_phases, "only": only},
+            runtime_s=time.perf_counter() - started,
+        )
     return table
 
 

@@ -16,11 +16,13 @@ applicability as faults and size grow.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import NueRouting
 from repro.experiments.common import run_routing
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
+from repro.io.tables import save_experiment
 from repro.network.faults import FaultInjectionError, inject_random_link_faults
 from repro.network.topologies import torus
 from repro.routing import DFSSSPRouting, LASHRouting, Torus2QoSRouting
@@ -47,6 +49,7 @@ def run(
     seed: int = 11,
     json_path: Optional[str] = None,
 ) -> Dict[str, Dict[str, Optional[float]]]:
+    started = time.perf_counter()
     algos = {
         "nue-8vl": NueRouting(max_vls),
         "dfsssp": DFSSSPRouting(max_vls),
@@ -96,12 +99,16 @@ def run(
         f"{lab}={100 * frac:.0f}%" for lab, frac in applicability.items()
     ))
     if json_path:
-        dump_json(json_path, {
-            "figure": "fig11",
-            "runtimes_s": runtimes,
-            "notes": notes,
-            "applicability": applicability,
-        })
+        save_experiment(
+            json_path, "fig11",
+            {"runtimes_s": runtimes, "notes": notes,
+             "applicability": applicability},
+            seed=seed,
+            config={"max_dim": max_dim, "max_vls": max_vls,
+                    "fault_fraction": fault_fraction,
+                    "terminals_per_switch": terminals_per_switch},
+            runtime_s=time.perf_counter() - started,
+        )
     return runtimes
 
 

@@ -2,13 +2,24 @@
 
 Each experiment is also runnable directly, e.g.
 ``python -m repro.experiments.fig01 --help``.
+
+Observability flags (accepted anywhere on the command line, stripped
+before the experiment's own parser sees the arguments):
+
+* ``--trace out.jsonl`` — stream every span/counter event of the run
+  to a JSONL file (:class:`repro.obs.JsonlSink`);
+* ``--profile`` — collect events in memory and print the
+  :func:`repro.obs.report` summary after the experiment finishes.
+
+``repro-experiments --list`` enumerates the registered experiments.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.experiments import (
     fallbacks,
     fig01,
@@ -19,7 +30,7 @@ from repro.experiments import (
     table1,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "EXPERIMENTS"]
 
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fallbacks": fallbacks.main,
@@ -32,18 +43,87 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
-def main() -> None:
-    if len(sys.argv) < 2 or sys.argv[1] in ("-h", "--help"):
-        names = ", ".join(sorted(EXPERIMENTS))
-        print(f"usage: repro-experiments <{names}> [args...]")
-        raise SystemExit(0 if len(sys.argv) >= 2 else 2)
-    name = sys.argv[1]
+def _usage() -> str:
+    names = ", ".join(sorted(EXPERIMENTS))
+    return (f"usage: repro-experiments <{names}> [args...] "
+            "[--trace FILE.jsonl] [--profile] | --list")
+
+
+def _first_doc_line(fn: Callable[[], None]) -> str:
+    doc = sys.modules[fn.__module__].__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def _extract_obs_flags(
+    args: List[str],
+) -> Tuple[Optional[str], bool, List[str]]:
+    """Strip ``--trace PATH`` / ``--trace=PATH`` / ``--profile`` from
+    anywhere in ``args`` (so they work before *and* after the
+    experiment name) and return ``(trace_path, profile, rest)``."""
+    trace: Optional[str] = None
+    profile = False
+    rest: List[str] = []
+    it = iter(args)
+    for a in it:
+        if a == "--trace":
+            trace = next(it, None)
+            if trace is None:
+                print("--trace requires a file argument",
+                      file=sys.stderr)
+                raise SystemExit(2)
+        elif a.startswith("--trace="):
+            trace = a.split("=", 1)[1]
+        elif a == "--profile":
+            profile = True
+        else:
+            rest.append(a)
+    return trace, profile, rest
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = list(sys.argv[1:]) if argv is None else list(argv)
+    trace, profile, args = _extract_obs_flags(args)
+
+    if args and args[0] == "--list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:12s} {_first_doc_line(EXPERIMENTS[name])}")
+        return
+    if not args or args[0] in ("-h", "--help"):
+        print(_usage())
+        raise SystemExit(0 if args else 2)
+    name = args[0]
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}; "
               f"choose from {sorted(EXPERIMENTS)}")
+        print(_usage())
         raise SystemExit(2)
-    sys.argv = [f"repro-experiments {name}"] + sys.argv[2:]
-    EXPERIMENTS[name]()
+
+    if trace or profile:
+        obs.reset()  # report this dispatch only, not prior state
+    if trace:
+        try:
+            sink = obs.JsonlSink(trace)
+        except OSError as exc:
+            print(f"cannot open trace file {trace!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        obs.enable(sink)
+    if profile:
+        obs.enable(obs.MemorySink(keep_events=False))
+
+    # the experiment mains parse sys.argv themselves; swap it for the
+    # dispatch only and always restore it afterwards
+    saved_argv = sys.argv
+    sys.argv = [f"repro-experiments {name}"] + args[1:]
+    try:
+        EXPERIMENTS[name]()
+    finally:
+        sys.argv = saved_argv
+        if trace or profile:
+            obs.disable()
+            if profile:
+                print()
+                print(obs.report())
 
 
 if __name__ == "__main__":

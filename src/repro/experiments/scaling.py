@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import argparse
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import NueRouting
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
+from repro.io.tables import save_experiment
 from repro.network.topologies import random_topology
 
 __all__ = ["run"]
@@ -30,6 +31,7 @@ def run(
     seed: int = 3,
     json_path: Optional[str] = None,
 ) -> Tuple[List[Tuple[int, float]], float]:
+    run_started = time.perf_counter()
     sizes = sizes or [16, 32, 64, 128]
     points: List[Tuple[int, float]] = []
     for n_switches in sizes:
@@ -60,11 +62,14 @@ def run(
     print(f"\nlog-log slope: {slope:.2f}  "
           "(paper bound O(|N|^2 log|N|) => slope ~2)")
     if json_path:
-        dump_json(json_path, {
-            "experiment": "scaling",
-            "points": points,
-            "slope": slope,
-        })
+        save_experiment(
+            json_path, "scaling",
+            {"points": points, "slope": slope},
+            seed=seed,
+            config={"sizes": sizes, "k": k, "degree": degree,
+                    "terminals_per_switch": terminals_per_switch},
+            runtime_s=time.perf_counter() - run_started,
+        )
     return points, slope
 
 

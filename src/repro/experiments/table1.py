@@ -9,9 +9,11 @@ documented in DESIGN.md §3 and show up as the only deltas.
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.report import dump_json, render_table
+from repro.experiments.report import render_table
+from repro.io.tables import save_experiment
 from repro.network.graph import Network
 from repro.network.topologies import (
     cascade,
@@ -51,6 +53,7 @@ def paper_topologies(seed: int = 1) -> Dict[str, Callable[[], Network]]:
 
 
 def run(seed: int = 1, json_path: Optional[str] = None) -> List[Dict]:
+    started = time.perf_counter()
     rows: List[Dict] = []
     for name, build in paper_topologies(seed).items():
         net = build()
@@ -79,7 +82,11 @@ def run(seed: int = 1, json_path: Optional[str] = None) -> List[Dict]:
         title="Tab. 1 - topology configurations (generated vs paper)",
     ))
     if json_path:
-        dump_json(json_path, {"table": "table1", "rows": rows})
+        save_experiment(
+            json_path, "table1", {"rows": rows},
+            seed=seed,
+            runtime_s=time.perf_counter() - started,
+        )
     return rows
 
 

@@ -18,7 +18,7 @@ InfiniBand's 4 GB/s effective data rate per link, like the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -1,6 +1,6 @@
-"""Forwarding-table serialisation.
+"""Forwarding-table and experiment-result serialisation.
 
-Two formats:
+Three formats:
 
 * :func:`format_lft` — a human-readable linear-forwarding-table dump in
   the spirit of OpenSM's ``dump_lfts``: per destination, every node's
@@ -8,17 +8,24 @@ Two formats:
 * :func:`routing_to_json` / :func:`routing_from_json` — a lossless JSON
   round-trip of a :class:`RoutingResult` against a given network, so
   expensive routing runs can be cached and re-analysed.
+* :func:`experiment_payload` / :func:`save_experiment` — the one shared
+  shape of every ``results/*.json``: ``{"meta": <run manifest>,
+  "data": <experiment numbers>}``.  All experiment harnesses write
+  through this helper, so downstream tooling can rely on finding the
+  seed, config, git revision and counter snapshot in the same place
+  regardless of which experiment produced the file.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.network.graph import Network
+from repro.obs.manifest import run_manifest
 from repro.routing.base import RoutingResult
 
 __all__ = [
@@ -27,6 +34,8 @@ __all__ = [
     "routing_from_json",
     "save_routing",
     "load_routing",
+    "experiment_payload",
+    "save_experiment",
 ]
 
 
@@ -109,6 +118,51 @@ def save_routing(result: RoutingResult, path: Union[str, Path]) -> None:
 
 def load_routing(net: Network, path: Union[str, Path]) -> RoutingResult:
     return routing_from_json(net, Path(path).read_text(encoding="utf-8"))
+
+
+def experiment_payload(
+    name: str,
+    data: Dict[str, object],
+    *,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, object]] = None,
+    runtime_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """The shared top-level schema of every experiment results file.
+
+    ``meta`` is the :func:`repro.obs.run_manifest` provenance block
+    (seed, config, git revision, runtime, counter snapshot); ``data``
+    is the experiment's own rows/series, untouched.
+    """
+    return {
+        "meta": run_manifest(
+            experiment=name,
+            seed=seed,
+            config=_jsonable(config) if config else None,
+            runtime_s=runtime_s,
+        ),
+        "data": _jsonable(data),
+    }
+
+
+def save_experiment(
+    path: Union[str, Path],
+    name: str,
+    data: Dict[str, object],
+    *,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, object]] = None,
+    runtime_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """Write ``{"meta": ..., "data": ...}`` to ``path``; returns the payload."""
+    payload = experiment_payload(
+        name, data, seed=seed, config=config, runtime_s=runtime_s
+    )
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str),
+        encoding="utf-8",
+    )
+    return payload
 
 
 def _jsonable(value):

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Union
 
 from repro.network.graph import Network, NetworkBuilder
 

@@ -11,7 +11,7 @@ across the failure.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.network.graph import Network
 from repro.utils.prng import SeedLike, make_rng

@@ -16,7 +16,7 @@ about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Network", "NetworkBuilder", "Channel"]

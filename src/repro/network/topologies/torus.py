@@ -12,7 +12,7 @@ so the topology-aware routings (DOR, Torus-2QoS) can recover them.
 from __future__ import annotations
 
 from itertools import product
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.network.graph import Network, NetworkBuilder, attach_terminals
 

@@ -1,0 +1,65 @@
+"""repro.obs — zero-dependency tracing, counters and run manifests.
+
+The measurement substrate of the library: hierarchical wall-clock
+spans, named counters/gauges, pluggable sinks (no-op, in-memory
+collector, JSONL writer), a run-manifest writer, and a plain-text
+report.  Off by default; the disabled path costs one module-global
+check per flush point.
+
+Typical interactive use::
+
+    from repro import obs
+
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    result = NueRouting(2).route(net, seed=1)
+    obs.disable()
+    print(obs.report())                  # span/counter summary
+    sink.counter("nue.backtracks")       # exact rolled-up totals
+
+Tracing to disk (what ``repro-experiments <name> --trace f.jsonl``
+does)::
+
+    obs.enable(obs.JsonlSink("f.jsonl"))
+    ...
+    obs.disable()                        # closes the file
+
+See ``docs/observability.md`` for the naming conventions and the
+overhead numbers.
+"""
+
+from repro.obs.core import (
+    count,
+    count_many,
+    counters,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    reset,
+    span,
+    span_stats,
+)
+from repro.obs.manifest import git_revision, run_manifest
+from repro.obs.report import report
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+
+__all__ = [
+    "count",
+    "count_many",
+    "counters",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "reset",
+    "span",
+    "span_stats",
+    "git_revision",
+    "run_manifest",
+    "report",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+]

@@ -1,0 +1,212 @@
+"""The instrumentation switchboard: module-level spans and counters.
+
+Observation is **off by default** and the disabled path is engineered
+to be near-free: :func:`enabled` is one module-global read, the hot
+paths batch their tallies locally and flush them through one
+:func:`count_many` call per routing step, and :func:`span` returns a
+shared no-op context manager without allocating.  The micro-benchmark
+guard (``benchmarks/test_bench_obs_overhead.py``) holds the disabled
+path under 3 % of the routing microkernel medians.
+
+While enabled, every event goes to the attached sinks *and* into a
+module-level aggregate (counter totals, per-span call/duration
+statistics) that :func:`counters` / :func:`span_stats` snapshot — the
+run-manifest writer stamps that snapshot into every experiment's
+results file.
+
+Span naming convention (see ``docs/observability.md``): dotted
+``subsystem.phase`` names, e.g. ``nue.layer``, ``route.dfsssp``,
+``lash.assign``.  Counter names follow the same scheme:
+``nue.backtracks``, ``cdg.blocked_deps``, ``dfsssp.required_vls``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping
+
+from repro.obs.sinks import MemorySink, Sink
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "count",
+    "count_many",
+    "gauge",
+    "span",
+    "counters",
+    "span_stats",
+]
+
+_enabled = False
+_sinks: List[Sink] = []
+_counters: Dict[str, float] = {}
+_gauges: Dict[str, float] = {}
+_span_agg: Dict[str, Dict[str, int]] = {}
+_span_stack: List[str] = []
+
+
+def enabled() -> bool:
+    """True while observation is on (hot paths gate their flushes on this)."""
+    return _enabled
+
+
+def enable(*sinks: Sink) -> None:
+    """Start observing; events go to ``sinks`` (default: one MemorySink).
+
+    Enabling twice *adds* the new sinks, so a tracing file and an
+    in-memory profile can coexist.
+    """
+    global _enabled
+    _sinks.extend(sinks or (MemorySink(),))
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop observing and close every attached sink.
+
+    The module-level aggregates survive, so :func:`counters`,
+    :func:`span_stats` and :func:`repro.obs.report` keep working after
+    the run finished; call :func:`reset` to clear them.
+    """
+    global _enabled
+    _enabled = False
+    for sink in _sinks:
+        sink.close()
+    _sinks.clear()
+    _span_stack.clear()
+
+
+def reset() -> None:
+    """Clear the aggregated counters, gauges and span statistics."""
+    _counters.clear()
+    _gauges.clear()
+    _span_agg.clear()
+    _span_stack.clear()
+
+
+def _emit(event: Dict[str, object]) -> None:
+    for sink in _sinks:
+        sink.emit(event)
+
+
+def count(name: str, n: float = 1, **attrs: object) -> None:
+    """Add ``n`` to counter ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _counters[name] = _counters.get(name, 0) + n
+    event: Dict[str, object] = {"type": "counter", "name": name, "n": n}
+    if attrs:
+        event.update(attrs)
+    _emit(event)
+
+
+def count_many(values: Mapping[str, float], **attrs: object) -> None:
+    """Batch form of :func:`count` — one call flushes a whole tally.
+
+    This is what the routing hot paths use: they accumulate plain local
+    integers per step and hand them over in a single call, so the
+    per-event cost is paid once per step, not once per heap operation.
+    """
+    if not _enabled:
+        return
+    for name, n in values.items():
+        _counters[name] = _counters.get(name, 0) + n
+        event: Dict[str, object] = {"type": "counter", "name": name, "n": n}
+        if attrs:
+            event.update(attrs)
+        _emit(event)
+
+
+def gauge(name: str, value: float, **attrs: object) -> None:
+    """Record the latest value of gauge ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _gauges[name] = value
+    event: Dict[str, object] = {"type": "gauge", "name": name,
+                                "value": value}
+    if attrs:
+        event.update(attrs)
+    _emit(event)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live hierarchical wall-clock span (``time.perf_counter_ns``)."""
+
+    __slots__ = ("name", "attrs", "path", "t0_ns")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.path = ""
+        self.t0_ns = 0
+
+    def __enter__(self) -> "_Span":
+        _span_stack.append(self.name)
+        self.path = "/".join(_span_stack)
+        self.t0_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        dur_ns = time.perf_counter_ns() - self.t0_ns
+        if _span_stack and _span_stack[-1] == self.name:
+            _span_stack.pop()
+        agg = _span_agg.setdefault(self.name,
+                                   {"calls": 0, "total_ns": 0})
+        agg["calls"] += 1
+        agg["total_ns"] += dur_ns
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "path": self.path,
+            "t0_ns": self.t0_ns,
+            "dur_ns": dur_ns,
+        }
+        if self.attrs:
+            event.update(self.attrs)
+        _emit(event)
+
+
+def span(name: str, **attrs: object):
+    """Context manager timing a named phase; no-op while disabled.
+
+    Usage::
+
+        with obs.span("nue.layer", layer=0, dests=12):
+            ...
+
+    Spans nest; the emitted event carries the slash-joined stack path
+    (e.g. ``route.nue/nue.layer``) so traces reconstruct the hierarchy.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def counters() -> Dict[str, float]:
+    """Snapshot of all aggregated counters and gauges since reset."""
+    out: Dict[str, float] = dict(_counters)
+    out.update(_gauges)
+    return out
+
+
+def span_stats() -> Dict[str, Dict[str, int]]:
+    """Snapshot of per-span ``{"calls", "total_ns"}`` aggregates."""
+    return {name: dict(agg) for name, agg in _span_agg.items()}

@@ -1,0 +1,88 @@
+"""Run manifests: the provenance block stamped into every results file.
+
+A manifest answers "what exactly produced these numbers?": the seed,
+topology, configuration, git revision, interpreter, wall-clock runtime
+and the counter snapshot of the run.  Experiments embed it as the
+``"meta"`` object of their JSON output (see
+:func:`repro.io.tables.save_experiment`), so any ``results/*.json``
+can be traced back to the code and parameters that generated it.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs import core
+
+__all__ = ["git_revision", "run_manifest"]
+
+#: bumped whenever the manifest layout changes incompatibly
+MANIFEST_SCHEMA = 1
+
+
+def git_revision() -> Optional[str]:
+    """Short git revision of the source tree, or None outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def _version() -> str:
+    try:
+        from repro import __version__
+    except Exception:  # pragma: no cover - broken install
+        return "unknown"
+    return __version__
+
+
+def run_manifest(
+    *,
+    experiment: Optional[str] = None,
+    seed: Optional[int] = None,
+    topology: Optional[str] = None,
+    config: Optional[Dict[str, object]] = None,
+    runtime_s: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the provenance dict for one run.
+
+    ``config`` is the experiment's effective parameter set (whatever it
+    would need to be re-run bit-for-bit); ``extra`` merges additional
+    caller-specific keys at the top level.  The counter snapshot is
+    whatever :mod:`repro.obs` aggregated so far — empty when
+    observation was off, which is itself useful provenance.
+    """
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": experiment,
+        "seed": seed,
+        "topology": topology,
+        "config": dict(config) if config else {},
+        "runtime_s": runtime_s,
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "argv": list(sys.argv),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": _version(),
+        "git_rev": git_revision(),
+        "counters": core.counters(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest

@@ -1,0 +1,83 @@
+"""Human-readable summary of the aggregated spans and counters.
+
+``repro-experiments <name> --profile`` prints this after the
+experiment; it is also available programmatically::
+
+    from repro import obs
+    obs.enable()
+    ...            # run something instrumented
+    print(obs.report())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs import core
+
+__all__ = ["report"]
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def _fmt_count(n: float) -> str:
+    if isinstance(n, float) and not n.is_integer():
+        return f"{n:.3f}"
+    return f"{int(n):,}"
+
+
+def report(
+    counters: Optional[Dict[str, float]] = None,
+    spans: Optional[Dict[str, Dict[str, int]]] = None,
+) -> str:
+    """Render the counter totals and span timings as aligned text.
+
+    With no arguments the module-level aggregates are used; passing
+    explicit snapshots renders e.g. a ``MemorySink``'s view or a
+    manifest's stored counters.
+    """
+    counters = core.counters() if counters is None else counters
+    spans = core.span_stats() if spans is None else spans
+    lines: List[str] = []
+
+    if spans:
+        rows = sorted(
+            spans.items(), key=lambda kv: -kv[1]["total_ns"]
+        )
+        name_w = max(len("span"), *(len(n) for n, _ in rows))
+        lines.append("spans (total time, calls, mean):")
+        lines.append(
+            f"  {'span'.ljust(name_w)}  {'total':>9}  {'calls':>8}"
+            f"  {'mean':>9}"
+        )
+        for name, agg in rows:
+            calls, total = agg["calls"], agg["total_ns"]
+            mean = total / calls if calls else 0.0
+            lines.append(
+                f"  {name.ljust(name_w)}  {_fmt_ns(total):>9}"
+                f"  {calls:>8,}  {_fmt_ns(mean):>9}"
+            )
+
+    if counters:
+        if lines:
+            lines.append("")
+        rows2 = sorted(counters.items())
+        name_w = max(len("counter"), *(len(n) for n, _ in rows2))
+        lines.append("counters:")
+        lines.append(f"  {'counter'.ljust(name_w)}  {'total':>12}")
+        for name, n in rows2:
+            lines.append(
+                f"  {name.ljust(name_w)}  {_fmt_count(n):>12}"
+            )
+
+    if not lines:
+        return "no observability data recorded (was obs enabled?)"
+    return "\n".join(lines)

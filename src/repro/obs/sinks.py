@@ -1,0 +1,105 @@
+"""Event sinks for the instrumentation layer.
+
+A sink receives every span/counter/gauge event the switchboard emits
+while observation is enabled.  Three implementations cover the use
+cases the experiments need:
+
+* :class:`NullSink` — swallows everything; useful to measure the cost
+  of event *generation* alone.
+* :class:`MemorySink` — keeps events in a list and maintains rolled-up
+  counter totals and per-span duration statistics; what ``--profile``
+  and the deterministic counter tests read.
+* :class:`JsonlSink` — appends one compact JSON object per event to a
+  file; what ``--trace out.jsonl`` writes for offline analysis.
+
+Events are plain dicts with a ``"type"`` key (``"span"``, ``"counter"``
+or ``"gauge"``); everything in them is JSON-serialisable by
+construction, so sinks never need to sanitise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+class Sink:
+    """Interface: receives events; closed when observation stops."""
+
+    def emit(self, event: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: Dict[str, object]) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """In-memory collector with rolled-up counters and span stats."""
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self.keep_events = keep_events
+        self.events: List[Dict[str, object]] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        #: span name -> {"calls": int, "total_ns": int}
+        self.spans: Dict[str, Dict[str, int]] = {}
+
+    def emit(self, event: Dict[str, object]) -> None:
+        if self.keep_events:
+            self.events.append(event)
+        kind = event["type"]
+        if kind == "counter":
+            name = str(event["name"])
+            self.counters[name] = (
+                self.counters.get(name, 0) + event["n"]  # type: ignore[operator]
+            )
+        elif kind == "span":
+            name = str(event["name"])
+            agg = self.spans.setdefault(
+                name, {"calls": 0, "total_ns": 0}
+            )
+            agg["calls"] += 1
+            agg["total_ns"] += int(event["dur_ns"])  # type: ignore[call-overload]
+        elif kind == "gauge":
+            self.gauges[str(event["name"])] = float(event["value"])  # type: ignore[arg-type]
+
+    def counter(self, name: str) -> float:
+        """Rolled-up total of one counter (0 when never emitted)."""
+        return self.counters.get(name, 0)
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per line to ``path`` (or a file object)."""
+
+    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+        if hasattr(path, "write"):
+            self._fh: Optional[IO[str]] = path  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(path)  # type: ignore[arg-type]
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._owns = True
+        self.n_events = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, separators=(",", ":")))
+        self._fh.write("\n")
+        self.n_events += 1
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns:
+            self._fh.close()
+        self._fh = None

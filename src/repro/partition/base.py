@@ -9,7 +9,7 @@ partial clustering (terminals of one switch stay together).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.network.graph import Network
 from repro.utils.prng import SeedLike

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
 
 from repro.network.graph import Network
 from repro.partition.base import Partitioner

@@ -17,7 +17,7 @@ unreliable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 import scipy.sparse as sp

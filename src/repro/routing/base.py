@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.network.graph import Network
+from repro.obs import core as obs
 from repro.utils.prng import SeedLike
 
 __all__ = [
@@ -179,7 +180,9 @@ class RoutingAlgorithm:
         if not dests:
             raise ValueError("empty destination set")
         started = time.perf_counter()
-        result = self._route(net, dests, seed)
+        with obs.span(f"route.{self.name}", network=net.name,
+                      dests=len(dests), max_vls=self.max_vls):
+            result = self._route(net, dests, seed)
         result.runtime_s = time.perf_counter() - started
         return result
 

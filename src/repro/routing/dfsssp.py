@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.network.graph import Network
+from repro.obs import core as obs
 from repro.routing.base import RoutingAlgorithm, RoutingError, RoutingResult
 from repro.routing.sssp import (
     apply_weight_update,
@@ -60,11 +61,12 @@ class DFSSSPRouting(RoutingAlgorithm):
         # let loaded regions push routes onto longer detours)
         base = float(len(sources) * len(dests) + 1)
         weights = np.full(net.n_channels, base)
-        for j, d in enumerate(dests):
-            fwd = sssp_tree(net, d, weights)
-            nxt[:, j] = fwd
-            counts = subtree_route_counts(net, fwd, d, sources)
-            apply_weight_update(weights, counts)
+        with obs.span("dfsssp.sssp", dests=len(dests)):
+            for j, d in enumerate(dests):
+                fwd = sssp_tree(net, d, weights)
+                nxt[:, j] = fwd
+                counts = subtree_route_counts(net, fwd, d, sources)
+                apply_weight_update(weights, counts)
 
         # deadlock removal over (source switch, dest column) pairs
         pair_paths: Dict[Tuple[int, int], List[int]] = {}
@@ -75,7 +77,15 @@ class DFSSSPRouting(RoutingAlgorithm):
                 path = self._table_path(net, nxt, s, d, j)
                 if path:
                     pair_paths[(s, j)] = path
-        pair_layer, n_layers = break_cycles_into_layers(net, pair_paths)
+        with obs.span("dfsssp.layering", pairs=len(pair_paths)):
+            pair_layer, n_layers = break_cycles_into_layers(
+                net, pair_paths
+            )
+        if obs.enabled():
+            obs.count_many({
+                "dfsssp.pairs": len(pair_paths),
+                "dfsssp.required_vls": n_layers,
+            })
         if n_layers > self.max_vls:
             raise RoutingError(
                 f"DFSSSP needs {n_layers} virtual layers on {net.name}, "

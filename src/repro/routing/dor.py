@@ -14,9 +14,8 @@ engine behaves the same on degraded tori).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.network.graph import Network
 from repro.network.topologies.torus import torus_coordinates

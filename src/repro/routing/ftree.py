@@ -16,9 +16,8 @@ Applies only to networks produced by
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.network.graph import Network
 from repro.routing.base import (

@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.network.graph import Network
+from repro.obs import core as obs
 from repro.routing.base import RoutingAlgorithm, RoutingError, RoutingResult
 from repro.routing.layering import GreedyLayerAssigner
 from repro.routing.sssp import bfs_tree_balanced
@@ -44,10 +45,11 @@ class LASHRouting(RoutingAlgorithm):
             ds = d if net.is_switch(d) else net.terminal_switch(d)
             if ds not in dest_switches:
                 dest_switches.append(ds)
-        trees: Dict[int, np.ndarray] = {
-            ds: bfs_tree_balanced(net, ds, port_load)
-            for ds in dest_switches
-        }
+        with obs.span("lash.trees", dests=len(dest_switches)):
+            trees: Dict[int, np.ndarray] = {
+                ds: bfs_tree_balanced(net, ds, port_load)
+                for ds in dest_switches
+            }
 
         # layer per (src_switch, dest_switch), assigned greedily in
         # increasing path length (LASH processes shortest pairs first)
@@ -63,10 +65,16 @@ class LASHRouting(RoutingAlgorithm):
                 path = self._tree_path(net, fwd, s, ds)
                 jobs.append((s, ds, path))
         jobs.sort(key=lambda job: (len(job[2]), job[0], job[1]))
-        for s, ds, path in jobs:
-            pair_layer[(s, ds)] = assigner.assign(path)
+        with obs.span("lash.assign", pairs=len(jobs)):
+            for s, ds, path in jobs:
+                pair_layer[(s, ds)] = assigner.assign(path)
 
         n_layers = max(assigner.n_layers, 1)
+        if obs.enabled():
+            obs.count_many({
+                "lash.pairs": len(jobs),
+                "lash.layers": n_layers,
+            })
         if n_layers > self.max_vls:
             raise RoutingError(
                 f"LASH needs {n_layers} virtual layers on {net.name}, "

@@ -23,9 +23,8 @@ simulator both consume that.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.network.graph import Network
 from repro.routing.base import (

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.network.graph import Network
+from repro.obs import core as obs
 from repro.routing.base import RoutingAlgorithm, RoutingResult
 from repro.utils.heap import PairingHeap
 from repro.utils.prng import SeedLike
@@ -67,12 +68,16 @@ class UpDownRouting(RoutingAlgorithm):
     def _route(
         self, net: Network, dests: List[int], seed: SeedLike
     ) -> RoutingResult:
-        root = self.root if self.root is not None else pick_tree_root(net)
+        with obs.span(f"{self.name}.pick_root"):
+            root = (self.root if self.root is not None
+                    else pick_tree_root(net))
         levels = np.asarray(net.bfs_levels(root), dtype=np.int64)
         nxt, vl = self._empty_tables(net, dests)
         port_load = np.zeros(net.n_channels, dtype=np.int64)
-        for j, d in enumerate(dests):
-            nxt[:, j] = self._tree_for_dest(net, d, levels, port_load)
+        with obs.span(f"{self.name}.dest_trees", dests=len(dests)):
+            for j, d in enumerate(dests):
+                nxt[:, j] = self._tree_for_dest(net, d, levels,
+                                                port_load)
         res = RoutingResult(
             net=net,
             dests=dests,

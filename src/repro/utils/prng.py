@@ -8,7 +8,7 @@ keeps experiments reproducible bit-for-bit across runs and machines.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -12,6 +12,7 @@ import pytest
 # subdirectory they live in
 sys.path.insert(0, os.path.dirname(__file__))
 
+from repro import obs
 from repro.network.topologies import (
     binary_tree,
     hypercube,
@@ -22,6 +23,16 @@ from repro.network.topologies import (
     ring,
     torus,
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Observability is module-global state; never leak it across tests."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
 
 
 @pytest.fixture

@@ -7,9 +7,8 @@ island; only the 2-hop backtracking (re-basing the gateway onto its
 tree in-channel) — or the escape fallback — can reach it.
 """
 
-import pytest
 
-from repro.cdg.complete_cdg import BLOCKED, CompleteCDG
+from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.dijkstra import NueLayerRouter
 from repro.core.escape import EscapePaths
 from repro.core.nue import NueRouting

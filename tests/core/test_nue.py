@@ -5,7 +5,6 @@ connected — for any topology and ANY number of virtual channels,
 including k = 1.
 """
 
-import numpy as np
 import pytest
 
 from conftest import small_network_zoo

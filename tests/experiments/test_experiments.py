@@ -11,7 +11,6 @@ from repro.experiments.common import (
     run_routing,
 )
 from repro.experiments.report import format_value, render_table
-from repro.network.topologies import ring, torus
 from repro.routing import Torus2QoSRouting
 
 
@@ -59,7 +58,11 @@ class TestHarnesses:
         printed = capsys.readouterr().out
         assert "Tab. 1" in printed
         payload = json.loads(out.read_text())
-        assert payload["table"] == "table1"
+        assert set(payload) == {"meta", "data"}
+        assert payload["meta"]["experiment"] == "table1"
+        assert payload["meta"]["seed"] == 1
+        assert payload["meta"]["runtime_s"] >= 0
+        assert payload["data"]["rows"] == rows
 
     def test_fig09_tiny(self, capsys, tmp_path):
         out = tmp_path / "f9.json"
@@ -121,45 +124,102 @@ class TestFallbacksHarness:
         for stats in summary.values():
             assert 0 <= stats["min_rate"] <= stats["max_rate"] <= 1
         assert "fallback" in capsys.readouterr().out
-        assert json.loads(out.read_text())["experiment"] == "fallbacks"
+        payload = json.loads(out.read_text())
+        assert payload["meta"]["experiment"] == "fallbacks"
+        assert payload["meta"]["config"]["n_topologies"] == 2
+        assert set(payload["data"]["summary"]) == {"1", "2"}
 
 
 class TestRunnerDispatch:
     def test_unknown_experiment(self, capsys):
         import sys
         from repro.experiments import runner
-        argv = sys.argv
-        sys.argv = ["repro-experiments", "figZZ"]
-        try:
-            with pytest.raises(SystemExit) as exc:
-                runner.main()
-            assert exc.value.code == 2
-        finally:
-            sys.argv = argv
+        before = list(sys.argv)
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["figZZ"])
+        assert exc.value.code == 2
+        assert "unknown experiment" in capsys.readouterr().out
+        assert sys.argv == before  # dispatcher never mutated argv
 
     def test_usage_line(self, capsys):
+        from repro.experiments import runner
+        with pytest.raises(SystemExit) as exc:
+            runner.main([])
+        assert exc.value.code == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        from repro.experiments import runner
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["--help"])
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_list_enumerates_experiments(self, capsys):
+        from repro.experiments import runner
+        runner.main(["--list"])
+        out = capsys.readouterr().out
+        for name in runner.EXPERIMENTS:
+            assert name in out
+        # every line carries the experiment's one-line description
+        assert "Table 1" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(["fallbacks", "fig01", "fig09", "fig10", "fig11",
+                "scaling", "table1"]),
+    )
+    def test_every_experiment_helps_cleanly(self, name, capsys):
         import sys
         from repro.experiments import runner
-        argv = sys.argv
-        sys.argv = ["repro-experiments"]
-        try:
-            with pytest.raises(SystemExit) as exc:
-                runner.main()
-            assert exc.value.code == 2
-            assert "usage" in capsys.readouterr().out
-        finally:
-            sys.argv = argv
+        assert name in runner.EXPERIMENTS
+        before = list(sys.argv)
+        with pytest.raises(SystemExit) as exc:
+            runner.main([name, "--help"])
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+        assert sys.argv == before  # restored after dispatch
 
     def test_dispatch_runs_experiment(self, capsys):
         import sys
         from repro.experiments import runner
-        argv = sys.argv
-        sys.argv = ["repro-experiments", "table1"]
-        try:
-            runner.main()
-            assert "Tab. 1" in capsys.readouterr().out
-        finally:
-            sys.argv = argv
+        before = list(sys.argv)
+        runner.main(["table1"])
+        assert "Tab. 1" in capsys.readouterr().out
+        assert sys.argv == before
+
+    def test_dispatch_restores_argv_on_error(self):
+        import sys
+        from repro.experiments import runner
+        before = list(sys.argv)
+        with pytest.raises(SystemExit):
+            runner.main(["table1", "--no-such-flag"])
+        assert sys.argv == before
+
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        from repro import obs
+        from repro.experiments import runner
+        trace = tmp_path / "trace.jsonl"
+        runner.main(["scaling", "--trace", str(trace), "--sizes", "8",
+                     "--terminals", "1"])
+        assert not obs.enabled()  # disabled again after the dispatch
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert events
+        assert {ev["type"] for ev in events} >= {"span", "counter"}
+        span_names = {ev["name"] for ev in events
+                      if ev["type"] == "span"}
+        assert "route.nue" in span_names and "nue.layer" in span_names
+
+    def test_profile_flag_prints_report(self, capsys):
+        from repro import obs
+        from repro.experiments import runner
+        runner.main(["scaling", "--profile", "--sizes", "8",
+                     "--terminals", "1"])
+        out = capsys.readouterr().out
+        assert "route.nue" in out  # span table rendered
+        assert "nue.route_steps" in out  # counter table rendered
+        assert not obs.enabled()
 
 
 class TestFig01Network:

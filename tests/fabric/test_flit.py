@@ -1,11 +1,10 @@
 """Flit-level simulator: delivery, wormhole semantics, real deadlock."""
 
-import pytest
 
 from repro.core import NueRouting
 from repro.fabric.flit import FlitSimConfig, FlitSimulator
 from repro.fabric.traffic import Message, shift_phase
-from repro.network.topologies import k_ary_n_tree, ring
+from repro.network.topologies import ring
 from repro.routing import MinHopRouting, UpDownRouting
 
 

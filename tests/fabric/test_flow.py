@@ -1,6 +1,5 @@
 """Flow-level throughput model: loads, aggregation, ranking behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.fabric.flow import (

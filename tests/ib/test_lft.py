@@ -1,12 +1,11 @@
 """LFT lowering: lossless round-trip and dump format."""
 
-import numpy as np
 import pytest
 
 from repro.core import NueRouting
 from repro.ib import Subnet, build_lfts, build_slvl, lfts_to_routing
 from repro.metrics import validate_routing
-from repro.network.topologies import random_topology, torus
+from repro.network.topologies import random_topology
 from repro.routing import UpDownRouting
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ib import Subnet
-from repro.network.topologies import ring, torus
 
 
 def test_lids_dense_and_one_based(ring6):

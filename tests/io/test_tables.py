@@ -1,6 +1,5 @@
 """Forwarding-table serialisation round-trips and the LFT dump."""
 
-import numpy as np
 import pytest
 
 from repro.core import NueRouting
@@ -13,7 +12,6 @@ from repro.io.tables import (
 )
 from repro.metrics import validate_routing
 from repro.network.topologies import ring, torus
-from repro.routing import MinHopRouting
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """Deadlock metric: Theorem-1 checks against a networkx oracle."""
 
 import networkx as nx
-import pytest
 
 from repro.core import NueRouting
 from repro.metrics.deadlock import (
@@ -10,7 +9,7 @@ from repro.metrics.deadlock import (
     is_deadlock_free,
     required_vcs,
 )
-from repro.network.topologies import mesh, ring, torus
+from repro.network.topologies import mesh
 from repro.routing import (
     DORRouting,
     MinHopRouting,

@@ -1,10 +1,9 @@
 """Virtual-layer usage accounting."""
 
-import pytest
 
 from repro.core import NueRouting
 from repro.metrics.layers import layer_balance, layer_usage
-from repro.network.topologies import random_topology, torus
+from repro.network.topologies import random_topology
 from repro.routing import Torus2QoSRouting, UpDownRouting
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.metrics.path_stats import path_length_stats, tree_depths
-from repro.network.topologies import random_topology, ring
+from repro.network.topologies import random_topology
 from repro.routing import MinHopRouting
 
 

@@ -1,6 +1,5 @@
 """Quality report aggregation."""
 
-import pytest
 
 from repro.core import NueRouting
 from repro.metrics.report import quality_report

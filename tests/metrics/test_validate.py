@@ -3,7 +3,6 @@
 import pytest
 
 from repro.metrics.validate import ValidationError, validate_routing
-from repro.network.topologies import ring
 from repro.routing import MinHopRouting, UpDownRouting
 
 

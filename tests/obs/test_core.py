@@ -1,0 +1,124 @@
+"""Switchboard semantics: enable/disable, counters, spans, nesting."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import core
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_enable_then_disable(self):
+        obs.enable(obs.MemorySink())
+        assert obs.enabled()
+        obs.disable()
+        assert not obs.enabled()
+
+    def test_enable_default_sink(self):
+        obs.enable()  # no explicit sink: a MemorySink is attached
+        obs.count("x")
+        assert obs.counters()["x"] == 1
+
+    def test_enable_is_additive(self):
+        a, b = obs.MemorySink(), obs.MemorySink()
+        obs.enable(a)
+        obs.enable(b)
+        obs.count("x", 2)
+        assert a.counter("x") == 2
+        assert b.counter("x") == 2
+
+    def test_disable_closes_sinks_keeps_aggregates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = obs.JsonlSink(path)
+        obs.enable(sink)
+        obs.count("kept", 5)
+        obs.disable()
+        # sink closed, but the aggregate snapshot survives for report()
+        assert sink._fh is None
+        assert obs.counters()["kept"] == 5
+
+    def test_reset_clears_aggregates(self):
+        obs.enable(obs.MemorySink())
+        obs.count("x")
+        with obs.span("s"):
+            pass
+        obs.reset()
+        assert obs.counters() == {}
+        assert obs.span_stats() == {}
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        obs.enable(obs.MemorySink())
+        obs.count("a")
+        obs.count("a", 3)
+        assert obs.counters()["a"] == 4
+
+    def test_count_noop_when_disabled(self):
+        obs.count("never")
+        assert "never" not in obs.counters()
+
+    def test_count_many(self):
+        sink = obs.MemorySink()
+        obs.enable(sink)
+        obs.count_many({"a": 2, "b": 7}, layer=1)
+        assert obs.counters() == {"a": 2, "b": 7}
+        # one event per counter, each carrying the shared attrs
+        assert [e["layer"] for e in sink.events] == [1, 1]
+
+    def test_gauge_keeps_latest(self):
+        obs.enable(obs.MemorySink())
+        obs.gauge("g", 1.0)
+        obs.gauge("g", 9.0)
+        assert obs.counters()["g"] == 9.0
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        s1 = obs.span("a")
+        s2 = obs.span("b", attr=1)
+        assert s1 is s2  # the singleton: no allocation on the hot path
+        with s1:
+            pass
+
+    def test_span_records_duration(self):
+        sink = obs.MemorySink()
+        obs.enable(sink)
+        with obs.span("outer"):
+            pass
+        (ev,) = sink.events
+        assert ev["type"] == "span"
+        assert ev["name"] == "outer"
+        assert ev["dur_ns"] >= 0
+        assert obs.span_stats()["outer"]["calls"] == 1
+
+    def test_span_nesting_path(self):
+        sink = obs.MemorySink()
+        obs.enable(sink)
+        with obs.span("route.nue"):
+            with obs.span("nue.layer", layer=0):
+                pass
+        inner, outer = sink.events
+        assert inner["path"] == "route.nue/nue.layer"
+        assert inner["layer"] == 0
+        assert outer["path"] == "route.nue"
+
+    def test_span_stack_unwinds_after_exception(self):
+        obs.enable(obs.MemorySink())
+        try:
+            with obs.span("boom"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert core._span_stack == []
+
+    def test_span_aggregates_accumulate(self):
+        obs.enable(obs.MemorySink())
+        for _ in range(3):
+            with obs.span("s"):
+                pass
+        stats = obs.span_stats()["s"]
+        assert stats["calls"] == 3
+        assert stats["total_ns"] >= 0

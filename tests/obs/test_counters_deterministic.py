@@ -1,0 +1,106 @@
+"""Exact counter values on fixed topologies and seeds.
+
+Nue is deterministic given (topology, seed), so the instrumentation
+counters are too.  These pins catch silent behavioural drift in the
+routing engine — a change in heap discipline, partitioning or cycle
+checking shows up here before it shows up in throughput plots.
+
+The values were recorded from the current implementation; if an
+*intentional* algorithmic change shifts them, re-record and say why in
+the commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import NueRouting
+from repro.network.topologies import (
+    mesh,
+    paper_ring_with_shortcut,
+    random_topology,
+)
+
+
+def _route_counters(net, k, seed):
+    obs.reset()
+    obs.enable(obs.MemorySink(keep_events=False))
+    NueRouting(k).route(net, seed=seed)
+    obs.disable()
+    return obs.counters()
+
+
+class TestFig2aRing:
+    """The paper's Fig. 2a 5-switch ring with shortcut, k=1, seed=7."""
+
+    def test_exact_counters(self):
+        c = _route_counters(paper_ring_with_shortcut(), 1, 7)
+        assert c["nue.backtracks"] == 0
+        assert c["nue.escape_fallbacks"] == 0
+        assert c["cdg.blocked_deps"] == 0
+        assert c["nue.route_steps"] == 5
+        assert c["nue.heap_pops"] == 21
+        assert c["nue.relaxations"] == 28
+        assert c["cdg.used_deps"] == 11
+        assert c["escape.initial_deps"] == 8
+        assert c["escape.trees_built"] == 1
+
+
+class TestMesh4x4:
+    """4x4 2D mesh, 1 terminal per switch, seed=42."""
+
+    def test_exact_counters_k1(self):
+        c = _route_counters(mesh([4, 4], 1), 1, 42)
+        assert c["nue.backtracks"] == 0
+        assert c["nue.escape_fallbacks"] == 0
+        assert c["cdg.blocked_deps"] == 10
+        assert c["cdg.cycle_searches"] == 91
+        assert c["nue.route_steps"] == 16
+        assert c["nue.heap_pops"] == 522
+        assert c["nue.relaxations"] == 768
+        assert c["nue.stale_pops"] == 26
+
+    def test_exact_counters_k2(self):
+        c = _route_counters(mesh([4, 4], 1), 2, 42)
+        assert c["nue.backtracks"] == 0
+        assert c["nue.escape_fallbacks"] == 0
+        assert c["cdg.blocked_deps"] == 8
+        assert c["escape.trees_built"] == 2  # one escape tree per layer
+        assert c["nue.route_steps"] == 16
+
+
+class TestBacktrackingTopology:
+    """random_topology(40, 200, 2, seed=3) at 1 VL forces real
+    backtracking — the island-resolution counters are nonzero here."""
+
+    @pytest.fixture(scope="class")
+    def counters(self):
+        return _route_counters(random_topology(40, 200, 2, seed=3), 1, 3)
+
+    def test_backtracks(self, counters):
+        assert counters["nue.backtracks"] == 4
+        assert counters["nue.backtrack_rounds"] == 4
+        assert counters["nue.islands_seen"] == 48
+        assert counters["nue.backtrack_candidates"] == 507
+
+    def test_escape_never_needed(self, counters):
+        # backtracking always recovered: no fallback to the escape tree
+        assert counters["nue.escape_fallbacks"] == 0
+
+    def test_cdg_pressure(self, counters):
+        assert counters["cdg.blocked_deps"] == 747
+        assert counters["cdg.cycle_searches"] == 1964
+        assert counters["cdg.pk_reorders"] == 888
+
+    def test_dijkstra_work(self, counters):
+        assert counters["nue.route_steps"] == 80
+        assert counters["nue.heap_pops"] == 10165
+        assert counters["nue.relaxations"] == 34752
+
+
+def test_counters_identical_across_runs():
+    """Same (topology, seed) twice -> bit-identical counter snapshot."""
+    a = _route_counters(mesh([4, 4], 1), 1, 42)
+    b = _route_counters(mesh([4, 4], 1), 1, 42)
+    assert a == b

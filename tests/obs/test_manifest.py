@@ -1,0 +1,58 @@
+"""Run-manifest content and the save_experiment wrapper."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.manifest import MANIFEST_SCHEMA, git_revision, run_manifest
+from repro.io.tables import experiment_payload, save_experiment
+
+
+class TestRunManifest:
+    def test_required_keys(self):
+        m = run_manifest(experiment="fig01", seed=7, topology="mesh",
+                         config={"k": 2}, runtime_s=1.5)
+        for key in ("schema", "experiment", "seed", "topology", "config",
+                    "runtime_s", "created_utc", "argv", "python",
+                    "platform", "repro_version", "git_rev", "counters"):
+            assert key in m
+        assert m["schema"] == MANIFEST_SCHEMA
+        assert m["experiment"] == "fig01"
+        assert m["seed"] == 7
+        assert m["config"] == {"k": 2}
+
+    def test_counters_snapshot_embedded(self):
+        obs.enable(obs.MemorySink())
+        obs.count("nue.route_steps", 3)
+        m = run_manifest(experiment="x")
+        assert m["counters"]["nue.route_steps"] == 3
+
+    def test_extra_merges_at_top_level(self):
+        m = run_manifest(extra={"note": "hi"})
+        assert m["note"] == "hi"
+
+    def test_json_serialisable(self):
+        json.dumps(run_manifest(experiment="x", seed=1, runtime_s=0.1))
+
+    def test_git_revision_in_repo(self):
+        rev = git_revision()
+        # the test tree is a git repo; outside one, None is the contract
+        assert rev is None or (isinstance(rev, str) and len(rev) >= 7)
+
+
+class TestSaveExperiment:
+    def test_shared_schema(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_experiment(str(path), "demo", {"rows": [1, 2]},
+                        seed=5, config={"n": 2}, runtime_s=0.5)
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"meta", "data"}
+        assert payload["meta"]["experiment"] == "demo"
+        assert payload["meta"]["seed"] == 5
+        assert payload["meta"]["config"] == {"n": 2}
+        assert payload["data"] == {"rows": [1, 2]}
+
+    def test_payload_without_file(self):
+        payload = experiment_payload("demo", {"x": (1, 2)}, seed=1)
+        assert payload["data"]["x"] == [1, 2]  # tuples become lists

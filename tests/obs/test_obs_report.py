@@ -1,0 +1,34 @@
+"""The plain-text profile report."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.report import report
+
+
+def test_report_renders_counters_and_spans():
+    obs.enable(obs.MemorySink())
+    obs.count("nue.route_steps", 16)
+    obs.count("cdg.blocked_deps", 10)
+    with obs.span("route.nue"):
+        with obs.span("nue.layer"):
+            pass
+    obs.disable()
+    out = report()
+    assert "route.nue" in out
+    assert "nue.layer" in out
+    assert "nue.route_steps" in out
+    assert "cdg.blocked_deps" in out
+    # spans come with call counts, counters with totals
+    assert "16" in out and "10" in out
+
+
+def test_report_empty_state():
+    out = report()
+    assert isinstance(out, str)
+
+
+def test_report_accepts_explicit_snapshots():
+    out = report(counters={"a.b": 3},
+                 spans={"s": {"calls": 2, "total_ns": 1500}})
+    assert "a.b" in out and "s" in out

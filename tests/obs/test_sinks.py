@@ -1,0 +1,67 @@
+"""Sink behaviour: rollups, JSONL output, idempotent close."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import JsonlSink, MemorySink, NullSink
+
+
+COUNTER = {"type": "counter", "name": "c", "n": 2}
+SPAN = {"type": "span", "name": "s", "path": "s", "t0_ns": 1,
+        "dur_ns": 10}
+GAUGE = {"type": "gauge", "name": "g", "value": 4.5}
+
+
+class TestMemorySink:
+    def test_rollups(self):
+        sink = MemorySink()
+        for ev in (COUNTER, COUNTER, SPAN, SPAN, GAUGE):
+            sink.emit(dict(ev))
+        assert sink.counter("c") == 4
+        assert sink.counter("missing") == 0
+        assert sink.spans["s"] == {"calls": 2, "total_ns": 20}
+        assert sink.gauges["g"] == 4.5
+        assert len(sink.events) == 5
+
+    def test_keep_events_false(self):
+        sink = MemorySink(keep_events=False)
+        sink.emit(dict(COUNTER))
+        assert sink.events == []
+        assert sink.counter("c") == 2  # rollups still maintained
+
+
+class TestJsonlSink:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(dict(COUNTER))
+        sink.emit(dict(SPAN))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "c"
+        assert json.loads(lines[1])["dur_ns"] == 10
+        assert sink.n_events == 2
+
+    def test_accepts_file_object(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(dict(GAUGE))
+        sink.close()
+        assert json.loads(buf.getvalue())["value"] == 4.5
+        assert not buf.closed  # caller owns the file object
+
+    def test_close_idempotent_and_emit_after_close(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.close()
+        sink.close()
+        sink.emit(dict(COUNTER))  # silently dropped, no crash
+        assert sink.n_events == 0
+
+
+def test_null_sink_swallows():
+    sink = NullSink()
+    sink.emit(dict(COUNTER))
+    sink.close()

@@ -1,9 +1,8 @@
 """RoutingResult mechanics: path extraction, loops, VL access."""
 
-import numpy as np
 import pytest
 
-from repro.routing.base import RoutingError, RoutingResult
+from repro.routing.base import RoutingError
 from repro.routing.minhop import MinHopRouting
 from repro.network.topologies import ring
 

@@ -1,6 +1,5 @@
 """Baseline routing algorithms: validity, structure, known properties."""
 
-import numpy as np
 import pytest
 
 from conftest import small_network_zoo

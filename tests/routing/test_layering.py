@@ -1,6 +1,5 @@
 """Layer assignment machinery: greedy (LASH) and cycle-breaking (DFSSSP)."""
 
-import pytest
 
 from repro.routing.layering import (
     GreedyLayerAssigner,

@@ -1,9 +1,8 @@
 """SSSP machinery: trees, subtree counting, weight updates."""
 
 import numpy as np
-import pytest
 
-from repro.network.topologies import random_topology, ring, torus
+from repro.network.topologies import ring, torus
 from repro.routing.sssp import (
     apply_weight_update,
     bfs_tree_balanced,

@@ -1,6 +1,5 @@
 """Public API surface: the names README documents must exist and work."""
 
-import pytest
 
 import repro
 

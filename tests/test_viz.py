@@ -1,6 +1,5 @@
 """DOT export: structure of the emitted graphs."""
 
-import pytest
 
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.core import NueRouting

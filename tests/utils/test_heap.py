@@ -1,6 +1,5 @@
 """Pairing heap: ordering, decrease-key, and a model-based property."""
 
-import heapq
 
 import pytest
 from hypothesis import given, strategies as st
