@@ -7,10 +7,11 @@ and balance metrics, and flow-/flit-level simulators.
 
 Quickstart::
 
-    from repro import topologies, NueRouting, validate_routing
+    from repro import topologies, make_algorithm, validate_routing
 
     net = topologies.torus([4, 4, 3], terminals_per_switch=4)
-    result = NueRouting(max_vls=2).route(net)
+    algo = make_algorithm("nue", max_vls=2, workers=4)
+    result = algo.route(net)          # bit-identical to workers=1
     validate_routing(result)          # cycle-free, connected, DL-free
     print(result.path_nodes(net.terminals[0], net.terminals[-1]))
 
@@ -18,7 +19,7 @@ See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
 reproduced tables/figures.
 """
 
-from repro import obs
+from repro import engine, obs
 from repro.core import NueRouting, NueConfig
 from repro.metrics import (
     validate_routing,
@@ -43,12 +44,17 @@ from repro.routing import (
     LASHRouting,
     DFSSSPRouting,
     algorithm_registry,
+    available_algorithms,
+    make_algorithm,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "engine",
     "obs",
+    "make_algorithm",
+    "available_algorithms",
     "NueRouting",
     "NueConfig",
     "Network",

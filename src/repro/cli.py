@@ -17,7 +17,6 @@ import sys
 from typing import List, Optional
 
 from repro import obs
-from repro.core import NueConfig, NueRouting
 from repro.fabric.flow import simulate_all_to_all
 from repro.io import (
     format_lft,
@@ -28,7 +27,6 @@ from repro.io import (
 )
 from repro.metrics import (
     gamma_summary,
-    is_deadlock_free,
     path_length_stats,
     required_vcs,
     validate_routing,
@@ -49,7 +47,11 @@ from repro.network.topologies import (
     ring,
     torus,
 )
-from repro.routing import RoutingError, algorithm_registry
+from repro.routing import (
+    RoutingError,
+    available_algorithms,
+    make_algorithm,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -94,17 +96,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_route(args: argparse.Namespace) -> int:
     net = load_topology(args.topology)
-    if args.algorithm == "nue":
-        algo = NueRouting(
-            args.vls, NueConfig(partitioner=args.partitioner)
+    config = (
+        {"partitioner": args.partitioner} if args.algorithm == "nue"
+        else {}
+    )
+    try:
+        algo = make_algorithm(
+            args.algorithm, args.vls, workers=args.workers,
+            cache=args.cache, **config,
         )
-    else:
-        registry = algorithm_registry(args.vls)
-        if args.algorithm not in registry:
-            print(f"unknown algorithm {args.algorithm!r}; choose from "
-                  f"{['nue'] + sorted(registry)}", file=sys.stderr)
-            return 2
-        algo = registry[args.algorithm]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     try:
         result = algo.route(net, seed=args.seed)
     except RoutingError as exc:
@@ -197,9 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     r = sub.add_parser("route", help="compute forwarding tables")
     r.add_argument("topology")
-    r.add_argument("-a", "--algorithm", default="nue")
+    r.add_argument("-a", "--algorithm", default="nue",
+                   help="routing algorithm; one of "
+                        + ", ".join(available_algorithms()))
     r.add_argument("--vls", type=int, default=8,
                    help="virtual-lane budget")
+    r.add_argument("--workers", type=int, default=None,
+                   help="route independent virtual layers on this many "
+                        "processes (0 = all cores); output is "
+                        "bit-identical to serial")
+    r.add_argument("--cache", action="store_true",
+                   help="memoise routing results (repro.engine cache)")
     r.add_argument("--partitioner", default="kway",
                    choices=["kway", "random", "cluster", "spectral"])
     r.add_argument("--seed", type=int, default=None)

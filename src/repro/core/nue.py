@@ -21,13 +21,15 @@ among the baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
 
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.dijkstra import NueLayerRouter
 from repro.core.escape import EscapePaths
 from repro.core.root import select_root
+from repro.engine import run_layer_tasks
 from repro.network.graph import Network
 from repro.obs import core as obs
 from repro.partition import make_partitioner, partition_destinations
@@ -63,8 +65,113 @@ class NueConfig:
     verify_acyclic: bool = True
 
 
+@dataclass(frozen=True)
+class _LayerConfig:
+    """The slice of routing state a layer worker needs.
+
+    Pickled once per run into each pool worker (via the engine's
+    initializer) together with the network; carries the
+    :class:`NueConfig` knobs the per-layer code reads plus
+    ``single_layer`` — whether root selection may reuse the
+    all-destination betweenness shortcut (``k == 1``), which in the
+    serial code was derived from ``len(parts)`` that workers never see.
+    """
+
+    enable_backtracking: bool
+    enable_shortcuts: bool
+    verify_acyclic: bool
+    single_layer: bool
+
+    @classmethod
+    def from_config(cls, cfg: NueConfig,
+                    single_layer: bool) -> "_LayerConfig":
+        return cls(
+            enable_backtracking=cfg.enable_backtracking,
+            enable_shortcuts=cfg.enable_shortcuts,
+            verify_acyclic=cfg.verify_acyclic,
+            single_layer=single_layer,
+        )
+
+
+def _route_layer(
+    ctx: Tuple[Network, "_LayerConfig"],
+    task: Tuple[int, List[int], int],
+) -> Tuple[int, np.ndarray, Dict[str, object]]:
+    """Route one virtual layer: the :mod:`repro.engine` worker function.
+
+    Layers are independent by construction — each gets a fresh complete
+    CDG, root and escape tree, and the routing inside a layer is fully
+    deterministic given ``(net, subset, layer_idx, config)`` — so this
+    function runs identically in-process (``workers=1``) or in a pool
+    worker.  It must stay module-level (picklable by reference) and
+    must not touch global state other than :mod:`repro.obs` (whose
+    worker-side events the engine captures and replays in the parent).
+
+    Returns ``(layer_idx, next-channel column block, layer stats)``;
+    the block holds one column per member of ``subset``, in subset
+    order, for the parent to scatter into the full table.  The spawned
+    ``layer_seed`` is carried for forward compatibility — no current
+    layer computation draws from it.
+    """
+    net, cfg = ctx
+    layer_idx, subset, _layer_seed = task
+    with obs.span("nue.layer", layer=layer_idx, dests=len(subset)):
+        with obs.span("nue.select_root", layer=layer_idx):
+            root = select_root(
+                net,
+                subset,
+                all_dests=bool(cfg.single_layer),
+            )
+        cdg = CompleteCDG(net)
+        with obs.span("nue.escape_mark", layer=layer_idx):
+            escape = EscapePaths(net, cdg, root, subset)
+        router = NueLayerRouter(
+            net,
+            cdg,
+            escape,
+            enable_backtracking=cfg.enable_backtracking,
+            enable_shortcuts=cfg.enable_shortcuts,
+            layer_index=layer_idx,
+        )
+        layer_stats: Dict[str, object] = {
+            "root": net.node_names[root],
+            "destinations": len(subset),
+            "initial_dependencies": escape.initial_dependencies,
+            "fallbacks": 0,
+            "islands_resolved": 0,
+            "shortcuts_taken": 0,
+        }
+        block = np.full((net.n_nodes, len(subset)), -1, dtype=np.int32)
+        rev = net.channel_reverse
+        for col, d in enumerate(subset):
+            step = router.route_step(d)
+            for v in range(net.n_nodes):
+                c = step.used_channel[v]
+                block[v, col] = rev[c] if c >= 0 else -1
+            block[d, col] = -1
+            if step.fell_back:
+                layer_stats["fallbacks"] += 1  # type: ignore[operator]
+            layer_stats["islands_resolved"] += step.islands_resolved  # type: ignore[operator]
+            layer_stats["shortcuts_taken"] += step.shortcuts_taken  # type: ignore[operator]
+        if cfg.verify_acyclic:
+            with obs.span("nue.verify_acyclic", layer=layer_idx):
+                cdg.assert_acyclic()
+        layer_stats["cycle_searches"] = cdg.cycle_searches
+        if obs.enabled():
+            obs.count_many(cdg.counter_snapshot(), layer=layer_idx)
+            obs.count("escape.initial_deps",
+                      escape.initial_dependencies,
+                      layer=layer_idx)
+    return layer_idx, block, layer_stats
+
+
 class NueRouting(RoutingAlgorithm):
-    """Deadlock-free, oblivious, destination-based routing for any k >= 1."""
+    """Deadlock-free, oblivious, destination-based routing for any k >= 1.
+
+    ``workers`` routes the independent virtual layers on a process
+    pool (see :mod:`repro.engine`); the merged tables are bit-identical
+    to the serial run for every worker count.
+    """
 
     name = "nue"
 
@@ -72,9 +179,20 @@ class NueRouting(RoutingAlgorithm):
         self,
         max_vls: int = 1,
         config: Optional[NueConfig] = None,
+        workers: Optional[int] = None,
     ) -> None:
-        super().__init__(max_vls)
+        super().__init__(max_vls, workers=workers)
         self.config = config or NueConfig()
+
+    def cache_config(self):
+        cfg = self.config
+        return (
+            self.max_vls,
+            cfg.partitioner,
+            cfg.enable_backtracking,
+            cfg.enable_shortcuts,
+            cfg.verify_acyclic,
+        )
 
     def _route(
         self, net: Network, dests: List[int], seed: SeedLike
@@ -88,6 +206,17 @@ class NueRouting(RoutingAlgorithm):
                 net, dests, k, partitioner, spawn_seed(rng)
             )
 
+        # per-layer child seeds, drawn in layer order so the stream is
+        # identical no matter how the layers are scheduled
+        layer_cfg = _LayerConfig.from_config(cfg, single_layer=len(parts) == 1)
+        tasks = [
+            (idx, list(subset), spawn_seed(rng))
+            for idx, subset in enumerate(parts)
+        ]
+        outcomes = run_layer_tasks(
+            _route_layer, (net, layer_cfg), tasks, workers=self.workers
+        )
+
         nxt, vl = self._empty_tables(net, dests)
         dest_col = {d: j for j, d in enumerate(dests)}
         stats: Dict[str, object] = {
@@ -98,57 +227,13 @@ class NueRouting(RoutingAlgorithm):
             "cycle_searches": 0,
         }
 
-        for layer_idx, subset in enumerate(parts):
-            with obs.span("nue.layer", layer=layer_idx,
-                          dests=len(subset)):
-                with obs.span("nue.select_root", layer=layer_idx):
-                    root = select_root(
-                        net,
-                        subset,
-                        all_dests=(len(parts) == 1),
-                    )
-                cdg = CompleteCDG(net)
-                with obs.span("nue.escape_mark", layer=layer_idx):
-                    escape = EscapePaths(net, cdg, root, subset)
-                router = NueLayerRouter(
-                    net,
-                    cdg,
-                    escape,
-                    enable_backtracking=cfg.enable_backtracking,
-                    enable_shortcuts=cfg.enable_shortcuts,
-                    layer_index=layer_idx,
-                )
-                layer_stats = {
-                    "root": net.node_names[root],
-                    "destinations": len(subset),
-                    "initial_dependencies": escape.initial_dependencies,
-                    "fallbacks": 0,
-                    "islands_resolved": 0,
-                    "shortcuts_taken": 0,
-                }
-                for d in subset:
-                    step = router.route_step(d)
-                    j = dest_col[d]
-                    rev = net.channel_reverse
-                    for v in range(net.n_nodes):
-                        c = step.used_channel[v]
-                        nxt[v, j] = rev[c] if c >= 0 else -1
-                    nxt[d, j] = -1
-                    vl[:, j] = layer_idx
-                    if step.fell_back:
-                        layer_stats["fallbacks"] += 1
-                    layer_stats["islands_resolved"] += step.islands_resolved
-                    layer_stats["shortcuts_taken"] += step.shortcuts_taken
-                if cfg.verify_acyclic:
-                    with obs.span("nue.verify_acyclic", layer=layer_idx):
-                        cdg.assert_acyclic()
-                layer_stats["cycle_searches"] = cdg.cycle_searches
-                if obs.enabled():
-                    obs.count_many(cdg.counter_snapshot(),
-                                   layer=layer_idx)
-                    obs.count("escape.initial_deps",
-                              escape.initial_dependencies,
-                              layer=layer_idx)
+        # merge column blocks back in layer order: partitions are
+        # disjoint, so the scatter is conflict-free and the result is
+        # bit-identical to the serial in-place writes
+        for layer_idx, block, layer_stats in outcomes:
+            cols = [dest_col[d] for d in parts[layer_idx]]
+            nxt[:, cols] = block
+            vl[:, cols] = layer_idx
             stats["layers"].append(layer_stats)  # type: ignore[union-attr]
             stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
             stats["islands_resolved"] += layer_stats["islands_resolved"]  # type: ignore[operator]

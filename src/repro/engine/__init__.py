@@ -1,0 +1,41 @@
+"""repro.engine — parallel routing execution and result memoisation.
+
+The engine is the layer between routing algorithms and the hardware:
+
+* :func:`run_layer_tasks` — fan independent per-layer routing tasks
+  out over a process pool, results merged back in layer order so
+  parallel output is bit-identical to serial (``docs/engine.md``);
+* :func:`set_default_workers` / :func:`get_default_workers` — the
+  run-wide worker default behind ``--workers`` flags;
+* :func:`enable_route_cache` / :class:`RouteCache` — opt-in memo cache
+  for repeated identical routings, keyed by
+  :func:`network_fingerprint` + algorithm identity + seed.
+"""
+
+from repro.engine.cache import (
+    RouteCache,
+    active_route_cache,
+    disable_route_cache,
+    enable_route_cache,
+    route_cache_key,
+)
+from repro.engine.core import (
+    get_default_workers,
+    resolve_workers,
+    run_layer_tasks,
+    set_default_workers,
+)
+from repro.engine.fingerprint import network_fingerprint
+
+__all__ = [
+    "run_layer_tasks",
+    "resolve_workers",
+    "set_default_workers",
+    "get_default_workers",
+    "RouteCache",
+    "enable_route_cache",
+    "disable_route_cache",
+    "active_route_cache",
+    "route_cache_key",
+    "network_fingerprint",
+]

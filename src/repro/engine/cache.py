@@ -1,0 +1,151 @@
+"""Engine-level routing memo cache.
+
+Experiment sweeps frequently re-route identical inputs — a fault sweep
+rebuilds the same degraded topology for every algorithm under test, a
+re-run of a figure harness repeats last run's routings verbatim.  The
+cache memoises full :class:`~repro.routing.base.RoutingResult` tables
+keyed by
+
+``(network fingerprint, algorithm name, algorithm config, seed, dests)``
+
+where the fingerprint is the structural digest of
+:func:`repro.engine.fingerprint.network_fingerprint` and the config key
+comes from :meth:`RoutingAlgorithm.cache_config`.  Because a routing's
+``workers`` count is guaranteed not to change its output (the engine's
+bit-identity contract), it is deliberately **not** part of the key — a
+parallel run can serve a later serial request and vice versa.
+
+The cache is opt-in and process-global::
+
+    from repro import engine
+    engine.enable_route_cache()
+    ...                      # every .route() now memoises
+    engine.disable_route_cache()
+
+Results are deep-copied on store *and* on hit, so callers can mutate
+``stats`` or tables freely without poisoning the cache; a hit carries
+``stats["cache_hit"] = True`` and near-zero ``runtime_s``.  Seeds that
+are live ``numpy`` Generators (stateful, unfingerprintable) bypass the
+cache entirely.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.engine.fingerprint import network_fingerprint
+from repro.network.graph import Network
+from repro.obs import core as obs
+
+__all__ = [
+    "RouteCache",
+    "enable_route_cache",
+    "disable_route_cache",
+    "active_route_cache",
+    "route_cache_key",
+]
+
+
+class RouteCache:
+    """Bounded LRU store of deep-copied routing results."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, key: Hashable, net: Network) -> Optional[Any]:
+        """Return a fresh copy of the cached result re-bound to ``net``."""
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            if obs.enabled():
+                obs.count("engine.cache_misses", 1)
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        if obs.enabled():
+            obs.count("engine.cache_hits", 1)
+        result = copy.deepcopy(entry)
+        # re-bind to the caller's (structurally identical) network —
+        # entries are stored net-stripped, see :meth:`store`
+        result.net = net
+        result.stats = dict(result.stats)
+        result.stats["cache_hit"] = True
+        return result
+
+    def store(self, key: Hashable, result: Any) -> None:
+        """Memoise ``result`` (deep copy; evicts LRU past the bound).
+
+        The network reference is detached before copying: the key's
+        fingerprint already pins the structure, and lookups re-bind the
+        caller's own network object, so there is no reason to hold
+        (potentially large) topology copies in the cache.
+        """
+        net = result.net
+        result.net = None
+        try:
+            entry = copy.deepcopy(result)
+        finally:
+            result.net = net
+        self._store[key] = entry
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses}
+
+
+_active: Optional[RouteCache] = None
+
+
+def enable_route_cache(cache: Optional[RouteCache] = None) -> RouteCache:
+    """Install (and return) the process-global route cache."""
+    global _active
+    # explicit None check: an empty RouteCache is falsy (__len__ == 0)
+    _active = RouteCache() if cache is None else cache
+    return _active
+
+
+def disable_route_cache() -> None:
+    """Remove the global route cache (entries are dropped with it)."""
+    global _active
+    _active = None
+
+
+def active_route_cache() -> Optional[RouteCache]:
+    """The installed cache, or None while memoisation is off."""
+    return _active
+
+
+def route_cache_key(
+    net: Network,
+    algorithm_name: str,
+    config_key: Hashable,
+    dests: Tuple[int, ...],
+    seed: Any,
+) -> Optional[Hashable]:
+    """Cache key for one routing call, or None when uncacheable.
+
+    ``seed`` must be hashable and stateless (int / None); a live
+    Generator draws from mutable state, so such calls bypass the cache.
+    """
+    if seed is not None and not isinstance(seed, int):
+        return None
+    return (network_fingerprint(net), algorithm_name, config_key,
+            dests, seed)

@@ -1,0 +1,181 @@
+"""Parallel layer-routing execution (the ``repro.engine`` tentpole).
+
+Nue's virtual layers are independent by construction — each layer gets
+its own convex subgraph, root, complete CDG and escape tree — so their
+routing steps can run on separate cores.  :func:`run_layer_tasks` fans
+a list of picklable per-layer tasks out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and returns results in
+task order, which keeps the merged forwarding tables **bit-identical**
+to the serial path (see ``docs/engine.md`` for the determinism
+argument).
+
+Worker model
+------------
+The shared, read-only context (network + algorithm config) is shipped
+to each worker exactly once, through the pool *initializer*; tasks then
+carry only their small per-layer payload (layer index, destination
+subset, spawned seed).  Worker processes re-import :mod:`repro`, so the
+worker function must be a module-level callable (picklable by
+reference).
+
+Graceful degradation
+--------------------
+``workers=1`` — the default — never touches multiprocessing: tasks run
+in-process through the exact same function, so platforms without a
+working process pool (or pickling-hostile callables) lose nothing but
+speed.  When a pool cannot be created or dies mid-run
+(``BrokenProcessPool``, pickling errors, missing ``fork``/``spawn``
+support), the engine logs one warning and re-runs the remaining tasks
+serially in-process.
+
+Observability
+-------------
+When the parent has :mod:`repro.obs` enabled, each worker records its
+spans/counters into a private in-memory sink and returns the raw
+events alongside its result; the parent replays them via
+:func:`repro.obs.core.replay` under its current span, so ``--trace``
+and ``--profile`` keep working with any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import core as obs
+from repro.obs.sinks import MemorySink
+
+__all__ = [
+    "run_layer_tasks",
+    "resolve_workers",
+    "set_default_workers",
+    "get_default_workers",
+]
+
+#: module-global default used when an algorithm is constructed with
+#: ``workers=None`` — set by ``repro-experiments --workers N`` / the
+#: CLI so one flag parallelises every routing of a run.
+_default_workers: int = 1
+
+
+def set_default_workers(n: int) -> None:
+    """Set the run-wide default worker count (``workers=None`` callers)."""
+    global _default_workers
+    if n < 1:
+        raise ValueError("workers must be >= 1")
+    _default_workers = n
+
+
+def get_default_workers() -> int:
+    """The run-wide default worker count (1 unless configured)."""
+    return _default_workers
+
+
+def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
+    """Effective worker count for ``n_tasks`` independent tasks.
+
+    ``None`` defers to :func:`get_default_workers`; ``0`` means "all
+    cores".  The result is clamped to ``[1, n_tasks]`` — a pool larger
+    than the task list only adds fork overhead.
+    """
+    if workers is None:
+        workers = _default_workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = all cores)")
+    return max(1, min(workers, n_tasks))
+
+
+# -- worker-process state -----------------------------------------------------
+
+_worker_fn: Optional[Callable[[Any, Any], Any]] = None
+_worker_ctx: Any = None
+_worker_capture_obs: bool = False
+
+
+def _init_worker(fn: Callable[[Any, Any], Any], ctx: Any,
+                 capture_obs: bool) -> None:
+    """Pool initializer: receive the shared read-only context once."""
+    global _worker_fn, _worker_ctx, _worker_capture_obs
+    _worker_fn = fn
+    _worker_ctx = ctx
+    _worker_capture_obs = capture_obs
+    # a forked worker inherits the parent's enabled obs with open sinks
+    # it must not write to; observation restarts per task when captured
+    obs.disable()
+    obs.reset()
+
+
+def _run_remote(task: Any) -> Tuple[Any, List[dict]]:
+    """Execute one task in the worker; returns ``(result, obs events)``."""
+    assert _worker_fn is not None, "worker used before initialization"
+    if not _worker_capture_obs:
+        return _worker_fn(_worker_ctx, task), []
+    sink = MemorySink(keep_events=True)
+    obs.reset()
+    obs.enable(sink)
+    try:
+        result = _worker_fn(_worker_ctx, task)
+    finally:
+        obs.disable()
+    return result, sink.events
+
+
+def run_layer_tasks(
+    fn: Callable[[Any, Any], Any],
+    ctx: Any,
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn(ctx, task)`` for every task; results in task order.
+
+    ``fn`` must be a module-level function and ``ctx``/``tasks``
+    picklable when ``workers > 1``.  Falls back to the in-process
+    serial path (with a single warning) whenever the process pool
+    cannot be used, so callers never need a platform check.
+    """
+    n = resolve_workers(workers, len(tasks))
+    if n <= 1:
+        return [fn(ctx, task) for task in tasks]
+    try:
+        return _run_pool(fn, ctx, tasks, n)
+    except (BrokenProcessPool, pickle.PicklingError, AttributeError,
+            ImportError, OSError, ValueError) as exc:
+        warnings.warn(
+            f"repro.engine: process pool unavailable ({exc!r}); "
+            "routing layers serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(ctx, task) for task in tasks]
+
+
+def _run_pool(
+    fn: Callable[[Any, Any], Any],
+    ctx: Any,
+    tasks: Sequence[Any],
+    n: int,
+) -> List[Any]:
+    capture = obs.enabled()
+    with obs.span("engine.pool", workers=n, tasks=len(tasks)):
+        with ProcessPoolExecutor(
+            max_workers=n,
+            initializer=_init_worker,
+            initargs=(fn, ctx, capture),
+        ) as pool:
+            futures = [pool.submit(_run_remote, task) for task in tasks]
+            out: List[Any] = []
+            for fut in futures:
+                result, events = fut.result()
+                if events:
+                    obs.replay(events)
+                out.append(result)
+    if obs.enabled():
+        obs.count("engine.pool_runs", 1)
+        obs.count("engine.layer_tasks", len(tasks))
+    return out

@@ -1,0 +1,42 @@
+"""Structural network fingerprints for the engine's memo cache.
+
+A fingerprint is a stable hex digest over everything that determines a
+routing result: node count, switch/terminal roles, node names, the link
+list (in construction order — channel ids derive from it), and the
+network name.  Two :class:`~repro.network.graph.Network` objects with
+equal fingerprints produce bit-identical forwarding tables under any of
+the library's deterministic routing algorithms, which is what lets
+:mod:`repro.engine.cache` reuse results across separately constructed
+copies of the same topology (e.g. a fault sweep re-deriving the same
+degraded network).
+
+``meta`` is deliberately excluded *except* for the ``topology``
+entry: topology-aware routings (DOR, Torus-2QoS) read coordinates from
+``net.meta["topology"]``, so it is part of the routing input; the rest
+of ``meta`` (provenance, fault notes) is diagnostics only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.network.graph import Network
+
+__all__ = ["network_fingerprint"]
+
+
+def network_fingerprint(net: Network) -> str:
+    """Hex digest identifying ``net`` structurally (blake2b-128)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(net.name.encode())
+    h.update(b"|%d|" % net.n_nodes)
+    h.update(",".join(net.node_names).encode())
+    h.update(bytes(1 if net.is_switch(n) else 0
+                   for n in range(net.n_nodes)))
+    for u, v in net.links():
+        h.update(b"%d,%d;" % (u, v))
+    topo = net.meta.get("topology")
+    if topo is not None:
+        h.update(json.dumps(topo, sort_keys=True, default=str).encode())
+    return h.hexdigest()

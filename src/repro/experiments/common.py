@@ -14,25 +14,23 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core import NueRouting
 from repro.metrics import required_vcs
 from repro.network.graph import Network
 from repro.routing import (
-    DFSSSPRouting,
-    DORRouting,
-    DownUpRouting,
-    FatTreeRouting,
-    LASHRouting,
-    MinHopRouting,
     NotApplicableError,
     RoutingAlgorithm,
     RoutingError,
     RoutingResult,
-    Torus2QoSRouting,
-    UpDownRouting,
+    make_algorithm,
 )
 
 __all__ = ["RoutingOutcome", "routing_suite", "nue_suite", "run_routing"]
+
+#: the paper's baseline engine set (OpenSM 3.3.16), in figure order
+BASELINES = (
+    "minhop", "updn", "dnup", "dor", "ftree", "lash", "dfsssp",
+    "torus-2qos",
+)
 
 
 @dataclass
@@ -50,26 +48,24 @@ class RoutingOutcome:
         return self.result is not None
 
 
-def routing_suite(max_vls: int = 8) -> Dict[str, RoutingAlgorithm]:
+def routing_suite(
+    max_vls: int = 8, workers: Optional[int] = None
+) -> Dict[str, RoutingAlgorithm]:
     """The paper's baseline set (OpenSM 3.3.16 engines)."""
     return {
-        a.name: a
-        for a in (
-            MinHopRouting(max_vls),
-            UpDownRouting(max_vls),
-            DownUpRouting(max_vls),
-            DORRouting(max_vls),
-            FatTreeRouting(max_vls),
-            LASHRouting(max_vls),
-            DFSSSPRouting(max_vls),
-            Torus2QoSRouting(max(2, max_vls)),
-        )
+        name: make_algorithm(name, max_vls, workers=workers)
+        for name in BASELINES
     }
 
 
-def nue_suite(max_k: int = 8) -> Dict[str, RoutingAlgorithm]:
+def nue_suite(
+    max_k: int = 8, workers: Optional[int] = None
+) -> Dict[str, RoutingAlgorithm]:
     """Nue at every VC count 1..max_k (the per-figure sweep)."""
-    return {f"nue-{k}vl": NueRouting(k) for k in range(1, max_k + 1)}
+    return {
+        f"nue-{k}vl": make_algorithm("nue", k, workers=workers)
+        for k in range(1, max_k + 1)
+    }
 
 
 def run_routing(

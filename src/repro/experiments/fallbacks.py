@@ -16,10 +16,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core import NueRouting
 from repro.experiments.report import render_table
 from repro.io.tables import save_experiment
 from repro.network.topologies import random_topology
+from repro.routing import make_algorithm
 from repro.utils.prng import make_rng, spawn_seed
 
 __all__ = ["run"]
@@ -48,7 +48,7 @@ def run(
         )
         run_seed = spawn_seed(rng)
         for k in ks:
-            result = NueRouting(k).route(net, seed=run_seed)
+            result = make_algorithm("nue", k).route(net, seed=run_seed)
             rates[k].append(float(result.stats["fallback_rate"]))
             islands[k].append(int(result.stats["islands_resolved"]))
             shortcuts[k].append(int(result.stats["shortcuts_taken"]))

@@ -20,12 +20,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core import NueRouting
 from repro.experiments.report import render_table
 from repro.io.tables import save_experiment
 from repro.metrics import gamma_summary, path_length_stats
 from repro.network.topologies import random_topology
-from repro.routing import DFSSSPRouting, LASHRouting
+from repro.routing import make_algorithm
 from repro.utils.prng import make_rng, spawn_seed
 
 __all__ = ["run"]
@@ -61,11 +60,9 @@ def run(
         for lab in labels:
             if lab.startswith("nue"):
                 k = int(lab.split("-")[1].removesuffix("vl"))
-                algo = NueRouting(k)
-            elif lab == "lash":
-                algo = LASHRouting(max_vls=64)
+                algo = make_algorithm("nue", k)
             else:
-                algo = DFSSSPRouting(max_vls=64)
+                algo = make_algorithm(lab, max_vls=64)
             result = algo.route(net, seed=run_seed)
             g = gamma_summary(result)
             p = path_length_stats(result)

@@ -19,13 +19,12 @@ import argparse
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.core import NueRouting
 from repro.experiments.common import run_routing
 from repro.experiments.report import render_table
 from repro.io.tables import save_experiment
 from repro.network.faults import FaultInjectionError, inject_random_link_faults
 from repro.network.topologies import torus
-from repro.routing import DFSSSPRouting, LASHRouting, Torus2QoSRouting
+from repro.routing import make_algorithm
 
 __all__ = ["run", "tori_dimensions"]
 
@@ -51,10 +50,10 @@ def run(
 ) -> Dict[str, Dict[str, Optional[float]]]:
     started = time.perf_counter()
     algos = {
-        "nue-8vl": NueRouting(max_vls),
-        "dfsssp": DFSSSPRouting(max_vls),
-        "lash": LASHRouting(max_vls),
-        "torus-2qos": Torus2QoSRouting(max(2, max_vls)),
+        "nue-8vl": make_algorithm("nue", max_vls),
+        "dfsssp": make_algorithm("dfsssp", max_vls),
+        "lash": make_algorithm("lash", max_vls),
+        "torus-2qos": make_algorithm("torus-2qos", max_vls),
     }
     runtimes: Dict[str, Dict[str, Optional[float]]] = {
         lab: {} for lab in algos

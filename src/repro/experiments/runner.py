@@ -3,9 +3,17 @@
 Each experiment is also runnable directly, e.g.
 ``python -m repro.experiments.fig01 --help``.
 
-Observability flags (accepted anywhere on the command line, stripped
-before the experiment's own parser sees the arguments):
+Engine and observability flags (accepted anywhere on the command
+line, stripped before the experiment's own parser sees the arguments):
 
+* ``--workers N`` — route independent virtual layers on an N-process
+  pool (``0`` = all cores); sets the run-wide default every
+  ``make_algorithm`` call of the experiment inherits
+  (:func:`repro.engine.set_default_workers`), output bit-identical to
+  serial;
+* ``--cache`` — memoise routing results across the run
+  (:func:`repro.engine.enable_route_cache`), so sweeps that re-route
+  identical inputs skip recomputation;
 * ``--trace out.jsonl`` — stream every span/counter event of the run
   to a JSONL file (:class:`repro.obs.JsonlSink`);
 * ``--profile`` — collect events in memory and print the
@@ -19,7 +27,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro import obs
+from repro import engine, obs
 from repro.experiments import (
     fallbacks,
     fig01,
@@ -46,7 +54,8 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 def _usage() -> str:
     names = ", ".join(sorted(EXPERIMENTS))
     return (f"usage: repro-experiments <{names}> [args...] "
-            "[--trace FILE.jsonl] [--profile] | --list")
+            "[--workers N] [--cache] [--trace FILE.jsonl] [--profile] "
+            "| --list")
 
 
 def _first_doc_line(fn: Callable[[], None]) -> str:
@@ -56,13 +65,30 @@ def _first_doc_line(fn: Callable[[], None]) -> str:
 
 def _extract_obs_flags(
     args: List[str],
-) -> Tuple[Optional[str], bool, List[str]]:
-    """Strip ``--trace PATH`` / ``--trace=PATH`` / ``--profile`` from
-    anywhere in ``args`` (so they work before *and* after the
-    experiment name) and return ``(trace_path, profile, rest)``."""
+) -> Tuple[Optional[str], bool, Optional[int], bool, List[str]]:
+    """Strip the runner-level flags (``--trace PATH`` / ``--trace=PATH``
+    / ``--profile`` / ``--workers N`` / ``--workers=N`` / ``--cache``)
+    from anywhere in ``args`` — so they work before *and* after the
+    experiment name — and return
+    ``(trace_path, profile, workers, cache, rest)``."""
     trace: Optional[str] = None
     profile = False
+    workers: Optional[int] = None
+    cache = False
     rest: List[str] = []
+
+    def parse_workers(text: Optional[str]) -> int:
+        try:
+            n = int(text)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            print("--workers requires an integer argument (0 = all "
+                  "cores)", file=sys.stderr)
+            raise SystemExit(2) from None
+        if n < 0:
+            print("--workers must be >= 0", file=sys.stderr)
+            raise SystemExit(2)
+        return n
+
     it = iter(args)
     for a in it:
         if a == "--trace":
@@ -75,14 +101,25 @@ def _extract_obs_flags(
             trace = a.split("=", 1)[1]
         elif a == "--profile":
             profile = True
+        elif a == "--workers":
+            workers = parse_workers(next(it, None))
+        elif a.startswith("--workers="):
+            workers = parse_workers(a.split("=", 1)[1])
+        elif a == "--cache":
+            cache = True
         else:
             rest.append(a)
-    return trace, profile, rest
+    return trace, profile, workers, cache, rest
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = list(sys.argv[1:]) if argv is None else list(argv)
-    trace, profile, args = _extract_obs_flags(args)
+    trace, profile, workers, cache, args = _extract_obs_flags(args)
+    if workers is not None:
+        import os
+        engine.set_default_workers(workers or (os.cpu_count() or 1))
+    if cache:
+        engine.enable_route_cache()
 
     if args and args[0] == "--list":
         for name in sorted(EXPERIMENTS):
@@ -112,13 +149,19 @@ def main(argv: Optional[List[str]] = None) -> None:
         obs.enable(obs.MemorySink(keep_events=False))
 
     # the experiment mains parse sys.argv themselves; swap it for the
-    # dispatch only and always restore it afterwards
+    # dispatch only and always restore it afterwards (ditto the
+    # engine's run-wide defaults, so in-process callers don't leak
+    # state across dispatches)
     saved_argv = sys.argv
+    saved_workers = engine.get_default_workers()
     sys.argv = [f"repro-experiments {name}"] + args[1:]
     try:
         EXPERIMENTS[name]()
     finally:
         sys.argv = saved_argv
+        engine.set_default_workers(saved_workers)
+        if cache:
+            engine.disable_route_cache()
         if trace or profile:
             obs.disable()
             if profile:

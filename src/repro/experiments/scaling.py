@@ -15,10 +15,10 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core import NueRouting
 from repro.experiments.report import render_table
 from repro.io.tables import save_experiment
 from repro.network.topologies import random_topology
+from repro.routing import make_algorithm
 
 __all__ = ["run"]
 
@@ -41,7 +41,7 @@ def run(
             terminals_per_switch,
             seed=seed,
         )
-        algo = NueRouting(k)
+        algo = make_algorithm("nue", k)
         started = time.perf_counter()
         algo.route(net, seed=seed)
         elapsed = time.perf_counter() - started

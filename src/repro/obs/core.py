@@ -36,6 +36,7 @@ __all__ = [
     "count_many",
     "gauge",
     "span",
+    "replay",
     "counters",
     "span_stats",
 ]
@@ -198,6 +199,45 @@ def span(name: str, **attrs: object):
     if not _enabled:
         return _NULL_SPAN
     return _Span(name, attrs)
+
+
+def replay(events: List[Dict[str, object]]) -> None:
+    """Re-emit events captured in another process under the current span.
+
+    :mod:`repro.engine` runs routing layers in worker processes; each
+    worker records its spans/counters into a private
+    :class:`~repro.obs.sinks.MemorySink` and ships the raw events back.
+    Replaying them here folds the workers' tallies into this process's
+    aggregates and forwards them to the attached sinks, so ``--trace``
+    and ``--profile`` see one coherent run.  Span ``path``\\ s are
+    re-rooted under the caller's current span stack (a worker's stack
+    starts empty), and every replayed event is tagged
+    ``replayed=True`` so traces can distinguish worker time from
+    parent wall-clock (worker spans overlap in real time).
+
+    No-op while observation is disabled, mirroring every other emitter.
+    """
+    if not _enabled:
+        return
+    prefix = "/".join(_span_stack)
+    for ev in events:
+        kind = ev.get("type")
+        name = str(ev.get("name"))
+        if kind == "counter":
+            n = float(ev.get("n", 1))  # type: ignore[arg-type]
+            _counters[name] = _counters.get(name, 0) + n
+        elif kind == "gauge":
+            _gauges[name] = float(ev.get("value", 0))  # type: ignore[arg-type]
+        elif kind == "span":
+            agg = _span_agg.setdefault(name,
+                                       {"calls": 0, "total_ns": 0})
+            agg["calls"] += 1
+            agg["total_ns"] += int(ev.get("dur_ns", 0))  # type: ignore[call-overload]
+        out = dict(ev)
+        if kind == "span" and prefix:
+            out["path"] = f"{prefix}/{ev.get('path') or name}"
+        out["replayed"] = True
+        _emit(out)
 
 
 def counters() -> Dict[str, float]:

@@ -17,20 +17,28 @@ __all__ = [
     "ClusterPartitioner",
     "SpectralPartitioner",
     "make_partitioner",
+    "available_partitioners",
 ]
+
+PARTITIONERS = {
+    "kway": KWayPartitioner,
+    "random": RandomPartitioner,
+    "cluster": ClusterPartitioner,
+    "spectral": SpectralPartitioner,
+}
+
+
+def available_partitioners() -> list:
+    """Sorted names accepted by :func:`make_partitioner`."""
+    return sorted(PARTITIONERS)
 
 
 def make_partitioner(name: str) -> Partitioner:
     """Instantiate a partitioner by name (``kway``/``random``/``cluster``)."""
-    registry = {
-        "kway": KWayPartitioner,
-        "random": RandomPartitioner,
-        "cluster": ClusterPartitioner,
-        "spectral": SpectralPartitioner,
-    }
     try:
-        return registry[name]()
+        return PARTITIONERS[name]()
     except KeyError:
         raise ValueError(
-            f"unknown partitioner {name!r}; choose from {sorted(registry)}"
+            f"unknown partitioner {name!r}; choose from "
+            f"{available_partitioners()}"
         ) from None

@@ -27,6 +27,13 @@ from repro.routing.ftree import FatTreeRouting
 from repro.routing.lash import LASHRouting
 from repro.routing.dfsssp import DFSSSPRouting
 
+from repro.routing.registry import (
+    available_algorithms,
+    algorithm_descriptions,
+    make_algorithm,
+    register,
+)
+
 __all__ = [
     "RoutingAlgorithm",
     "RoutingResult",
@@ -42,22 +49,37 @@ __all__ = [
     "FatTreeRouting",
     "LASHRouting",
     "DFSSSPRouting",
+    "make_algorithm",
+    "register",
+    "available_algorithms",
+    "algorithm_descriptions",
     "algorithm_registry",
 ]
 
+#: the names the pre-registry ``algorithm_registry()`` helper returned
+#: (every baseline; Nue was "added by repro.core")
+BASELINE_NAMES = (
+    "minhop", "updn", "dnup", "dor", "torus-2qos", "ftree", "lash",
+    "dfsssp",
+)
+
 
 def algorithm_registry(max_vls: int = 8) -> dict:
-    """Name -> instance for every baseline (Nue is added by repro.core)."""
+    """Deprecated shim: name -> instance for every baseline.
+
+    Superseded by :func:`repro.routing.make_algorithm` (which also
+    constructs Nue, validates configuration eagerly, and threads the
+    engine's ``workers``/``cache`` knobs through).  Kept so existing
+    call sites continue to work; delegates to the registry.
+    """
+    import warnings
+
+    warnings.warn(
+        "algorithm_registry() is deprecated; use "
+        "repro.routing.make_algorithm(name, max_vls=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return {
-        a.name: a
-        for a in (
-            MinHopRouting(max_vls),
-            UpDownRouting(max_vls),
-            DownUpRouting(max_vls),
-            DORRouting(max_vls),
-            Torus2QoSRouting(max(2, max_vls)),
-            FatTreeRouting(max_vls),
-            LASHRouting(max_vls),
-            DFSSSPRouting(max_vls),
-        )
+        name: make_algorithm(name, max_vls) for name in BASELINE_NAMES
     }

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import cache as engine_cache
 from repro.network.graph import Network
 from repro.obs import core as obs
 from repro.utils.prng import SeedLike
@@ -151,16 +152,38 @@ class RoutingAlgorithm:
     """Base class: a named, configurable routing function.
 
     Subclasses implement :meth:`_route`; the public :meth:`route`
-    wrapper adds wall-clock accounting, which experiment Fig. 11
-    (runtime comparison) relies on.
+    wrapper adds wall-clock accounting (which experiment Fig. 11's
+    runtime comparison relies on) and, when a
+    :mod:`repro.engine.cache` is active, serves/stores memoised
+    results for repeated identical inputs.
+
+    ``workers`` is the engine-level parallelism budget: algorithms
+    whose work decomposes into independent virtual layers (Nue) fan
+    out over a process pool; order-dependent algorithms (the greedy
+    layer assigners of LASH/DFSSSP) accept the parameter for API
+    uniformity and run in-process regardless.  ``None`` defers to
+    :func:`repro.engine.get_default_workers`, ``0`` means all cores.
     """
 
     name = "abstract"
 
-    def __init__(self, max_vls: int = 8) -> None:
+    def __init__(self, max_vls: int = 8,
+                 workers: Optional[int] = None) -> None:
         if max_vls < 1:
             raise ValueError("max_vls must be >= 1")
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0 (0 = all cores)")
         self.max_vls = max_vls
+        self.workers = workers
+
+    def cache_config(self) -> Hashable:
+        """Hashable identity of every output-affecting knob.
+
+        Part of the route-cache key; subclasses with extra
+        configuration extend it.  ``workers`` is deliberately absent —
+        the engine guarantees worker count never changes the output.
+        """
+        return (self.max_vls,)
 
     def route(
         self,
@@ -180,10 +203,23 @@ class RoutingAlgorithm:
         if not dests:
             raise ValueError("empty destination set")
         started = time.perf_counter()
+        cache = engine_cache.active_route_cache()
+        key: Optional[Hashable] = None
+        if cache is not None:
+            key = engine_cache.route_cache_key(
+                net, self.name, self.cache_config(), tuple(dests), seed
+            )
+            if key is not None:
+                hit = cache.lookup(key, net)
+                if hit is not None:
+                    hit.runtime_s = time.perf_counter() - started
+                    return hit
         with obs.span(f"route.{self.name}", network=net.name,
                       dests=len(dests), max_vls=self.max_vls):
             result = self._route(net, dests, seed)
         result.runtime_s = time.perf_counter() - started
+        if cache is not None and key is not None:
+            cache.store(key, result)
         return result
 
     def _route(

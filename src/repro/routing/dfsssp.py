@@ -40,13 +40,17 @@ class DFSSSPRouting(RoutingAlgorithm):
 
     name = "dfsssp"
 
-    def __init__(self, max_vls: int = 8, spread_layers: bool = False) -> None:
+    def __init__(self, max_vls: int = 8, spread_layers: bool = False,
+                 workers: "int | None" = None) -> None:
         """``spread_layers`` redistributes pairs round-robin over unused
         layers after cycle breaking (OpenSM's "use all 8 VLs to improve
         balancing" behaviour the paper mentions) — off by default so
         ``n_vls`` reports the *required* count."""
-        super().__init__(max_vls)
+        super().__init__(max_vls, workers=workers)
         self.spread_layers = spread_layers
+
+    def cache_config(self):
+        return (self.max_vls, self.spread_layers)
 
     def _route(
         self, net: Network, dests: List[int], seed: SeedLike

@@ -1,0 +1,252 @@
+"""Unified algorithm registry — the one way to construct routings.
+
+Experiments, the CLI and library users all build routing algorithms
+through :func:`make_algorithm`::
+
+    from repro.routing.registry import make_algorithm
+
+    algo = make_algorithm("nue", max_vls=4, workers=4,
+                          partitioner="spectral")
+    result = algo.route(net, seed=7)
+
+Every algorithm of the library registers itself here under its
+canonical ``name`` (the same string :attr:`RoutingAlgorithm.name`
+reports); :func:`available_algorithms` lists them.  Configuration
+keywords are validated **eagerly**: an unknown algorithm, an unknown
+config key, or an unknown Nue partitioner each raise a one-line
+:class:`ValueError` naming the valid choices, instead of failing deep
+inside the run.
+
+``workers`` is forwarded to every algorithm (see
+:class:`~repro.routing.base.RoutingAlgorithm`): Nue parallelises its
+virtual layers over the :mod:`repro.engine` pool, the order-dependent
+baselines accept-and-ignore it.  ``cache=True`` installs the global
+:mod:`repro.engine` route cache as a convenience.
+
+Third-party algorithms can join via the :func:`register` decorator::
+
+    @register("my-routing", description="...")
+    def _make(max_vls, workers, **config):
+        return MyRouting(max_vls, workers=workers)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = [
+    "register",
+    "make_algorithm",
+    "available_algorithms",
+    "algorithm_descriptions",
+    "AlgorithmSpec",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registry entry: a named factory plus its constraints."""
+
+    name: str
+    factory: Callable[..., RoutingAlgorithm]
+    description: str = ""
+    #: hard floor on the VC budget (Torus-2QoS needs 2 data VLs)
+    min_vls: int = 1
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+
+def register(
+    name: str,
+    *,
+    description: str = "",
+    min_vls: int = 1,
+) -> Callable[[Callable[..., RoutingAlgorithm]],
+              Callable[..., RoutingAlgorithm]]:
+    """Decorator registering ``factory(max_vls, workers, **config)``."""
+
+    def deco(
+        factory: Callable[..., RoutingAlgorithm]
+    ) -> Callable[..., RoutingAlgorithm]:
+        _REGISTRY[name] = AlgorithmSpec(
+            name=name,
+            factory=factory,
+            description=description,
+            min_vls=min_vls,
+        )
+        return factory
+
+    return deco
+
+
+def available_algorithms() -> List[str]:
+    """Sorted canonical names :func:`make_algorithm` accepts."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def algorithm_descriptions() -> Dict[str, str]:
+    """Name -> one-line description, for ``--help`` style listings."""
+    return {name: _REGISTRY[name].description
+            for name in available_algorithms()}
+
+
+def make_algorithm(
+    name: str,
+    max_vls: int = 8,
+    workers: Optional[int] = None,
+    cache: bool = False,
+    **config: object,
+) -> RoutingAlgorithm:
+    """Instantiate routing algorithm ``name``, validated up front.
+
+    Parameters
+    ----------
+    name:
+        A canonical algorithm name (see :func:`available_algorithms`).
+    max_vls:
+        Virtual-channel budget; raised to the algorithm's floor where
+        one exists (Torus-2QoS needs 2).
+    workers:
+        Engine parallelism: ``None`` = run-wide default, ``0`` = all
+        cores, ``N`` = at most N pool workers.
+    cache:
+        When True, install the global route memo cache
+        (:func:`repro.engine.enable_route_cache`) if not already on.
+    config:
+        Algorithm-specific keywords (e.g. Nue's ``partitioner`` or
+        ``enable_backtracking``); unknown keys raise immediately.
+    """
+    _ensure_builtins()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; choose from "
+            f"{available_algorithms()}"
+        )
+    if cache:
+        from repro.engine import active_route_cache, enable_route_cache
+
+        if active_route_cache() is None:
+            enable_route_cache()
+    return spec.factory(
+        max_vls=max(spec.min_vls, max_vls), workers=workers, **config
+    )
+
+
+# -- built-in registrations ----------------------------------------------------
+
+
+def _no_config(name: str, config: Dict[str, object]) -> None:
+    if config:
+        raise ValueError(
+            f"unknown {name} option(s) {sorted(config)}; "
+            f"{name} takes no extra configuration"
+        )
+
+
+_builtins_registered = False
+
+
+def _ensure_builtins() -> None:
+    """Register the paper's algorithm set on first registry use.
+
+    Deferred because the built-in factories import :mod:`repro.core`
+    (Nue), which itself imports :mod:`repro.routing.base` — eager
+    registration at module import would be a cycle.
+    """
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    from repro.core.nue import NueConfig, NueRouting
+    from repro.partition import available_partitioners
+    from repro.routing.dfsssp import DFSSSPRouting
+    from repro.routing.dor import DORRouting
+    from repro.routing.ftree import FatTreeRouting
+    from repro.routing.lash import LASHRouting
+    from repro.routing.minhop import MinHopRouting
+    from repro.routing.torus2qos import Torus2QoSRouting
+    from repro.routing.updn import DownUpRouting, UpDownRouting
+
+    nue_keys = sorted(f.name for f in dataclasses.fields(NueConfig))
+
+    @register("nue", description="this paper: complete-CDG Dijkstra, "
+                                 "deadlock-free at any k >= 1")
+    def _make_nue(max_vls: int, workers: Optional[int],
+                  **config: object) -> RoutingAlgorithm:
+        unknown = sorted(set(config) - set(nue_keys))
+        if unknown:
+            raise ValueError(
+                f"unknown nue option(s) {unknown}; valid: {nue_keys}"
+            )
+        partitioner = config.get("partitioner", "kway")
+        names = available_partitioners()
+        if partitioner not in names:
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; choose from {names}"
+            )
+        return NueRouting(max_vls, NueConfig(**config),  # type: ignore[arg-type]
+                          workers=workers)
+
+    @register("dfsssp", description="balanced SSSP + cycle-breaking "
+                                    "layer assignment")
+    def _make_dfsssp(max_vls: int, workers: Optional[int],
+                     **config: object) -> RoutingAlgorithm:
+        unknown = sorted(set(config) - {"spread_layers"})
+        if unknown:
+            raise ValueError(
+                f"unknown dfsssp option(s) {unknown}; "
+                "valid: ['spread_layers']"
+            )
+        return DFSSSPRouting(max_vls, workers=workers, **config)  # type: ignore[arg-type]
+
+    @register("updn", description="Up*/Down* BFS-tree turn restriction")
+    def _make_updn(max_vls: int, workers: Optional[int],
+                   **config: object) -> RoutingAlgorithm:
+        unknown = sorted(set(config) - {"root"})
+        if unknown:
+            raise ValueError(
+                f"unknown updn option(s) {unknown}; valid: ['root']"
+            )
+        return UpDownRouting(max_vls, workers=workers, **config)  # type: ignore[arg-type]
+
+    @register("dnup", description="Down*/Up* (inverted rule)")
+    def _make_dnup(max_vls: int, workers: Optional[int],
+                   **config: object) -> RoutingAlgorithm:
+        unknown = sorted(set(config) - {"root"})
+        if unknown:
+            raise ValueError(
+                f"unknown dnup option(s) {unknown}; valid: ['root']"
+            )
+        return DownUpRouting(max_vls, workers=workers, **config)  # type: ignore[arg-type]
+
+    simple = {
+        "minhop": (MinHopRouting,
+                   "balanced minimal paths, no deadlock avoidance"),
+        "dor": (DORRouting,
+                "dimension-order routing on tori/meshes"),
+        "ftree": (FatTreeRouting, "d-mod-k fat-tree routing"),
+        "lash": (LASHRouting,
+                 "minimal paths + greedy layer assignment"),
+    }
+    for algo_name, (cls, desc) in simple.items():
+        def _make_simple(max_vls: int, workers: Optional[int],
+                         _cls=cls, _name=algo_name,
+                         **config: object) -> RoutingAlgorithm:
+            _no_config(_name, config)
+            return _cls(max_vls, workers=workers)
+
+        register(algo_name, description=desc)(_make_simple)
+
+    @register("torus-2qos", min_vls=2,
+              description="fault-tolerant dateline DOR, 2 VLs, tori only")
+    def _make_t2q(max_vls: int, workers: Optional[int],
+                  **config: object) -> RoutingAlgorithm:
+        _no_config("torus-2qos", config)
+        return Torus2QoSRouting(max_vls, workers=workers)

@@ -79,8 +79,9 @@ class Torus2QoSRouting(RoutingAlgorithm):
 
     name = "torus-2qos"
 
-    def __init__(self, max_vls: int = 8) -> None:
-        super().__init__(max_vls)
+    def __init__(self, max_vls: int = 8,
+                 workers: "int | None" = None) -> None:
+        super().__init__(max_vls, workers=workers)
         if max_vls < 2:
             raise ValueError("Torus-2QoS needs at least 2 VLs")
 

@@ -53,9 +53,13 @@ class UpDownRouting(RoutingAlgorithm):
     name = "updn"
     _down_first = False
 
-    def __init__(self, max_vls: int = 8, root: Optional[int] = None) -> None:
-        super().__init__(max_vls)
+    def __init__(self, max_vls: int = 8, root: Optional[int] = None,
+                 workers: Optional[int] = None) -> None:
+        super().__init__(max_vls, workers=workers)
         self.root = root
+
+    def cache_config(self):
+        return (self.max_vls, self.root)
 
     def _order_key(self, levels: np.ndarray, node: int) -> Tuple[int, int]:
         return (int(levels[node]), node)

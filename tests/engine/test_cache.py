@@ -1,0 +1,125 @@
+"""Engine route cache: keying, LRU behaviour, isolation of hits."""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.core import NueRouting
+from repro.network.topologies import ring, torus
+from repro.routing import MinHopRouting
+from repro.utils.prng import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache():
+    """The global cache is process state; never leak it across tests."""
+    engine.disable_route_cache()
+    yield
+    engine.disable_route_cache()
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        a = engine.network_fingerprint(ring(6, 2))
+        b = engine.network_fingerprint(ring(6, 2))
+        assert a == b
+
+    def test_distinguishes_topologies(self):
+        assert engine.network_fingerprint(ring(6, 2)) != \
+            engine.network_fingerprint(ring(7, 2))
+
+
+class TestRouteCacheKey:
+    def test_int_and_none_seeds_are_cacheable(self):
+        net = ring(5, 1)
+        k1 = engine.route_cache_key(net, "nue", (1,), (0, 1), 7)
+        k2 = engine.route_cache_key(net, "nue", (1,), (0, 1), None)
+        assert k1 is not None and k2 is not None and k1 != k2
+
+    def test_generator_seed_bypasses(self):
+        net = ring(5, 1)
+        key = engine.route_cache_key(net, "nue", (1,), (0, 1),
+                                     make_rng(3))
+        assert key is None
+
+
+class TestRouteCache:
+    def test_second_route_hits(self):
+        engine.enable_route_cache()
+        net = torus([3, 3], 2)
+        algo = NueRouting(2)
+        first = algo.route(net, seed=9)
+        second = algo.route(net, seed=9)
+        assert "cache_hit" not in first.stats
+        assert second.stats["cache_hit"] is True
+        assert np.array_equal(first.next_channel, second.next_channel)
+        assert np.array_equal(first.vl, second.vl)
+        stats = engine.active_route_cache().stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_hit_rebinds_callers_network(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        NueRouting(1).route(net, seed=2)
+        hit = NueRouting(1).route(net, seed=2)
+        assert hit.net is net
+
+    def test_hits_are_independent_copies(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        NueRouting(1).route(net, seed=2)
+        a = NueRouting(1).route(net, seed=2)
+        a.next_channel[:] = -7
+        b = NueRouting(1).route(net, seed=2)
+        assert not np.array_equal(a.next_channel, b.next_channel)
+
+    def test_different_seed_misses(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        NueRouting(1).route(net, seed=1)
+        NueRouting(1).route(net, seed=2)
+        assert engine.active_route_cache().stats()["hits"] == 0
+
+    def test_different_config_misses(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        NueRouting(1).route(net, seed=1)
+        NueRouting(2).route(net, seed=1)
+        assert engine.active_route_cache().stats()["hits"] == 0
+
+    def test_algorithms_do_not_collide(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        nue = NueRouting(1).route(net, seed=1)
+        minhop = MinHopRouting(1).route(net, seed=1)
+        assert "cache_hit" not in minhop.stats
+        assert nue.algorithm != minhop.algorithm
+
+    def test_generator_seed_never_cached(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        NueRouting(1).route(net, seed=make_rng(4))
+        NueRouting(1).route(net, seed=make_rng(4))
+        stats = engine.active_route_cache().stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_lru_eviction(self):
+        cache = engine.RouteCache(max_entries=2)
+        engine.enable_route_cache(cache)
+        net = ring(6, 2)
+        algo = NueRouting(1)
+        algo.route(net, seed=1)
+        algo.route(net, seed=2)
+        algo.route(net, seed=3)       # evicts seed=1
+        algo.route(net, seed=1)       # miss again
+        assert cache.stats()["hits"] == 0
+        algo.route(net, seed=1)       # now resident
+        assert cache.stats()["hits"] == 1
+
+    def test_clear(self):
+        engine.enable_route_cache()
+        net = ring(6, 2)
+        NueRouting(1).route(net, seed=1)
+        engine.active_route_cache().clear()
+        again = NueRouting(1).route(net, seed=1)
+        assert "cache_hit" not in again.stats

@@ -1,0 +1,71 @@
+"""Engine bit-identity contract: ``workers=N`` equals ``workers=1``.
+
+The engine's central guarantee (and the reason ``workers`` is excluded
+from the route-cache key): fanning Nue's per-layer routing over a
+process pool must produce the *same bits* as the serial loop — same
+``next_channel`` table, same ``vl`` assignment, same stats counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NueRouting
+from repro.network.topologies import (
+    k_ary_n_tree,
+    paper_ring_with_shortcut,
+    ring,
+    torus,
+)
+
+TOPOLOGIES = [
+    ("ring8", lambda: ring(8, 2)),
+    ("torus33", lambda: torus([3, 3], 2)),
+    ("tree32", lambda: k_ary_n_tree(3, 2)),
+]
+
+
+def assert_results_identical(a, b):
+    assert np.array_equal(a.next_channel, b.next_channel)
+    assert np.array_equal(a.vl, b.vl)
+    assert a.n_vls == b.n_vls
+    assert a.algorithm == b.algorithm
+    assert a.stats == b.stats
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+@pytest.mark.parametrize(
+    "builder", [b for _, b in TOPOLOGIES], ids=[n for n, _ in TOPOLOGIES]
+)
+def test_parallel_matches_serial(builder, k):
+    net = builder()
+    serial = NueRouting(k, workers=1).route(net, seed=11)
+    parallel = NueRouting(k, workers=2).route(net, seed=11)
+    assert_results_identical(serial, parallel)
+
+
+def test_worker_count_does_not_matter():
+    net = torus([3, 3], 2)
+    results = [
+        NueRouting(4, workers=w).route(net, seed=5) for w in (1, 2, 3, 4)
+    ]
+    for other in results[1:]:
+        assert_results_identical(results[0], other)
+
+
+def test_workers_zero_means_all_cores():
+    net = ring(6, 1)
+    serial = NueRouting(2, workers=1).route(net, seed=3)
+    all_cores = NueRouting(2, workers=0).route(net, seed=3)
+    assert_results_identical(serial, all_cores)
+
+
+class TestFig2aSmoke:
+    """Serial/parallel equality on the paper's Fig. 2a ring — the
+    minimal end-to-end check the CI engine-smoke job runs."""
+
+    def test_fig2a_parallel_equals_serial(self):
+        net = paper_ring_with_shortcut()
+        serial = NueRouting(2, workers=1).route(net, seed=1)
+        parallel = NueRouting(2, workers=2).route(net, seed=1)
+        assert_results_identical(serial, parallel)
+        assert serial.n_vls >= 1

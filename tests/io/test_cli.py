@@ -65,7 +65,10 @@ class TestRoute:
     def test_unknown_algorithm(self, fabric, capsys):
         rc = main(["route", str(fabric), "-a", "wizardry"])
         assert rc == 2
-        assert "unknown algorithm" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # the registry's one-line error names the valid choices
+        assert "unknown routing algorithm" in err
+        assert "nue" in err
 
     def test_routing_failure_reported(self, tmp_path, capsys):
         # a topology torus-2qos cannot route: a plain ring

@@ -54,6 +54,32 @@ class TestRemoveSwitches:
         degraded = remove_switches(net, [net.switches[0]])
         assert degraded.meta["faults"]["dead_nodes"]
 
+    def test_name_mapping_with_multiple_dead_switches(self):
+        """Ids re-densify after a multi-switch failure; names are the
+        only stable identity, so every survivor must map back to its
+        original node and every surviving link to an original link."""
+        net = torus([4, 4], 2)
+        dead = [net.switches[3], net.switches[9]]
+        dead_names = {net.node_names[s] for s in dead}
+        degraded = remove_switches(net, dead)
+
+        assert dead_names.isdisjoint(degraded.node_names)
+        assert dead_names <= set(degraded.meta["faults"]["dead_nodes"])
+
+        old_by_name = {net.node_names[n]: n for n in range(net.n_nodes)}
+        for new_id, name in enumerate(degraded.node_names):
+            old_id = old_by_name[name]
+            assert net.is_switch(old_id) == degraded.is_switch(new_id)
+
+        orig_links = {
+            frozenset((net.node_names[u], net.node_names[v]))
+            for u, v in net.links()
+        }
+        for u, v in degraded.links():
+            pair = frozenset((degraded.node_names[u],
+                              degraded.node_names[v]))
+            assert pair in orig_links
+
 
 class TestRemoveLinks:
     def test_link_removal(self):
@@ -81,6 +107,27 @@ class TestRemoveLinks:
         net = ring(4)
         with pytest.raises(FaultInjectionError):
             remove_links(net, [0, 2])
+
+    def test_many_dead_links_orphan_exactly_the_right_terminals(self):
+        """Exercises the endpoint->links liveness map: kill every link
+        of some terminals plus a few switch-switch links at once and
+        check the orphan set is exact."""
+        net = torus([3, 3], 2)
+        links = net.links()
+        doomed = set(net.terminals[:3])
+        dead = [
+            i for i, (u, v) in enumerate(links)
+            if u in doomed or v in doomed
+        ]
+        s2s = [
+            i for i, (u, v) in enumerate(links)
+            if net.is_switch(u) and net.is_switch(v)
+        ]
+        degraded = remove_links(net, dead + s2s[:2])
+        survivor_names = set(degraded.node_names)
+        for t in net.terminals:
+            expected_alive = t not in doomed
+            assert (net.node_names[t] in survivor_names) is expected_alive
 
 
 class TestRandomFaults:
