@@ -1,0 +1,57 @@
+"""One-shot helper: capture forwarding-table digests of every routing
+algorithm on the reference topologies.  Run against the pre-CSR tree to
+pin the bit-identity contract, and re-run after a refactor to compare.
+"""
+
+import hashlib
+import json
+import sys
+
+from repro.network.faults import remove_switches
+from repro.network.topologies import k_ary_n_tree, ring, torus
+from repro.routing import make_algorithm
+from repro.routing.base import RoutingError
+
+
+def result_digest(res) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(res.next_channel.astype("int32").tobytes())
+    h.update(res.vl.astype("int8").tobytes())
+    h.update(b"%d" % res.n_vls)
+    return h.hexdigest()
+
+
+TOPOLOGIES = {
+    "ring8": lambda: ring(8, 2),
+    "torus443": lambda: torus([4, 4, 3], 2),
+    "tree32": lambda: k_ary_n_tree(3, 2),
+    "torus443_fault": lambda: remove_switches(torus([4, 4, 3], 2), [5]),
+}
+
+ALGORITHMS = [
+    ("nue", 1), ("nue", 2), ("nue", 4),
+    ("updn", 8), ("dnup", 8), ("minhop", 8),
+    ("dfsssp", 8), ("lash", 8),
+    ("dor", 8), ("torus-2qos", 8), ("ftree", 8),
+]
+
+
+def main():
+    out = {}
+    for tname, builder in TOPOLOGIES.items():
+        net = builder()
+        for aname, vls in ALGORITHMS:
+            algo = make_algorithm(aname, max_vls=vls)
+            key = f"{tname}/{aname}/k{vls}"
+            try:
+                res = algo.route(net, seed=7)
+            except RoutingError as exc:
+                out[key] = f"raises:{type(exc).__name__}"
+            else:
+                out[key] = result_digest(res)
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    print()
+
+
+if __name__ == "__main__":
+    main()

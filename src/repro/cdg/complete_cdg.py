@@ -6,9 +6,22 @@ the tail of ``c_q`` and the pair is not a 180-degree turn
 (``src(c_p) != dst(c_q)``, Def. 6 — note this is node-based, so a turn
 back over a *parallel* channel is excluded too).
 
-Vertices and edges carry the paper's three states — *unused*, *used*,
-*blocked* — plus the ω subgraph numbering of Section 4.6.1, realised
-here as a union–find over channels:
+Structure vs. state
+-------------------
+The *structure* of ``D̄`` is static per network and lives in the shared
+CSR array core (:class:`repro.network.csr.CSRView`): every dependency
+edge has a flat integer id, successors/predecessors of a channel are
+contiguous CSR slices.  This class holds only the *state*: one byte
+per edge id (*unused*, *used*, *blocked*) plus one byte per vertex —
+dense arrays, no dict hashing anywhere on the Algorithm-1 hot path.
+The used-edge adjacency needed by the cycle machinery is array-backed
+too: per-channel insertion-ordered lists of used successors and
+predecessors, maintained alongside the state bytes (the same contract
+the pre-CSR implementation exposed).
+
+Vertices and edges carry the paper's three states plus the ω subgraph
+numbering of Section 4.6.1, realised here as a union–find over
+channels:
 
 * condition (a): a blocked edge stays blocked — O(1);
 * condition (b): a used edge is part of an acyclic subgraph — O(1);
@@ -22,14 +35,14 @@ an edge to unused without splitting components, which is conservative
 (it can only force an extra DFS, never a wrong answer) — see
 ``repro/utils/unionfind.py``.
 
-Adjacency of ``D̄`` is *implicit* (derived from the network adjacency on
-demand), so building a CDG is O(|C|) and the memory stays proportional
-to the number of *touched* edges.
+The pre-CSR (dict/list) implementation is frozen verbatim in
+:mod:`repro.legacy.nue_ref`; the equality tests in ``tests/engine``
+pin this class to its exact routing behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.network.graph import Network
 from repro.utils.unionfind import UnionFind
@@ -40,22 +53,35 @@ UNUSED = 0
 USED = 1
 BLOCKED = -1
 
+#: internal byte encoding of BLOCKED (bytearrays hold 0..255)
+_B = 2
+#: byte -> public state constant
+_STATE_OF_BYTE = (UNUSED, USED, BLOCKED)
+
 
 class CompleteCDG:
     """Mutable per-virtual-layer view of the complete CDG.
 
     One instance per virtual layer: Nue creates a fresh ``CompleteCDG``
     for every layer (paper Alg. 2 line 6) because the states and
-    routing restrictions of different layers are independent.
+    routing restrictions of different layers are independent.  The
+    static structure is shared (``net.csr``); only the dense state
+    arrays are per-instance, so creating a layer CDG is O(|Ē|) bytes
+    and O(|C|) time.
     """
 
     def __init__(self, net: Network) -> None:
         self.net = net
+        self.csr = csr = net.csr
         self.n_channels = net.n_channels
-        self._edge_state: Dict[int, int] = {}
+        #: dense per-edge state, indexed by dependency-edge id
+        #: (0 = unused, 1 = used, 2 = blocked)
+        self._state = bytearray(csr.n_dep_edges)
+        self._vertex_used = bytearray(self.n_channels)
+        #: array-backed used adjacency (insertion-ordered, exactly the
+        #: legacy contract): used successors / predecessors per channel
         self._used_out: List[List[int]] = [[] for _ in range(self.n_channels)]
         self._used_in: List[List[int]] = [[] for _ in range(self.n_channels)]
-        self._vertex_used = bytearray(self.n_channels)
         self._uf = UnionFind(self.n_channels)
         #: Pearce-Kelly dynamic topological order of the used subgraph;
         #: initialised arbitrarily (channel id) and repaired locally on
@@ -69,8 +95,9 @@ class CompleteCDG:
 
     # -- structure -------------------------------------------------------------
 
-    def _key(self, cp: int, cq: int) -> int:
-        return cp * self.n_channels + cq
+    def edge_id(self, cp: int, cq: int) -> int:
+        """Flat id of edge ``(c_p, c_q)``; -1 when not a CDG edge."""
+        return self.csr.edge_id(cp, cq)
 
     def dependency_exists(self, cp: int, cq: int) -> bool:
         """True when ``(c_p, c_q)`` is an edge of the complete CDG."""
@@ -80,26 +107,22 @@ class CompleteCDG:
             and net.channel_src[cp] != net.channel_dst[cq]
         )
 
-    def out_dependencies(self, cp: int) -> Iterator[int]:
+    def out_dependencies(self, cp: int) -> List[int]:
         """All successors ``c_q`` of ``c_p`` in the complete CDG."""
-        net = self.net
-        src_cp = net.channel_src[cp]
-        for cq in net.out_channels[net.channel_dst[cp]]:
-            if net.channel_dst[cq] != src_cp:
-                yield cq
+        return self.csr.out_successors(cp)
 
     def n_edges(self) -> int:
-        """Total |Ē| of the complete CDG (counted, not stored)."""
-        return sum(
-            1 for cp in range(self.n_channels)
-            for _ in self.out_dependencies(cp)
-        )
+        """Total |Ē| of the complete CDG."""
+        return self.csr.n_dep_edges
 
     # -- states ----------------------------------------------------------------
 
     def edge_state(self, cp: int, cq: int) -> int:
         """State of edge ``(c_p, c_q)``: UNUSED, USED or BLOCKED."""
-        return self._edge_state.get(self._key(cp, cq), UNUSED)
+        eid = self.csr.edge_id(cp, cq)
+        if eid < 0:
+            return UNUSED
+        return _STATE_OF_BYTE[self._state[eid]]
 
     def is_vertex_used(self, c: int) -> bool:
         """True when channel ``c`` is in the *used* state."""
@@ -125,15 +148,23 @@ class CompleteCDG:
 
     def blocked_edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over all blocked edges."""
-        n = self.n_channels
-        for key, st in self._edge_state.items():
-            if st == BLOCKED:
-                yield divmod(key, n)
+        src = self.csr.dep_src_l
+        dst = self.csr.dep_dst_l
+        for e, st in enumerate(self._state):
+            if st == _B:
+                yield (src[e], dst[e])
 
     # -- mutation --------------------------------------------------------------
 
+    def _require_edge(self, cp: int, cq: int) -> int:
+        eid = self.csr.edge_id(cp, cq)
+        if eid < 0:
+            raise ValueError(f"({cp}, {cq}) is not a complete-CDG edge")
+        return eid
+
     def _mark_used(self, cp: int, cq: int) -> None:
-        self._edge_state[self._key(cp, cq)] = USED
+        """Force edge ``(c_p, c_q)`` used, bypassing the cycle guard."""
+        self._state[self._require_edge(cp, cq)] = 1
         self._used_out[cp].append(cq)
         self._used_in[cq].append(cp)
         self._vertex_used[cp] = 1
@@ -143,12 +174,12 @@ class CompleteCDG:
 
     def block_edge(self, cp: int, cq: int) -> None:
         """Put edge into the *blocked* state (a routing restriction)."""
-        key = self._key(cp, cq)
-        prev = self._edge_state.get(key, UNUSED)
-        if prev == USED:
+        eid = self._require_edge(cp, cq)
+        prev = self._state[eid]
+        if prev == 1:
             raise ValueError("cannot block a used edge")
-        if prev != BLOCKED:
-            self._edge_state[key] = BLOCKED
+        if prev != _B:
+            self._state[eid] = _B
             self.n_blocked_edges += 1
 
     def unblock_edge(self, cp: int, cq: int) -> None:
@@ -158,10 +189,10 @@ class CompleteCDG:
         layer); the LASH/DFSSSP layer-assignment machinery uses it to
         roll back a failed what-if path insertion exactly.
         """
-        key = self._key(cp, cq)
-        if self._edge_state.get(key, UNUSED) != BLOCKED:
+        eid = self._require_edge(cp, cq)
+        if self._state[eid] != _B:
             raise ValueError(f"edge ({cp}, {cq}) is not blocked")
-        del self._edge_state[key]
+        self._state[eid] = 0
         self.n_blocked_edges -= 1
 
     def unuse_edge(self, cp: int, cq: int) -> None:
@@ -171,13 +202,31 @@ class CompleteCDG:
         conservative — see module docstring).  Vertex states are left
         untouched; callers revert them explicitly when appropriate.
         """
-        key = self._key(cp, cq)
-        if self._edge_state.get(key, UNUSED) != USED:
+        eid = self._require_edge(cp, cq)
+        if self._state[eid] != 1:
             raise ValueError(f"edge ({cp}, {cq}) is not used")
-        del self._edge_state[key]
+        self._state[eid] = 0
         self._used_out[cp].remove(cq)
         self._used_in[cq].remove(cp)
         self.n_used_edges -= 1
+
+    def _revert_used_id(self, eid: int) -> None:
+        """Exact-rollback helper: used -> unused by edge id (hot path).
+
+        Caller guarantees ``eid`` is currently used (atomic-commit
+        rollback); the ω merge stays, as in :meth:`unuse_edge`.
+        """
+        cp = self.csr.dep_src_l[eid]
+        cq = self.csr.dep_dst_l[eid]
+        self._state[eid] = 0
+        self._used_out[cp].remove(cq)
+        self._used_in[cq].remove(cp)
+        self.n_used_edges -= 1
+
+    def _revert_blocked_id(self, eid: int) -> None:
+        """Exact-rollback helper: blocked -> unused by edge id."""
+        self._state[eid] = 0
+        self.n_blocked_edges -= 1
 
     # -- cycle machinery (Algorithm 3 + Pearce-Kelly order) ----------------------
 
@@ -254,6 +303,11 @@ class CompleteCDG:
         the used subgraph stays acyclic; otherwise marks the edge
         blocked and returns False.  ``(c_p, c_q)`` must be an edge of
         the complete CDG.
+        """
+        return self.try_use_edge_id(self._require_edge(cp, cq), cp, cq)
+
+    def try_use_edge_id(self, eid: int, cp: int, cq: int) -> bool:
+        """Algorithm 3 with the edge id already resolved (hot path).
 
         Conditions (a) and (b) of Section 4.6.1 are the two O(1) state
         checks below; conditions (c)/(d) — "does the edge connect two
@@ -264,17 +318,22 @@ class CompleteCDG:
         strengthening of the paper's ω memoization: same answers,
         smaller searches).
         """
-        key = self._key(cp, cq)
-        state = self._edge_state.get(key, UNUSED)
-        if state == BLOCKED:                       # condition (a)
+        state = self._state[eid]
+        if state == _B:                            # condition (a)
             return False
-        if state == USED:                          # condition (b)
+        if state == 1:                             # condition (b)
             return True
         if not self._pk_insert_check(cp, cq):      # conditions (c)+(d)
-            self._edge_state[key] = BLOCKED
+            self._state[eid] = _B
             self.n_blocked_edges += 1
             return False
-        self._mark_used(cp, cq)
+        self._state[eid] = 1
+        self._used_out[cp].append(cq)
+        self._used_in[cq].append(cp)
+        self._vertex_used[cp] = 1
+        self._vertex_used[cq] = 1
+        self._uf.union(cp, cq)
+        self.n_used_edges += 1
         return True
 
     def would_close_cycle(self, cp: int, cq: int) -> bool:
@@ -284,10 +343,11 @@ class CompleteCDG:
         topological order answers O(1) when consistent, and a bounded
         DFS decides the rest (no state is updated).
         """
-        state = self._edge_state.get(self._key(cp, cq), UNUSED)
-        if state == BLOCKED:
+        eid = self.csr.edge_id(cp, cq)
+        state = self._state[eid] if eid >= 0 else 0
+        if state == _B:
             return True
-        if state == USED:
+        if state == 1:
             return False
         if self._ord[cp] < self._ord[cq]:
             return False
@@ -319,7 +379,7 @@ class CompleteCDG:
         should always pass.
         """
         indeg: Dict[int, int] = {}
-        vertices: Set[int] = set()
+        vertices = set()
         for cp, cq in self.used_edges():
             vertices.add(cp)
             vertices.add(cq)
@@ -329,7 +389,7 @@ class CompleteCDG:
         while queue:
             v = queue.pop()
             seen += 1
-            for w in self._used_out[v]:
+            for w in self.used_out_edges(v):
                 indeg[w] -= 1
                 if indeg[w] == 0:
                     queue.append(w)

@@ -87,7 +87,7 @@ def resolve_islands(
     net = router.net
     cdg = router.cdg
     used = router._used
-    weights = router.weights
+    weights = router._w  # step-start weight snapshot (same doubles)
     progressed = False
     shortcuts = 0
     islands_seen = 0
@@ -108,7 +108,7 @@ def resolve_islands(
                 continue
             cur = used[u]
             if not cdg.would_close_cycle(cur, c):
-                cost = float(router._dist_chan[cur] + weights[c])
+                cost = router._dist_chan[cur] + weights[c]
                 candidates.append((cost, cur, c))
             for a in net.in_channels[u]:
                 w = net.channel_src[a]
@@ -118,9 +118,7 @@ def resolve_islands(
                     continue
                 if not cdg.dependency_exists(used[w], a):
                     continue  # w's own chain arrives through u
-                cost = float(
-                    router._dist_node[w] + weights[a] + weights[c]
-                )
+                cost = router._dist_node[w] + weights[a] + weights[c]
                 candidates.append((cost, a, c))
         for cost, a, c in sorted(candidates):
             candidates_tried += 1
@@ -159,7 +157,7 @@ def _try_shortcuts(router: "NueLayerRouter", v: int) -> int:
         t = net.channel_dst[c]
         if used[t] < 0 or used[t] == c:
             continue
-        new_dist = router._dist_node[v] + router.weights[c]
+        new_dist = router._dist_node[v] + router._w[c]
         if new_dist >= router._dist_node[t]:
             continue
         if not cdg.dependency_exists(used[v], c):

@@ -28,11 +28,26 @@ instead explored by the Section-4.6.2 local backtracking, which
 re-bases a node onto an alternative only after re-validating its
 upstream dependency and every already-recorded downstream dependency
 (see :mod:`repro.core.backtrack`).
+
+Hot-path layout
+---------------
+The inner loop runs on the network's CSR array core (``net.csr``): a
+channel's CDG successors are one contiguous ``dep_dst`` slice whose
+positions are flat edge ids, so the per-relaxation state probe is a
+single ``bytearray`` index — no dict hashing, no method call on the
+fast *already-used* and *blocked* branches.  Distance/used scratch
+buffers are plain Python lists preallocated per router and refilled
+per step (CPython indexes lists faster than 0-d numpy scalars); the
+channel weights are snapshotted to a list at step start (float64 and
+Python floats are the same IEEE doubles, so arithmetic is
+bit-identical).  The pre-CSR implementation is frozen in
+:mod:`repro.legacy.nue_ref` and the engine equality tests pin this one
+to it, route-for-route and counter-for-counter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -59,8 +74,8 @@ class RoutingStep:
     """
 
     dest: int
-    used_channel: List[int]
-    dist_node: np.ndarray
+    used_channel: List[int] = field(default_factory=list)
+    dist_node: np.ndarray = field(default_factory=lambda: np.empty(0))
     fell_back: bool = False
     islands_resolved: int = 0
     shortcuts_taken: int = 0
@@ -90,6 +105,7 @@ class NueLayerRouter:
         layer_index: int = 0,
     ) -> None:
         self.net = net
+        self.csr = net.csr
         self.cdg = cdg
         self.escape = escape
         self.enable_backtracking = enable_backtracking
@@ -106,30 +122,27 @@ class NueLayerRouter:
         self.layer_index = layer_index
         # parallel-channel bundles (redundant links) and each channel's
         # copy index within its bundle — used to rotate the preferred
-        # copy per destination, OpenSM's port-group balancing trick
-        self._bundles: List[List[int]] = []
-        self._copy_index = np.zeros(net.n_channels, dtype=np.int64)
-        seen = set()
-        for c in range(net.n_channels):
-            if c in seen:
-                continue
-            bundle = sorted(net.find_channels(
-                net.channel_src[c], net.channel_dst[c]
-            ))
-            seen.update(bundle)
-            if len(bundle) > 1:
-                self._bundles.append(bundle)
-                for i, ch in enumerate(bundle):
-                    self._copy_index[ch] = i
-        # transient per-step state; the heap is a lazy-deletion binary
-        # heap of (distance, channel) — stale entries are skipped on
-        # pop, which profiling showed beats an addressable heap in
-        # CPython by a wide margin on these workloads
-        self._dist_node: np.ndarray = np.empty(0)
-        self._dist_chan: np.ndarray = np.empty(0)
-        self._used: List[int] = []
+        # copy per destination, OpenSM's port-group balancing trick;
+        # the grouping is static per network, so it lives on the CSR
+        # core and is shared by every layer router
+        self._bundles: List[List[int]] = self.csr.bundles
+        self._copy_index = self.csr.copy_index
+        # per-step scratch, preallocated once and refilled per step
+        # (templates make the refill one slice copy); the heap is a
+        # lazy-deletion binary heap of (distance, channel) — stale
+        # entries are skipped on pop, which profiling showed beats an
+        # addressable heap in CPython by a wide margin on these
+        # workloads (see repro.utils on the heap idiom)
+        inf = float("inf")
+        self._tmpl_node: List[float] = [inf] * net.n_nodes
+        self._tmpl_chan: List[float] = [inf] * net.n_channels
+        self._tmpl_used: List[int] = [-1] * net.n_nodes
+        self._dist_node: List[float] = list(self._tmpl_node)
+        self._dist_chan: List[float] = list(self._tmpl_chan)
+        self._used: List[int] = list(self._tmpl_used)
+        self._w: List[float] = self.weights.tolist()
         self._heap: List[Tuple[float, int]] = []
-        self._step_marked: Set[Tuple[int, int]] = set()
+        self._step_marked: Set[int] = set()  # edge ids this step used
         # per-step work tallies (flushed to repro.obs once per step)
         self._pops = 0
         self._stale = 0
@@ -148,24 +161,20 @@ class NueLayerRouter:
         """
         from repro.core.backtrack import resolve_islands
 
-        net = self.net
-        self._dist_node = np.full(net.n_nodes, np.inf)
-        self._dist_chan = np.full(net.n_channels, np.inf)
-        self._used = [-1] * net.n_nodes
-        self._heap = []
-        self._step_marked = set()
+        self._dist_node[:] = self._tmpl_node
+        self._dist_chan[:] = self._tmpl_chan
+        self._used[:] = self._tmpl_used
+        self._heap.clear()
+        self._step_marked.clear()
         self._pops = self._stale = self._relax = self._pushes = 0
-        step = RoutingStep(
-            dest=dest,
-            used_channel=self._used,
-            dist_node=self._dist_node,
-        )
+        step = RoutingStep(dest=dest)
 
         # rotate which parallel copy this destination prefers (a
         # transient sub-unit epsilon; hop-count dominance and the
         # >=1-unit balancing updates are never overpowered) — the
         # destination-hash port-group rotation redundant fabrics need
         bias = self._apply_copy_rotation(dest)
+        self._w = self.weights.tolist()
         self._seed(dest)
         self._run_main_loop()
         while self.enable_backtracking and self._unreached(dest):
@@ -183,6 +192,8 @@ class NueLayerRouter:
 
         self._remove_copy_rotation(bias)
         self._update_weights(dest)
+        step.used_channel = list(self._used)
+        step.dist_node = np.array(self._dist_node)
         step.heap_pops = self._pops
         step.stale_pops = self._stale
         step.relaxations = self._relax
@@ -233,7 +244,7 @@ class NueLayerRouter:
         net = self.net
         self._dist_node[dest] = 0.0
         if net.is_terminal(dest):
-            c0 = net.out_channels[dest][0]
+            c0 = self.csr.injection_channel[dest]
             s = net.channel_dst[c0]
             self._dist_chan[c0] = 0.0
             self._dist_node[s] = 0.0
@@ -243,7 +254,7 @@ class NueLayerRouter:
         else:
             for cq in sorted(net.out_channels[dest]):
                 y = net.channel_dst[cq]
-                alt = self.weights[cq]
+                alt = self._w[cq]
                 if alt < self._dist_node[y]:
                     self.cdg.mark_vertex_used(cq)
                     self._dist_node[y] = alt
@@ -259,20 +270,31 @@ class NueLayerRouter:
         self._pushes += 1
 
     def _run_main_loop(self) -> None:
-        """Algorithm 1 lines 10–23 under the expansion discipline."""
-        net = self.net
+        """Algorithm 1 lines 10–23 under the expansion discipline.
+
+        Everything on the per-relaxation path is a local list /
+        bytearray index: CSR successor slices (positions = edge ids),
+        the CDG state byte, and the scratch distance lists.  Only a
+        state-0 edge (a fresh dependency needing a cycle check) or a
+        re-wire leaves this frame.
+        """
         cdg = self.cdg
         heap = self._heap
         dist_node = self._dist_node
         dist_chan = self._dist_chan
         used = self._used
-        weights = self.weights
-        dst_of = net.channel_dst
+        wts = self._w
+        dst_of = self.csr.dst_l
+        dep_ptr = self.csr.dep_ptr_l
+        dep_dst = self.csr.dep_dst_l
+        state = cdg._state
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         # plain local tallies: cheap enough to run unconditionally and
         # folded into the per-step obs flush (see route_step)
         pops = stale = relax = pushes = 0
         while heap:
-            d_cp, cp = heapq.heappop(heap)
+            d_cp, cp = heappop(heap)
             pops += 1
             if d_cp > dist_chan[cp]:
                 stale += 1
@@ -281,17 +303,21 @@ class NueLayerRouter:
             if used[x] != cp:
                 stale += 1
                 continue  # stale: x was re-wired to a better channel
-            for cq in cdg.out_dependencies(cp):
+            for e in range(dep_ptr[cp], dep_ptr[cp + 1]):
+                cq = dep_dst[e]
                 y = dst_of[cq]
-                alt = d_cp + weights[cq]
+                alt = d_cp + wts[cq]
                 relax += 1
                 if alt < dist_node[y]:
                     if used[y] < 0:
-                        if self.try_use_dependency(cp, cq):
+                        st = state[e]
+                        if st == 1 or (
+                            st == 0 and self._try_use_fresh(e, cp, cq)
+                        ):
                             used[y] = cq
                             dist_node[y] = alt
                             dist_chan[cq] = alt
-                            heapq.heappush(heap, (alt, cq))
+                            heappush(heap, (alt, cq))
                             pushes += 1
                         # else: edge became a blocked routing restriction
                     elif used[y] != cq:
@@ -318,16 +344,19 @@ class NueLayerRouter:
                             used[y] = cq
                             dist_node[y] = alt
                             dist_chan[cq] = alt
-                            heapq.heappush(heap, (alt, cq))
+                            heappush(heap, (alt, cq))
                             pushes += 1
                     else:
                         # same channel, better distance (new shorter way
                         # to feed it is impossible — cq's dependency from
                         # cp is what improved); just update the keys
-                        if self.try_use_dependency(cp, cq):
+                        st = state[e]
+                        if st == 1 or (
+                            st == 0 and self._try_use_fresh(e, cp, cq)
+                        ):
                             dist_node[y] = alt
                             dist_chan[cq] = alt
-                            heapq.heappush(heap, (alt, cq))
+                            heappush(heap, (alt, cq))
                             pushes += 1
         self._pops += pops
         self._stale += stale
@@ -353,18 +382,30 @@ class NueLayerRouter:
                 needed.append((alt, cq))
         return needed
 
+    def _try_use_fresh(self, eid: int, cp: int, cq: int) -> bool:
+        """Cycle-check-and-use an *unused* edge by id (hot-path slice).
+
+        Caller has already ruled out the used/blocked states, so a
+        success always means this step owns the edge.
+        """
+        if self.cdg.try_use_edge_id(eid, cp, cq):
+            self._step_marked.add(eid)
+            return True
+        return False
+
     def try_use_dependency(self, cp: int, cq: int) -> bool:
         """Cycle-checked edge use with per-step bookkeeping.
 
-        Wraps :meth:`CompleteCDG.try_use_edge`, remembering which edges
-        *this* step marked so the shortcut optimisation can revert
-        exactly those (Section 4.6.3) without touching dependencies
-        owned by earlier destinations.
+        Wraps :meth:`CompleteCDG.try_use_edge_id`, remembering which
+        edges *this* step marked so the shortcut optimisation can
+        revert exactly those (Section 4.6.3) without touching
+        dependencies owned by earlier destinations.
         """
-        was_used = self.cdg.edge_state(cp, cq) == 1
-        ok = self.cdg.try_use_edge(cp, cq)
+        eid = self.csr.edge_id(cp, cq)
+        was_used = self.cdg._state[eid] == 1
+        ok = self.cdg.try_use_edge_id(eid, cp, cq)
         if ok and not was_used:
-            self._step_marked.add((cp, cq))
+            self._step_marked.add(eid)
         return ok
 
     def try_use_dependencies_atomic(
@@ -377,28 +418,35 @@ class NueLayerRouter:
         call added is reverted, including the fresh blocked marker, so
         the CDG returns to its exact prior state.
         """
-        added: List[Tuple[int, int]] = []
+        cdg = self.cdg
+        state = cdg._state
+        edge_id = self.csr.edge_id
+        marked = self._step_marked
+        added: List[int] = []
         for cp, cq in edges:
-            before = self.cdg.edge_state(cp, cq)
-            if self.try_use_dependency(cp, cq):
+            eid = edge_id(cp, cq)
+            before = state[eid]
+            if cdg.try_use_edge_id(eid, cp, cq):
                 if before != 1:
-                    added.append((cp, cq))
+                    marked.add(eid)
+                    added.append(eid)
             else:
-                for a, b in reversed(added):
-                    self.cdg.unuse_edge(a, b)
-                    self._step_marked.discard((a, b))
+                for e2 in reversed(added):
+                    cdg._revert_used_id(e2)
+                    marked.discard(e2)
                 if before == 0:
-                    # try_use_edge just blocked it against a state we
-                    # are rolling back — restore exactly
-                    self.cdg.unblock_edge(cp, cq)
+                    # try_use_edge_id just blocked it against a state
+                    # we are rolling back — restore exactly
+                    cdg._revert_blocked_id(eid)
                 return False
         return True
 
     def unuse_step_dependency(self, cp: int, cq: int) -> bool:
         """Revert an edge if (and only if) this step marked it."""
-        if (cp, cq) in self._step_marked:
-            self.cdg.unuse_edge(cp, cq)
-            self._step_marked.discard((cp, cq))
+        eid = self.csr.edge_id(cp, cq)
+        if eid in self._step_marked:
+            self.cdg._revert_used_id(eid)
+            self._step_marked.discard(eid)
             return True
         return False
 
@@ -429,39 +477,46 @@ class NueLayerRouter:
 
         Adds, to every channel of the step's forwarding forest, the
         number of terminal routes crossing it (computed by subtree
-        accumulation in O(|N|)).
+        accumulation in O(|N|)).  Runs on plain lists (ints and the
+        CSR channel-source mirror); the stable descending-depth order
+        matches the previous stable argsort tie-for-tie, and the
+        per-channel increments are exact integer adds either way.
         """
         net = self.net
-        sources = net.terminals or list(range(net.n_nodes))
-        total = np.zeros(net.n_nodes, dtype=np.int64)
+        n = net.n_nodes
+        sources = net.terminals or list(range(n))
+        total = [0] * n
         for s in sources:
             if s != dest:
                 total[s] += 1
         # depth over the used-channel forest (distances can be
         # non-monotone after backtracking, so follow the tree itself)
         used = self._used
-        depth = np.full(net.n_nodes, -1, dtype=np.int64)
+        src_of = self.csr.src_l
+        depth = [-1] * n
         depth[dest] = 0
-        for v in range(net.n_nodes):
+        for v in range(n):
             if depth[v] >= 0 or used[v] < 0:
                 continue
             chain = []
             u = v
             while depth[u] < 0 and used[u] >= 0:
                 chain.append(u)
-                u = net.channel_src[used[u]]
+                u = src_of[used[u]]
             base = depth[u]
             if base < 0:
                 continue
             for i, w in enumerate(reversed(chain), start=1):
                 depth[w] = base + i
-        order = np.argsort(-depth, kind="stable")
+        # descending depth, ties in node order (sorted() is stable
+        # under reverse=True, matching argsort(-depth, kind="stable"))
+        order = sorted(range(n), key=depth.__getitem__, reverse=True)
+        weights = self.weights
         for v in order:
-            v = int(v)
             c = used[v]
             if c < 0 or v == dest or depth[v] <= 0:
                 continue
-            self.weights[c] += total[v]
-            total[net.channel_src[c]] += total[v]
+            weights[c] += total[v]
+            total[src_of[c]] += total[v]
         # weights grow monotonically and stay positive (Lemma 1 relies
         # on strictly positive weights)

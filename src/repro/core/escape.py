@@ -123,6 +123,8 @@ class EscapePaths:
         net = self.net
         cdg = self.cdg
         tree = self.tree
+        csr = net.csr
+        state = cdg._state
         n = net.n_nodes
         total = len(self.dest_subset)
         sub = [0] * n
@@ -155,11 +157,14 @@ class EscapePaths:
                         cdg.mark_vertex_used(cp)
                     else:
                         cp, cq = c_in, c_out
-                    if not cdg.dependency_exists(cp, cq):
+                    # edge-id resolution doubles as the Def.-6
+                    # existence check (eid < 0 <=> 180-degree turn)
+                    eid = csr.edge_id(cp, cq)
+                    if eid < 0:
                         continue
-                    if cdg.edge_state(cp, cq) != 1:
+                    if state[eid] != 1:
                         self.initial_dependencies += 1
-                        if not cdg.try_use_edge(cp, cq):
+                        if not cdg.try_use_edge_id(eid, cp, cq):
                             raise AssertionError(
                                 "spanning-tree escape paths induced a cycle"
                             )

@@ -1,14 +1,22 @@
 """Structural network fingerprints for the engine's memo cache.
 
 A fingerprint is a stable hex digest over everything that determines a
-routing result: node count, switch/terminal roles, node names, the link
-list (in construction order — channel ids derive from it), and the
-network name.  Two :class:`~repro.network.graph.Network` objects with
-equal fingerprints produce bit-identical forwarding tables under any of
-the library's deterministic routing algorithms, which is what lets
+routing result: node count, switch/terminal roles, node names, the
+CSR array core (whose channel buffers encode the link list in
+construction order — channel ids derive from it), and the network
+name.  Two :class:`~repro.network.graph.Network` objects with equal
+fingerprints produce bit-identical forwarding tables under any of the
+library's deterministic routing algorithms, which is what lets
 :mod:`repro.engine.cache` reuse results across separately constructed
 copies of the same topology (e.g. a fault sweep re-deriving the same
 degraded network).
+
+The digest consumes the canonical :meth:`CSRView.structural_buffers`
+in one ``update`` per contiguous buffer — no per-link Python loop and
+no JSON round-trip; ``meta["topology"]`` is folded in with a small
+canonical value hasher (type-tagged, sorted dict keys) so equal values
+hash equally regardless of insertion order and unequal values cannot
+collide by string concatenation.
 
 ``meta`` is deliberately excluded *except* for the ``topology``
 entry: topology-aware routings (DOR, Torus-2QoS) read coordinates from
@@ -19,24 +27,56 @@ of ``meta`` (provenance, fault notes) is diagnostics only.
 from __future__ import annotations
 
 import hashlib
-import json
 
 from repro.network.graph import Network
 
 __all__ = ["network_fingerprint"]
 
 
+def _hash_value(h, obj) -> None:
+    """Canonical recursive value hash (type-tagged, order-stable).
+
+    Dict keys are visited in sorted order, so insertion order never
+    leaks into the digest; every value is prefixed with a type tag and
+    terminated, so distinct nestings cannot collide.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, int):
+        h.update(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        h.update(b"f" + obj.hex().encode() + b";")
+    elif isinstance(obj, str):
+        enc = obj.encode()
+        h.update(b"s%d:" % len(enc))
+        h.update(enc)
+    elif isinstance(obj, dict):
+        h.update(b"d%d{" % len(obj))
+        for key in sorted(obj, key=str):
+            _hash_value(h, str(key))
+            _hash_value(h, obj[key])
+        h.update(b"}")
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"l%d[" % len(obj))
+        for item in obj:
+            _hash_value(h, item)
+        h.update(b"]")
+    else:
+        _hash_value(h, repr(obj))
+
+
 def network_fingerprint(net: Network) -> str:
     """Hex digest identifying ``net`` structurally (blake2b-128)."""
+    csr = net.csr
     h = hashlib.blake2b(digest_size=16)
     h.update(net.name.encode())
     h.update(b"|%d|" % net.n_nodes)
     h.update(",".join(net.node_names).encode())
-    h.update(bytes(1 if net.is_switch(n) else 0
-                   for n in range(net.n_nodes)))
-    for u, v in net.links():
-        h.update(b"%d,%d;" % (u, v))
+    for buf in csr.structural_buffers():
+        h.update(buf.tobytes())
     topo = net.meta.get("topology")
     if topo is not None:
-        h.update(json.dumps(topo, sort_keys=True, default=str).encode())
+        _hash_value(h, topo)
     return h.hexdigest()

@@ -116,7 +116,7 @@ def lfts_to_routing(
     for j, (lid, d) in enumerate(zip(lfts.dest_lids, dests)):
         for t in net.terminals:
             if t != d:
-                nxt[t, j] = net.out_channels[t][0]
+                nxt[t, j] = net.csr.injection_channel[t]
         for sw in net.switches:
             if sw == d:
                 continue

@@ -1,0 +1,22 @@
+"""Frozen pre-CSR reference implementations (bit-identity oracles).
+
+See :mod:`repro.legacy.nue_ref` — the dict/list-based CDG and routing
+step kept verbatim so tests and benchmarks can compare the CSR array
+core against the exact previous behaviour.
+"""
+
+from repro.legacy.nue_ref import (
+    LegacyCompleteCDG,
+    LegacyEscapePaths,
+    LegacyNueLayerRouter,
+    legacy_nue_route,
+    legacy_route_layer,
+)
+
+__all__ = [
+    "LegacyCompleteCDG",
+    "LegacyEscapePaths",
+    "LegacyNueLayerRouter",
+    "legacy_nue_route",
+    "legacy_route_layer",
+]

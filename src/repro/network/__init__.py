@@ -1,12 +1,16 @@
 """Interconnection-network substrate.
 
 * :mod:`repro.network.graph` — the multigraph model of paper Section 2.
+* :mod:`repro.network.csr` — the shared CSR array core (channel
+  buffers, node adjacency, dense dependency-edge index) the hot paths
+  run on.
 * :mod:`repro.network.topologies` — generators for every topology used in
   the paper's evaluation (Tab. 1) plus the worked examples (Figs. 2, 7).
 * :mod:`repro.network.faults` — link/switch failure injection (Sec. 5.3).
 """
 
 from repro.network.graph import Network, NetworkBuilder, Channel, attach_terminals
+from repro.network.csr import CSRView, build_csr
 from repro.network.faults import (
     FaultInjectionError,
     remove_links,
@@ -20,6 +24,8 @@ __all__ = [
     "NetworkBuilder",
     "Channel",
     "attach_terminals",
+    "CSRView",
+    "build_csr",
     "FaultInjectionError",
     "remove_links",
     "remove_switches",

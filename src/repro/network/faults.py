@@ -11,7 +11,6 @@ across the failure.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterable, List, Set, Tuple
 
 from repro.network.graph import Network
@@ -45,19 +44,16 @@ def _rebuild(
     for t in range(net.n_nodes):
         if net.is_terminal(t) and net.terminal_switch(t) in dead_nodes:
             implicitly_dead.add(t)
-    # Terminals whose only link is failed also die.  One pass over the
-    # links builds an endpoint -> link-indices map so the liveness check
-    # per endpoint is O(degree), not O(|links|).
+    # Terminals whose only link is failed also die.  The CSR core's
+    # incident-link index makes the liveness check per endpoint
+    # O(degree), not O(|links|).
     if dead_links:
-        links_at: defaultdict = defaultdict(list)
-        for i, (a, b) in enumerate(links):
-            links_at[a].append(i)
-            links_at[b].append(i)
+        incident = net.csr.incident_links
         for li in dead_links:
             for endpoint in links[li]:
                 if net.is_terminal(endpoint):
                     still_alive = any(
-                        i not in dead_links for i in links_at[endpoint]
+                        i not in dead_links for i in incident(endpoint)
                     )
                     if not still_alive:
                         implicitly_dead.add(endpoint)

@@ -6,18 +6,33 @@ node is a *terminal* when it has exactly one neighbouring link,
 otherwise it is a *switch*.  Channel capacity is uniform.
 
 The model is deliberately array-oriented: nodes and channels are dense
-integer ids, adjacency is a list of channel-id lists.  All routing and
-CDG code operates on these integers; human-readable names live in
-``node_names`` purely for diagnostics.  Networks are immutable after
-construction — fault injection produces a *new* network (see
-:mod:`repro.network.faults`), which keeps invariants trivial to reason
+integer ids, adjacency is a list of channel-id lists, and the ``csr``
+property exposes the shared contiguous array core
+(:class:`repro.network.csr.CSRView`) that the CDG machinery, the
+routing hot paths and the engine fingerprint all operate on.
+Human-readable names live in ``node_names`` purely for diagnostics.
+Networks are immutable after construction — fault injection produces a
+*new* network (see :mod:`repro.network.faults`), which keeps
+invariants (and the once-per-network CSR build) trivial to reason
 about.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.network.csr import CSRView
 
 __all__ = ["Network", "NetworkBuilder", "Channel"]
 
@@ -97,6 +112,7 @@ class Network:
             self.in_channels[u].append(b)
 
         self.n_channels = len(self.channel_src)
+        self._csr_view = None  # lazily built CSR core (see .csr)
         self._validate()
 
     # -- construction helpers -------------------------------------------------
@@ -140,6 +156,21 @@ class Network:
     def n_links(self) -> int:
         """Number of duplex links (``n_channels / 2``)."""
         return self.n_channels // 2
+
+    @property
+    def csr(self) -> "CSRView":
+        """The network's shared CSR array core (built once, cached).
+
+        All hot-path consumers — the complete CDG, the Nue routing
+        step, the baseline table builders, fault rebuilding and the
+        engine fingerprint — read this one view instead of re-deriving
+        adjacency; see :mod:`repro.network.csr`.
+        """
+        if self._csr_view is None:
+            from repro.network.csr import CSRView
+
+            self._csr_view = CSRView(self)
+        return self._csr_view
 
     def channel(self, cid: int) -> Channel:
         """Structured view of channel ``cid``."""

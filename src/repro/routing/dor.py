@@ -96,7 +96,7 @@ class TorusGeometry:
                 f"missing switch next to {self.net.node_names[switch]} "
                 f"in dim {dim} direction {direction:+d}"
             )
-        channels = self.net.find_channels(switch, self.switch_at[nxt])
+        channels = self.net.csr.channels_between(switch, self.switch_at[nxt])
         if not channels:
             raise RoutingError(
                 f"missing link from {self.net.node_names[switch]} "
@@ -122,11 +122,11 @@ class DORRouting(RoutingAlgorithm):
                 if node == d:
                     continue
                 if net.is_terminal(node):
-                    nxt[node, j] = net.out_channels[node][0]
+                    nxt[node, j] = net.csr.injection_channel[node]
                     continue
                 if node == d_switch:
                     # eject to the terminal (or arrived, if dest is a switch)
-                    chans = net.find_channels(node, d)
+                    chans = net.csr.channels_between(node, d)
                     nxt[node, j] = chans[0] if chans else -1
                     continue
                 coord = geom.coord_of[node]

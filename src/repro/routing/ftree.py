@@ -68,11 +68,11 @@ class FatTreeRouting(RoutingAlgorithm):
                 if node == d:
                     continue
                 if net.is_terminal(node):
-                    nxt[node, j] = net.out_channels[node][0]
+                    nxt[node, j] = net.csr.injection_channel[node]
                     continue
                 level, word = position[node]
                 if node == d_switch:
-                    chans = net.find_channels(node, d)
+                    chans = net.csr.channels_between(node, d)
                     nxt[node, j] = chans[0] if chans else -1
                     continue
                 # descend when the destination leaf is below this switch:

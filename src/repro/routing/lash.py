@@ -86,9 +86,9 @@ class LASHRouting(RoutingAlgorithm):
             fwd = trees[ds]
             nxt[:, j] = fwd
             for t in net.terminals:
-                nxt[t, j] = net.out_channels[t][0]
+                nxt[t, j] = net.csr.injection_channel[t]
             if d != ds:
-                chans = net.find_channels(ds, d)
+                chans = net.csr.channels_between(ds, d)
                 nxt[ds, j] = chans[0]
             nxt[d, j] = -1
             for s in switches:

@@ -13,12 +13,12 @@ spreads subsequent trees away from already-loaded channels.
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.network.graph import Network
-from repro.utils.heap import PairingHeap
 
 __all__ = [
     "sssp_tree",
@@ -41,30 +41,39 @@ def sssp_tree(
 
     Ties between parallel channels resolve to the smaller weight, then
     the smaller channel id (deterministic).
+
+    The search runs on the network's CSR core lists and a lazy-deletion
+    binary heap (the repo-wide heap idiom — see :mod:`repro.utils`).
+    Stale pops cannot disturb the result: relaxations are strict, and a
+    stale offer can never tie with a node's final distance (it is
+    strictly dominated by the same channel's fresh offer), so the
+    tie-break still minimises over exactly the final offer set.
     """
     n = net.n_nodes
-    dist = np.full(n, np.inf)
+    dist = [float("inf")] * n
     fwd = np.full(n, -1, dtype=np.int64)
     dist[dest] = 0.0
-    heap = PairingHeap()
-    heap.push(dest, 0.0)
+    w = weights.tolist()
+    heap: List[Tuple[float, int]] = [(0.0, dest)]
+    heappop = heapq.heappop
+    heappush = heapq.heappush
     in_channels = net.in_channels
-    src_of = net.channel_src
+    src_of = net.csr.src_l
     while heap:
-        u, du = heap.pop()
+        du, u = heappop(heap)
         if du > dist[u]:
-            continue  # stale (PairingHeap never stales, but keep the guard)
+            continue  # stale key: u was re-queued cheaper
         for c in in_channels[u]:
             v = src_of[c]
-            alt = du + weights[c]
+            alt = du + w[c]
             if alt < dist[v]:
                 dist[v] = alt
                 fwd[v] = c
-                heap.push_or_decrease(v, alt)
+                heappush(heap, (alt, v))
             elif alt == dist[v] and fwd[v] >= 0:
                 # deterministic tie-break: prefer lighter, then lower id
                 old = fwd[v]
-                if (weights[c], c) < (weights[old], old):
+                if (w[c], c) < (w[old], old):
                     fwd[v] = c
     return fwd
 

@@ -109,7 +109,7 @@ class Torus2QoSRouting(RoutingAlgorithm):
                     nxt = geom.neighbor_coord(coord_t, dim, +1)
                     if nxt is None:
                         continue
-                    if nxt in geom.switch_at and not geom.net.find_channels(
+                    if nxt in geom.switch_at and not geom.net.csr.channels_between(
                         geom.switch_at[coord_t], geom.switch_at[nxt]
                     ):
                         faults += 1
@@ -135,7 +135,7 @@ class Torus2QoSRouting(RoutingAlgorithm):
             nxt = geom.neighbor_coord(cur, dim, direction)
             if nxt is None or nxt not in geom.switch_at:
                 return False
-            if not geom.net.find_channels(
+            if not geom.net.csr.channels_between(
                 geom.switch_at[cur], geom.switch_at[nxt]
             ):
                 return False
@@ -178,7 +178,7 @@ class Torus2QoSRouting(RoutingAlgorithm):
                 side = geom.neighbor_coord(coord, j, dj)
                 if side is None or side not in geom.switch_at:
                     continue
-                if not geom.net.find_channels(
+                if not geom.net.csr.channels_between(
                     geom.switch_at[coord], geom.switch_at[side]
                 ):
                     continue
@@ -208,10 +208,10 @@ class Torus2QoSRouting(RoutingAlgorithm):
                 if node == d:
                     continue
                 if net.is_terminal(node):
-                    nxt[node, j] = net.out_channels[node][0]
+                    nxt[node, j] = net.csr.injection_channel[node]
                     continue
                 if node == d_switch:
-                    chans = net.find_channels(node, d)
+                    chans = net.csr.channels_between(node, d)
                     nxt[node, j] = chans[0] if chans else -1
                     continue
                 coord = geom.coord_of[node]

@@ -21,6 +21,7 @@ root.
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -28,7 +29,6 @@ import numpy as np
 from repro.network.graph import Network
 from repro.obs import core as obs
 from repro.routing.base import RoutingAlgorithm, RoutingResult
-from repro.utils.heap import PairingHeap
 from repro.utils.prng import SeedLike
 
 __all__ = ["UpDownRouting", "DownUpRouting", "pick_tree_root"]
@@ -103,7 +103,9 @@ class UpDownRouting(RoutingAlgorithm):
         n = net.n_nodes
         fwd = np.full(n, -1, dtype=np.int64)
         hops = np.full(n, -1, dtype=np.int64)
-        src_of = net.channel_src
+        # per-node switch predecessors, precomputed once on the CSR
+        # core (in in_channel order, multiplicity preserved)
+        switch_in = net.csr.switch_in_sources
 
         # The phase rule applies to the switch graph only: terminal
         # hops can never sit on a CDG cycle (Def. 6 excludes the only
@@ -112,12 +114,6 @@ class UpDownRouting(RoutingAlgorithm):
         d_switch = dest if net.is_switch(dest) else net.terminal_switch(dest)
         hops[d_switch] = 0
 
-        def switch_in_hops(u: int):
-            for c in net.in_channels[u]:
-                v = src_of[c]
-                if net.is_switch(v):
-                    yield v
-
         # Pass 1: pure-down region D (traffic descends all the way to
         # the destination switch) — uniform BFS over down hops.
         down_nodes = [d_switch]
@@ -125,7 +121,7 @@ class UpDownRouting(RoutingAlgorithm):
         while frontier:
             nxt_frontier: List[int] = []
             for u in frontier:
-                for v in switch_in_hops(u):
+                for v in switch_in[u]:
                     if hops[v] >= 0:
                         continue
                     if not self._is_down_hop(levels, v, u):
@@ -137,18 +133,21 @@ class UpDownRouting(RoutingAlgorithm):
 
         # Pass 2: everyone else joins via up hops (up* before down*).
         # Multi-source shortest path seeded by all of D at their depths
-        # (a heap, because the seeds sit at different hop counts).
+        # (a lazy-deletion heap, because the seeds sit at different hop
+        # counts; stale pops only re-offer dominated distances, and the
+        # later port-selection pass reads final hop counts only).
         # Nodes of D are frozen: lowering a pure-down node's hop count
         # through a mixed path would strand its port selection, which
         # must find a *descending* parent at hops-1.
         in_down = np.zeros(n, dtype=bool)
         in_down[down_nodes] = True
-        heap = PairingHeap()
-        for u in down_nodes:
-            heap.push(u, int(hops[u]))
+        heap = [(int(hops[u]), u) for u in down_nodes]
+        heapq.heapify(heap)
         while heap:
-            u, hu = heap.pop()
-            for v in switch_in_hops(u):
+            hu, u = heapq.heappop(heap)
+            if hu > hops[u]:
+                continue  # stale key: u was re-queued cheaper
+            for v in switch_in[u]:
                 if in_down[v]:
                     continue
                 if self._is_down_hop(levels, v, u):
@@ -156,7 +155,7 @@ class UpDownRouting(RoutingAlgorithm):
                 alt = hu + 1
                 if hops[v] < 0 or alt < hops[v]:
                     hops[v] = alt
-                    heap.push_or_decrease(v, alt)
+                    heapq.heappush(heap, (alt, v))
 
         unreached = [
             s for s in net.switches if hops[s] < 0
@@ -200,9 +199,9 @@ class UpDownRouting(RoutingAlgorithm):
         # Terminal plumbing: injection everywhere, ejection at the
         # destination switch, nothing at the destination itself.
         for t in net.terminals:
-            fwd[t] = net.out_channels[t][0]
+            fwd[t] = net.csr.injection_channel[t]
         if dest != d_switch:
-            fwd[d_switch] = net.find_channels(d_switch, dest)[0]
+            fwd[d_switch] = net.csr.channels_between(d_switch, dest)[0]
         fwd[dest] = -1
         return fwd
 

@@ -1,0 +1,76 @@
+"""Fingerprint contract: equal iff routing-relevant structure is equal.
+
+``network_fingerprint`` hashes the CSR core's canonical buffers plus
+names, roles and ``meta["topology"]``.  Two networks with equal digests
+must route bit-identically; anything a deterministic algorithm can
+observe — link insertion order (it sets channel ids), topology
+metadata (DOR/Torus-2QoS read coordinates), faults — must change the
+digest.
+"""
+
+from repro.engine.fingerprint import network_fingerprint
+from repro.network.faults import remove_links, remove_switches
+from repro.network.graph import Network
+from repro.network.topologies import k_ary_n_tree, torus
+
+
+class TestEquality:
+    def test_rebuilt_networks_share_digest(self):
+        for builder in (lambda: torus([3, 3, 2], 2),
+                        lambda: k_ary_n_tree(2, 3)):
+            assert network_fingerprint(builder()) == \
+                network_fingerprint(builder())
+
+    def test_digest_is_stable_across_csr_rebuilds(self):
+        net = torus([3, 3], 1)
+        before = network_fingerprint(net)
+        net._csr_view = None  # force a fresh CSRView
+        assert network_fingerprint(net) == before
+
+    def test_topology_meta_dict_order_is_irrelevant(self):
+        a = Network(3, [(0, 1), (1, 2)], [True] * 3)
+        b = Network(3, [(0, 1), (1, 2)], [True] * 3)
+        a.meta["topology"] = {"kind": "mesh", "dims": [3]}
+        b.meta["topology"] = {"dims": [3], "kind": "mesh"}
+        assert network_fingerprint(a) == network_fingerprint(b)
+
+
+class TestInequality:
+    def test_changed_topology_meta_changes_digest(self):
+        a = torus([3, 3], 1)
+        b = torus([3, 3], 1)
+        meta = dict(b.meta["topology"])
+        meta["dims"] = [9, 1]
+        b.meta["topology"] = meta
+        assert network_fingerprint(a) != network_fingerprint(b)
+
+    def test_dropping_topology_meta_changes_digest(self):
+        a = torus([3, 3], 1)
+        b = torus([3, 3], 1)
+        del b.meta["topology"]
+        assert network_fingerprint(a) != network_fingerprint(b)
+
+    def test_link_order_changes_digest(self):
+        """Insertion order assigns channel ids, which routing
+        tie-breaks read — so permuted links are a different input."""
+        a = Network(3, [(0, 1), (1, 2), (0, 2)], [True] * 3)
+        b = Network(3, [(0, 2), (1, 2), (0, 1)], [True] * 3)
+        assert network_fingerprint(a) != network_fingerprint(b)
+
+    def test_roles_change_digest(self):
+        a = Network(3, [(0, 1), (1, 2)], [True, True, True])
+        b = Network(3, [(0, 1), (1, 2)], [True, True, False])
+        assert network_fingerprint(a) != network_fingerprint(b)
+
+    def test_faults_change_digest(self):
+        net = torus([3, 3], 1)
+        assert network_fingerprint(net) != \
+            network_fingerprint(remove_switches(net, [4]))
+        assert network_fingerprint(net) != \
+            network_fingerprint(remove_links(net, [0]))
+
+    def test_non_topology_meta_is_excluded(self):
+        a = torus([3, 3], 1)
+        b = torus([3, 3], 1)
+        b.meta["provenance"] = "rerun of sweep 7"
+        assert network_fingerprint(a) == network_fingerprint(b)

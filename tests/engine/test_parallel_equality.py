@@ -69,3 +69,50 @@ class TestFig2aSmoke:
         parallel = NueRouting(2, workers=2).route(net, seed=1)
         assert_results_identical(serial, parallel)
         assert serial.n_vls >= 1
+
+
+class TestLegacyCSREquality:
+    """Bit-identity of the CSR hot path vs the frozen pre-CSR oracle.
+
+    ``repro.legacy.nue_ref`` is the pre-refactor Nue implementation,
+    frozen verbatim.  The CSR rebase (dense CDG state, array scratch,
+    list-mirror hot loops) is pure representation work: every routing
+    decision — distances, tie-breaks, PK reorders, backtracking —
+    must come out identical, so the forwarding tables must match bit
+    for bit on every reference topology, including a degraded one.
+    """
+
+    CASES = [
+        ("ring8", lambda: ring(8, 2), 1),
+        ("ring8_k2", lambda: ring(8, 2), 2),
+        ("torus443", lambda: torus([4, 4, 3], 2), 1),
+        ("torus443_k2", lambda: torus([4, 4, 3], 2), 2),
+        ("tree32", lambda: k_ary_n_tree(3, 2), 1),
+        ("tree32_k3", lambda: k_ary_n_tree(3, 2), 3),
+        (
+            "torus443_faulted",
+            lambda: _faulted_torus(),
+            2,
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "builder,k",
+        [(b, k) for _, b, k in CASES],
+        ids=[n for n, _, _ in CASES],
+    )
+    def test_csr_matches_legacy(self, builder, k):
+        from repro.legacy import legacy_nue_route
+
+        net = builder()
+        result = NueRouting(k, workers=1).route(net, seed=11)
+        nxt, vl, n_vls = legacy_nue_route(net, max_vls=k, seed=11)
+        assert np.array_equal(result.next_channel, nxt)
+        assert np.array_equal(result.vl, vl)
+        assert result.n_vls == n_vls
+
+
+def _faulted_torus():
+    from repro.network.faults import inject_random_link_faults
+
+    return inject_random_link_faults(torus([4, 4, 3], 2), 0.05, seed=3)
