@@ -1,0 +1,74 @@
+"""Resilience — incremental repair must beat from-scratch rerouting.
+
+The fail-in-place claim is quantitative: after a single link failure on
+the 4x4x3 torus, incremental rerouting recomputes < 30 % of the
+destinations (only those whose forwarding trees crossed the failed
+link).  The link is pinned — ``s0_0_0--s0_1_0``, an average-traffic
+edge under seed 11 — so the guard is deterministic.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.network.topologies import torus
+from repro.resilience import dirty_destinations, incremental_reroute
+from repro.routing import make_algorithm
+
+SEED = 11
+MAX_VLS = 3
+PINNED_LINK = ("s0_0_0", "s0_1_0")
+
+
+def _setup():
+    net = torus((4, 4, 3), terminals_per_switch=1)
+    prior = make_algorithm("nue", MAX_VLS).route(net, seed=SEED)
+    names = net.node_names
+    li = next(
+        i for i, (u, v) in enumerate(net.links())
+        if {names[u], names[v]} == set(PINNED_LINK)
+    )
+    return net, prior, [2 * li, 2 * li + 1]
+
+
+def test_bench_incremental_repair_fraction(benchmark):
+    net, prior, chans = _setup()
+
+    repaired, stats = run_once(
+        benchmark, incremental_reroute, net, prior, chans,
+        max_vls=MAX_VLS, seed=SEED,
+    )
+
+    total = stats["dests_total"]
+    recomputed = stats["dests_recomputed"]
+    assert recomputed == stats["dests_dirty"] > 0
+    assert recomputed / total < 0.30, (
+        f"incremental repair recomputed {recomputed}/{total} "
+        f"destinations; the fail-in-place guard requires < 30%"
+    )
+    assert not np.isin(repaired.next_channel, chans).any()
+    benchmark.extra_info["dests_total"] = total
+    benchmark.extra_info["dests_recomputed"] = recomputed
+    benchmark.extra_info["recompute_fraction"] = recomputed / total
+
+
+def test_bench_exact_reroute_baseline(benchmark):
+    """The from-scratch cost the incremental path is measured against."""
+    from repro.network.faults import remove_links
+
+    net, _prior, chans = _setup()
+    fault = remove_links(net, [chans[0] // 2])
+    algo = make_algorithm("nue", MAX_VLS)
+
+    result = run_once(benchmark, algo.route, fault.net, seed=SEED)
+
+    assert result.n_vls <= MAX_VLS
+    benchmark.extra_info["dests_total"] = len(result.dests)
+
+
+def test_bench_dirty_set_computation(benchmark):
+    """The dirty-destination test is a vectorised scan, not a search."""
+    _net, prior, chans = _setup()
+
+    dirty = run_once(benchmark, dirty_destinations, prior, chans)
+
+    assert 0 < len(dirty) < len(prior.dests) * 0.30

@@ -9,15 +9,16 @@ Nue routes whatever you can draw.
 Run:  python examples/custom_topology.py
 """
 
-from repro import (
+from repro import Torus2QoSRouting
+from repro.api import (
     NetworkBuilder,
-    NueRouting,
-    Torus2QoSRouting,
     NotApplicableError,
+    NueRouting,
+    attach_terminals,
+    gamma_summary,
+    required_vcs,
     validate_routing,
 )
-from repro.metrics import gamma_summary, required_vcs
-from repro.network.graph import attach_terminals
 
 
 def build_fabric():

@@ -10,17 +10,17 @@ configuration within whatever VC budget the fabric has.
 Run:  python examples/fault_tolerant_torus.py
 """
 
-from repro import (
-    DFSSSPRouting,
+from repro import DFSSSPRouting, Torus2QoSRouting
+from repro.api import (
     NueRouting,
     RoutingError,
-    Torus2QoSRouting,
+    remove_switches,
+    required_vcs,
     topologies,
 )
 from repro.fabric.flow import simulate_all_to_all
-from repro.metrics import required_vcs
-from repro.network.faults import remove_switches
-from repro.network.topologies import torus_coordinates
+
+torus_coordinates = topologies.torus_coordinates
 
 VC_BUDGET = 4
 

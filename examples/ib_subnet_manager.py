@@ -10,9 +10,13 @@ virtual-lane plan.
 Run:  python examples/ib_subnet_manager.py
 """
 
-from repro import NueRouting, topologies, validate_routing
+from repro.api import (
+    NueRouting,
+    remove_switches,
+    topologies,
+    validate_routing,
+)
 from repro.ib import Subnet, build_lfts, build_slvl, lfts_to_routing
-from repro.network.faults import remove_switches
 
 VL_BUDGET = 2
 

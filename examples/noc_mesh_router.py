@@ -14,7 +14,8 @@ flit-level wormhole simulator on a small ring-based NoC:
 Run:  python examples/noc_mesh_router.py
 """
 
-from repro import MinHopRouting, NueRouting, is_deadlock_free, topologies
+from repro import MinHopRouting
+from repro.api import NueRouting, is_deadlock_free, topologies
 from repro.fabric.flit import FlitSimConfig, FlitSimulator
 from repro.fabric.traffic import shift_phase
 

@@ -8,8 +8,14 @@ Builds the paper's 4x4x3 torus, computes deadlock-free routes with a
 Run:  python examples/quickstart.py
 """
 
-from repro import NueRouting, topologies, validate_routing
-from repro.metrics import gamma_summary, path_length_stats, required_vcs
+from repro.api import (
+    NueRouting,
+    gamma_summary,
+    path_length_stats,
+    required_vcs,
+    topologies,
+    validate_routing,
+)
 
 
 def main() -> None:

@@ -18,11 +18,12 @@ Run:  python examples/render_paper_figures.py [output-dir]
 import sys
 from pathlib import Path
 
-from repro import NueRouting
-from repro.cdg.complete_cdg import CompleteCDG
-from repro.core.escape import EscapePaths
-from repro.network.topologies import paper_ring_with_shortcut
+from repro.api import NueRouting, topologies
+from repro.cdg import CompleteCDG
+from repro.core import EscapePaths
 from repro.viz import cdg_to_dot, network_to_dot, routing_tree_to_dot
+
+paper_ring_with_shortcut = topologies.paper_ring_with_shortcut
 
 
 def main() -> None:

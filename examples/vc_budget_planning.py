@@ -15,9 +15,14 @@ balance/throughput an operator would trade away per reserved lane.
 Run:  python examples/vc_budget_planning.py
 """
 
-from repro import DFSSSPRouting, NueRouting, RoutingError, topologies
+from repro import DFSSSPRouting
+from repro.api import (
+    NueRouting,
+    RoutingError,
+    gamma_summary,
+    topologies,
+)
 from repro.fabric.flow import simulate_all_to_all
-from repro.metrics import gamma_summary
 
 TOTAL_LANES = 8
 

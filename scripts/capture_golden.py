@@ -25,7 +25,7 @@ TOPOLOGIES = {
     "ring8": lambda: ring(8, 2),
     "torus443": lambda: torus([4, 4, 3], 2),
     "tree32": lambda: k_ary_n_tree(3, 2),
-    "torus443_fault": lambda: remove_switches(torus([4, 4, 3], 2), [5]),
+    "torus443_fault": lambda: remove_switches(torus([4, 4, 3], 2), [5]).net,
 }
 
 ALGORITHMS = [

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Import-policy checker for ``examples/``.
+
+Examples are the copy-paste surface users see first, so they must stay
+on supported import paths:
+
+1. never a private path — no ``repro._x`` / ``repro.x._y`` segment;
+2. names imported from ``repro`` or ``repro.api`` must be in the
+   module's ``__all__`` (i.e. covered by the API-surface snapshot in
+   ``tests/test_public_api.py``);
+3. any other ``repro.*`` module must be on the documented
+   advanced-subsystem allowlist below (the subsystems ``docs/api.md``
+   lists as demonstrated-but-not-stable), and the imported names must
+   be in that module's ``__all__``.
+
+Run as ``python scripts/check_examples.py`` (exit 1 on violation); CI
+runs it next to the examples smoke job.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Subsystems examples may demonstrate beyond the stable facade.  Each
+#: must be documented in docs/api.md's "advanced subsystems" table;
+#: imports from them are checked against the subsystem's ``__all__``.
+ALLOWED_SUBSYSTEMS = {
+    "repro.cdg",       # complete-CDG internals (paper walkthroughs)
+    "repro.core",      # escape paths / layer router internals
+    "repro.fabric",    # flow- and flit-level simulators
+    "repro.ib",        # InfiniBand LFT/SL2VL export
+    "repro.viz",       # DOT renderers
+}
+
+
+def _module_all(module_name: str) -> set:
+    mod = importlib.import_module(module_name)
+    return set(getattr(mod, "__all__", ()))
+
+
+def _check_import(path: Path, module: str, names: list) -> list:
+    """Violations for ``from module import names`` in ``path``."""
+    problems = []
+    if any(part.startswith("_") for part in module.split(".")):
+        return [f"{path.name}: private import path {module!r}"]
+    if module in ("repro", "repro.api"):
+        allowed = _module_all(module)
+        for name in names:
+            if name not in allowed:
+                problems.append(
+                    f"{path.name}: {name!r} is not part of the "
+                    f"{module} facade surface"
+                )
+        return problems
+    subsystem = ".".join(module.split(".")[:2])
+    if subsystem not in ALLOWED_SUBSYSTEMS:
+        return [
+            f"{path.name}: {module!r} is neither the repro.api facade "
+            f"nor an allowed advanced subsystem "
+            f"({sorted(ALLOWED_SUBSYSTEMS)})"
+        ]
+    allowed = _module_all(module)
+    for name in names:
+        if name.startswith("_"):
+            problems.append(f"{path.name}: private name {name!r} "
+                            f"from {module}")
+        elif allowed and name not in allowed:
+            problems.append(
+                f"{path.name}: {name!r} is not in {module}.__all__"
+            )
+    return problems
+
+
+def check_file(path: Path) -> list:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.split(".")[0] == "repro":
+            names = [a.name for a in node.names]
+            problems += _check_import(path, node.module, names)
+        elif isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name.split(".")[0] != "repro":
+                    continue
+                if a.name not in ("repro", "repro.api"):
+                    problems.append(
+                        f"{path.name}: use 'from {a.name} import ...' "
+                        f"or the repro.api facade, not "
+                        f"'import {a.name}'"
+                    )
+    return problems
+
+
+def main() -> int:
+    examples = sorted((REPO / "examples").glob("*.py"))
+    if not examples:
+        print("no examples found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in examples:
+        problems += check_file(path)
+    if problems:
+        print("examples import-policy violations:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"{len(examples)} examples follow the import policy")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

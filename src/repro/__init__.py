@@ -5,6 +5,10 @@ channel dependency graph, plus every substrate the paper's evaluation
 needs: topology generators, the OpenSM baseline routing set, deadlock
 and balance metrics, and flow-/flit-level simulators.
 
+The stable import surface is :mod:`repro.api` (see its docstring for
+the stability policy); the most common entry points are also promoted
+to this top-level namespace.
+
 Quickstart::
 
     from repro import topologies, make_algorithm, validate_routing
@@ -47,10 +51,12 @@ from repro.routing import (
     available_algorithms,
     make_algorithm,
 )
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "engine",
     "obs",
     "make_algorithm",

@@ -1,0 +1,140 @@
+"""The stable public facade of the repro library.
+
+Everything a typical user needs — building a topology, constructing a
+routing algorithm, validating the result, injecting faults, running a
+fail-in-place campaign — is importable from this one module:
+
+>>> from repro import api
+>>> net = api.topologies.ring(6, terminals_per_switch=1)
+>>> algo = api.make_algorithm("nue", max_vls=2)
+>>> result = algo.route(net, seed=0)
+>>> api.validate_routing(result)
+>>> sorted(api.available_algorithms())[:3]
+['dfsssp', 'dnup', 'dor']
+
+Stability policy
+----------------
+Names exported here (the ``__all__`` of this module) are the
+library's *stable surface*: they follow semantic versioning — removals
+or signature breaks only with a major version bump, deprecations keep
+a shimmed fallback for one minor release (see
+:func:`repro.routing.algorithm_registry` for the pattern).  Everything
+else in the package — any ``repro.*`` submodule path not re-exported
+here — is internal: importable, useful for advanced work, but free to
+move between releases.  ``tests/test_public_api.py`` pins a snapshot
+of this surface so accidental changes fail CI.
+
+Surface map
+-----------
+===========================  =================================================
+routing                      :func:`make_algorithm`,
+                             :func:`available_algorithms`,
+                             :func:`algorithm_descriptions`,
+                             :class:`RoutingAlgorithm`,
+                             :class:`RoutingResult`, :class:`NueConfig`
+validation / metrics         :func:`validate_routing`,
+                             :func:`is_deadlock_free`, :func:`required_vcs`,
+                             :func:`gamma_summary`,
+                             :func:`path_length_stats`
+networks / topologies        :class:`Network`, :class:`NetworkBuilder`,
+                             :func:`as_network`, :mod:`topologies`
+fault injection              :class:`FaultResult`, :func:`remove_links`,
+                             :func:`remove_switches`,
+                             :func:`inject_random_link_faults`,
+                             :func:`inject_random_switch_faults`
+resilience campaigns         :class:`FaultEvent`, :class:`FaultSchedule`,
+                             :func:`afr_schedule`, :func:`run_campaign`,
+                             :func:`incremental_reroute`,
+                             :func:`exact_reroute`,
+                             :class:`DegradationReport`,
+                             :class:`CampaignResult`
+===========================  =================================================
+"""
+
+from repro.core import NueConfig, NueRouting
+from repro.metrics import (
+    gamma_summary,
+    is_deadlock_free,
+    path_length_stats,
+    required_vcs,
+    validate_routing,
+)
+from repro.metrics.validate import ValidationError
+from repro.network import (
+    FaultInjectionError,
+    FaultResult,
+    Network,
+    NetworkBuilder,
+    as_network,
+    attach_terminals,
+    inject_random_link_faults,
+    inject_random_switch_faults,
+    remove_links,
+    remove_switches,
+    topologies,
+)
+from repro.resilience import (
+    CampaignResult,
+    DegradationReport,
+    FaultEvent,
+    FaultSchedule,
+    IncrementalNotApplicable,
+    afr_schedule,
+    dirty_destinations,
+    exact_reroute,
+    incremental_reroute,
+    run_campaign,
+)
+from repro.routing import (
+    NotApplicableError,
+    RoutingAlgorithm,
+    RoutingError,
+    RoutingResult,
+    algorithm_descriptions,
+    available_algorithms,
+    make_algorithm,
+)
+
+__all__ = [
+    # routing
+    "make_algorithm",
+    "available_algorithms",
+    "algorithm_descriptions",
+    "RoutingAlgorithm",
+    "RoutingResult",
+    "RoutingError",
+    "NotApplicableError",
+    "NueConfig",
+    "NueRouting",
+    # validation / metrics
+    "validate_routing",
+    "ValidationError",
+    "is_deadlock_free",
+    "required_vcs",
+    "gamma_summary",
+    "path_length_stats",
+    # networks / topologies
+    "Network",
+    "NetworkBuilder",
+    "as_network",
+    "attach_terminals",
+    "topologies",
+    # fault injection
+    "FaultInjectionError",
+    "FaultResult",
+    "remove_links",
+    "remove_switches",
+    "inject_random_link_faults",
+    "inject_random_switch_faults",
+    # resilience campaigns
+    "FaultEvent",
+    "FaultSchedule",
+    "afr_schedule",
+    "run_campaign",
+    "CampaignResult",
+    "DegradationReport",
+    "incremental_reroute",
+    "exact_reroute",
+    "dirty_destinations",
+    "IncrementalNotApplicable",
+]

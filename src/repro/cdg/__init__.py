@@ -1,5 +1,5 @@
 """Channel dependency graph machinery (paper Sections 4.1 and 4.6.1)."""
 
-from repro.cdg.complete_cdg import CompleteCDG, UNUSED, USED, BLOCKED
+from repro.cdg.complete_cdg import CompleteCDG, UNUSED, USED, BLOCKED, RETIRED
 
-__all__ = ["CompleteCDG", "UNUSED", "USED", "BLOCKED"]
+__all__ = ["CompleteCDG", "UNUSED", "USED", "BLOCKED", "RETIRED"]

@@ -47,16 +47,19 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.network.graph import Network
 from repro.utils.unionfind import UnionFind
 
-__all__ = ["CompleteCDG", "UNUSED", "USED", "BLOCKED"]
+__all__ = ["CompleteCDG", "UNUSED", "USED", "BLOCKED", "RETIRED"]
 
 UNUSED = 0
 USED = 1
 BLOCKED = -1
+RETIRED = -2
 
 #: internal byte encoding of BLOCKED (bytearrays hold 0..255)
 _B = 2
+#: internal byte encoding of RETIRED (channel failed in place)
+_R = 3
 #: byte -> public state constant
-_STATE_OF_BYTE = (UNUSED, USED, BLOCKED)
+_STATE_OF_BYTE = (UNUSED, USED, BLOCKED, RETIRED)
 
 
 class CompleteCDG:
@@ -87,8 +90,14 @@ class CompleteCDG:
         #: initialised arbitrarily (channel id) and repaired locally on
         #: order-violating insertions.
         self._ord: List[int] = list(range(self.n_channels))
+        #: per-channel retirement flags (fail-in-place): a retired
+        #: channel's incident dependency edges are all in the RETIRED
+        #: state and can never be used or unblocked again
+        self._retired = bytearray(self.n_channels)
         self.n_used_edges = 0
         self.n_blocked_edges = 0
+        self.n_retired_edges = 0
+        self.n_retired_channels = 0
         self.cycle_searches = 0  #: number of condition-(d) DFS runs
         self.pk_reorders = 0     #: order-violating insertions repaired
         self.pk_reorder_moved = 0  #: vertices moved by those repairs
@@ -178,6 +187,8 @@ class CompleteCDG:
         prev = self._state[eid]
         if prev == 1:
             raise ValueError("cannot block a used edge")
+        if prev == _R:
+            raise ValueError("cannot block a retired edge")
         if prev != _B:
             self._state[eid] = _B
             self.n_blocked_edges += 1
@@ -227,6 +238,65 @@ class CompleteCDG:
         """Exact-rollback helper: blocked -> unused by edge id."""
         self._state[eid] = 0
         self.n_blocked_edges -= 1
+
+    # -- fail-in-place retirement ----------------------------------------------
+
+    def is_channel_retired(self, c: int) -> bool:
+        """True when channel ``c`` has been retired (failed in place)."""
+        return bool(self._retired[c])
+
+    @property
+    def channel_retired_mask(self) -> bytearray:
+        """Per-channel retirement flags (read-only by convention)."""
+        return self._retired
+
+    def _retire_edge_id(self, eid: int, cp: int, cq: int) -> int:
+        st = self._state[eid]
+        if st == _R:
+            return 0
+        if st == 1:
+            self._used_out[cp].remove(cq)
+            self._used_in[cq].remove(cp)
+            self.n_used_edges -= 1
+        elif st == _B:
+            self.n_blocked_edges -= 1
+        self._state[eid] = _R
+        self.n_retired_edges += 1
+        return 1
+
+    def retire_channel(self, c: int) -> int:
+        """Fail channel ``c`` in place: retire every incident dependency.
+
+        All dependency edges into or out of ``c`` transition to the
+        RETIRED state (releasing used/blocked bookkeeping exactly), the
+        vertex leaves the used state, and the channel can never carry a
+        dependency again.  The Pearce-Kelly topological order is left
+        untouched — removing edges cannot invalidate a topological
+        order of the remaining used subgraph, so ``_ord`` stays a
+        correct witness and subsequent insert checks are unaffected.
+        The ω component merges involving ``c`` are likewise kept
+        (monotone and conservative, exactly like :meth:`unuse_edge`).
+
+        Returns the number of dependency edges newly retired.
+        Idempotent.
+        """
+        if self._retired[c]:
+            return 0
+        self._retired[c] = 1
+        self.n_retired_channels += 1
+        retired = 0
+        ptr = self.csr.dep_ptr_l
+        dep_dst = self.csr.dep_dst_l
+        for eid in range(ptr[c], ptr[c + 1]):
+            retired += self._retire_edge_id(eid, c, dep_dst[eid])
+        net = self.net
+        edge_id = self.csr.edge_id
+        for p in net.in_channels[net.channel_src[c]]:
+            eid = edge_id(p, c)
+            if eid >= 0:
+                retired += self._retire_edge_id(eid, p, c)
+        self._vertex_used[c] = 0
+        return retired
 
     # -- cycle machinery (Algorithm 3 + Pearce-Kelly order) ----------------------
 
@@ -323,6 +393,8 @@ class CompleteCDG:
             return False
         if state == 1:                             # condition (b)
             return True
+        if state == _R:                            # retired channel
+            return False
         if not self._pk_insert_check(cp, cq):      # conditions (c)+(d)
             self._state[eid] = _B
             self.n_blocked_edges += 1
@@ -345,7 +417,7 @@ class CompleteCDG:
         """
         eid = self.csr.edge_id(cp, cq)
         state = self._state[eid] if eid >= 0 else 0
-        if state == _B:
+        if state == _B or state == _R:
             return True
         if state == 1:
             return False
@@ -367,6 +439,8 @@ class CompleteCDG:
             "cdg.cycle_searches": self.cycle_searches,
             "cdg.pk_reorders": self.pk_reorders,
             "cdg.pk_reorder_moved": self.pk_reorder_moved,
+            "cdg.retired_channels": self.n_retired_channels,
+            "cdg.retired_deps": self.n_retired_edges,
         }
 
     # -- verification ----------------------------------------------------------

@@ -85,10 +85,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         raise ValueError(args.kind)
     if args.link_faults:
         net = inject_random_link_faults(net, args.link_faults,
-                                        seed=args.seed)
+                                        seed=args.seed).net
     if args.switch_faults:
         net = inject_random_switch_faults(net, args.switch_faults,
-                                          seed=args.seed)
+                                          seed=args.seed).net
     save_topology(net, args.output)
     print(f"wrote {args.output}: {net}")
     return 0
@@ -96,6 +96,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_route(args: argparse.Namespace) -> int:
     net = load_topology(args.topology)
+    if args.campaign:
+        return _route_campaign(net, args)
     config = (
         {"partitioner": args.partitioner} if args.algorithm == "nue"
         else {}
@@ -123,6 +125,51 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.lft:
         sys.stdout.write(format_lft(result, max_dests=args.lft_dests))
     return 0
+
+
+def _route_campaign(net, args: argparse.Namespace) -> int:
+    """``route --campaign``: drive a fail-in-place fault campaign."""
+    import json
+
+    from repro.core.nue import NueConfig
+    from repro.resilience import FaultSchedule, run_campaign
+
+    if args.algorithm != "nue":
+        print("--campaign requires --algorithm nue (the campaign "
+              "engine's fallback chain starts from it)", file=sys.stderr)
+        return 2
+    try:
+        schedule = FaultSchedule.load(args.campaign)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load schedule {args.campaign!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    res = run_campaign(
+        net, schedule,
+        max_vls=args.vls,
+        config=NueConfig(partitioner=args.partitioner),
+        seed=args.seed,
+        strategy=args.campaign_strategy,
+        timeout_s=args.campaign_timeout,
+        workers=args.workers,
+    )
+    for r in res.reports:
+        status = "ok" if r.ok else (
+            "rejected" if not r.applied else "FAILED")
+        print(f"[{r.event_index}] {r.event}: {status} "
+              f"via {r.strategy or '-'} reach={r.reachability:.3f} "
+              f"recomputed={r.dests_recomputed}/{r.dests_total} "
+              f"vls={r.n_vls} deadlock_free={r.deadlock_free} "
+              f"t={r.runtime_s:.2f}s")
+    applied = sum(1 for r in res.reports if r.applied)
+    print(f"campaign: {res.events_survived}/{applied} applied events "
+          f"survived; final fabric {res.net.name} "
+          f"({res.net.n_nodes} nodes, {res.routing.n_vls} VLs)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(res.to_dict(), fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if res.events_survived == applied else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -222,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="destinations in the LFT dump (0 = all)")
     r.add_argument("--validate", action="store_true",
                    help="run the full Def.-3 validity gate")
+    r.add_argument("--campaign", metavar="SCHEDULE.json", default=None,
+                   help="run a fail-in-place fault campaign from a "
+                        "FaultSchedule JSON file instead of a single "
+                        "route (-o then writes the campaign report)")
+    r.add_argument("--campaign-strategy", default="incremental",
+                   choices=["incremental", "exact"],
+                   help="reroute strategy per event (incremental = "
+                        "fail-in-place repair of dirty destinations)")
+    r.add_argument("--campaign-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-event reroute deadline (cooperative)")
     r.set_defaults(func=_cmd_route)
 
     a = sub.add_parser("analyze", help="deadlock/balance report")

@@ -212,6 +212,77 @@ class NueLayerRouter:
             }, layer=self.layer_index)
         return step
 
+    def route_destination(self, dest: int) -> Tuple[np.ndarray, RoutingStep]:
+        """Per-destination rerouting entry point (fail-in-place repair).
+
+        Runs one :meth:`route_step` and returns the *traffic-direction*
+        forwarding column — ``col[v]`` is the channel node ``v``
+        forwards on toward ``dest`` (-1 at ``dest``) — alongside the
+        raw step.  The column has exactly the layout of one
+        ``RoutingResult.next_channel`` column, which is what the
+        resilience engine scatters back into a retained table.
+        """
+        step = self.route_step(dest)
+        net = self.net
+        rev = net.channel_reverse
+        col = np.full(net.n_nodes, -1, dtype=np.int32)
+        for v in range(net.n_nodes):
+            c = step.used_channel[v]
+            if c >= 0 and v != dest:
+                col[v] = rev[c]
+        return col, step
+
+    def adopt_column(self, dest: int, next_channel_col) -> None:
+        """Re-mark a retained forwarding column as this layer's state.
+
+        Replays, without searching, what routing ``dest`` originally
+        did to the layer: marks every tree channel and every
+        search-orientation dependency of the column's forwarding
+        forest *used* in the CDG, then applies the balancing weight
+        update.  Used by the resilience engine to warm-start a layer
+        from the surviving columns before repairing the dirty ones,
+        so repair steps respect the retained trees' restrictions and
+        load exactly as later destinations respected earlier ones.
+
+        Raises ``ValueError`` when a column dependency cannot be
+        marked.  The retained columns of one prior layer are mutually
+        acyclic (their dependency union was verified when first
+        routed, and channel retirement only removes dependencies), but
+        this layer's escape tree is rebuilt on the *surviving* fabric:
+        when retirement moved the BFS spanning tree, a retained
+        dependency can hit an edge the new escape state blocked, or
+        close a cycle against the new escape dependencies.  Callers
+        treat that as "incremental repair not applicable" and fall
+        back to a full reroute.
+        """
+        net = self.net
+        cdg = self.cdg
+        rev = net.channel_reverse
+        src_of = self.csr.src_l
+        used = self._used
+        used[:] = self._tmpl_used
+        for v in range(net.n_nodes):
+            c = int(next_channel_col[v])
+            if v != dest and c >= 0:
+                used[v] = rev[c]
+        for v in range(net.n_nodes):
+            cq = used[v]
+            if cq < 0:
+                continue
+            cdg.mark_vertex_used(cq)
+            p = src_of[cq]
+            if p == dest:
+                continue
+            cp = used[p]
+            if cp >= 0 and not self.try_use_dependency(cp, cq):
+                raise ValueError(
+                    f"retained column for {net.node_names[dest]} "
+                    "conflicts with the rebuilt escape state (blocked "
+                    "edge or dependency cycle)"
+                )
+        self._step_marked.clear()
+        self._update_weights(dest)
+
     def _apply_copy_rotation(self, dest: int):
         """Bias each bundle's copies so copy ``(i - dest) mod m`` is
         cheapest for this destination; returns the bias to remove."""
@@ -242,9 +313,15 @@ class NueLayerRouter:
         *arriving* at the destination has no successor dependency).
         """
         net = self.net
+        retired = self.cdg.channel_retired_mask
         self._dist_node[dest] = 0.0
         if net.is_terminal(dest):
             c0 = self.csr.injection_channel[dest]
+            if retired[c0]:
+                raise ValueError(
+                    f"terminal {net.node_names[dest]} is orphaned: its "
+                    "injection channel is retired"
+                )
             s = net.channel_dst[c0]
             self._dist_chan[c0] = 0.0
             self._dist_node[s] = 0.0
@@ -253,6 +330,8 @@ class NueLayerRouter:
             self.heap_push(c0, 0.0)
         else:
             for cq in sorted(net.out_channels[dest]):
+                if retired[cq]:
+                    continue
                 y = net.channel_dst[cq]
                 alt = self._w[cq]
                 if alt < self._dist_node[y]:

@@ -17,7 +17,7 @@ dependence of the initial dependency count (paper Fig. 5) exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.network.graph import Network
@@ -31,10 +31,19 @@ class SpanningTree:
 
     BFS minimizes depth and therefore the average escape-path length
     (the paper's stated goal).  On multigraphs the lowest-id channel of
-    a link is chosen, deterministically.
+    a link is chosen, deterministically.  ``retired`` (a per-channel
+    truthy mask) excludes failed-in-place channels, so the tree spans
+    only the surviving fabric; when the survivors no longer connect
+    every node the constructor raises ``ValueError``, which the
+    resilience engine turns into a reachability report.
     """
 
-    def __init__(self, net: Network, root: int) -> None:
+    def __init__(
+        self,
+        net: Network,
+        root: int,
+        retired: Optional[Sequence[int]] = None,
+    ) -> None:
         self.net = net
         self.root = root
         self.parent: List[int] = [-1] * net.n_nodes
@@ -49,6 +58,8 @@ class SpanningTree:
             u = order[head]
             head += 1
             for c in sorted(net.out_channels[u]):
+                if retired is not None and retired[c]:
+                    continue
                 v = net.channel_dst[c]
                 if not seen[v]:
                     seen[v] = True
@@ -100,7 +111,10 @@ class EscapePaths:
         two orientations must never be mixed in one CDG)."""
         self.net = net
         self.cdg = cdg
-        self.tree = SpanningTree(net, root)
+        # span only the surviving fabric: channels retired in the CDG
+        # (fail-in-place faults) cannot carry escape paths
+        self.tree = SpanningTree(net, root,
+                                 retired=cdg.channel_retired_mask)
         self.dest_subset = list(dest_subset)
         self.traffic_orientation = traffic_orientation
         self.initial_dependencies = 0

@@ -36,7 +36,7 @@ from repro.partition import make_partitioner, partition_destinations
 from repro.routing.base import RoutingAlgorithm, RoutingResult
 from repro.utils.prng import SeedLike, make_rng, spawn_seed
 
-__all__ = ["NueConfig", "NueRouting"]
+__all__ = ["NueConfig", "NueRouting", "plan_layers", "build_layer_state"]
 
 
 @dataclass
@@ -93,6 +93,69 @@ class _LayerConfig:
         )
 
 
+def plan_layers(
+    net: Network,
+    dests: List[int],
+    max_vls: int,
+    cfg: NueConfig,
+    seed: SeedLike,
+) -> Tuple[List[List[int]], List[int]]:
+    """Destination partition + per-layer child seeds for one Nue run.
+
+    Factored out of :meth:`NueRouting._route` so the resilience engine
+    can re-derive, deterministically, the exact layer plan a prior run
+    used (same partitioner, same seed stream) when deciding which
+    surviving layer state is reusable.  The child seeds are drawn in
+    layer order so the stream is identical no matter how the layers
+    are later scheduled.
+    """
+    rng = make_rng(seed)
+    partitioner = make_partitioner(cfg.partitioner)
+    k = min(max_vls, len(dests))
+    with obs.span("nue.partition", k=k, method=cfg.partitioner):
+        parts = partition_destinations(
+            net, dests, k, partitioner, spawn_seed(rng)
+        )
+    layer_seeds = [spawn_seed(rng) for _ in parts]
+    return parts, layer_seeds
+
+
+def build_layer_state(
+    net: Network,
+    cfg: "_LayerConfig",
+    layer_idx: int,
+    subset: List[int],
+    retire_channels: Optional[List[int]] = None,
+) -> NueLayerRouter:
+    """Construct one layer's routing state: root, CDG, escape, router.
+
+    ``retire_channels`` (fail-in-place faults) are retired on the fresh
+    CDG *before* the escape tree is marked, so the spanning tree and
+    every later dependency avoid the failed channels.  Returns the
+    layer router; the CDG and escape paths hang off it.
+    """
+    with obs.span("nue.select_root", layer=layer_idx):
+        root = select_root(
+            net,
+            subset,
+            all_dests=bool(cfg.single_layer),
+        )
+    cdg = CompleteCDG(net)
+    if retire_channels:
+        for c in retire_channels:
+            cdg.retire_channel(c)
+    with obs.span("nue.escape_mark", layer=layer_idx):
+        escape = EscapePaths(net, cdg, root, subset)
+    return NueLayerRouter(
+        net,
+        cdg,
+        escape,
+        enable_backtracking=cfg.enable_backtracking,
+        enable_shortcuts=cfg.enable_shortcuts,
+        layer_index=layer_idx,
+    )
+
+
 def _route_layer(
     ctx: Tuple[Network, "_LayerConfig"],
     task: Tuple[int, List[int], int],
@@ -116,25 +179,11 @@ def _route_layer(
     net, cfg = ctx
     layer_idx, subset, _layer_seed = task
     with obs.span("nue.layer", layer=layer_idx, dests=len(subset)):
-        with obs.span("nue.select_root", layer=layer_idx):
-            root = select_root(
-                net,
-                subset,
-                all_dests=bool(cfg.single_layer),
-            )
-        cdg = CompleteCDG(net)
-        with obs.span("nue.escape_mark", layer=layer_idx):
-            escape = EscapePaths(net, cdg, root, subset)
-        router = NueLayerRouter(
-            net,
-            cdg,
-            escape,
-            enable_backtracking=cfg.enable_backtracking,
-            enable_shortcuts=cfg.enable_shortcuts,
-            layer_index=layer_idx,
-        )
+        router = build_layer_state(net, cfg, layer_idx, subset)
+        cdg = router.cdg
+        escape = router.escape
         layer_stats: Dict[str, object] = {
-            "root": net.node_names[root],
+            "root": net.node_names[escape.tree.root],
             "destinations": len(subset),
             "initial_dependencies": escape.initial_dependencies,
             "fallbacks": 0,
@@ -198,19 +247,10 @@ class NueRouting(RoutingAlgorithm):
         self, net: Network, dests: List[int], seed: SeedLike
     ) -> RoutingResult:
         cfg = self.config
-        rng = make_rng(seed)
-        partitioner = make_partitioner(cfg.partitioner)
-        k = min(self.max_vls, len(dests))
-        with obs.span("nue.partition", k=k, method=cfg.partitioner):
-            parts = partition_destinations(
-                net, dests, k, partitioner, spawn_seed(rng)
-            )
-
-        # per-layer child seeds, drawn in layer order so the stream is
-        # identical no matter how the layers are scheduled
+        parts, layer_seeds = plan_layers(net, dests, self.max_vls, cfg, seed)
         layer_cfg = _LayerConfig.from_config(cfg, single_layer=len(parts) == 1)
         tasks = [
-            (idx, list(subset), spawn_seed(rng))
+            (idx, list(subset), layer_seeds[idx])
             for idx, subset in enumerate(parts)
         ]
         outcomes = run_layer_tasks(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.network.graph import Network
+from repro.network.graph import Network, as_network
 
 __all__ = ["network_fingerprint"]
 
@@ -69,6 +69,7 @@ def _hash_value(h, obj) -> None:
 
 def network_fingerprint(net: Network) -> str:
     """Hex digest identifying ``net`` structurally (blake2b-128)."""
+    net = as_network(net)
     csr = net.csr
     h = hashlib.blake2b(digest_size=16)
     h.update(net.name.encode())

@@ -33,7 +33,7 @@ VC_LIMIT = 4
 def build_network(failed_switch: int = 0):
     """The paper's Fig. 1 network: 4x4x3 torus, 4 T/sw, 1 dead switch."""
     net = torus([4, 4, 3], terminals_per_switch=4)
-    return remove_switches(net, [net.switches[failed_switch]])
+    return remove_switches(net, [net.switches[failed_switch]]).net
 
 
 def run(

@@ -64,7 +64,7 @@ def run(
         label = "x".join(map(str, dims))
         net = torus(dims, terminals_per_switch)
         try:
-            net = inject_random_link_faults(net, fault_fraction, seed=seed)
+            net = inject_random_link_faults(net, fault_fraction, seed=seed).net
         except FaultInjectionError:
             pass  # tiny torus: keep it pristine
         for lab, algo in algos.items():

@@ -34,6 +34,7 @@ from repro.experiments import (
     fig09,
     fig10,
     fig11,
+    resilience,
     scaling,
     table1,
 )
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig09": fig09.main,
     "fig10": fig10.main,
     "fig11": fig11.main,
+    "resilience": resilience.main,
     "table1": table1.main,
     "scaling": scaling.main,
 }

@@ -9,10 +9,17 @@
 * :mod:`repro.network.faults` — link/switch failure injection (Sec. 5.3).
 """
 
-from repro.network.graph import Network, NetworkBuilder, Channel, attach_terminals
+from repro.network.graph import (
+    Network,
+    NetworkBuilder,
+    Channel,
+    as_network,
+    attach_terminals,
+)
 from repro.network.csr import CSRView, build_csr
 from repro.network.faults import (
     FaultInjectionError,
+    FaultResult,
     remove_links,
     remove_switches,
     inject_random_link_faults,
@@ -23,10 +30,12 @@ __all__ = [
     "Network",
     "NetworkBuilder",
     "Channel",
+    "as_network",
     "attach_terminals",
     "CSRView",
     "build_csr",
     "FaultInjectionError",
+    "FaultResult",
     "remove_links",
     "remove_switches",
     "inject_random_link_faults",

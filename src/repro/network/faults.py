@@ -4,20 +4,33 @@ The paper evaluates routing resilience by failing switches (Fig. 1's
 4x4x3 torus with one dead switch) and by injecting 1 % random link
 failures chosen "according to the observed annual failure rate of
 production HPC systems" (Fig. 11).  Networks are immutable, so each
-injection builds a degraded copy; node identities are *not* preserved
-(ids are re-densified) but names are, which is how tests map nodes
-across the failure.
+injection builds a degraded copy and returns a :class:`FaultResult`:
+the degraded network together with the explicit ``old -> new`` node,
+link and channel maps and the names of everything that failed.  When
+no node dies (pure switch-to-switch link failures) node ids are
+preserved verbatim; otherwise ids re-densify and ``node_map`` is the
+single source of truth for tracking identities across the failure —
+no name-based matching needed.
+
+``FaultResult`` quacks like the degraded :class:`Network` (attribute
+access is delegated), so pre-existing call sites that treated the
+return value as a network keep working unchanged; new code should use
+``.net`` and the maps explicitly.  The maps are what
+:mod:`repro.resilience` uses to translate retained forwarding state
+onto the degraded fabric instead of rerouting from scratch.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, List, Set, Tuple
 
-from repro.network.graph import Network
+from repro.network.graph import Network, as_network
 from repro.utils.prng import SeedLike, make_rng
 
 __all__ = [
     "FaultInjectionError",
+    "FaultResult",
     "remove_links",
     "remove_switches",
     "inject_random_link_faults",
@@ -29,13 +42,107 @@ class FaultInjectionError(RuntimeError):
     """Raised when a requested failure would disconnect the network."""
 
 
+@dataclass
+class FaultResult:
+    """Outcome of one fault application: degraded net + identity maps.
+
+    Attributes
+    ----------
+    net:
+        The degraded network.
+    parent:
+        The network the faults were applied to.
+    node_map:
+        ``node_map[old_id] -> new_id`` (-1 when the node died).  The
+        identity list when no node died, in which case ids are
+        preserved verbatim.
+    link_map:
+        ``link_map[old_link_index] -> new_link_index`` (-1 when the
+        link died), indices into :meth:`Network.links`.
+    failed_switches / failed_terminals:
+        Names of the nodes that died (terminals include the ones
+        orphaned implicitly by a switch or link death).
+    failed_links:
+        ``(name_u, name_v)`` endpoint-name pairs of every dead link,
+        including links implied by a dead endpoint.
+
+    Attribute access falls through to ``net``, so a ``FaultResult``
+    can be passed anywhere a degraded :class:`Network` used to go.
+    """
+
+    net: Network
+    parent: Network
+    node_map: List[int]
+    link_map: List[int]
+    failed_switches: List[str] = field(default_factory=list)
+    failed_terminals: List[str] = field(default_factory=list)
+    failed_links: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def channel_map(self) -> List[int]:
+        """``old channel id -> new channel id`` (-1 when retired).
+
+        Derived from ``link_map``: link ``i`` owns channels ``2i`` and
+        ``2i + 1`` in construction order, which :class:`Network`
+        preserves.
+        """
+        out = [-1] * (2 * len(self.link_map))
+        for old, new in enumerate(self.link_map):
+            if new >= 0:
+                out[2 * old] = 2 * new
+                out[2 * old + 1] = 2 * new + 1
+        return out
+
+    @property
+    def failed_channels(self) -> List[int]:
+        """Retired directed-channel ids, in the *parent*'s id space."""
+        return [
+            c for old, new in enumerate(self.link_map) if new < 0
+            for c in (2 * old, 2 * old + 1)
+        ]
+
+    @property
+    def nodes_preserved(self) -> bool:
+        """True when every node survived with its id intact."""
+        return all(m == i for i, m in enumerate(self.node_map))
+
+    @property
+    def is_identity(self) -> bool:
+        """True when nothing failed (``net is parent``)."""
+        return self.net is self.parent
+
+    def __getattr__(self, name: str):
+        # back-compat: delegate everything else to the degraded net so
+        # legacy call sites that expect a bare Network keep working
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(self.net, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultResult({self.net!r}, dead_switches="
+            f"{len(self.failed_switches)}, dead_terminals="
+            f"{len(self.failed_terminals)}, dead_links="
+            f"{len(self.failed_links)})"
+        )
+
+
+def _identity_result(net: Network) -> FaultResult:
+    return FaultResult(
+        net=net,
+        parent=net,
+        node_map=list(range(net.n_nodes)),
+        link_map=list(range(net.n_links)),
+    )
+
+
 def _rebuild(
     net: Network,
     dead_nodes: Set[int],
     dead_links: Set[int],
     name_suffix: str,
-) -> Network:
-    """Build a new network without the given nodes / link indices."""
+) -> FaultResult:
+    """Build the degraded network without the given nodes / links."""
     links = net.links()
     keep_nodes: List[int] = []
     remap = [-1] * net.n_nodes
@@ -65,9 +172,13 @@ def _rebuild(
             keep_nodes.append(node)
 
     new_links: List[Tuple[int, int]] = []
+    link_map = [-1] * len(links)
+    dead_link_pairs: List[Tuple[str, str]] = []
     for i, (u, v) in enumerate(links):
         if i in dead_links or u in all_dead or v in all_dead:
+            dead_link_pairs.append((net.node_names[u], net.node_names[v]))
             continue
+        link_map[i] = len(new_links)
         new_links.append((remap[u], remap[v]))
 
     try:
@@ -85,11 +196,24 @@ def _rebuild(
         "dead_nodes": sorted(net.node_names[n] for n in all_dead),
         "dead_links": sorted(dead_links),
     }
-    return degraded
+    return FaultResult(
+        net=degraded,
+        parent=net,
+        node_map=remap,
+        link_map=link_map,
+        failed_switches=sorted(
+            net.node_names[n] for n in all_dead if net.is_switch(n)
+        ),
+        failed_terminals=sorted(
+            net.node_names[n] for n in all_dead if net.is_terminal(n)
+        ),
+        failed_links=dead_link_pairs,
+    )
 
 
-def remove_switches(net: Network, switches: Iterable[int]) -> Network:
+def remove_switches(net: Network, switches: Iterable[int]) -> FaultResult:
     """Fail the given switches (and their now-orphaned terminals)."""
+    net = as_network(net)
     dead = set(switches)
     for s in dead:
         if not net.is_switch(s):
@@ -97,8 +221,9 @@ def remove_switches(net: Network, switches: Iterable[int]) -> Network:
     return _rebuild(net, dead, set(), "+swfault")
 
 
-def remove_links(net: Network, link_indices: Iterable[int]) -> Network:
+def remove_links(net: Network, link_indices: Iterable[int]) -> FaultResult:
     """Fail the given duplex links (indices into :meth:`Network.links`)."""
+    net = as_network(net)
     dead = set(link_indices)
     n = len(net.links())
     for li in dead:
@@ -113,13 +238,14 @@ def inject_random_link_faults(
     seed: SeedLike = None,
     switch_to_switch_only: bool = True,
     max_attempts: int = 100,
-) -> Network:
+) -> FaultResult:
     """Fail ``fraction`` of links uniformly at random, keeping connectivity.
 
     Mirrors the Fig. 11 methodology (1 % random link failures).  Retries
     a fresh random subset when the sampled one would disconnect the
     network; raises :class:`FaultInjectionError` after ``max_attempts``.
     """
+    net = as_network(net)
     if not (0 <= fraction < 1):
         raise ValueError("fraction must be in [0, 1)")
     rng = make_rng(seed)
@@ -130,7 +256,7 @@ def inject_random_link_faults(
     ]
     k = int(round(fraction * len(candidates)))
     if k == 0:
-        return net
+        return _identity_result(net)
     for _ in range(max_attempts):
         chosen = rng.choice(len(candidates), size=k, replace=False)
         try:
@@ -147,14 +273,15 @@ def inject_random_switch_faults(
     count: int,
     seed: SeedLike = None,
     max_attempts: int = 100,
-) -> Network:
+) -> FaultResult:
     """Fail ``count`` random switches, keeping the network connected."""
+    net = as_network(net)
     rng = make_rng(seed)
     switches = net.switches
     if count > len(switches):
         raise ValueError("more faults than switches")
     if count == 0:
-        return net
+        return _identity_result(net)
     for _ in range(max_attempts):
         chosen = rng.choice(len(switches), size=count, replace=False)
         try:

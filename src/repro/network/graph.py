@@ -34,7 +34,23 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.network.csr import CSRView
 
-__all__ = ["Network", "NetworkBuilder", "Channel"]
+__all__ = ["Network", "NetworkBuilder", "Channel", "as_network"]
+
+
+def as_network(obj) -> "Network":
+    """Coerce ``obj`` to the :class:`Network` it denotes.
+
+    Accepts a :class:`Network` directly or any wrapper exposing one as
+    ``.net`` (e.g. :class:`repro.network.faults.FaultResult`), so every
+    entry point that consumes a network also accepts the result of a
+    fault injection without manual unwrapping.
+    """
+    if isinstance(obj, Network):
+        return obj
+    inner = getattr(obj, "net", None)
+    if isinstance(inner, Network):
+        return inner
+    raise TypeError(f"expected a Network (or FaultResult), got {type(obj).__name__}")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,43 @@
+"""Fail-in-place resilience: fault schedules, rerouting, campaigns.
+
+Public surface (also re-exported by :mod:`repro.api`):
+
+* :class:`FaultEvent` / :class:`FaultSchedule` / :func:`afr_schedule`
+  — fault event streams (explicit or AFR-sampled);
+* :func:`incremental_reroute` / :func:`exact_reroute` /
+  :func:`dirty_destinations` — the two reroute strategies and the
+  dirty-set computation they share;
+* :func:`run_campaign` + :class:`DegradationReport` /
+  :class:`CampaignResult` — the campaign engine with its retry and
+  fallback chain.
+"""
+
+from repro.resilience.engine import (
+    AttemptRecord,
+    CampaignResult,
+    DegradationReport,
+    run_campaign,
+)
+from repro.resilience.events import FaultEvent, FaultSchedule, afr_schedule
+from repro.resilience.reroute import (
+    IncrementalNotApplicable,
+    dirty_destinations,
+    exact_reroute,
+    incremental_reroute,
+    translate_to_degraded,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CampaignResult",
+    "DegradationReport",
+    "FaultEvent",
+    "FaultSchedule",
+    "IncrementalNotApplicable",
+    "afr_schedule",
+    "dirty_destinations",
+    "exact_reroute",
+    "incremental_reroute",
+    "run_campaign",
+    "translate_to_degraded",
+]

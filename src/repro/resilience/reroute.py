@@ -1,0 +1,267 @@
+"""Incremental and from-scratch rerouting after fault events.
+
+Two strategies with different guarantees:
+
+:func:`exact_reroute`
+    Routes the degraded network from scratch.  Bit-identical — by
+    construction — to calling the algorithm on the degraded network
+    directly, which is the oracle the resilience tests pin campaign
+    bookkeeping against.  Cost: every destination is recomputed.
+
+:func:`incremental_reroute`
+    Fail-in-place repair on the *surviving* fabric: the network object
+    is kept (stable node and channel ids — applicable exactly when the
+    fault killed no node), failed channels are retired inside each
+    affected layer's fresh complete CDG, and only the *dirty*
+    destinations — those whose forwarding trees traverse a failed
+    channel — are recomputed.  Surviving columns are adopted verbatim:
+    their dependencies are re-marked used and their balancing weight
+    updates replayed, so repair steps respect the retained trees
+    exactly as later destinations respect earlier ones in a full run.
+    Layers with no dirty destination are not touched at all.
+
+    The repaired result is deadlock-free by construction (retained
+    dependencies are a subset of a previously acyclic set; dependency
+    removal preserves acyclicity; repair steps go through the same
+    cycle-blocking search as any Nue step) and deterministic, but it is
+    *not* bit-identical to a from-scratch route of the degraded
+    network: Nue's weights and restrictions accumulate across the
+    destinations of a layer, so recomputing a subset cannot reproduce
+    the from-scratch sequence.  The campaign engine validates every
+    repaired result and records the verdict in the
+    :class:`~repro.resilience.engine.DegradationReport`.
+
+Layer repair fans out over :func:`repro.engine.run_layer_tasks` —
+layers are independent, so dirty layers repair in parallel with the
+same bit-identical merge the full router uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.nue import NueConfig, _LayerConfig, build_layer_state, plan_layers
+from repro.engine import run_layer_tasks
+from repro.network.faults import FaultResult
+from repro.network.graph import Network, as_network
+from repro.obs import core as obs
+from repro.routing.base import RoutingAlgorithm, RoutingResult
+from repro.utils.prng import SeedLike
+
+__all__ = [
+    "IncrementalNotApplicable",
+    "dirty_destinations",
+    "exact_reroute",
+    "incremental_reroute",
+    "translate_to_degraded",
+]
+
+
+class IncrementalNotApplicable(RuntimeError):
+    """Incremental repair cannot preserve its guarantees for this event.
+
+    Raised when a node died (ids shift), a terminal lost its injection
+    channel, the surviving fabric is disconnected, or retained state
+    cannot be re-marked.  The campaign engine falls back to
+    :func:`exact_reroute`.
+    """
+
+
+def dirty_destinations(
+    result: RoutingResult, failed_channels: Sequence[int]
+) -> List[int]:
+    """Destinations whose forwarding trees traverse a failed channel.
+
+    A destination's column is its full forwarding tree (one entry per
+    node), so one vectorised membership test per column decides
+    dirtiness.
+    """
+    if not failed_channels:
+        return []
+    failed = np.asarray(sorted(set(failed_channels)), dtype=np.int64)
+    hit = np.isin(result.next_channel, failed).any(axis=0)
+    return [d for j, d in enumerate(result.dests) if hit[j]]
+
+
+def exact_reroute(
+    fault: FaultResult,
+    algo: RoutingAlgorithm,
+    seed: SeedLike = None,
+    dests: Optional[Sequence[int]] = None,
+) -> RoutingResult:
+    """From-scratch route of the degraded network (the oracle anchor)."""
+    return algo.route(fault.net, dests=dests, seed=seed)
+
+
+def _repair_layer(
+    ctx: Tuple[Network, "_LayerConfig", List[int]],
+    task: Tuple[int, List[int], np.ndarray, List[bool]],
+) -> Tuple[int, np.ndarray, Dict[str, object]]:
+    """Repair one virtual layer (engine worker function).
+
+    Rebuilds the layer's CDG on the surviving fabric (failed channels
+    retired before the escape tree is marked), adopts every clean
+    retained column in subset order, then recomputes the dirty
+    destinations in subset order.  Deterministic given the task, so it
+    runs identically serial or pooled.
+    """
+    net, cfg, failed = ctx
+    layer_idx, subset, block, dirty_flags = task
+    with obs.span("resilience.repair_layer", layer=layer_idx,
+                  dests=len(subset), dirty=sum(dirty_flags)):
+        router = build_layer_state(
+            net, cfg, layer_idx, subset, retire_channels=failed
+        )
+        new_block = np.array(block, copy=True)
+        for col, d in enumerate(subset):
+            if not dirty_flags[col]:
+                router.adopt_column(d, block[:, col])
+        stats: Dict[str, object] = {
+            "recomputed": 0,
+            "retained": len(subset) - sum(dirty_flags),
+            "fallbacks": 0,
+            "islands_resolved": 0,
+            "shortcuts_taken": 0,
+        }
+        for col, d in enumerate(subset):
+            if not dirty_flags[col]:
+                continue
+            column, step = router.route_destination(d)
+            new_block[:, col] = column
+            stats["recomputed"] += 1  # type: ignore[operator]
+            if step.fell_back:
+                stats["fallbacks"] += 1  # type: ignore[operator]
+            stats["islands_resolved"] += step.islands_resolved  # type: ignore[operator]
+            stats["shortcuts_taken"] += step.shortcuts_taken  # type: ignore[operator]
+        if cfg.verify_acyclic:
+            router.cdg.assert_acyclic()
+        if obs.enabled():
+            obs.count_many(router.cdg.counter_snapshot(), layer=layer_idx)
+    return layer_idx, new_block, stats
+
+
+def incremental_reroute(
+    net: Network,
+    prior: RoutingResult,
+    failed_channels: Sequence[int],
+    config: Optional[NueConfig] = None,
+    max_vls: int = 1,
+    seed: SeedLike = None,
+    workers: Optional[int] = None,
+) -> Tuple[RoutingResult, Dict[str, object]]:
+    """Fail-in-place repair of a routed network after channel failures.
+
+    ``net`` is the *original* network object (fail-in-place: its ids
+    stay authoritative), ``prior`` the routing computed on it (same
+    ``config``/``max_vls``/``seed``), and ``failed_channels`` the
+    cumulative set of failed directed-channel ids in ``net``'s id
+    space.  Returns ``(repaired result, repair stats)``; the result's
+    tables are in ``net``'s id space and never use a failed channel.
+
+    Raises :class:`IncrementalNotApplicable` when the preconditions for
+    the fail-in-place guarantees do not hold (see class docstring).
+    """
+    net = as_network(net)
+    cfg = config or NueConfig()
+    if prior.algorithm != "nue":
+        raise IncrementalNotApplicable(
+            f"incremental repair supports nue routings, not "
+            f"{prior.algorithm!r}"
+        )
+    failed: Set[int] = set(int(c) for c in failed_channels)
+    for d in prior.dests:
+        if net.is_terminal(d) and net.csr.injection_channel[d] in failed:
+            raise IncrementalNotApplicable(
+                f"terminal {net.node_names[d]} lost its injection channel"
+            )
+
+    dirty = set(dirty_destinations(prior, sorted(failed)))
+    stats: Dict[str, object] = {
+        "dests_total": len(prior.dests),
+        "dests_dirty": len(dirty),
+        "dests_recomputed": 0,
+        "layers_total": prior.n_vls,
+        "layers_repaired": 0,
+        "fallbacks": 0,
+    }
+    if not dirty:
+        return prior, stats
+
+    parts, _layer_seeds = plan_layers(
+        net, list(prior.dests), max_vls, cfg, seed
+    )
+    layer_cfg = _LayerConfig.from_config(cfg, single_layer=len(parts) == 1)
+    failed_list = sorted(failed)
+
+    tasks = []
+    for idx, subset in enumerate(parts):
+        flags = [d in dirty for d in subset]
+        if not any(flags):
+            continue
+        cols = [prior.dest_index(d) for d in subset]
+        block = np.ascontiguousarray(prior.next_channel[:, cols])
+        tasks.append((idx, list(subset), block, flags))
+
+    try:
+        outcomes = run_layer_tasks(
+            _repair_layer, (net, layer_cfg, failed_list), tasks,
+            workers=workers,
+        )
+    except ValueError as exc:
+        # disconnected survivor fabric (spanning tree) or a retained
+        # column that cannot be re-marked: incremental repair cannot
+        # keep its guarantees here
+        raise IncrementalNotApplicable(str(exc)) from exc
+
+    nxt = np.array(prior.next_channel, copy=True)
+    for layer_idx, new_block, layer_stats in outcomes:
+        cols = [prior.dest_index(d) for d in parts[layer_idx]]
+        nxt[:, cols] = new_block
+        stats["layers_repaired"] += 1  # type: ignore[operator]
+        stats["dests_recomputed"] += layer_stats["recomputed"]  # type: ignore[operator]
+        stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
+
+    repaired = RoutingResult(
+        net=net,
+        dests=list(prior.dests),
+        next_channel=nxt,
+        vl=np.array(prior.vl, copy=True),
+        n_vls=prior.n_vls,
+        algorithm=prior.algorithm,
+    )
+    repaired.stats = {
+        "repair": dict(stats),
+        "parent_stats": prior.stats,
+    }
+    return repaired, stats
+
+
+def translate_to_degraded(
+    result: RoutingResult, fault: FaultResult
+) -> RoutingResult:
+    """Re-express a fail-in-place result in the degraded network's ids.
+
+    Requires node-preserving faults (link-only): rows and destinations
+    keep their ids, channel entries map through
+    :attr:`FaultResult.channel_map`.  The translated tables are what an
+    exporter (LFT dump, simulator) consuming the rebuilt degraded
+    :class:`Network` expects.
+    """
+    if not fault.nodes_preserved:
+        raise ValueError("translation requires node-preserving faults")
+    cmap = np.asarray(fault.channel_map + [-1], dtype=np.int64)
+    nxt = cmap[result.next_channel]  # -1 entries hit the appended -1
+    if (nxt < 0).sum() > (result.next_channel < 0).sum():
+        raise ValueError("tables still reference a failed channel")
+    out = RoutingResult(
+        net=fault.net,
+        dests=list(result.dests),
+        next_channel=nxt.astype(np.int32),
+        vl=np.array(result.vl, copy=True),
+        n_vls=result.n_vls,
+        algorithm=result.algorithm,
+    )
+    out.stats = dict(result.stats)
+    return out

@@ -67,7 +67,7 @@ BASELINE_NAMES = (
 def algorithm_registry(max_vls: int = 8) -> dict:
     """Deprecated shim: name -> instance for every baseline.
 
-    Superseded by :func:`repro.routing.make_algorithm` (which also
+    Superseded by :func:`repro.api.make_algorithm` (which also
     constructs Nue, validates configuration eagerly, and threads the
     engine's ``workers``/``cache`` knobs through).  Kept so existing
     call sites continue to work; delegates to the registry.
@@ -76,10 +76,12 @@ def algorithm_registry(max_vls: int = 8) -> dict:
 
     warnings.warn(
         "algorithm_registry() is deprecated; use "
-        "repro.routing.make_algorithm(name, max_vls=...) instead",
+        "repro.api.make_algorithm(name, max_vls=...) instead",
         DeprecationWarning,
         stacklevel=2,
     )
+    from repro.api import make_algorithm as _make
+
     return {
-        name: make_algorithm(name, max_vls) for name in BASELINE_NAMES
+        name: _make(name, max_vls) for name in BASELINE_NAMES
     }

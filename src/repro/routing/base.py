@@ -19,7 +19,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine import cache as engine_cache
-from repro.network.graph import Network
+from repro.network.graph import Network, as_network
 from repro.obs import core as obs
 from repro.utils.prng import SeedLike
 
@@ -196,7 +196,12 @@ class RoutingAlgorithm:
         Following the paper's evaluation methodology (Section 5),
         switches are excluded from the default destination set; pass
         ``dests=range(net.n_nodes)`` to route switch targets too.
+
+        Accepts a bare :class:`Network` or anything
+        :func:`~repro.network.graph.as_network` unwraps (e.g. a
+        :class:`~repro.network.faults.FaultResult`).
         """
+        net = as_network(net)
         if dests is None:
             dests = net.terminals or list(range(net.n_nodes))
         dests = list(dests)

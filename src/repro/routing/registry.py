@@ -189,7 +189,8 @@ def _ensure_builtins() -> None:
         names = available_partitioners()
         if partitioner not in names:
             raise ValueError(
-                f"unknown partitioner {partitioner!r}; choose from {names}"
+                f"unknown nue partitioner {partitioner!r}; "
+                f"choose from {names}"
             )
         return NueRouting(max_vls, NueConfig(**config),  # type: ignore[arg-type]
                           workers=workers)

@@ -1,0 +1,97 @@
+"""Channel retirement: the CDG's fail-in-place primitive."""
+
+import pytest
+
+from repro.cdg import BLOCKED, RETIRED, UNUSED, USED, CompleteCDG
+from repro.network.topologies import ring, torus
+
+
+def _deps_of_channel(cdg, c):
+    """All dependency edges (p, q) incident to channel ``c``."""
+    net = cdg.net
+    out = [(c, q) for q in cdg.out_dependencies(c)]
+    inc = [
+        (p, c) for p in net.in_channels[net.channel_src[c]]
+        if cdg.csr.edge_id(p, c) >= 0
+    ]
+    return out + inc
+
+
+class TestRetireChannel:
+    def test_all_incident_deps_become_retired(self):
+        net = torus((3, 3), terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        c = 4
+        n = cdg.retire_channel(c)
+        assert n > 0 and cdg.is_channel_retired(c)
+        for p, q in _deps_of_channel(cdg, c):
+            assert cdg.edge_state(p, q) == RETIRED
+
+    def test_retire_releases_used_bookkeeping(self):
+        net = ring(6, terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        p = next(
+            c for c in range(net.n_channels) if cdg.out_dependencies(c)
+        )
+        q = cdg.out_dependencies(p)[0]
+        assert cdg.try_use_edge(p, q)
+        used_before = cdg.n_used_edges
+        cdg.retire_channel(q)
+        assert cdg.n_used_edges == used_before - 1
+        assert q not in cdg.used_out_edges(p)
+        assert cdg.edge_state(p, q) == RETIRED
+
+    def test_retired_edges_cannot_be_used_or_blocked(self):
+        net = ring(6, terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        c = next(
+            x for x in range(net.n_channels) if cdg.out_dependencies(x)
+        )
+        q = cdg.out_dependencies(c)[0]
+        cdg.retire_channel(c)
+        assert not cdg.try_use_edge(c, q)
+        assert cdg.would_close_cycle(c, q)
+        with pytest.raises(ValueError, match="retired"):
+            cdg.block_edge(c, q)
+
+    def test_idempotent(self):
+        net = ring(6, terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        first = cdg.retire_channel(3)
+        assert first > 0
+        assert cdg.retire_channel(3) == 0
+        assert cdg.n_retired_channels == 1
+
+    def test_counters_in_snapshot(self):
+        net = ring(6, terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        cdg.retire_channel(0)
+        snap = cdg.counter_snapshot()
+        assert snap["cdg.retired_channels"] == 1
+        assert snap["cdg.retired_deps"] == cdg.n_retired_edges > 0
+
+    def test_acyclicity_preserved_under_load(self):
+        net = torus((3, 3), terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        taken = 0
+        for p in range(net.n_channels):
+            for q in cdg.out_dependencies(p):
+                if taken >= 40:
+                    break
+                if cdg.try_use_edge(p, q):
+                    taken += 1
+        cdg.retire_channel(7)
+        cdg.assert_acyclic()
+
+    def test_unused_edges_keep_plain_states(self):
+        net = ring(6, terminals_per_switch=1)
+        cdg = CompleteCDG(net)
+        cdg.retire_channel(0)
+        other = next(
+            c for c in range(net.n_channels)
+            if not cdg.is_channel_retired(c) and cdg.out_dependencies(c)
+        )
+        for q in cdg.out_dependencies(other):
+            if q == 0:  # that edge is incident to the retired channel
+                continue
+            assert cdg.edge_state(other, q) in (UNUSED, USED, BLOCKED)

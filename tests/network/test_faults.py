@@ -1,14 +1,16 @@
-"""Fault injection: degraded copies, orphan handling, connectivity."""
+"""Fault injection: degraded copies, identity maps, connectivity."""
 
 import pytest
 
 from repro.network.faults import (
     FaultInjectionError,
+    FaultResult,
     inject_random_link_faults,
     inject_random_switch_faults,
     remove_links,
     remove_switches,
 )
+from repro.network.graph import as_network
 from repro.network.topologies import ring, torus, torus_coordinates
 
 
@@ -142,7 +144,10 @@ class TestRandomFaults:
 
     def test_zero_fraction_is_identity(self):
         net = ring(5)
-        assert inject_random_link_faults(net, 0.0, seed=1) is net
+        res = inject_random_link_faults(net, 0.0, seed=1)
+        assert res.net is net
+        assert res.is_identity
+        assert res.node_map == list(range(net.n_nodes))
 
     def test_deterministic(self):
         net = torus([4, 4], 1)
@@ -169,3 +174,84 @@ class TestRandomFaults:
         net = ring(4)
         with pytest.raises(ValueError):
             inject_random_switch_faults(net, 10)
+
+
+class TestFaultResult:
+    def test_node_map_tracks_identities(self):
+        net = torus([4, 4], 2)
+        dead = [net.switches[3], net.switches[9]]
+        res = remove_switches(net, dead)
+        assert isinstance(res, FaultResult)
+        for old in range(net.n_nodes):
+            new = res.node_map[old]
+            if new < 0:
+                continue
+            assert res.net.node_names[new] == net.node_names[old]
+        dead_terms = [t for t in net.terminals
+                      if net.terminal_switch(t) in dead]
+        for n in dead + dead_terms:
+            assert res.node_map[n] == -1
+        assert sorted(res.failed_switches) == sorted(
+            net.node_names[s] for s in dead
+        )
+        assert sorted(res.failed_terminals) == sorted(
+            net.node_names[t] for t in dead_terms
+        )
+
+    def test_link_only_faults_preserve_node_ids(self):
+        """Pure switch-to-switch link death keeps node ids verbatim —
+        the invariant the incremental rerouter's dirty-set translation
+        relies on."""
+        net = torus([4, 4], 2)
+        s2s = [i for i, (u, v) in enumerate(net.links())
+               if net.is_switch(u) and net.is_switch(v)]
+        res = remove_links(net, [s2s[5]])
+        assert res.nodes_preserved
+        assert res.node_map == list(range(net.n_nodes))
+        assert res.net.node_names == net.node_names
+
+    def test_link_and_channel_maps(self):
+        net = ring(6, 1)
+        res = remove_links(net, [2])
+        assert res.link_map[2] == -1
+        survivors = [m for m in res.link_map if m >= 0]
+        assert survivors == list(range(res.net.n_links))
+        cmap = res.channel_map
+        assert cmap[4] == -1 and cmap[5] == -1
+        old_links = net.links()
+        for old_cid, new_cid in enumerate(cmap):
+            if new_cid < 0:
+                continue
+            # same endpoint names, same direction
+            old_u = net.channel_src[old_cid]
+            old_v = net.channel_dst[old_cid]
+            assert (res.net.node_names[res.net.channel_src[new_cid]]
+                    == net.node_names[old_u])
+            assert (res.net.node_names[res.net.channel_dst[new_cid]]
+                    == net.node_names[old_v])
+        assert res.failed_channels == [4, 5]
+        assert (frozenset(res.failed_links[0])
+                == frozenset(net.node_names[n] for n in old_links[2]))
+
+    def test_delegates_to_degraded_network(self):
+        net = torus([3, 3], 1)
+        res = remove_switches(net, [net.switches[0]])
+        # legacy call sites treat the result as a Network
+        assert res.n_nodes == res.net.n_nodes
+        assert res.links() == res.net.links()
+        assert res.is_connected()
+
+    def test_as_network_unwraps(self):
+        net = ring(6)
+        res = remove_links(net, [0])
+        assert as_network(res) is res.net
+        assert as_network(net) is net
+        with pytest.raises(TypeError):
+            as_network("not a network")
+
+    def test_chained_injection_unwraps(self):
+        net = torus([4, 4], 1)
+        first = remove_switches(net, [net.switches[0]])
+        second = remove_switches(first, [first.net.switches[0]])
+        assert second.parent is first.net
+        assert len(second.net.switches) == 14

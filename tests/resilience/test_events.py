@@ -1,0 +1,110 @@
+"""Fault event streams: resolution, serialisation, AFR sampling."""
+
+import json
+
+import pytest
+
+from repro.network.topologies import ring, torus
+from repro.resilience import FaultEvent, FaultSchedule, afr_schedule
+
+
+class TestFaultEvent:
+    def test_resolve_links_by_endpoint_names(self):
+        net = ring(6, terminals_per_switch=1)
+        names = net.node_names
+        u, v = net.links()[2]
+        ev = FaultEvent(time=0.0, links=((names[u], names[v]),))
+        assert ev.resolve_links(net) == [2]
+
+    def test_resolve_links_order_insensitive(self):
+        net = ring(6, terminals_per_switch=1)
+        names = net.node_names
+        u, v = net.links()[1]
+        ev = FaultEvent(time=0.0, links=((names[v], names[u]),))
+        assert ev.resolve_links(net) == [1]
+
+    def test_resolve_unknown_endpoint_raises(self):
+        net = ring(4)
+        ev = FaultEvent(time=0.0, links=(("nope", net.node_names[0]),))
+        with pytest.raises(KeyError):
+            ev.resolve_links(net)
+
+    def test_resolve_missing_link_raises(self):
+        net = ring(6)
+        names = net.node_names
+        # s0 and s3 are antipodal on the 6-ring: no direct link
+        ev = FaultEvent(time=0.0, links=((names[0], names[3]),))
+        with pytest.raises(ValueError, match="no link"):
+            ev.resolve_links(net)
+
+    def test_resolve_switches(self):
+        net = ring(5, terminals_per_switch=1)
+        name = net.node_names[net.switches[3]]
+        ev = FaultEvent(time=0.0, switches=(name,))
+        assert ev.resolve_switches(net) == [net.switches[3]]
+
+    def test_label_mentions_entities(self):
+        ev = FaultEvent(time=2.5, links=(("a", "b"),), switches=("c",))
+        assert "a--b" in ev.label and "c" in ev.label
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        s = FaultSchedule(events=[
+            FaultEvent(time=3.0, switches=("b",)),
+            FaultEvent(time=1.0, switches=("a",)),
+        ])
+        assert [e.time for e in s] == [1.0, 3.0]
+
+    def test_json_roundtrip(self):
+        s = FaultSchedule(events=[
+            FaultEvent(time=1.0, links=(("u", "v"),)),
+            FaultEvent(time=2.0, switches=("w",)),
+        ])
+        back = FaultSchedule.from_json(s.to_json())
+        assert back.events == s.events
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "sched.json")
+        s = FaultSchedule(events=[FaultEvent(time=1.0, switches=("x",))])
+        s.save(path)
+        assert FaultSchedule.load(path).events == s.events
+        # the on-disk form is plain JSON
+        with open(path) as fh:
+            assert "events" in json.load(fh)
+
+
+class TestAfrSchedule:
+    def test_deterministic_given_seed(self):
+        net = torus((3, 3), terminals_per_switch=1)
+        a = afr_schedule(net, 50000.0, link_afr=0.1, seed=5)
+        b = afr_schedule(net, 50000.0, link_afr=0.1, seed=5)
+        assert a.events == b.events
+
+    def test_horizon_truncation_and_order(self):
+        net = torus((3, 3), terminals_per_switch=1)
+        s = afr_schedule(net, 80000.0, link_afr=0.2, switch_afr=0.05,
+                         seed=1)
+        times = [e.time for e in s]
+        assert times == sorted(times)
+        assert all(0 < t <= 80000.0 for t in times)
+
+    def test_switch_to_switch_only_default(self):
+        net = torus((3, 3), terminals_per_switch=2)
+        s = afr_schedule(net, 500000.0, link_afr=1.0, seed=3)
+        terminal_names = {net.node_names[t] for t in net.terminals}
+        for ev in s:
+            for u, v in ev.links:
+                assert u not in terminal_names
+                assert v not in terminal_names
+
+    def test_max_events_cap(self):
+        net = torus((3, 3), terminals_per_switch=1)
+        s = afr_schedule(net, 500000.0, link_afr=1.0, seed=3,
+                         max_events=2)
+        assert len(s) == 2
+
+    def test_bad_duration_rejected(self):
+        net = ring(4)
+        with pytest.raises(ValueError):
+            afr_schedule(net, 0.0)

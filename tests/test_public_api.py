@@ -1,7 +1,195 @@
-"""Public API surface: the names README documents must exist and work."""
+"""Public API surface: the names README documents must exist and work.
 
+The ``API_SURFACE`` / ``TOP_LEVEL_SURFACE`` snapshots pin the stable
+surface of :mod:`repro.api` (name -> kind or signature).  An
+intentional API change must update the snapshot in the same commit —
+the diff then documents the change; an accidental one fails here.
+Regenerate a block with::
+
+    python -c "import tests.test_public_api as t; print(t.render_surface('repro.api'))"
+"""
+
+import importlib
+import inspect
+
+import pytest
 
 import repro
+from repro import api
+
+
+def describe(obj) -> str:
+    """Stable one-line description: kind for classes/modules, the full
+    signature for callables (defaults included — changing one is an API
+    change)."""
+    if inspect.ismodule(obj):
+        return "module"
+    if inspect.isclass(obj):
+        return "class"
+    if callable(obj):
+        try:
+            return str(inspect.signature(obj))
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            return "callable"
+    return type(obj).__name__
+
+
+def render_surface(module_name: str) -> str:
+    """The snapshot literal for ``module_name`` (regeneration helper)."""
+    mod = importlib.import_module(module_name)
+    lines = ["{"]
+    for name in sorted(mod.__all__):
+        lines.append(f"    {name!r}: {describe(getattr(mod, name))!r},")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+API_SURFACE = {
+    "CampaignResult": "class",
+    "DegradationReport": "class",
+    "FaultEvent": "class",
+    "FaultInjectionError": "class",
+    "FaultResult": "class",
+    "FaultSchedule": "class",
+    "IncrementalNotApplicable": "class",
+    "Network": "class",
+    "NetworkBuilder": "class",
+    "NotApplicableError": "class",
+    "NueConfig": "class",
+    "NueRouting": "class",
+    "RoutingAlgorithm": "class",
+    "RoutingError": "class",
+    "RoutingResult": "class",
+    "ValidationError": "class",
+    "afr_schedule": "(net: 'Network', duration_hours: 'float', "
+                    "link_afr: 'float' = 0.01, switch_afr: 'float' = 0.0, "
+                    "seed: 'SeedLike' = None, "
+                    "switch_to_switch_only: 'bool' = True, "
+                    "max_events: 'Optional[int]' = None) "
+                    "-> 'FaultSchedule'",
+    "algorithm_descriptions": "() -> 'Dict[str, str]'",
+    "as_network": "(obj) -> \"'Network'\"",
+    "attach_terminals": "(builder: 'NetworkBuilder', "
+                        "switches: 'Iterable[int]', per_switch: 'int', "
+                        "prefix: 'str' = 't') -> 'List[int]'",
+    "available_algorithms": "() -> 'List[str]'",
+    "dirty_destinations": "(result: 'RoutingResult', "
+                          "failed_channels: 'Sequence[int]') "
+                          "-> 'List[int]'",
+    "exact_reroute": "(fault: 'FaultResult', algo: 'RoutingAlgorithm', "
+                     "seed: 'SeedLike' = None, "
+                     "dests: 'Optional[Sequence[int]]' = None) "
+                     "-> 'RoutingResult'",
+    "gamma_summary": "(result: 'RoutingResult', "
+                     "sources: 'Optional[Sequence[int]]' = None) "
+                     "-> 'GammaSummary'",
+    "incremental_reroute": "(net: 'Network', prior: 'RoutingResult', "
+                           "failed_channels: 'Sequence[int]', "
+                           "config: 'Optional[NueConfig]' = None, "
+                           "max_vls: 'int' = 1, seed: 'SeedLike' = None, "
+                           "workers: 'Optional[int]' = None) "
+                           "-> 'Tuple[RoutingResult, Dict[str, object]]'",
+    "inject_random_link_faults": "(net: 'Network', fraction: 'float', "
+                                 "seed: 'SeedLike' = None, "
+                                 "switch_to_switch_only: 'bool' = True, "
+                                 "max_attempts: 'int' = 100) "
+                                 "-> 'FaultResult'",
+    "inject_random_switch_faults": "(net: 'Network', count: 'int', "
+                                   "seed: 'SeedLike' = None, "
+                                   "max_attempts: 'int' = 100) "
+                                   "-> 'FaultResult'",
+    "is_deadlock_free": "(result: 'RoutingResult', "
+                        "sources: 'Optional[Sequence[int]]' = None) "
+                        "-> 'bool'",
+    "make_algorithm": "(name: 'str', max_vls: 'int' = 8, "
+                      "workers: 'Optional[int]' = None, "
+                      "cache: 'bool' = False, **config: 'object') "
+                      "-> 'RoutingAlgorithm'",
+    "path_length_stats": "(result: 'RoutingResult', "
+                         "sources: 'Optional[Sequence[int]]' = None) "
+                         "-> 'PathLengthStats'",
+    "remove_links": "(net: 'Network', link_indices: 'Iterable[int]') "
+                    "-> 'FaultResult'",
+    "remove_switches": "(net: 'Network', switches: 'Iterable[int]') "
+                       "-> 'FaultResult'",
+    "required_vcs": "(result: 'RoutingResult') -> 'int'",
+    "run_campaign": "(net: 'Network', schedule: 'FaultSchedule', "
+                    "max_vls: 'int' = 1, "
+                    "config: 'Optional[NueConfig]' = None, "
+                    "seed: 'SeedLike' = None, "
+                    "strategy: 'str' = 'incremental', "
+                    "timeout_s: 'Optional[float]' = None, "
+                    "workers: 'Optional[int]' = None, "
+                    "validate: 'bool' = True) -> 'CampaignResult'",
+    "topologies": "module",
+    "validate_routing": "(result: 'RoutingResult', "
+                        "sources: 'Optional[Sequence[int]]' = None, "
+                        "check_deadlock: 'bool' = True) -> 'None'",
+}
+
+TOP_LEVEL_SURFACE = {
+    "DFSSSPRouting": "class",
+    "DORRouting": "class",
+    "DownUpRouting": "class",
+    "FatTreeRouting": "class",
+    "LASHRouting": "class",
+    "MinHopRouting": "class",
+    "Network": "class",
+    "NetworkBuilder": "class",
+    "NotApplicableError": "class",
+    "NueConfig": "class",
+    "NueRouting": "class",
+    "RoutingAlgorithm": "class",
+    "RoutingError": "class",
+    "RoutingResult": "class",
+    "Torus2QoSRouting": "class",
+    "UpDownRouting": "class",
+    "__version__": "str",
+    "algorithm_registry": "(max_vls: int = 8) -> dict",
+    "api": "module",
+    "available_algorithms": "() -> 'List[str]'",
+    "engine": "module",
+    "gamma_summary": "(result: 'RoutingResult', "
+                     "sources: 'Optional[Sequence[int]]' = None) "
+                     "-> 'GammaSummary'",
+    "is_deadlock_free": "(result: 'RoutingResult', "
+                        "sources: 'Optional[Sequence[int]]' = None) "
+                        "-> 'bool'",
+    "make_algorithm": "(name: 'str', max_vls: 'int' = 8, "
+                      "workers: 'Optional[int]' = None, "
+                      "cache: 'bool' = False, **config: 'object') "
+                      "-> 'RoutingAlgorithm'",
+    "obs": "module",
+    "path_length_stats": "(result: 'RoutingResult', "
+                         "sources: 'Optional[Sequence[int]]' = None) "
+                         "-> 'PathLengthStats'",
+    "required_vcs": "(result: 'RoutingResult') -> 'int'",
+    "topologies": "module",
+    "validate_routing": "(result: 'RoutingResult', "
+                        "sources: 'Optional[Sequence[int]]' = None, "
+                        "check_deadlock: 'bool' = True) -> 'None'",
+}
+
+
+@pytest.mark.parametrize("mod,expected", [
+    (api, API_SURFACE),
+    (repro, TOP_LEVEL_SURFACE),
+], ids=["repro.api", "repro"])
+def test_api_surface_snapshot(mod, expected):
+    actual = {name: describe(getattr(mod, name)) for name in mod.__all__}
+    assert actual == expected, (
+        "public surface drifted; if intentional, regenerate the "
+        "snapshot (see module docstring)"
+    )
+
+
+def test_api_docstring_doctests():
+    """The facade's usage examples must keep working verbatim."""
+    import doctest
+
+    results = doctest.testmod(api, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
 
 
 def test_version():
@@ -28,7 +216,9 @@ def test_readme_quickstart_snippet():
 
 
 def test_algorithm_registry_importable_from_top_level():
-    reg = repro.algorithm_registry(4)
+    with pytest.warns(DeprecationWarning,
+                      match="repro.api.make_algorithm"):
+        reg = repro.algorithm_registry(4)
     assert "dfsssp" in reg
 
 
