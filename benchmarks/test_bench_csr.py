@@ -16,11 +16,11 @@ engine-smoke job runs them only where >= 4 cores guarantee the box is
 not a noisy shared core.
 """
 
-import os
 import time
 
 import pytest
 
+from conftest import needs_cores
 from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.dijkstra import NueLayerRouter
 from repro.core.escape import EscapePaths
@@ -62,8 +62,7 @@ def _best_of(net, dests, root, legacy, rounds=5):
     )
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                    reason="CSR speedup guard needs >= 4 cores")
+@needs_cores
 @pytest.mark.parametrize("name", sorted(REFERENCES))
 def test_bench_csr_routing_step_speedup(benchmark, name):
     """Serial Nue routing step: CSR core >= 1.5x over the frozen
@@ -119,8 +118,7 @@ def _sssp_pairing(net, dest, weights):
     return fwd
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                    reason="heap idiom guard needs >= 4 cores")
+@needs_cores
 def test_bench_heap_idiom(benchmark):
     """Lazy-deletion heapq vs PairingHeap decrease_key on the torus
     reference's SSSP workload: the heapq idiom must not lose (and

@@ -1,11 +1,9 @@
 """Prop. 1 — Nue's empirical runtime scaling (O(|N|² log |N|) bound)."""
 
-import os
-
 import numpy as np
 import pytest
 
-from conftest import run_once
+from conftest import needs_cores, run_once
 from repro.core import NueRouting
 from repro.network.topologies import random_topology
 
@@ -42,8 +40,7 @@ def test_scaling_slope_below_cubic(nets):
     assert slope < 3.0
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                    reason="engine speedup guard needs >= 4 cores")
+@needs_cores
 def test_engine_parallel_speedup_nue_k4(nets):
     """The repro.engine pool must actually buy wall-clock: Nue k=4
     (4 independent layers) on 4 workers vs serial, >= 1.5x on a

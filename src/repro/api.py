@@ -48,10 +48,15 @@ resilience campaigns         :class:`FaultEvent`, :class:`FaultSchedule`,
                              :func:`exact_reroute`,
                              :class:`DegradationReport`,
                              :class:`CampaignResult`
+engine                       :func:`shutdown_fabric` — tear down the
+                             persistent worker pool and unlink every
+                             shared-memory network export; the fabric
+                             respawns lazily on next parallel use
 ===========================  =================================================
 """
 
 from repro.core import NueConfig, NueRouting
+from repro.engine import shutdown as shutdown_fabric
 from repro.metrics import (
     gamma_summary,
     is_deadlock_free,
@@ -137,4 +142,6 @@ __all__ = [
     "exact_reroute",
     "dirty_destinations",
     "IncrementalNotApplicable",
+    # engine
+    "shutdown_fabric",
 ]

@@ -178,8 +178,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     adj = induced_vc_dependencies(result)
     cycle = find_vc_cycle(adj)
     dl_free = cycle is None
-    g = gamma_summary(result)
-    p = path_length_stats(result)
+    g = gamma_summary(result, workers=args.workers)
+    p = path_length_stats(result, workers=args.workers)
     print(f"algorithm:        {result.algorithm}")
     print(f"virtual lanes:    {result.n_vls}")
     print(f"deadlock-free:    {dl_free}")
@@ -288,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--explain", action="store_true",
                    help="print a concrete dependency cycle when the "
                         "routing is not deadlock-free")
+    a.add_argument("--workers", type=int, default=None,
+                   help="shard the per-destination metrics sweeps "
+                        "over this many processes (0 = all cores); "
+                        "results are bit-identical to serial")
     a.set_defaults(func=_cmd_analyze)
 
     s = sub.add_parser("simulate", help="flow-level all-to-all throughput")

@@ -69,12 +69,14 @@ class NueConfig:
 class _LayerConfig:
     """The slice of routing state a layer worker needs.
 
-    Pickled once per run into each pool worker (via the engine's
-    initializer) together with the network; carries the
-    :class:`NueConfig` knobs the per-layer code reads plus
-    ``single_layer`` — whether root selection may reuse the
-    all-destination betweenness shortcut (``k == 1``), which in the
-    serial code was derived from ``len(parts)`` that workers never see.
+    Travels in the task context next to the network (which the engine
+    swaps for a shared-memory handle — see
+    :mod:`repro.engine.fabric`); a frozen few-field dataclass, so its
+    pickle is tiny.  Carries the :class:`NueConfig` knobs the
+    per-layer code reads plus ``single_layer`` — whether root
+    selection may reuse the all-destination betweenness shortcut
+    (``k == 1``), which in the serial code was derived from
+    ``len(parts)`` that workers never see.
     """
 
     enable_backtracking: bool

@@ -9,7 +9,12 @@ The engine is the layer between routing algorithms and the hardware:
   run-wide worker default behind ``--workers`` flags;
 * :func:`enable_route_cache` / :class:`RouteCache` — opt-in memo cache
   for repeated identical routings, keyed by
-  :func:`network_fingerprint` + algorithm identity + seed.
+  :func:`network_fingerprint` + algorithm identity + seed;
+* :mod:`repro.engine.fabric` — the shared-memory fabric behind the
+  pool: zero-copy network transport (:func:`export_network` /
+  :func:`attach_network` / :class:`ShmNetworkHandle`), the persistent
+  worker pool (:func:`shutdown` tears it down), and
+  :func:`shard_destinations` for destination-sharded kernels.
 """
 
 from repro.engine.cache import (
@@ -20,10 +25,19 @@ from repro.engine.cache import (
     route_cache_key,
 )
 from repro.engine.core import (
+    WORKERS_ENV_VAR,
     get_default_workers,
     resolve_workers,
     run_layer_tasks,
     set_default_workers,
+)
+from repro.engine.fabric import (
+    ShmNetworkHandle,
+    attach_network,
+    export_network,
+    release_network,
+    shard_destinations,
+    shutdown,
 )
 from repro.engine.fingerprint import network_fingerprint
 
@@ -32,10 +46,17 @@ __all__ = [
     "resolve_workers",
     "set_default_workers",
     "get_default_workers",
+    "WORKERS_ENV_VAR",
     "RouteCache",
     "enable_route_cache",
     "disable_route_cache",
     "active_route_cache",
     "route_cache_key",
     "network_fingerprint",
+    "ShmNetworkHandle",
+    "export_network",
+    "release_network",
+    "attach_network",
+    "shard_destinations",
+    "shutdown",
 ]

@@ -3,29 +3,31 @@
 Nue's virtual layers are independent by construction — each layer gets
 its own convex subgraph, root, complete CDG and escape tree — so their
 routing steps can run on separate cores.  :func:`run_layer_tasks` fans
-a list of picklable per-layer tasks out over a
-:class:`concurrent.futures.ProcessPoolExecutor` and returns results in
-task order, which keeps the merged forwarding tables **bit-identical**
-to the serial path (see ``docs/engine.md`` for the determinism
-argument).
+a list of picklable per-layer tasks out over the persistent worker
+pool of :mod:`repro.engine.fabric` and returns results in task order,
+which keeps the merged forwarding tables **bit-identical** to the
+serial path (see ``docs/engine.md`` for the determinism argument).
 
 Worker model
 ------------
-The shared, read-only context (network + algorithm config) is shipped
-to each worker exactly once, through the pool *initializer*; tasks then
-carry only their small per-layer payload (layer index, destination
-subset, spawned seed).  Worker processes re-import :mod:`repro`, so the
-worker function must be a module-level callable (picklable by
-reference).
+Networks in the shared, read-only context are swapped for
+shared-memory handles (:func:`repro.engine.fabric.pack_ctx`) before
+submission, so the structure crosses the process boundary zero-copy
+exactly once per fingerprint; each task then carries only the packed
+context plus its small per-layer payload (layer index, destination
+subset, spawned seed).  The pool itself persists across calls —
+``route()`` invocations and whole resilience campaigns reuse the same
+worker processes.  Worker functions must be module-level callables
+(picklable by reference).
 
 Graceful degradation
 --------------------
 ``workers=1`` — the default — never touches multiprocessing: tasks run
 in-process through the exact same function, so platforms without a
 working process pool (or pickling-hostile callables) lose nothing but
-speed.  When a pool cannot be created or dies mid-run
-(``BrokenProcessPool``, pickling errors, missing ``fork``/``spawn``
-support), the engine logs one warning and re-runs the remaining tasks
+speed.  A pool that dies mid-run (``BrokenProcessPool``) is discarded
+and respawned once; when the retry also fails — or the pool cannot be
+created at all — the engine logs one warning and runs the tasks
 serially in-process.
 
 Observability
@@ -34,7 +36,9 @@ When the parent has :mod:`repro.obs` enabled, each worker records its
 spans/counters into a private in-memory sink and returns the raw
 events alongside its result; the parent replays them via
 :func:`repro.obs.core.replay` under its current span, so ``--trace``
-and ``--profile`` keep working with any worker count.
+and ``--profile`` keep working with any worker count.  Replay happens
+only after *every* task result has been collected, so a mid-run pool
+respawn can never double-count worker events.
 """
 
 from __future__ import annotations
@@ -42,12 +46,11 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.engine import fabric
 from repro.obs import core as obs
-from repro.obs.sinks import MemorySink
 
 __all__ = [
     "run_layer_tasks",
@@ -60,6 +63,11 @@ __all__ = [
 #: ``workers=None`` — set by ``repro-experiments --workers N`` / the
 #: CLI so one flag parallelises every routing of a run.
 _default_workers: int = 1
+
+#: environment override consulted between the explicit argument and the
+#: module default (precedence: arg > ``REPRO_WORKERS`` > default), so
+#: CI and campaign scripts can pin worker counts without code changes.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 
 def set_default_workers(n: int) -> None:
@@ -75,13 +83,32 @@ def get_default_workers() -> int:
     return _default_workers
 
 
+def _workers_from_env() -> Optional[int]:
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"repro.engine: ignoring non-integer {WORKERS_ENV_VAR}={raw!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
 def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
     """Effective worker count for ``n_tasks`` independent tasks.
 
-    ``None`` defers to :func:`get_default_workers`; ``0`` means "all
-    cores".  The result is clamped to ``[1, n_tasks]`` — a pool larger
-    than the task list only adds fork overhead.
+    ``None`` defers to the :data:`WORKERS_ENV_VAR` environment variable
+    when set (non-integer values warn and are ignored), then to
+    :func:`get_default_workers`; ``0`` means "all cores".  The result
+    is clamped to ``[1, n_tasks]`` — a pool larger than the task list
+    only adds fork overhead.
     """
+    if workers is None:
+        workers = _workers_from_env()
     if workers is None:
         workers = _default_workers
     if workers == 0:
@@ -89,41 +116,6 @@ def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
     if workers < 0:
         raise ValueError("workers must be >= 0 (0 = all cores)")
     return max(1, min(workers, n_tasks))
-
-
-# -- worker-process state -----------------------------------------------------
-
-_worker_fn: Optional[Callable[[Any, Any], Any]] = None
-_worker_ctx: Any = None
-_worker_capture_obs: bool = False
-
-
-def _init_worker(fn: Callable[[Any, Any], Any], ctx: Any,
-                 capture_obs: bool) -> None:
-    """Pool initializer: receive the shared read-only context once."""
-    global _worker_fn, _worker_ctx, _worker_capture_obs
-    _worker_fn = fn
-    _worker_ctx = ctx
-    _worker_capture_obs = capture_obs
-    # a forked worker inherits the parent's enabled obs with open sinks
-    # it must not write to; observation restarts per task when captured
-    obs.disable()
-    obs.reset()
-
-
-def _run_remote(task: Any) -> Tuple[Any, List[dict]]:
-    """Execute one task in the worker; returns ``(result, obs events)``."""
-    assert _worker_fn is not None, "worker used before initialization"
-    if not _worker_capture_obs:
-        return _worker_fn(_worker_ctx, task), []
-    sink = MemorySink(keep_events=True)
-    obs.reset()
-    obs.enable(sink)
-    try:
-        result = _worker_fn(_worker_ctx, task)
-    finally:
-        obs.disable()
-    return result, sink.events
 
 
 def run_layer_tasks(
@@ -135,7 +127,8 @@ def run_layer_tasks(
     """Run ``fn(ctx, task)`` for every task; results in task order.
 
     ``fn`` must be a module-level function and ``ctx``/``tasks``
-    picklable when ``workers > 1``.  Falls back to the in-process
+    picklable when ``workers > 1`` (Network values in ``ctx`` travel
+    via shared memory, not pickle).  Falls back to the in-process
     serial path (with a single warning) whenever the process pool
     cannot be used, so callers never need a platform check.
     """
@@ -155,6 +148,29 @@ def run_layer_tasks(
         return [fn(ctx, task) for task in tasks]
 
 
+def _collect(fn: Callable[[Any, Any], Any], packed: Any,
+             tasks: Sequence[Any], capture: bool, n: int,
+             respawn: bool) -> List[Tuple[Any, List[dict]]]:
+    """Submit every task to the persistent pool; one respawn retry.
+
+    Nothing is replayed here: the caller folds worker obs events into
+    the parent only after the full task list collected, so a retry
+    after ``BrokenProcessPool`` cannot double-count.
+    """
+    pool = fabric.get_pool(n)
+    try:
+        futures = [
+            pool.submit(fabric._run_fabric_task, fn, packed, task, capture)
+            for task in tasks
+        ]
+        return [fut.result() for fut in futures]
+    except BrokenProcessPool:
+        fabric.discard_pool(wait=False)
+        if not respawn:
+            raise
+        return _collect(fn, packed, tasks, capture, n, respawn=False)
+
+
 def _run_pool(
     fn: Callable[[Any, Any], Any],
     ctx: Any,
@@ -162,19 +178,19 @@ def _run_pool(
     n: int,
 ) -> List[Any]:
     capture = obs.enabled()
-    with obs.span("engine.pool", workers=n, tasks=len(tasks)):
-        with ProcessPoolExecutor(
-            max_workers=n,
-            initializer=_init_worker,
-            initargs=(fn, ctx, capture),
-        ) as pool:
-            futures = [pool.submit(_run_remote, task) for task in tasks]
+    packed, _pickled = fabric.pack_ctx(ctx)
+    try:
+        with obs.span("engine.pool", workers=n, tasks=len(tasks)):
+            collected = _collect(fn, packed, tasks, capture, n, respawn=True)
             out: List[Any] = []
-            for fut in futures:
-                result, events = fut.result()
+            for result, events in collected:
                 if events:
                     obs.replay(events)
                 out.append(result)
+    finally:
+        # scratch segments are per call: unlink as soon as every task
+        # has attached (workers keep their mapping until cache eviction)
+        fabric.release_ctx(packed)
     if obs.enabled():
         obs.count("engine.pool_runs", 1)
         obs.count("engine.layer_tasks", len(tasks))

@@ -14,32 +14,55 @@ sweep tractable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
+from repro.network.graph import Network
 from repro.routing.base import RoutingResult
 from repro.routing.sssp import subtree_route_counts
 
 __all__ = ["edge_forwarding_indices", "GammaSummary", "gamma_summary"]
 
 
+def _gamma_task(
+    ctx: Tuple[Network, np.ndarray, List[int]],
+    shard: Sequence[Tuple[int, int]],
+) -> np.ndarray:
+    """Worker: per-channel route counts over one destination shard."""
+    net, nxt, sources = ctx
+    total = np.zeros(net.n_channels, dtype=np.int64)
+    for j, d in shard:
+        total += subtree_route_counts(net, nxt[:, j], d, sources)
+    return total
+
+
 def edge_forwarding_indices(
     result: RoutingResult,
     sources: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Per-channel route counts for routes ``sources x dests``.
 
     ``sources`` defaults to the network's terminals (the paper's
-    terminal-to-terminal traffic).  Self-pairs are excluded.
+    terminal-to-terminal traffic).  Self-pairs are excluded.  The
+    per-destination subtree sweeps shard over the engine's worker pool
+    (``workers`` follows the engine convention: ``None`` = default,
+    ``0`` = all cores); the integer column sums merge exactly, so the
+    result is bit-identical for any worker count.
     """
     net = result.net
     if sources is None:
         sources = net.terminals
+    pairs = list(enumerate(result.dests))
+    n = resolve_workers(workers, len(pairs))
+    shards = shard_destinations(pairs, n)
+    ctx = (net, result.next_channel, list(sources))
+    parts = run_layer_tasks(_gamma_task, ctx, shards, workers=n)
     total = np.zeros(net.n_channels, dtype=np.int64)
-    for j, d in enumerate(result.dests):
-        fwd = result.next_channel[:, j]
-        total += subtree_route_counts(net, fwd, d, sources)
+    for part in parts:
+        total += part
     return total
 
 
@@ -59,10 +82,11 @@ class GammaSummary:
 def gamma_summary(
     result: RoutingResult,
     sources: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> GammaSummary:
     """Summarise γ over switch-to-switch channels only."""
     net = result.net
-    gamma = edge_forwarding_indices(result, sources)
+    gamma = edge_forwarding_indices(result, sources, workers=workers)
     mask = np.zeros(net.n_channels, dtype=bool)
     for c in range(net.n_channels):
         u, v = net.endpoints(c)

@@ -10,20 +10,19 @@ per destination — counting terminal-to-terminal hops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
+from repro.network.graph import Network
 from repro.routing.base import RoutingResult
 
 __all__ = ["PathLengthStats", "path_length_stats", "tree_depths"]
 
 
-def tree_depths(result: RoutingResult, j: int) -> np.ndarray:
-    """Hop distance of every node to destination column ``j`` (-1: none)."""
-    net = result.net
-    fwd = result.next_channel[:, j]
-    dest = result.dests[j]
+def _column_depths(net: Network, fwd: np.ndarray, dest: int) -> np.ndarray:
+    """Hop distance of every node to ``dest`` along ``fwd`` (-1: none)."""
     n = net.n_nodes
     depth = np.full(n, -1, dtype=np.int64)
     depth[dest] = 0
@@ -43,6 +42,36 @@ def tree_depths(result: RoutingResult, j: int) -> np.ndarray:
     return depth
 
 
+def tree_depths(result: RoutingResult, j: int) -> np.ndarray:
+    """Hop distance of every node to destination column ``j`` (-1: none)."""
+    return _column_depths(result.net, result.next_channel[:, j],
+                          result.dests[j])
+
+
+def _lengths_task(
+    ctx: Tuple[Network, np.ndarray, np.ndarray],
+    shard: Sequence[Tuple[int, int]],
+) -> List[Tuple[np.ndarray, np.ndarray, int, int, int, int]]:
+    """Worker: per-column length partials for one destination shard.
+
+    Each entry is ``(unique lengths, counts, sum, n, min, max)`` for
+    one column; the caller merges them in column order, which keeps
+    histogram accumulation identical to the serial sweep.
+    """
+    net, nxt, sources = ctx
+    out = []
+    for j, d in shard:
+        depth = _column_depths(net, nxt[:, j], d)
+        vals = depth[sources]
+        vals = vals[(vals > 0)]  # drop self-pairs and unreachable
+        if vals.size == 0:
+            continue
+        uniq, counts = np.unique(vals, return_counts=True)
+        out.append((uniq, counts, int(vals.sum()), int(vals.size),
+                    int(vals.min()), int(vals.max())))
+    return out
+
+
 @dataclass(frozen=True)
 class PathLengthStats:
     """Aggregate hop-count statistics over a routing's terminal pairs."""
@@ -60,28 +89,35 @@ class PathLengthStats:
 def path_length_stats(
     result: RoutingResult,
     sources: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> PathLengthStats:
-    """Hop-count stats for routes from ``sources`` (default terminals)."""
+    """Hop-count stats for routes from ``sources`` (default terminals).
+
+    The per-destination depth sweeps shard over the engine's worker
+    pool (engine ``workers`` convention); the histogram/min/max/sum
+    partials merge in column order, bit-identical to serial.
+    """
     net = result.net
     if sources is None:
         sources = net.terminals
     sources = np.asarray(sources, dtype=np.int64)
+    pairs = list(enumerate(result.dests))
+    n_workers = resolve_workers(workers, len(pairs))
+    shards = shard_destinations(pairs, n_workers)
+    ctx = (net, result.next_channel, sources)
+    parts = run_layer_tasks(_lengths_task, ctx, shards, workers=n_workers)
     lengths: dict = {}
     total = 0
     count = 0
     minimum, maximum = np.iinfo(np.int64).max, 0
-    for j, d in enumerate(result.dests):
-        depth = tree_depths(result, j)
-        vals = depth[sources]
-        vals = vals[(vals > 0)]  # drop self-pairs and unreachable
-        if vals.size == 0:
-            continue
-        for v in np.unique(vals):
-            lengths[int(v)] = lengths.get(int(v), 0) + int((vals == v).sum())
-        total += int(vals.sum())
-        count += int(vals.size)
-        minimum = min(minimum, int(vals.min()))
-        maximum = max(maximum, int(vals.max()))
+    for part in parts:
+        for uniq, counts, col_sum, col_n, col_min, col_max in part:
+            for v, c in zip(uniq.tolist(), counts.tolist()):
+                lengths[int(v)] = lengths.get(int(v), 0) + int(c)
+            total += col_sum
+            count += col_n
+            minimum = min(minimum, col_min)
+            maximum = max(maximum, col_max)
     if count == 0:
         return PathLengthStats(0, 0, 0.0, 0, {})
     return PathLengthStats(

@@ -39,7 +39,17 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.graph import Network
 
-__all__ = ["CSRView", "build_csr"]
+__all__ = ["CSRView", "build_csr", "EXPORTED_BUFFERS"]
+
+#: the numpy buffers a shared-memory export ships (in layout order);
+#: everything else on a :class:`CSRView` is derived from them — plus
+#: the owning :class:`Network` — by ``_init_derived``.
+EXPORTED_BUFFERS = (
+    "channel_src", "channel_dst", "channel_reverse",
+    "out_ptr", "out_idx", "in_ptr", "in_idx",
+    "dep_ptr", "dep_dst", "dep_src", "dep_in_ptr", "dep_in_eid",
+    "switch_flags",
+)
 
 
 def _csr_from_lists(lists: List[List[int]]) -> Tuple[np.ndarray, np.ndarray]:
@@ -111,32 +121,62 @@ class CSRView:
             in_lists[int(self.dep_dst[eid])].append(eid)
         self.dep_in_ptr, self.dep_in_eid = _csr_from_lists(in_lists)
 
+        self._init_derived()
+
+    @classmethod
+    def from_buffers(cls, net: "Network", buffers: Dict[str, np.ndarray]
+                     ) -> "CSRView":
+        """Rebuild a view from its :data:`EXPORTED_BUFFERS` arrays.
+
+        The zero-copy rehydration path of the shared-memory fabric
+        (:mod:`repro.engine.fabric`): ``buffers`` maps each exported
+        buffer name to a (typically shm-backed, read-only) array, and
+        the cheap derived state — list mirrors, injection channels,
+        pair/bundle indices — is recomputed from them instead of being
+        pickled across the process boundary.
+        """
+        view = cls.__new__(cls)
+        view.net = net
+        view.n_nodes = net.n_nodes
+        view.n_channels = net.n_channels
+        for key in EXPORTED_BUFFERS:
+            setattr(view, key, buffers[key])
+        view.n_dep_edges = int(view.dep_ptr[-1])
+        view._init_derived()
+        return view
+
+    def _init_derived(self) -> None:
+        """Derive mirrors/indices from the canonical numpy buffers."""
+        net = self.net
+
         # plain-list mirrors for the scalar hot loops
-        self.src_l: List[int] = list(net.channel_src)
-        self.dst_l: List[int] = list(net.channel_dst)
-        self.rev_l: List[int] = list(net.channel_reverse)
+        self.src_l: List[int] = self.channel_src.tolist()
+        self.dst_l: List[int] = self.channel_dst.tolist()
+        self.rev_l: List[int] = self.channel_reverse.tolist()
         self.dep_ptr_l: List[int] = self.dep_ptr.tolist()
         self.dep_dst_l: List[int] = self.dep_dst.tolist()
         self.dep_src_l: List[int] = self.dep_src.tolist()
         self.dep_in_ptr_l: List[int] = self.dep_in_ptr.tolist()
         self.dep_in_eid_l: List[int] = self.dep_in_eid.tolist()
 
+        src = self.src_l
+        dst = self.dst_l
         self.injection_channel: List[int] = [
-            out[n][0] if not net.is_switch(n) else -1
-            for n in range(net.n_nodes)
+            net.out_channels[n][0] if not net.is_switch(n) else -1
+            for n in range(self.n_nodes)
         ]
         # per node: source nodes of incoming switch-to-this-node
         # channels, in in_channel order (the switch-graph reverse
         # adjacency UpDn and friends used to re-derive per call)
         self.switch_in_sources: List[List[int]] = [
             [src[c] for c in net.in_channels[u] if net.is_switch(src[c])]
-            for u in range(net.n_nodes)
+            for u in range(self.n_nodes)
         ]
 
         # node-pair -> parallel channel ids (ascending), replacing
         # repeated Network.find_channels scans in the table builders
         pair_channels: Dict[Tuple[int, int], List[int]] = {}
-        for c in range(net.n_channels):
+        for c in range(self.n_channels):
             pair_channels.setdefault((src[c], dst[c]), []).append(c)
         self._pair_channels = pair_channels
 
@@ -144,7 +184,7 @@ class CSRView:
         # channel's copy index within its bundle — shared by every
         # layer router (OpenSM port-group rotation)
         self.bundles: List[List[int]] = []
-        self.copy_index = np.zeros(net.n_channels, dtype=np.int64)
+        self.copy_index = np.zeros(self.n_channels, dtype=np.int64)
         for (u, v), bundle in sorted(pair_channels.items(),
                                      key=lambda kv: kv[1][0]):
             if len(bundle) > 1:

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.nue import NueConfig
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.metrics.validate import ValidationError, validate_routing
 from repro.network.faults import (
     FaultInjectionError,
@@ -186,20 +187,21 @@ class CampaignResult:
         }
 
 
-def _reachable_pairs(result: RoutingResult) -> Tuple[int, int]:
-    """Count (terminal source, destination) pairs with a table route.
+def _reachable_task(ctx, shard) -> Tuple[int, int]:
+    """Worker: (reachable, total) pair counts for one ``(j, d)`` shard.
 
     Per destination column the tables form a forest; one memoised walk
-    per column decides reachability for every node in O(|N|).
+    per column decides reachability for every node in O(|N|).  The
+    counts are plain integer sums, so any sharding merges exactly.
     """
-    net = result.net
+    net, nxt = ctx
     n = net.n_nodes
     sources = net.terminals or list(range(n))
     dst_of = net.channel_dst
     reachable = 0
     total = 0
-    for j, d in enumerate(result.dests):
-        col = result.next_channel[:, j]
+    for j, d in shard:
+        col = nxt[:, j]
         # status: 0 unknown, 1 reaches d, -1 dead end / loop
         status = [0] * n
         status[d] = 1
@@ -222,6 +224,27 @@ def _reachable_pairs(result: RoutingResult) -> Tuple[int, int]:
                 status[w] = verdict
             if verdict == 1:
                 reachable += 1
+    return reachable, total
+
+
+def _reachable_pairs(
+    result: RoutingResult, workers: Optional[int] = None
+) -> Tuple[int, int]:
+    """Count (terminal source, destination) pairs with a table route.
+
+    The per-destination column walks shard over the engine's worker
+    pool (engine ``workers`` convention); the integer counts merge
+    exactly, so the result matches serial for any worker count.
+    """
+    pairs = list(enumerate(result.dests))
+    n_workers = resolve_workers(workers, len(pairs))
+    shards = shard_destinations(pairs, n_workers)
+    parts = run_layer_tasks(
+        _reachable_task, (result.net, result.next_channel), shards,
+        workers=n_workers,
+    )
+    reachable = sum(p[0] for p in parts)
+    total = sum(p[1] for p in parts)
     return reachable, total
 
 
@@ -263,7 +286,7 @@ def _run_chain(
                     partitioner=config.partitioner,
                 )
             else:
-                algo = make_algorithm(alg, vls)
+                algo = make_algorithm(alg, vls, workers=workers)
             result = algo.route(net, seed=seed)
             if validate:
                 validate_routing(result)
@@ -398,7 +421,7 @@ def _apply_event(
         except (KeyError, ValueError, FaultInjectionError) as exc:
             report.validation_error = str(exc)
             report.runtime_s = time.monotonic() - started
-            reach, total = _reachable_pairs(current)
+            reach, total = _reachable_pairs(current, workers=workers)
             report.reachable_pairs, report.total_pairs = reach, total
             report.n_vls = current.n_vls
             return report  # event rejected; campaign continues as-is
@@ -493,7 +516,7 @@ def _apply_event(
             except ValidationError as exc:
                 report.deadlock_free = False
                 report.validation_error = str(exc)
-        reach, total = _reachable_pairs(final)
+        reach, total = _reachable_pairs(final, workers=workers)
         report.reachable_pairs, report.total_pairs = reach, total
         if deadline is not None and time.monotonic() > deadline:
             report.timed_out = True

@@ -17,10 +17,11 @@ paper's Fig. 1b.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.network.graph import Network
 from repro.obs import core as obs
 from repro.routing.base import RoutingAlgorithm, RoutingError, RoutingResult
@@ -33,6 +34,31 @@ from repro.routing.layering import break_cycles_into_layers
 from repro.utils.prng import SeedLike
 
 __all__ = ["DFSSSPRouting"]
+
+
+def _pair_paths_task(
+    ctx: Tuple[Network, np.ndarray],
+    shard: Sequence[Tuple[int, int]],
+) -> List[Tuple[Tuple[int, int], List[int]]]:
+    """Worker: extract switch->dest table paths for a ``(j, d)`` shard.
+
+    Path extraction only reads the *final* forwarding table, so — in
+    contrast to phase 1's weight-update chain, which is inherently
+    sequential — it shards freely by destination column.  Contiguous
+    shards merged in order reproduce the serial dict insertion order
+    (j ascending, then switch ascending), which the greedy cycle
+    breaking depends on.
+    """
+    net, nxt = ctx
+    out: List[Tuple[Tuple[int, int], List[int]]] = []
+    for j, d in shard:
+        for s in net.switches:
+            if s == d:
+                continue
+            path = DFSSSPRouting._table_path(net, nxt, s, d, j)
+            if path:
+                out.append(((s, j), path))
+    return out
 
 
 class DFSSSPRouting(RoutingAlgorithm):
@@ -73,14 +99,15 @@ class DFSSSPRouting(RoutingAlgorithm):
                 apply_weight_update(weights, counts)
 
         # deadlock removal over (source switch, dest column) pairs
+        workers = resolve_workers(self.workers, len(dests))
         pair_paths: Dict[Tuple[int, int], List[int]] = {}
-        for j, d in enumerate(dests):
-            for s in net.switches:
-                if s == d:
-                    continue
-                path = self._table_path(net, nxt, s, d, j)
-                if path:
-                    pair_paths[(s, j)] = path
+        with obs.span("dfsssp.extract_paths", dests=len(dests)):
+            shards = shard_destinations(list(enumerate(dests)), workers)
+            parts = run_layer_tasks(_pair_paths_task, (net, nxt), shards,
+                                    workers=workers)
+            for part in parts:
+                for key, path in part:
+                    pair_paths[key] = path
         with obs.span("dfsssp.layering", pairs=len(pair_paths)):
             pair_layer, n_layers = break_cycles_into_layers(
                 net, pair_paths

@@ -14,9 +14,11 @@ engine behaves the same on degraded tori).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.network.graph import Network
 from repro.network.topologies.torus import torus_coordinates
 from repro.routing.base import (
@@ -105,6 +107,45 @@ class TorusGeometry:
         return channels[select % len(channels)]
 
 
+def _dor_columns(net: Network, dest_shard: Sequence[int]) -> np.ndarray:
+    """Worker: DOR forwarding columns for one destination shard.
+
+    Each column is a pure function of ``(net, dest)`` — no state is
+    shared across destinations — so shard boundaries cannot change the
+    output and the merged table is bit-identical to the serial sweep.
+    """
+    geom = TorusGeometry(net)
+    block = np.full((net.n_nodes, len(dest_shard)), -1, dtype=np.int32)
+    for jj, d in enumerate(dest_shard):
+        d_switch = d if net.is_switch(d) else net.terminal_switch(d)
+        d_coord = geom.coord_of[d_switch]
+        for node in range(net.n_nodes):
+            if node == d:
+                continue
+            if net.is_terminal(node):
+                block[node, jj] = net.csr.injection_channel[node]
+                continue
+            if node == d_switch:
+                # eject to the terminal (or arrived, if dest is a switch)
+                chans = net.csr.channels_between(node, d)
+                block[node, jj] = chans[0] if chans else -1
+                continue
+            coord = geom.coord_of[node]
+            dim = next(
+                i for i in range(geom.n_dims) if coord[i] != d_coord[i]
+            )
+            if geom.wraparound:
+                direction = dor_direction(
+                    geom.dims[dim], coord[dim], d_coord[dim]
+                )
+            else:  # a mesh only ever walks straight at the target
+                direction = 1 if d_coord[dim] > coord[dim] else -1
+            block[node, jj] = geom.step_channel(
+                node, dim, direction, select=d
+            )
+    return block
+
+
 class DORRouting(RoutingAlgorithm):
     """Deterministic dimension-order routing on tori/meshes."""
 
@@ -113,35 +154,16 @@ class DORRouting(RoutingAlgorithm):
     def _route(
         self, net: Network, dests: List[int], seed: SeedLike
     ) -> RoutingResult:
-        geom = TorusGeometry(net)
+        TorusGeometry(net)  # applicability check in the caller process
         nxt, vl = self._empty_tables(net, dests)
-        for j, d in enumerate(dests):
-            d_switch = d if net.is_switch(d) else net.terminal_switch(d)
-            d_coord = geom.coord_of[d_switch]
-            for node in range(net.n_nodes):
-                if node == d:
-                    continue
-                if net.is_terminal(node):
-                    nxt[node, j] = net.csr.injection_channel[node]
-                    continue
-                if node == d_switch:
-                    # eject to the terminal (or arrived, if dest is a switch)
-                    chans = net.csr.channels_between(node, d)
-                    nxt[node, j] = chans[0] if chans else -1
-                    continue
-                coord = geom.coord_of[node]
-                dim = next(
-                    i for i in range(geom.n_dims) if coord[i] != d_coord[i]
-                )
-                if geom.wraparound:
-                    direction = dor_direction(
-                        geom.dims[dim], coord[dim], d_coord[dim]
-                    )
-                else:  # a mesh only ever walks straight at the target
-                    direction = 1 if d_coord[dim] > coord[dim] else -1
-                nxt[node, j] = geom.step_channel(
-                    node, dim, direction, select=d
-                )
+        workers = resolve_workers(self.workers, len(dests))
+        shards = shard_destinations(dests, workers)
+        blocks = run_layer_tasks(_dor_columns, net, shards,
+                                 workers=workers)
+        col = 0
+        for block in blocks:
+            nxt[:, col:col + block.shape[1]] = block
+            col += block.shape[1]
         return RoutingResult(
             net=net,
             dests=dests,

@@ -5,20 +5,41 @@ MinHop performs **no** deadlock avoidance: on topologies with physical
 cycles its induced CDG is usually cyclic, which is exactly why the
 paper's Fig. 1b reports a "required VCs" count for it (computed here
 post-hoc via :mod:`repro.routing.layering`).
+
+Parallel decomposition (PR 5): the BFS hop fields are independent per
+destination and the port-counter selection is independent per *source
+node* (each node only reads/increments its own ports' counters), so
+the route splits into a destination-sharded tree phase and a
+node-sharded selection phase on the engine's shared-memory fabric —
+bit-identical to the serial loop for any worker count.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.network.graph import Network
+from repro.obs import core as obs
 from repro.routing.base import RoutingAlgorithm, RoutingResult
-from repro.routing.sssp import bfs_tree_balanced
+from repro.routing.sssp import bfs_hops, select_balanced_rows
 from repro.utils.prng import SeedLike
 
 __all__ = ["MinHopRouting"]
+
+
+def _hops_task(net: Network, dest_shard: Sequence[int]) -> np.ndarray:
+    """Worker: BFS hop fields for one destination shard (rows = dests)."""
+    return np.array([bfs_hops(net, d) for d in dest_shard], dtype=np.int32)
+
+
+def _select_task(ctx: Tuple[Network, np.ndarray, List[int]],
+                 row_shard: Sequence[int]) -> np.ndarray:
+    """Worker: balanced port selection for one source-node shard."""
+    net, hops_mat, dests = ctx
+    return select_balanced_rows(net, row_shard, hops_mat, dests)
 
 
 class MinHopRouting(RoutingAlgorithm):
@@ -30,10 +51,21 @@ class MinHopRouting(RoutingAlgorithm):
         self, net: Network, dests: List[int], seed: SeedLike
     ) -> RoutingResult:
         nxt, vl = self._empty_tables(net, dests)
-        port_load = np.zeros(net.n_channels, dtype=np.int64)
-        for j, d in enumerate(dests):
-            fwd = bfs_tree_balanced(net, d, port_load)
-            nxt[:, j] = fwd
+        workers = resolve_workers(self.workers, len(dests))
+        with obs.span("minhop.dest_trees", dests=len(dests)):
+            shards = shard_destinations(dests, workers)
+            parts = run_layer_tasks(_hops_task, net, shards,
+                                    workers=workers)
+            hops_mat = np.concatenate(parts, axis=0)
+        rows = list(range(net.n_nodes))
+        with obs.span("minhop.port_select", dests=len(dests)):
+            row_shards = shard_destinations(rows, workers)
+            blocks = run_layer_tasks(
+                _select_task, (net, hops_mat, list(dests)), row_shards,
+                workers=workers,
+            )
+            for row_shard, block in zip(row_shards, blocks):
+                nxt[row_shard, :] = block
         return RoutingResult(
             net=net,
             dests=dests,

@@ -22,7 +22,9 @@ from repro.network.graph import Network
 
 __all__ = [
     "sssp_tree",
+    "bfs_hops",
     "bfs_tree_balanced",
+    "select_balanced_rows",
     "subtree_route_counts",
     "apply_weight_update",
 ]
@@ -76,6 +78,120 @@ def sssp_tree(
                 if (w[c], c) < (w[old], old):
                     fwd[v] = c
     return fwd
+
+
+def bfs_hops(net: Network, dest: int) -> List[int]:
+    """Hop distance of every node toward ``dest`` (-1 when unreached).
+
+    The pure tree phase of :func:`bfs_tree_balanced`, exposed so the
+    destination-sharded MinHop kernel can fan it out per destination
+    while port selection runs per source node (see
+    :func:`select_balanced_rows`).
+    """
+    n = net.n_nodes
+    hops = [-1] * n
+    hops[dest] = 0
+    frontier = [dest]
+    src_of = net.csr.src_l
+    in_channels = net.in_channels
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            hu1 = hops[u] + 1
+            for c in in_channels[u]:
+                v = src_of[c]
+                if hops[v] < 0:
+                    hops[v] = hu1
+                    nxt.append(v)
+        frontier = nxt
+    return hops
+
+
+def select_balanced_rows(
+    net: Network,
+    rows: Sequence[int],
+    hops_mat: np.ndarray,
+    skips: Sequence[int],
+    down_mat: Optional[np.ndarray] = None,
+    okey: Optional[Sequence[int]] = None,
+    down_first: bool = False,
+) -> np.ndarray:
+    """Load-balanced minimal port selection for ``rows``, all dests.
+
+    ``hops_mat`` is the ``(n_dests, n_nodes)`` hop-count matrix (one
+    tree row per destination column of the output), ``skips`` the
+    per-destination node to leave blank (the destination's switch),
+    ``down_mat`` the pure-down region for Up*/Down* (``None`` for
+    MinHop); ``okey`` is the Up*/Down* total order
+    ``level * n_nodes + node`` (``None`` selects MinHop rules).
+    Returns an ``(len(rows), n_dests)`` int32 channel matrix, -1 where
+    no port qualifies.
+
+    A row only reads its *own* matrix column and its peers' columns,
+    so the scalar conversion cost scales with the row shard — under
+    the engine's destination sharding each task pays for the columns
+    it routes, not for the whole matrix (the matrices themselves
+    arrive zero-copy via the fabric's scratch segment).
+
+    **Why this is bit-identical to the serial loops** (the whole point
+    of sharding by *source node*): a node only ever selects among —
+    and increments the load counters of — its *own* outgoing channels,
+    and its candidate filter reads otherwise-immutable state (hop
+    counts, the down region, the order key).  So the counter sequence
+    each node observes depends only on the destination order, never on
+    when other nodes run: rows can be computed in any partition across
+    workers, provided each row sweeps destinations in column order.
+    """
+    n_dests = len(skips)
+    out = np.full((len(rows), n_dests), -1, dtype=np.int32)
+    dst_l = net.csr.dst_l
+    updn = okey is not None
+    switch_flags = net.csr.switch_flags.tolist() if updn else None
+    skips = list(skips)
+    for r, v in enumerate(rows):
+        out_v = net.out_channels[v]
+        if not out_v:
+            continue
+        peers = [dst_l[c] for c in out_v]
+        loads = [0] * len(out_v)
+        hops_v = hops_mat[:, v].tolist()
+        peer_hops = [hops_mat[:, u].tolist() for u in peers]
+        if updn:
+            okv = okey[v]
+            peer_down = [(okey[u] > okv) != down_first for u in peers]
+            peer_switch = [bool(switch_flags[u]) for u in peers]
+            down_v = down_mat[:, v].tolist()
+            peer_in_down = [down_mat[:, u].tolist() for u in peers]
+        row = out[r]
+        for j in range(n_dests):
+            if v == skips[j]:
+                continue
+            hv = hops_v[j]
+            if hv < 0:
+                continue
+            want = hv - 1
+            best = -1
+            best_load = 0
+            for i in range(len(peers)):
+                if peer_hops[i][j] != want:
+                    continue
+                if updn:
+                    if not peer_switch[i]:
+                        continue
+                    if down_v[j]:
+                        # inside the pure-down region the path must
+                        # keep descending
+                        if not (peer_down[i] and peer_in_down[i][j]):
+                            continue
+                    elif peer_down[i]:
+                        continue  # outside D only up hops are legal
+                ld = loads[i]
+                if best < 0 or ld < best_load:
+                    best, best_load = i, ld
+            if best >= 0:
+                row[j] = out_v[best]
+                loads[best] += 1
+    return out
 
 
 def bfs_tree_balanced(

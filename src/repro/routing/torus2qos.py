@@ -23,9 +23,11 @@ simulator both consume that.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.network.graph import Network
 from repro.routing.base import (
     NotApplicableError,
@@ -37,6 +39,117 @@ from repro.routing.dor import TorusGeometry, dor_direction
 from repro.utils.prng import SeedLike
 
 __all__ = ["Torus2QoSRouting", "TorusQoSResult"]
+
+
+def _arc_passable(
+    geom: TorusGeometry,
+    coord: Tuple[int, ...],
+    dim: int,
+    direction: int,
+    target_pos: int,
+) -> bool:
+    """Can a packet walk ``coord`` -> target along ``direction``?"""
+    cur = coord
+    for _ in range(geom.dims[dim]):
+        if cur[dim] == target_pos:
+            return True
+        nxt = geom.neighbor_coord(cur, dim, direction)
+        if nxt is None or nxt not in geom.switch_at:
+            return False
+        if not geom.net.csr.channels_between(
+            geom.switch_at[cur], geom.switch_at[nxt]
+        ):
+            return False
+        cur = nxt
+    return cur[dim] == target_pos
+
+
+def _choose_direction(
+    geom: TorusGeometry,
+    coord: Tuple[int, ...],
+    dim: int,
+    target_pos: int,
+) -> Optional[int]:
+    """Shortest passable ring direction (DOR preference first);
+    None when the arc is blocked both ways (dead target cell)."""
+    preferred = dor_direction(geom.dims[dim], coord[dim], target_pos)
+    for direction in (preferred, -preferred):
+        if _arc_passable(geom, coord, dim, direction, target_pos):
+            return direction
+    return None
+
+
+def _detour_hop(
+    geom: TorusGeometry,
+    coord: Tuple[int, ...],
+    dim: int,
+    target_pos: int,
+) -> Tuple[int, int]:
+    """Route around a dead dimension-``dim`` target cell.
+
+    OpenSM's Torus-2QoS survives a single failed switch by offsetting
+    the packet one hop in a *later* dimension before finishing the
+    current one; the later dimension is then corrected in its own DOR
+    phase, so every dimension still sees one monotone segment and the
+    detour stays consistent per ``(node, destination)``.  Returns
+    ``(detour_dim, direction)``.
+    """
+    for j in range(dim + 1, geom.n_dims):
+        for dj in (+1, -1):
+            side = geom.neighbor_coord(coord, j, dj)
+            if side is None or side not in geom.switch_at:
+                continue
+            if not geom.net.csr.channels_between(
+                geom.switch_at[coord], geom.switch_at[side]
+            ):
+                continue
+            if _choose_direction(geom, side, dim, target_pos) is not None:
+                return j, dj
+    raise RoutingError(
+        f"no detour around dead cell: dim {dim} from {coord} to "
+        f"position {target_pos}"
+    )
+
+
+def _t2qos_columns(net: Network, dest_shard: Sequence[int]) -> np.ndarray:
+    """Worker: Torus-2QoS forwarding columns for one destination shard.
+
+    Pure per destination (the fault-bypass decisions read only the
+    static geometry), so sharding is bit-identical to serial.  The
+    caller has already run the ring double-fault check.
+    """
+    geom = TorusGeometry(net)
+    block = np.full((net.n_nodes, len(dest_shard)), -1, dtype=np.int32)
+    for jj, d in enumerate(dest_shard):
+        d_switch = d if net.is_switch(d) else net.terminal_switch(d)
+        d_coord = geom.coord_of[d_switch]
+        for node in range(net.n_nodes):
+            if node == d:
+                continue
+            if net.is_terminal(node):
+                block[node, jj] = net.csr.injection_channel[node]
+                continue
+            if node == d_switch:
+                chans = net.csr.channels_between(node, d)
+                block[node, jj] = chans[0] if chans else -1
+                continue
+            coord = geom.coord_of[node]
+            dim = next(
+                i for i in range(geom.n_dims) if coord[i] != d_coord[i]
+            )
+            direction = _choose_direction(geom, coord, dim, d_coord[dim])
+            if direction is not None:
+                block[node, jj] = geom.step_channel(
+                    node, dim, direction, select=d
+                )
+            else:
+                # the dim's target cell is the failed switch: hop one
+                # position in a later dimension, then continue
+                jdim, jdir = _detour_hop(geom, coord, dim, d_coord[dim])
+                block[node, jj] = geom.step_channel(
+                    node, jdim, jdir, select=d
+                )
+    return block
 
 
 class TorusQoSResult(RoutingResult):
@@ -127,20 +240,7 @@ class Torus2QoSRouting(RoutingAlgorithm):
         direction: int,
         target_pos: int,
     ) -> bool:
-        """Can a packet walk ``coord`` -> target along ``direction``?"""
-        cur = coord
-        for _ in range(geom.dims[dim]):
-            if cur[dim] == target_pos:
-                return True
-            nxt = geom.neighbor_coord(cur, dim, direction)
-            if nxt is None or nxt not in geom.switch_at:
-                return False
-            if not geom.net.csr.channels_between(
-                geom.switch_at[cur], geom.switch_at[nxt]
-            ):
-                return False
-            cur = nxt
-        return cur[dim] == target_pos
+        return _arc_passable(geom, coord, dim, direction, target_pos)
 
     def _choose_direction(
         self,
@@ -149,13 +249,7 @@ class Torus2QoSRouting(RoutingAlgorithm):
         dim: int,
         target_pos: int,
     ) -> Optional[int]:
-        """Shortest passable ring direction (DOR preference first);
-        None when the arc is blocked both ways (dead target cell)."""
-        preferred = dor_direction(geom.dims[dim], coord[dim], target_pos)
-        for direction in (preferred, -preferred):
-            if self._arc_passable(geom, coord, dim, direction, target_pos):
-                return direction
-        return None
+        return _choose_direction(geom, coord, dim, target_pos)
 
     def _detour_hop(
         self,
@@ -164,32 +258,7 @@ class Torus2QoSRouting(RoutingAlgorithm):
         dim: int,
         target_pos: int,
     ) -> Tuple[int, int]:
-        """Route around a dead dimension-``dim`` target cell.
-
-        OpenSM's Torus-2QoS survives a single failed switch by
-        offsetting the packet one hop in a *later* dimension before
-        finishing the current one; the later dimension is then
-        corrected in its own DOR phase, so every dimension still sees
-        one monotone segment and the detour stays consistent per
-        ``(node, destination)``.  Returns ``(detour_dim, direction)``.
-        """
-        for j in range(dim + 1, geom.n_dims):
-            for dj in (+1, -1):
-                side = geom.neighbor_coord(coord, j, dj)
-                if side is None or side not in geom.switch_at:
-                    continue
-                if not geom.net.csr.channels_between(
-                    geom.switch_at[coord], geom.switch_at[side]
-                ):
-                    continue
-                if self._choose_direction(
-                    geom, side, dim, target_pos
-                ) is not None:
-                    return j, dj
-        raise RoutingError(
-            f"no detour around dead cell: dim {dim} from {coord} to "
-            f"position {target_pos}"
-        )
+        return _detour_hop(geom, coord, dim, target_pos)
 
     # -- routing ----------------------------------------------------------------
 
@@ -201,39 +270,14 @@ class Torus2QoSRouting(RoutingAlgorithm):
             raise NotApplicableError("Torus-2QoS requires a torus")
         self._ring_fault_check(geom)
         nxt, vl = self._empty_tables(net, dests)
-        for j, d in enumerate(dests):
-            d_switch = d if net.is_switch(d) else net.terminal_switch(d)
-            d_coord = geom.coord_of[d_switch]
-            for node in range(net.n_nodes):
-                if node == d:
-                    continue
-                if net.is_terminal(node):
-                    nxt[node, j] = net.csr.injection_channel[node]
-                    continue
-                if node == d_switch:
-                    chans = net.csr.channels_between(node, d)
-                    nxt[node, j] = chans[0] if chans else -1
-                    continue
-                coord = geom.coord_of[node]
-                dim = next(
-                    i for i in range(geom.n_dims) if coord[i] != d_coord[i]
-                )
-                direction = self._choose_direction(
-                    geom, coord, dim, d_coord[dim]
-                )
-                if direction is not None:
-                    nxt[node, j] = geom.step_channel(
-                        node, dim, direction, select=d
-                    )
-                else:
-                    # the dim's target cell is the failed switch: hop
-                    # one position in a later dimension, then continue
-                    jdim, jdir = self._detour_hop(
-                        geom, coord, dim, d_coord[dim]
-                    )
-                    nxt[node, j] = geom.step_channel(
-                        node, jdim, jdir, select=d
-                    )
+        workers = resolve_workers(self.workers, len(dests))
+        shards = shard_destinations(dests, workers)
+        blocks = run_layer_tasks(_t2qos_columns, net, shards,
+                                 workers=workers)
+        col = 0
+        for block in blocks:
+            nxt[:, col:col + block.shape[1]] = block
+            col += block.shape[1]
         result = TorusQoSResult(
             net=net,
             dests=dests,

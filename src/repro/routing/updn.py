@@ -17,18 +17,31 @@ Both passes are min-hop with MinHop-style port-load tie-breaking.
 The root defaults to the node with the smallest BFS eccentricity
 (lowest id among ties), mirroring OpenSM's auto-selected spanning-tree
 root.
+
+Parallel decomposition (PR 5): the two tree passes are independent per
+destination while the port-load tie-breaking is independent per
+*source node* (a node selects among, and increments, only its own
+ports' counters — see :func:`repro.routing.sssp.select_balanced_rows`
+for the bit-identity argument).  The route therefore runs as a
+destination-sharded tree phase followed by a node-sharded selection
+phase on the engine's shared-memory fabric, exact for any worker
+count.  The ``(level, id)`` order tuple is flattened into one integer
+``okey = level * n_nodes + id`` (a strictly order-preserving bijection
+since ``id < n_nodes``), so hop direction is a single comparison.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.network.graph import Network
 from repro.obs import core as obs
-from repro.routing.base import RoutingAlgorithm, RoutingResult
+from repro.routing.base import RoutingAlgorithm, RoutingError, RoutingResult
+from repro.routing.sssp import select_balanced_rows
 from repro.utils.prng import SeedLike
 
 __all__ = ["UpDownRouting", "DownUpRouting", "pick_tree_root"]
@@ -45,6 +58,119 @@ def pick_tree_root(net: Network) -> int:
         if key < best_key:
             best_key, best = key, s
     return best
+
+
+def _tree_arrays(
+    net: Network,
+    dest: int,
+    okey: Sequence[int],
+    down_first: bool,
+    name: str,
+) -> Tuple[List[int], List[bool], int]:
+    """Hop field + pure-down region for one destination (no ports yet).
+
+    Returns ``(hops, in_down, d_switch)``; raises :class:`RoutingError`
+    when a switch has no legal up*/down* path.  A hop ``v -> u`` is
+    *down* exactly when ``(okey[u] > okey[v]) != down_first`` (keys are
+    distinct, so the inverted rule is a strict ``<``).
+    """
+    n = net.n_nodes
+    hops = [-1] * n
+    # per-node switch predecessors, precomputed once on the CSR core
+    # (in in_channel order, multiplicity preserved)
+    switch_in = net.csr.switch_in_sources
+
+    # The phase rule applies to the switch graph only: terminal hops
+    # can never sit on a CDG cycle (Def. 6 excludes the only turn
+    # through a terminal), so injection/ejection hops are phase-neutral
+    # and handled structurally by the caller.
+    d_switch = dest if net.is_switch(dest) else net.terminal_switch(dest)
+    hops[d_switch] = 0
+
+    # Pass 1: pure-down region D (traffic descends all the way to the
+    # destination switch) — uniform BFS over down hops.
+    down_nodes = [d_switch]
+    frontier = [d_switch]
+    while frontier:
+        nxt_frontier: List[int] = []
+        for u in frontier:
+            oku = okey[u]
+            hu1 = hops[u] + 1
+            for v in switch_in[u]:
+                if hops[v] >= 0:
+                    continue
+                if not ((oku > okey[v]) != down_first):
+                    continue  # hop v -> u is not a down hop
+                hops[v] = hu1
+                nxt_frontier.append(v)
+                down_nodes.append(v)
+        frontier = nxt_frontier
+
+    # Pass 2: everyone else joins via up hops (up* before down*).
+    # Multi-source shortest path seeded by all of D at their depths
+    # (a lazy-deletion heap, because the seeds sit at different hop
+    # counts; stale pops only re-offer dominated distances, and the
+    # later port-selection pass reads final hop counts only).
+    # Nodes of D are frozen: lowering a pure-down node's hop count
+    # through a mixed path would strand its port selection, which
+    # must find a *descending* parent at hops-1.
+    in_down = [False] * n
+    for u in down_nodes:
+        in_down[u] = True
+    heap = [(hops[u], u) for u in down_nodes]
+    heapq.heapify(heap)
+    while heap:
+        hu, u = heapq.heappop(heap)
+        if hu > hops[u]:
+            continue  # stale key: u was re-queued cheaper
+        oku = okey[u]
+        for v in switch_in[u]:
+            if in_down[v]:
+                continue
+            if (oku > okey[v]) != down_first:
+                continue  # only up hops may extend a path backwards
+            alt = hu + 1
+            if hops[v] < 0 or alt < hops[v]:
+                hops[v] = alt
+                heapq.heappush(heap, (alt, v))
+
+    unreached = [s for s in net.switches if hops[s] < 0]
+    if unreached:
+        raise RoutingError(
+            f"{name} cannot route {net.name}: no legal path from "
+            f"{net.node_names[unreached[0]]} (+{len(unreached) - 1} "
+            f"more) to {net.node_names[d_switch]}"
+        )
+    return hops, in_down, d_switch
+
+
+def _trees_task(
+    ctx: Tuple[Network, List[int], bool, str], dest_shard: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+    """Worker: tree arrays for one destination shard (rows = dests)."""
+    net, okey, down_first, name = ctx
+    hops_rows: List[List[int]] = []
+    down_rows: List[List[bool]] = []
+    d_switches: List[int] = []
+    for d in dest_shard:
+        hops, in_down, d_switch = _tree_arrays(net, d, okey, down_first,
+                                               name)
+        hops_rows.append(hops)
+        down_rows.append(in_down)
+        d_switches.append(d_switch)
+    return (np.array(hops_rows, dtype=np.int32),
+            np.array(down_rows, dtype=bool), d_switches)
+
+
+def _select_task(
+    ctx: Tuple[Network, List[int], bool, np.ndarray, np.ndarray, List[int]],
+    row_shard: Sequence[int],
+) -> np.ndarray:
+    """Worker: phase-constrained port selection for one switch shard."""
+    net, okey, down_first, hops_mat, down_mat, d_switches = ctx
+    return select_balanced_rows(net, row_shard, hops_mat, d_switches,
+                                down_mat=down_mat, okey=okey,
+                                down_first=down_first)
 
 
 class UpDownRouting(RoutingAlgorithm):
@@ -75,13 +201,48 @@ class UpDownRouting(RoutingAlgorithm):
         with obs.span(f"{self.name}.pick_root"):
             root = (self.root if self.root is not None
                     else pick_tree_root(net))
-        levels = np.asarray(net.bfs_levels(root), dtype=np.int64)
+        n = net.n_nodes
+        levels = net.bfs_levels(root)
+        okey = [levels[v] * n + v for v in range(n)]
         nxt, vl = self._empty_tables(net, dests)
-        port_load = np.zeros(net.n_channels, dtype=np.int64)
+        workers = resolve_workers(self.workers, len(dests))
+
         with obs.span(f"{self.name}.dest_trees", dests=len(dests)):
-            for j, d in enumerate(dests):
-                nxt[:, j] = self._tree_for_dest(net, d, levels,
-                                                port_load)
+            shards = shard_destinations(dests, workers)
+            parts = run_layer_tasks(
+                _trees_task, (net, okey, self._down_first, self.name),
+                shards, workers=workers,
+            )
+            hops_mat = np.concatenate([p[0] for p in parts], axis=0)
+            down_mat = np.concatenate([p[1] for p in parts], axis=0)
+            d_switches = [s for p in parts for s in p[2]]
+
+        # Port selection: minimal under the phase constraint, balanced
+        # per source node (switch rows only — terminals are plumbed
+        # structurally below).
+        with obs.span(f"{self.name}.port_select", dests=len(dests)):
+            rows = list(net.switches)
+            row_shards = shard_destinations(rows, workers)
+            blocks = run_layer_tasks(
+                _select_task,
+                (net, okey, self._down_first, hops_mat, down_mat,
+                 d_switches),
+                row_shards, workers=workers,
+            )
+            for row_shard, block in zip(row_shards, blocks):
+                nxt[row_shard, :] = block
+
+        # Terminal plumbing: injection everywhere, ejection at the
+        # destination switch, nothing at the destination itself.
+        injection = net.csr.injection_channel
+        for t in net.terminals:
+            nxt[t, :] = injection[t]
+        for j, d in enumerate(dests):
+            d_switch = d_switches[j]
+            if d != d_switch:
+                nxt[d_switch, j] = net.csr.channels_between(d_switch, d)[0]
+            nxt[d, j] = -1
+
         res = RoutingResult(
             net=net,
             dests=dests,
@@ -92,118 +253,6 @@ class UpDownRouting(RoutingAlgorithm):
         )
         res.stats["root"] = net.node_names[root]
         return res
-
-    def _tree_for_dest(
-        self,
-        net: Network,
-        dest: int,
-        levels: np.ndarray,
-        port_load: np.ndarray,
-    ) -> np.ndarray:
-        n = net.n_nodes
-        fwd = np.full(n, -1, dtype=np.int64)
-        hops = np.full(n, -1, dtype=np.int64)
-        # per-node switch predecessors, precomputed once on the CSR
-        # core (in in_channel order, multiplicity preserved)
-        switch_in = net.csr.switch_in_sources
-
-        # The phase rule applies to the switch graph only: terminal
-        # hops can never sit on a CDG cycle (Def. 6 excludes the only
-        # turn through a terminal), so injection/ejection hops are
-        # phase-neutral and handled structurally at the end.
-        d_switch = dest if net.is_switch(dest) else net.terminal_switch(dest)
-        hops[d_switch] = 0
-
-        # Pass 1: pure-down region D (traffic descends all the way to
-        # the destination switch) — uniform BFS over down hops.
-        down_nodes = [d_switch]
-        frontier = [d_switch]
-        while frontier:
-            nxt_frontier: List[int] = []
-            for u in frontier:
-                for v in switch_in[u]:
-                    if hops[v] >= 0:
-                        continue
-                    if not self._is_down_hop(levels, v, u):
-                        continue
-                    hops[v] = hops[u] + 1
-                    nxt_frontier.append(v)
-                    down_nodes.append(v)
-            frontier = nxt_frontier
-
-        # Pass 2: everyone else joins via up hops (up* before down*).
-        # Multi-source shortest path seeded by all of D at their depths
-        # (a lazy-deletion heap, because the seeds sit at different hop
-        # counts; stale pops only re-offer dominated distances, and the
-        # later port-selection pass reads final hop counts only).
-        # Nodes of D are frozen: lowering a pure-down node's hop count
-        # through a mixed path would strand its port selection, which
-        # must find a *descending* parent at hops-1.
-        in_down = np.zeros(n, dtype=bool)
-        in_down[down_nodes] = True
-        heap = [(int(hops[u]), u) for u in down_nodes]
-        heapq.heapify(heap)
-        while heap:
-            hu, u = heapq.heappop(heap)
-            if hu > hops[u]:
-                continue  # stale key: u was re-queued cheaper
-            for v in switch_in[u]:
-                if in_down[v]:
-                    continue
-                if self._is_down_hop(levels, v, u):
-                    continue  # only up hops may extend a path backwards
-                alt = hu + 1
-                if hops[v] < 0 or alt < hops[v]:
-                    hops[v] = alt
-                    heapq.heappush(heap, (alt, v))
-
-        unreached = [
-            s for s in net.switches if hops[s] < 0
-        ]
-        if unreached:
-            from repro.routing.base import RoutingError
-
-            raise RoutingError(
-                f"{self.name} cannot route {net.name}: no legal path from "
-                f"{net.node_names[unreached[0]]} (+{len(unreached) - 1} "
-                f"more) to {net.node_names[d_switch]}"
-            )
-
-        # Port selection: minimal under the phase constraint, balanced.
-        order = np.argsort(hops, kind="stable")
-        for v in order:
-            v = int(v)
-            if v == d_switch or hops[v] < 0 or not net.is_switch(v):
-                continue
-            best, best_key = -1, (np.inf, np.inf)
-            for c in net.out_channels[v]:
-                u = net.channel_dst[c]
-                if not net.is_switch(u) or hops[u] != hops[v] - 1:
-                    continue
-                down_hop = self._is_down_hop(levels, v, u)
-                if in_down[v]:
-                    # inside D the path must keep descending
-                    if not (down_hop and in_down[u]):
-                        continue
-                else:
-                    # outside D only up hops are legal
-                    if down_hop:
-                        continue
-                key = (float(port_load[c]), float(c))
-                if key < best_key:
-                    best_key, best = key, c
-            if best >= 0:
-                fwd[v] = best
-                port_load[best] += 1
-
-        # Terminal plumbing: injection everywhere, ejection at the
-        # destination switch, nothing at the destination itself.
-        for t in net.terminals:
-            fwd[t] = net.csr.injection_channel[t]
-        if dest != d_switch:
-            fwd[d_switch] = net.csr.channels_between(d_switch, dest)[0]
-        fwd[dest] = -1
-        return fwd
 
 
 class DownUpRouting(UpDownRouting):

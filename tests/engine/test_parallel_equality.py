@@ -116,3 +116,74 @@ def _faulted_torus():
     from repro.network.faults import inject_random_link_faults
 
     return inject_random_link_faults(torus([4, 4, 3], 2), 0.05, seed=3)
+
+
+class TestShardedBaselines:
+    """Destination-sharded baseline kernels equal their serial runs.
+
+    PR 5 moved every per-destination baseline onto the shared-memory
+    fabric (``shard_destinations`` + the persistent pool); the engine
+    contract extends to them: tables, VL assignment and stats must be
+    bit-identical for any worker count — the speedup may never change
+    a routing decision.
+    """
+
+    CASES = [
+        ("updn", lambda: torus([4, 4, 3], 2)),
+        ("dnup", lambda: torus([4, 4, 3], 2)),
+        ("minhop", lambda: torus([4, 4, 3], 2)),
+        ("dor", lambda: torus([4, 4, 3], 2)),
+        ("torus-2qos", lambda: torus([4, 4, 3], 2)),
+        ("dfsssp", lambda: torus([4, 4, 3], 2)),
+        ("updn", lambda: k_ary_n_tree(3, 2)),
+        ("ftree", lambda: k_ary_n_tree(3, 2)),
+        ("dfsssp", lambda: k_ary_n_tree(3, 2)),
+    ]
+
+    @pytest.mark.parametrize(
+        "alg,builder", CASES,
+        ids=[f"{a}-{i}" for i, (a, _) in enumerate(CASES)],
+    )
+    def test_sharded_matches_serial(self, alg, builder):
+        from repro.routing import make_algorithm
+
+        net = builder()
+        serial = make_algorithm(alg, 8, workers=1).route(net, seed=7)
+        for w in (2, 3):
+            sharded = make_algorithm(alg, 8, workers=w).route(net, seed=7)
+            assert_results_identical(serial, sharded)
+
+
+class TestShardedMetrics:
+    """Per-destination metrics sweeps merge exactly across shards."""
+
+    @pytest.fixture(scope="class")
+    def routed(self):
+        from repro.routing import make_algorithm
+
+        net = torus([4, 4, 3], 2)
+        return make_algorithm("updn", 8, workers=1).route(net, seed=7)
+
+    def test_forwarding_index_identical(self, routed):
+        from repro.metrics import edge_forwarding_indices, gamma_summary
+
+        serial = edge_forwarding_indices(routed, workers=1)
+        for w in (2, 3):
+            assert np.array_equal(
+                serial, edge_forwarding_indices(routed, workers=w))
+        assert gamma_summary(routed, workers=1) == \
+               gamma_summary(routed, workers=3)
+
+    def test_path_length_stats_identical(self, routed):
+        from repro.metrics import path_length_stats
+
+        serial = path_length_stats(routed, workers=1)
+        for w in (2, 3):
+            assert path_length_stats(routed, workers=w) == serial
+
+    def test_reachable_pairs_identical(self, routed):
+        from repro.resilience.engine import _reachable_pairs
+
+        serial = _reachable_pairs(routed, workers=1)
+        assert _reachable_pairs(routed, workers=3) == serial
+        assert serial[1] > 0

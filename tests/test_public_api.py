@@ -81,7 +81,8 @@ API_SURFACE = {
                      "dests: 'Optional[Sequence[int]]' = None) "
                      "-> 'RoutingResult'",
     "gamma_summary": "(result: 'RoutingResult', "
-                     "sources: 'Optional[Sequence[int]]' = None) "
+                     "sources: 'Optional[Sequence[int]]' = None, "
+                     "workers: 'Optional[int]' = None) "
                      "-> 'GammaSummary'",
     "incremental_reroute": "(net: 'Network', prior: 'RoutingResult', "
                            "failed_channels: 'Sequence[int]', "
@@ -106,13 +107,15 @@ API_SURFACE = {
                       "cache: 'bool' = False, **config: 'object') "
                       "-> 'RoutingAlgorithm'",
     "path_length_stats": "(result: 'RoutingResult', "
-                         "sources: 'Optional[Sequence[int]]' = None) "
+                         "sources: 'Optional[Sequence[int]]' = None, "
+                         "workers: 'Optional[int]' = None) "
                          "-> 'PathLengthStats'",
     "remove_links": "(net: 'Network', link_indices: 'Iterable[int]') "
                     "-> 'FaultResult'",
     "remove_switches": "(net: 'Network', switches: 'Iterable[int]') "
                        "-> 'FaultResult'",
     "required_vcs": "(result: 'RoutingResult') -> 'int'",
+    "shutdown_fabric": "(wait: 'bool' = True) -> 'None'",
     "run_campaign": "(net: 'Network', schedule: 'FaultSchedule', "
                     "max_vls: 'int' = 1, "
                     "config: 'Optional[NueConfig]' = None, "
@@ -150,7 +153,8 @@ TOP_LEVEL_SURFACE = {
     "available_algorithms": "() -> 'List[str]'",
     "engine": "module",
     "gamma_summary": "(result: 'RoutingResult', "
-                     "sources: 'Optional[Sequence[int]]' = None) "
+                     "sources: 'Optional[Sequence[int]]' = None, "
+                     "workers: 'Optional[int]' = None) "
                      "-> 'GammaSummary'",
     "is_deadlock_free": "(result: 'RoutingResult', "
                         "sources: 'Optional[Sequence[int]]' = None) "
@@ -161,7 +165,8 @@ TOP_LEVEL_SURFACE = {
                       "-> 'RoutingAlgorithm'",
     "obs": "module",
     "path_length_stats": "(result: 'RoutingResult', "
-                         "sources: 'Optional[Sequence[int]]' = None) "
+                         "sources: 'Optional[Sequence[int]]' = None, "
+                         "workers: 'Optional[int]' = None) "
                          "-> 'PathLengthStats'",
     "required_vcs": "(result: 'RoutingResult') -> 'int'",
     "topologies": "module",
