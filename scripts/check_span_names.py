@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI lint: every metric name used in ``src/`` is documented.
+
+Walks the AST of every Python file under ``src/`` and collects the
+names passed to the :mod:`repro.obs` primitives — ``span(...)``,
+``count(...)``, ``count_many({...})``, ``gauge(...)``, ``observe(...)``,
+``observe_many(...)`` and ``observe_counts(...)`` — then checks each
+against the backticked names in the naming tables of
+``docs/observability.md``.
+
+String literals are checked exactly; f-strings contribute their
+leading literal prefix (``f"exp.{name}.progress"`` checks as the
+prefix ``exp.``); fully dynamic names are skipped.  Doc rows may use
+``<placeholder>`` wildcards — ``route.<algo>`` matches ``route.nue``,
+``<span>.dur_ns`` matches every derived span-duration histogram.
+
+Exit status 0 when everything is documented, 1 with a listing of the
+undocumented names otherwise.  Run as::
+
+    python scripts/check_span_names.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOCS = REPO / "docs" / "observability.md"
+
+#: obs primitives whose first argument (or dict keys) is a metric name
+OBS_CALLS = {"span", "count", "gauge", "observe", "observe_many",
+             "observe_counts"}
+OBS_DICT_CALLS = {"count_many"}
+
+#: a plausible metric name: dotted, lowercase-ish
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_<>-]+)+$")
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _literal_or_prefix(node: ast.expr) -> Tuple[str, str]:
+    """('exact'|'prefix'|'', text) for a name-argument expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return "exact", node.value
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value,
+                                                            str):
+                prefix += part.value
+            else:
+                break
+        if prefix:
+            return "prefix", prefix
+    return "", ""
+
+
+def collect_code_names(
+    src: Path = SRC,
+) -> List[Tuple[str, str, str, int]]:
+    """(kind, text, file, line) for every literal obs-name in ``src``."""
+    out: List[Tuple[str, str, str, int]] = []
+    for path in sorted(src.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+        rel = str(path.relative_to(REPO))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            fn = _call_name(node)
+            if fn in OBS_CALLS:
+                kind, text = _literal_or_prefix(node.args[0])
+                if kind:
+                    out.append((kind, text, rel, node.lineno))
+            elif fn in OBS_DICT_CALLS:
+                arg = node.args[0]
+                if isinstance(arg, ast.Dict):
+                    for key in arg.keys:
+                        if isinstance(key, ast.Constant) and \
+                                isinstance(key.value, str):
+                            out.append(("exact", key.value, rel,
+                                        key.lineno))
+    return out
+
+
+def collect_doc_names(doc: Path = DOCS) -> Set[str]:
+    """Every backticked dotted name in the observability doc."""
+    names: Set[str] = set()
+    text = doc.read_text(encoding="utf-8")
+    # fenced code blocks would desync the inline-backtick pairing
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for token in re.findall(r"`([^`\n]+)`", text):
+        for candidate in re.split(r"\s*/\s*", token):
+            candidate = candidate.strip()
+            if NAME_RE.match(candidate) or candidate.startswith("<"):
+                if "." in candidate:
+                    names.add(candidate)
+    return names
+
+
+def _entry_matches(entry: str, kind: str, text: str) -> bool:
+    if "<" not in entry:
+        if kind == "exact":
+            return entry == text
+        return entry.startswith(text)  # prefix from an f-string
+    literal_head = entry.split("<", 1)[0]
+    if kind == "prefix":
+        return bool(literal_head) and (
+            literal_head.startswith(text) or text.startswith(literal_head)
+        )
+    pattern = re.escape(entry)
+    pattern = re.sub(r"\\<[^>]*\\>|<[^>]*>", r".+",
+                     pattern.replace("\\<", "<").replace("\\>", ">"))
+    return re.fullmatch(pattern, text) is not None
+
+
+def undocumented(
+    code: Iterable[Tuple[str, str, str, int]], docs: Set[str]
+) -> List[Tuple[str, str, str, int]]:
+    missing = []
+    for kind, text, path, line in code:
+        if not any(_entry_matches(e, kind, text) for e in docs):
+            missing.append((kind, text, path, line))
+    return missing
+
+
+def main() -> int:
+    code = collect_code_names()
+    docs = collect_doc_names()
+    if not docs:
+        print(f"no metric names found in {DOCS} — is the naming "
+              "table intact?", file=sys.stderr)
+        return 1
+    missing = undocumented(code, docs)
+    if missing:
+        print("metric names used in src/ but missing from "
+              "docs/observability.md:", file=sys.stderr)
+        for kind, text, path, line in sorted(set(missing)):
+            suffix = " (f-string prefix)" if kind == "prefix" else ""
+            print(f"  {text}{suffix}  [{path}:{line}]", file=sys.stderr)
+        return 1
+    print(f"ok: {len(code)} obs name uses covered by "
+          f"{len(docs)} documented names")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

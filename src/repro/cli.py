@@ -13,11 +13,13 @@ repro simulate fabric.topo tables.json --sample-phases 40
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro import obs
 from repro.fabric.flow import simulate_all_to_all
+from repro.obs.cli import add_obs_parser
 from repro.io import (
     format_lft,
     load_routing,
@@ -225,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print the span/counter summary after the command",
     )
+    parser.add_argument(
+        "--status", metavar="FILE.json", default=None,
+        help="run with the live telemetry plane on, rewriting this "
+             "status snapshot as the command progresses (point "
+             "'repro obs watch FILE.json' at it from another shell)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="generate a topology file")
@@ -301,31 +309,55 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--sample-phases", type=int, default=None)
     s.add_argument("--seed", type=int, default=1)
     s.set_defaults(func=_cmd_simulate)
+
+    add_obs_parser(sub)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.trace or args.profile:
-        obs.reset()
-        if args.trace:
-            try:
-                sink = obs.JsonlSink(args.trace)
-            except OSError as exc:
-                print(f"cannot open trace file {args.trace!r}: {exc}",
-                      file=sys.stderr)
-                return 2
-            obs.enable(sink)
-        if args.profile:
-            obs.enable(obs.MemorySink(keep_events=False))
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `repro obs summary | head`);
+        # detach so the interpreter's shutdown flush can't re-raise
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if not (args.trace or args.profile or args.status):
+        return args.func(args)
+    obs.reset()
+    if args.trace:
         try:
-            return args.func(args)
-        finally:
-            obs.disable()
-            if args.profile:
-                print()
-                print(obs.report())
-    return args.func(args)
+            sink = obs.JsonlSink(args.trace)
+        except OSError as exc:
+            print(f"cannot open trace file {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        obs.enable(sink)
+    if args.profile:
+        obs.enable(obs.MemorySink(keep_events=False))
+    if args.status:
+        # live plane: workers stream, the aggregator folds and keeps
+        # the status snapshot fresh for a concurrent `repro obs watch`
+        try:
+            obs.live.start(status_path=args.status)
+        except OSError as exc:
+            print(f"cannot write status file {args.status!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        return args.func(args)
+    finally:
+        if args.status:
+            obs.live.stop()
+        obs.disable()
+        if args.profile:
+            print()
+            print(obs.report())
 
 
 if __name__ == "__main__":

@@ -210,6 +210,13 @@ class NueLayerRouter:
                 "nue.shortcuts": step.shortcuts_taken,
                 "nue.escape_fallbacks": int(step.fell_back),
             }, layer=self.layer_index)
+            # per-step work-shape distributions: one histogram event
+            # each, so a whole layer's steps remain comparable across
+            # topologies regardless of destination count
+            obs.observe("nue.step.heap_pops", step.heap_pops,
+                        layer=self.layer_index)
+            obs.observe("nue.step.relaxations", step.relaxations,
+                        layer=self.layer_index)
         return step
 
     def route_destination(self, dest: int) -> Tuple[np.ndarray, RoutingStep]:

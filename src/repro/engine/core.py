@@ -46,11 +46,13 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.engine import fabric
 from repro.obs import core as obs
+from repro.obs import live
 
 __all__ = [
     "run_layer_tasks",
@@ -163,7 +165,21 @@ def _collect(fn: Callable[[Any, Any], Any], packed: Any,
             pool.submit(fabric._run_fabric_task, fn, packed, task, capture)
             for task in tasks
         ]
-        return [fut.result() for fut in futures]
+        if live.active() is None:
+            return [fut.result() for fut in futures]
+        # live telemetry: fold streamed worker events into the parent
+        # aggregates *while* the fan-out is in flight, so counters and
+        # histograms advance before the last task returns
+        results: List[Tuple[Any, List[dict]]] = []
+        for fut in futures:
+            while True:
+                try:
+                    results.append(fut.result(timeout=0.05))
+                    break
+                except FutureTimeout:
+                    live.pump()
+        live.pump()
+        return results
     except BrokenProcessPool:
         fabric.discard_pool(wait=False)
         if not respawn:

@@ -57,6 +57,7 @@ import numpy as np
 from repro.network.csr import CSRView, EXPORTED_BUFFERS
 from repro.network.graph import Network, as_network
 from repro.obs import core as obs
+from repro.obs import live
 from repro.obs.sinks import MemorySink
 
 __all__ = [
@@ -566,12 +567,19 @@ def release_ctx(packed: Any) -> None:
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers = 0
 _pool_spawns = 0
+_pool_bus: Any = None  # live-bus handle the current pool was spawned with
 
 
-def _init_fabric_worker() -> None:
-    """Pool initializer: silence inherited parent observability."""
+def _init_fabric_worker(bus_handle: Any = None) -> None:
+    """Pool initializer: silence inherited parent observability and —
+    when the parent installed a live bus — adopt its handle so task
+    telemetry streams instead of riding back with the results."""
     obs.disable()
     obs.reset()
+    if bus_handle is not None:
+        live.attach_worker(bus_handle)
+    else:
+        live.detach_worker()
 
 
 def _run_fabric_task(fn, ctx: Any, task: Any,
@@ -580,10 +588,15 @@ def _run_fabric_task(fn, ctx: Any, task: Any,
 
     The context travels per task (it is a few handles and scalars once
     packed) and the obs capture flag too, because the pool outlives
-    any single ``run_layer_tasks`` call.
+    any single ``run_layer_tasks`` call.  With a live bus attached the
+    events stream to the parent as they happen (plus heartbeats) and
+    only a drop summary is returned; otherwise the raw event list
+    rides back for replay.
     """
     if not capture_obs:
         return fn(unpack_ctx(ctx), task), []
+    if live.worker_publisher() is not None:
+        return live.run_streamed(fn, unpack_ctx(ctx), task)
     sink = MemorySink(keep_events=True)
     obs.reset()
     obs.enable(sink)
@@ -598,19 +611,25 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     """The persistent pool, lazily (re)spawned with >= ``workers``.
 
     A healthy pool at least as large as requested is reused
-    (``fabric.pool_reuses``); a broken or too-small one is discarded
-    and a fresh pool spawned (``fabric.pool_spawns``).
+    (``fabric.pool_reuses``); a broken or too-small one — or one whose
+    workers were spawned with a different live-bus handle than the one
+    currently installed — is discarded and a fresh pool spawned
+    (``fabric.pool_spawns``).
     """
-    global _pool, _pool_workers, _pool_spawns
+    global _pool, _pool_workers, _pool_spawns, _pool_bus
+    bus = live.bus_handle()
     if _pool is not None and getattr(_pool, "_broken", False):
         discard_pool(wait=False)
-    if _pool is not None and _pool_workers < workers:
+    if _pool is not None and (_pool_workers < workers
+                              or _pool_bus is not bus):
         discard_pool()
     if _pool is None:
         _pool = ProcessPoolExecutor(
             max_workers=workers, initializer=_init_fabric_worker,
+            initargs=(bus,),
         )
         _pool_workers = workers
+        _pool_bus = bus
         _pool_spawns += 1
         _register_cleanup()
         _count("fabric.pool_spawns")
@@ -694,4 +713,6 @@ def shard_destinations(items: Sequence[Any], workers: int,
         size = quot + (1 if i < rem else 0)
         shards.append(items[start:start + size])
         start += size
+    if obs.enabled():
+        obs.observe_many("engine.shard_size", [len(s) for s in shards])
     return shards

@@ -17,7 +17,12 @@ line, stripped before the experiment's own parser sees the arguments):
 * ``--trace out.jsonl`` — stream every span/counter event of the run
   to a JSONL file (:class:`repro.obs.JsonlSink`);
 * ``--profile`` — collect events in memory and print the
-  :func:`repro.obs.report` summary after the experiment finishes.
+  :func:`repro.obs.report` summary after the experiment finishes;
+* ``--status status.json`` — run with the live telemetry plane on
+  (:func:`repro.obs.live.start`): pool workers stream their events to
+  the parent as they happen and the status snapshot is atomically
+  rewritten as the experiment progresses — watch it from another
+  shell with ``repro obs watch status.json``.
 
 ``repro-experiments --list`` enumerates the registered experiments.
 """
@@ -57,7 +62,7 @@ def _usage() -> str:
     names = ", ".join(sorted(EXPERIMENTS))
     return (f"usage: repro-experiments <{names}> [args...] "
             "[--workers N] [--cache] [--trace FILE.jsonl] [--profile] "
-            "| --list")
+            "[--status FILE.json] | --list")
 
 
 def _first_doc_line(fn: Callable[[], None]) -> str:
@@ -67,16 +72,18 @@ def _first_doc_line(fn: Callable[[], None]) -> str:
 
 def _extract_obs_flags(
     args: List[str],
-) -> Tuple[Optional[str], bool, Optional[int], bool, List[str]]:
+) -> Tuple[Optional[str], bool, Optional[int], bool, Optional[str],
+           List[str]]:
     """Strip the runner-level flags (``--trace PATH`` / ``--trace=PATH``
-    / ``--profile`` / ``--workers N`` / ``--workers=N`` / ``--cache``)
-    from anywhere in ``args`` — so they work before *and* after the
-    experiment name — and return
-    ``(trace_path, profile, workers, cache, rest)``."""
+    / ``--profile`` / ``--workers N`` / ``--workers=N`` / ``--cache``
+    / ``--status PATH`` / ``--status=PATH``) from anywhere in ``args``
+    — so they work before *and* after the experiment name — and return
+    ``(trace_path, profile, workers, cache, status_path, rest)``."""
     trace: Optional[str] = None
     profile = False
     workers: Optional[int] = None
     cache = False
+    status: Optional[str] = None
     rest: List[str] = []
 
     def parse_workers(text: Optional[str]) -> int:
@@ -109,14 +116,22 @@ def _extract_obs_flags(
             workers = parse_workers(a.split("=", 1)[1])
         elif a == "--cache":
             cache = True
+        elif a == "--status":
+            status = next(it, None)
+            if status is None:
+                print("--status requires a file argument",
+                      file=sys.stderr)
+                raise SystemExit(2)
+        elif a.startswith("--status="):
+            status = a.split("=", 1)[1]
         else:
             rest.append(a)
-    return trace, profile, workers, cache, rest
+    return trace, profile, workers, cache, status, rest
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = list(sys.argv[1:]) if argv is None else list(argv)
-    trace, profile, workers, cache, args = _extract_obs_flags(args)
+    trace, profile, workers, cache, status, args = _extract_obs_flags(args)
     if workers is not None:
         import os
         engine.set_default_workers(workers or (os.cpu_count() or 1))
@@ -137,7 +152,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         print(_usage())
         raise SystemExit(2)
 
-    if trace or profile:
+    if trace or profile or status:
         obs.reset()  # report this dispatch only, not prior state
     if trace:
         try:
@@ -149,6 +164,13 @@ def main(argv: Optional[List[str]] = None) -> None:
         obs.enable(sink)
     if profile:
         obs.enable(obs.MemorySink(keep_events=False))
+    if status:
+        try:
+            obs.live.start(status_path=status)
+        except OSError as exc:
+            print(f"cannot write status file {status!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
 
     # the experiment mains parse sys.argv themselves; swap it for the
     # dispatch only and always restore it afterwards (ditto the
@@ -164,7 +186,9 @@ def main(argv: Optional[List[str]] = None) -> None:
         engine.set_default_workers(saved_workers)
         if cache:
             engine.disable_route_cache()
-        if trace or profile:
+        if status:
+            obs.live.stop()
+        if trace or profile or status:
             obs.disable()
             if profile:
                 print()

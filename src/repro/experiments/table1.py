@@ -15,6 +15,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments.report import render_table
 from repro.io.tables import save_experiment
 from repro.network.graph import Network
+from repro.obs import core as obs
+from repro.obs import live
 from repro.network.topologies import (
     cascade,
     dragonfly,
@@ -55,8 +57,17 @@ def paper_topologies(seed: int = 1) -> Dict[str, Callable[[], Network]]:
 def run(seed: int = 1, json_path: Optional[str] = None) -> List[Dict]:
     started = time.perf_counter()
     rows: List[Dict] = []
-    for name, build in paper_topologies(seed).items():
-        net = build()
+    topologies = paper_topologies(seed)
+    total = len(topologies)
+    if obs.enabled():
+        obs.gauge("exp.table1.topologies_total", total)
+    for i, (name, build) in enumerate(topologies.items()):
+        if obs.enabled():
+            obs.gauge("exp.table1.topologies_done", i)
+            obs.gauge("exp.table1.progress", i / total)
+        live.pump()
+        with obs.span("exp.table1.topology", topology=name):
+            net = build()
         got = (
             len(net.switches),
             len(net.terminals),
@@ -70,6 +81,10 @@ def run(seed: int = 1, json_path: Optional[str] = None) -> List[Dict]:
             "channels": got[2], "paper_channels": paper[2],
             "redundancy": paper[3],
         })
+    if obs.enabled():
+        obs.gauge("exp.table1.topologies_done", total)
+        obs.gauge("exp.table1.progress", 1.0)
+    live.pump()
     print(render_table(
         ["topology", "switches", "(paper)", "terminals", "(paper)",
          "s2s channels", "(paper)", "r"],

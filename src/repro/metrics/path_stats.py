@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.network.graph import Network
+from repro.obs import core as obs
 from repro.routing.base import RoutingResult
 
 __all__ = ["PathLengthStats", "path_length_stats", "tree_depths"]
@@ -120,6 +121,10 @@ def path_length_stats(
             maximum = max(maximum, col_max)
     if count == 0:
         return PathLengthStats(0, 0, 0.0, 0, {})
+    if obs.enabled():
+        # the sweep's exact {hops: pairs} map folds into the shared
+        # metrics.path_length histogram in O(distinct lengths)
+        obs.observe_counts("metrics.path_length", lengths)
     return PathLengthStats(
         minimum=minimum,
         maximum=maximum,

@@ -28,6 +28,7 @@ See ``docs/observability.md`` for the naming conventions and the
 overhead numbers.
 """
 
+from repro.obs import live
 from repro.obs.core import (
     count,
     count_many,
@@ -36,10 +37,19 @@ from repro.obs.core import (
     enable,
     enabled,
     gauge,
+    gauges,
+    histogram,
+    histograms,
+    observe,
+    observe_counts,
+    observe_many,
+    replay,
     reset,
     span,
     span_stats,
 )
+from repro.obs.expo import expose, load_snapshot, snapshot, write_status
+from repro.obs.histogram import Histogram
 from repro.obs.manifest import git_revision, run_manifest
 from repro.obs.report import report
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
@@ -52,9 +62,22 @@ __all__ = [
     "enable",
     "enabled",
     "gauge",
+    "gauges",
+    "histogram",
+    "histograms",
+    "observe",
+    "observe_counts",
+    "observe_many",
+    "replay",
     "reset",
     "span",
     "span_stats",
+    "expose",
+    "snapshot",
+    "load_snapshot",
+    "write_status",
+    "Histogram",
+    "live",
     "git_revision",
     "run_manifest",
     "report",

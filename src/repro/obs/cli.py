@@ -1,0 +1,369 @@
+"""``repro obs`` — inspect and watch the telemetry plane.
+
+Four subcommands over the two on-disk artifacts the obs layer
+produces:
+
+* ``summary <status.json>``  — counters / gauges / spans / histograms
+  of a status snapshot (what :func:`repro.obs.expo.write_status`
+  rewrites during a live run, or ``obs.expose("json")`` saved once);
+* ``top <status.json>``      — the heaviest counters or spans;
+* ``tail <trace.jsonl>``     — the last events of a JSONL trace;
+* ``watch <status.json>``    — a refreshing terminal status view:
+  per-phase progress bars (driven by the ``*.progress`` gauge
+  convention), event rates (from successive snapshot reads and the
+  aggregator's own ``live`` block), and worker liveness (from the
+  ``obs.worker.<pid>.heartbeat`` gauges).
+
+Every render function is pure (snapshot dicts in, text out) so the
+views are testable without a terminal; the command handlers only do
+I/O and looping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.expo import load_snapshot
+from repro.obs.histogram import Histogram
+from repro.obs.live import tail_events
+
+__all__ = [
+    "add_obs_parser",
+    "render_summary",
+    "render_top",
+    "render_tail",
+    "render_watch",
+]
+
+#: a worker whose last heartbeat is older than this is flagged stale
+STALE_WORKER_S = 15.0
+
+_BAR_WIDTH = 30
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_ns(ns: float) -> str:
+    """Human duration from nanoseconds."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def _fmt_num(v: float) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.4g}"
+    return str(int(v))
+
+
+# -- summary ---------------------------------------------------------------
+
+def render_summary(snap: Dict[str, object]) -> str:
+    """Plain-text rollup of one status/exposition snapshot."""
+    counters = dict(snap.get("counters") or {})  # type: ignore[arg-type]
+    gauges = dict(snap.get("gauges") or {})  # type: ignore[arg-type]
+    spans = dict(snap.get("spans") or {})  # type: ignore[arg-type]
+    hists = dict(snap.get("histograms") or {})  # type: ignore[arg-type]
+    lines: List[str] = []
+    if spans:
+        lines.append("spans:")
+        for name in sorted(spans):
+            agg = spans[name]
+            calls = int(agg.get("calls", 0))
+            total = float(agg.get("total_ns", 0))
+            avg = total / calls if calls else 0.0
+            lines.append(f"  {name:40s} {calls:8d} calls  "
+                         f"total {_fmt_ns(total):>9s}  "
+                         f"avg {_fmt_ns(avg):>9s}")
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:40s} {_fmt_num(counters[name]):>12s}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:40s} {_fmt_num(gauges[name]):>12s}")
+    if hists:
+        lines.append("histograms:")
+        for name in sorted(hists):
+            h = Histogram.from_snapshot(name, hists[name])
+            mean = h.sum / h.count if h.count else 0.0
+            lines.append(
+                f"  {name:40s} n={h.count:<8d} "
+                f"min={_fmt_num(h.min or 0):>8s} "
+                f"mean={mean:<10.4g} "
+                f"p50={_fmt_num(h.quantile(0.5)):>8s} "
+                f"p99={_fmt_num(h.quantile(0.99)):>8s} "
+                f"max={_fmt_num(h.max or 0):>8s}"
+            )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+# -- top -------------------------------------------------------------------
+
+def render_top(snap: Dict[str, object], n: int = 10,
+               what: str = "counters") -> str:
+    """The ``n`` largest counters (by value) or spans (by total time)."""
+    lines: List[str] = []
+    if what == "spans":
+        spans = dict(snap.get("spans") or {})  # type: ignore[arg-type]
+        ranked = sorted(spans.items(),
+                        key=lambda kv: -float(kv[1].get("total_ns", 0)))
+        for name, agg in ranked[:n]:
+            total = float(agg.get("total_ns", 0))
+            lines.append(f"{_fmt_ns(total):>10s}  "
+                         f"{int(agg.get('calls', 0)):8d} calls  {name}")
+    else:
+        counters = dict(snap.get("counters") or {})  # type: ignore[arg-type]
+        ranked = sorted(counters.items(), key=lambda kv: -float(kv[1]))
+        for name, value in ranked[:n]:
+            lines.append(f"{_fmt_num(value):>12s}  {name}")
+    return "\n".join(lines) if lines else f"(no {what})"
+
+
+# -- tail ------------------------------------------------------------------
+
+def render_tail(events: List[Dict[str, object]]) -> str:
+    """One compact line per trace event."""
+    lines: List[str] = []
+    for ev in events:
+        kind = str(ev.get("type", "?"))
+        name = str(ev.get("name", "?"))
+        if kind == "span":
+            detail = _fmt_ns(float(ev.get("dur_ns", 0)))  # type: ignore[arg-type]
+        elif kind == "counter":
+            detail = f"+{_fmt_num(float(ev.get('n', 1)))}"  # type: ignore[arg-type]
+        elif kind == "gauge":
+            detail = f"={_fmt_num(float(ev.get('value', 0)))}"  # type: ignore[arg-type]
+        elif kind == "hist":
+            detail = f"n={int(ev.get('n', 0))}"  # type: ignore[arg-type]
+        else:
+            detail = ""
+        extra = {k: v for k, v in ev.items()
+                 if k not in ("type", "name", "dur_ns", "n", "value",
+                              "deltas", "sum", "min", "max", "kind")}
+        suffix = (" " + " ".join(f"{k}={v}" for k, v in sorted(
+            extra.items(), key=lambda kv: kv[0]))) if extra else ""
+        lines.append(f"{kind:7s} {name:40s} {detail:>10s}{suffix}")
+    return "\n".join(lines) if lines else "(no events)"
+
+
+# -- watch -----------------------------------------------------------------
+
+def _progress_rows(gauges: Dict[str, float]) -> List[Tuple[str, float]]:
+    """(label, fraction) rows from the ``*.progress`` gauge convention."""
+    rows = []
+    for name in sorted(gauges):
+        if name.endswith(".progress"):
+            rows.append((name[:-len(".progress")], float(gauges[name])))
+    return rows
+
+
+def _worker_rows(
+    gauges: Dict[str, float], now: float
+) -> List[Tuple[int, float, bool]]:
+    """(pid, beat age seconds, alive) from the heartbeat gauges."""
+    rows = []
+    for name, value in gauges.items():
+        if name.startswith("obs.worker.") and name.endswith(".heartbeat"):
+            try:
+                pid = int(name.split(".")[2])
+            except (IndexError, ValueError):
+                continue
+            age = max(0.0, now - float(value))
+            rows.append((pid, age, age < STALE_WORKER_S))
+    return sorted(rows)
+
+
+def render_watch(
+    snap: Dict[str, object],
+    prev: Optional[Dict[str, object]] = None,
+    now: Optional[float] = None,
+    source: str = "",
+) -> str:
+    """One frame of the ``repro obs watch`` view.
+
+    ``prev`` is the previously-read snapshot (event rates come from
+    the counter deltas between the two); ``now`` defaults to the wall
+    clock and exists so tests render deterministic frames.
+    """
+    now = time.time() if now is None else now
+    ts = float(snap.get("ts") or 0)
+    counters = {str(k): float(v) for k, v in
+                (snap.get("counters") or {}).items()}  # type: ignore[union-attr]
+    gauges = {str(k): float(v) for k, v in
+              (snap.get("gauges") or {}).items()}  # type: ignore[union-attr]
+    lines: List[str] = []
+    age = f"{max(0.0, now - ts):.1f}s ago" if ts else "unknown age"
+    lines.append(f"repro obs watch — {source or 'status'}  "
+                 f"(updated {age})")
+
+    rows = _progress_rows(gauges)
+    if rows:
+        lines.append("")
+        lines.append("phases:")
+        for label, frac in rows:
+            done = gauges.get(f"{label}.events_done",
+                              gauges.get(f"{label}.topologies_done"))
+            total = gauges.get(f"{label}.events_total",
+                               gauges.get(f"{label}.topologies_total"))
+            count = (f"  {int(done)}/{int(total)}"
+                     if done is not None and total else "")
+            lines.append(f"  {label:28s} [{_bar(frac)}] "
+                         f"{frac * 100:5.1f}%{count}")
+
+    lines.append("")
+    total_events = sum(counters.values())
+    rate = ""
+    if prev is not None:
+        prev_ts = float(prev.get("ts") or 0)
+        prev_counters = {str(k): float(v) for k, v in
+                         (prev.get("counters") or {}).items()}  # type: ignore[union-attr]
+        dt = ts - prev_ts
+        if dt > 0:
+            delta = total_events - sum(prev_counters.values())
+            rate = f"  ({max(0.0, delta) / dt:.0f} events/s)"
+    lines.append(f"events: {_fmt_num(total_events)} counted{rate}")
+    live = snap.get("live")
+    if isinstance(live, dict):
+        lines.append(
+            f"live bus: {int(live.get('events_folded', 0))} folded, "
+            f"{int(live.get('bus_dropped', 0))} dropped, "
+            f"{float(live.get('rate_per_s', 0)):.1f}/s recent"
+        )
+        dropped = counters.get("obs.live.dropped", 0)
+        if dropped:
+            lines.append(f"WARNING: {int(dropped)} events dropped by "
+                         "worker-side buffers")
+
+    workers = _worker_rows(gauges, now)
+    if workers:
+        lines.append("")
+        lines.append("workers:")
+        for pid, beat_age, alive in workers:
+            state = "alive" if alive else "STALE"
+            lines.append(f"  pid {pid:<8d} last beat {beat_age:6.1f}s "
+                         f"ago  [{state}]")
+    return "\n".join(lines)
+
+
+# -- command handlers ------------------------------------------------------
+
+def _load(path: str) -> Optional[Dict[str, object]]:
+    try:
+        return load_snapshot(path)
+    except OSError as exc:
+        print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"{path!r} is not a status snapshot: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    snap = _load(args.status_file)
+    if snap is None:
+        return 2
+    print(render_summary(snap))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    snap = _load(args.status_file)
+    if snap is None:
+        return 2
+    print(render_top(snap, n=args.n, what=args.what))
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    try:
+        events = tail_events(args.trace_file, last=args.n)
+    except OSError as exc:
+        print(f"cannot read {args.trace_file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render_tail(events))
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    path = args.status_file
+    prev: Optional[Dict[str, object]] = None
+    while True:
+        try:
+            snap = load_snapshot(path)
+        except (OSError, ValueError):
+            snap = None
+        if snap is not None:
+            frame = render_watch(snap, prev=prev, source=path)
+            prev = snap
+        else:
+            frame = (f"repro obs watch — waiting for {path!r} "
+                     "to appear...")
+        if args.once:
+            print(frame)
+            return 0 if snap is not None else 1
+        # clear + home, then the frame — a crude but dependency-free
+        # full-screen refresh
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def add_obs_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``obs`` subcommand tree on the ``repro`` CLI."""
+    o = sub.add_parser(
+        "obs", help="inspect/watch telemetry (status files and traces)",
+    )
+    osub = o.add_subparsers(dest="obs_command", required=True)
+
+    # NOTE: the positionals are deliberately *not* named "status" /
+    # "trace" — those dests belong to the top-level --status / --trace
+    # flags (which open their files for writing, i.e. would clobber
+    # the very artifacts these read-only commands inspect)
+    s = osub.add_parser("summary",
+                        help="counters/spans/histograms of a snapshot")
+    s.add_argument("status_file", metavar="status.json",
+                   help="status JSON (see --status / obs.write_status)")
+    s.set_defaults(func=cmd_summary)
+
+    t = osub.add_parser("top", help="heaviest counters or spans")
+    t.add_argument("status_file", metavar="status.json")
+    t.add_argument("-n", type=int, default=10)
+    t.add_argument("--what", choices=["counters", "spans"],
+                   default="counters")
+    t.set_defaults(func=cmd_top)
+
+    tl = osub.add_parser("tail", help="last events of a JSONL trace")
+    tl.add_argument("trace_file", metavar="trace.jsonl",
+                    help="trace file (--trace FILE.jsonl)")
+    tl.add_argument("-n", type=int, default=20)
+    tl.set_defaults(func=cmd_tail)
+
+    w = osub.add_parser("watch",
+                        help="refreshing status view of a live run")
+    w.add_argument("status_file", metavar="status.json",
+                   help="status JSON another process rewrites "
+                        "(its --status flag)")
+    w.add_argument("--interval", type=float, default=1.0)
+    w.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    w.set_defaults(func=cmd_watch)

@@ -23,8 +23,9 @@ Span naming convention (see ``docs/observability.md``): dotted
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional
 
+from repro.obs.histogram import Histogram, bucket_index
 from repro.obs.sinks import MemorySink, Sink
 
 __all__ = [
@@ -35,10 +36,17 @@ __all__ = [
     "count",
     "count_many",
     "gauge",
+    "observe",
+    "observe_many",
+    "observe_counts",
     "span",
     "replay",
+    "fold_event",
     "counters",
+    "gauges",
     "span_stats",
+    "histograms",
+    "histogram",
 ]
 
 _enabled = False
@@ -47,6 +55,11 @@ _counters: Dict[str, float] = {}
 _gauges: Dict[str, float] = {}
 _span_agg: Dict[str, Dict[str, int]] = {}
 _span_stack: List[str] = []
+_hists: Dict[str, Histogram] = {}
+
+#: histogram name suffix derived from every span's duration — a span
+#: named ``nue.layer`` feeds the ``nue.layer.dur_ns`` log2 histogram
+SPAN_HIST_SUFFIX = ".dur_ns"
 
 
 def enabled() -> bool:
@@ -81,11 +94,21 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Clear the aggregated counters, gauges and span statistics."""
+    """Clear the aggregated counters, gauges, histograms and span
+    statistics, and unwind the live span stack.
+
+    Clearing ``_span_stack`` matters beyond bookkeeping: a test or
+    campaign that aborted inside a ``span()`` body with the context
+    manager protocol bypassed (``__enter__`` called by hand, a
+    generator holding a span collected mid-flight) would otherwise
+    leave stale names on the stack and mis-nest every later span path
+    in the session.
+    """
     _counters.clear()
     _gauges.clear()
     _span_agg.clear()
     _span_stack.clear()
+    _hists.clear()
 
 
 def _emit(event: Dict[str, object]) -> None:
@@ -133,6 +156,76 @@ def gauge(name: str, value: float, **attrs: object) -> None:
     _emit(event)
 
 
+def _hist(name: str, kind: str) -> Histogram:
+    h = _hists.get(name)
+    if h is None:
+        h = _hists[name] = Histogram(name, kind)
+    return h
+
+
+def observe(name: str, value: float, kind: str = "log2",
+            **attrs: object) -> None:
+    """Record one value into fixed-bucket histogram ``name``.
+
+    ``kind`` selects the bucket family (``"log2"`` for unbounded
+    positive values, ``"unit"`` for fractions in [0, 1]); it is fixed
+    by the histogram's first observation.  No-op while disabled.
+    """
+    if not _enabled:
+        return
+    h = _hist(name, kind)
+    h.observe(value)
+    event: Dict[str, object] = {
+        "type": "hist", "name": name, "kind": h.kind, "n": 1,
+        "sum": value, "min": value, "max": value,
+        "deltas": [[bucket_index(h.kind, value), 1]],
+    }
+    if attrs:
+        event.update(attrs)
+    _emit(event)
+
+
+def observe_many(name: str, values: Iterable[float], kind: str = "log2",
+                 **attrs: object) -> None:
+    """Batch form of :func:`observe` — one event carries the whole
+    batch as bucket deltas, so e.g. the per-destination hop counts of
+    a routing step cost one event, not one per node."""
+    if not _enabled:
+        return
+    batch = Histogram(name, kind)
+    batch.observe_many(values)
+    _observe_batch(name, kind, batch, attrs)
+
+
+def observe_counts(name: str, counts: Mapping[float, int],
+                   kind: str = "log2", **attrs: object) -> None:
+    """Fold an exact ``{value: count}`` mapping into histogram
+    ``name`` — O(distinct values), which is how the metrics sweeps
+    stream a million-pair hop-length distribution in one event."""
+    if not _enabled:
+        return
+    batch = Histogram(name, kind)
+    for value, n in counts.items():
+        batch.observe_count(value, int(n))
+    _observe_batch(name, kind, batch, attrs)
+
+
+def _observe_batch(name: str, kind: str, batch: Histogram,
+                   attrs: Mapping[str, object]) -> None:
+    if batch.count == 0:
+        return
+    h = _hist(name, kind)
+    h.merge(batch)
+    event: Dict[str, object] = {
+        "type": "hist", "name": name, "kind": h.kind, "n": batch.count,
+        "sum": batch.sum, "min": batch.min, "max": batch.max,
+        "deltas": batch.deltas(),
+    }
+    if attrs:
+        event.update(attrs)
+    _emit(event)
+
+
 class _NullSpan:
     """Shared no-op context manager returned while disabled."""
 
@@ -173,6 +266,10 @@ class _Span:
                                    {"calls": 0, "total_ns": 0})
         agg["calls"] += 1
         agg["total_ns"] += dur_ns
+        # every span duration feeds its log2 histogram; the hist is an
+        # aggregate derived from the span event, so no extra event is
+        # emitted (fold_event applies the same rule on replay)
+        _hist(self.name + SPAN_HIST_SUFFIX, "log2").observe(dur_ns)
         event: Dict[str, object] = {
             "type": "span",
             "name": self.name,
@@ -201,14 +298,53 @@ def span(name: str, **attrs: object):
     return _Span(name, attrs)
 
 
+def fold_event(ev: Dict[str, object]) -> None:
+    """Fold one event dict into the module-level aggregates.
+
+    The single aggregation rule shared by :func:`replay` (post-hoc
+    worker event batches) and :class:`repro.obs.live.LiveAggregator`
+    (streamed worker events): counters add, gauges last-write-win,
+    spans accumulate calls/total and feed their duration histogram,
+    ``hist`` events merge their bucket deltas.  Because every fold is
+    commutative addition (gauges aside), the aggregates are identical
+    no matter how worker events interleave — the bit-identity the
+    live-bus tests pin.
+    """
+    kind = ev.get("type")
+    name = str(ev.get("name"))
+    if kind == "counter":
+        n = float(ev.get("n", 1))  # type: ignore[arg-type]
+        _counters[name] = _counters.get(name, 0) + n
+    elif kind == "gauge":
+        _gauges[name] = float(ev.get("value", 0))  # type: ignore[arg-type]
+    elif kind == "span":
+        dur_ns = int(ev.get("dur_ns", 0))  # type: ignore[call-overload]
+        agg = _span_agg.setdefault(name,
+                                   {"calls": 0, "total_ns": 0})
+        agg["calls"] += 1
+        agg["total_ns"] += dur_ns
+        _hist(name + SPAN_HIST_SUFFIX, "log2").observe(dur_ns)
+    elif kind == "hist":
+        h = _hist(name, str(ev.get("kind", "log2")))
+        h.merge_deltas(
+            ev.get("deltas") or (),  # type: ignore[arg-type]
+            int(ev.get("n", 0)),  # type: ignore[arg-type]
+            float(ev.get("sum", 0.0)),  # type: ignore[arg-type]
+            ev.get("min"),  # type: ignore[arg-type]
+            ev.get("max"),  # type: ignore[arg-type]
+        )
+
+
 def replay(events: List[Dict[str, object]]) -> None:
     """Re-emit events captured in another process under the current span.
 
     :mod:`repro.engine` runs routing layers in worker processes; each
-    worker records its spans/counters into a private
+    worker records its spans/counters/gauges/histograms into a private
     :class:`~repro.obs.sinks.MemorySink` and ships the raw events back.
     Replaying them here folds the workers' tallies into this process's
-    aggregates and forwards them to the attached sinks, so ``--trace``
+    aggregates (:func:`fold_event` — including gauge values and
+    histogram bucket deltas, so worker-emitted gauges survive the pool
+    round-trip) and forwards them to the attached sinks, so ``--trace``
     and ``--profile`` see one coherent run.  Span ``path``\\ s are
     re-rooted under the caller's current span stack (a worker's stack
     starts empty), and every replayed event is tagged
@@ -221,21 +357,10 @@ def replay(events: List[Dict[str, object]]) -> None:
         return
     prefix = "/".join(_span_stack)
     for ev in events:
-        kind = ev.get("type")
-        name = str(ev.get("name"))
-        if kind == "counter":
-            n = float(ev.get("n", 1))  # type: ignore[arg-type]
-            _counters[name] = _counters.get(name, 0) + n
-        elif kind == "gauge":
-            _gauges[name] = float(ev.get("value", 0))  # type: ignore[arg-type]
-        elif kind == "span":
-            agg = _span_agg.setdefault(name,
-                                       {"calls": 0, "total_ns": 0})
-            agg["calls"] += 1
-            agg["total_ns"] += int(ev.get("dur_ns", 0))  # type: ignore[call-overload]
+        fold_event(ev)
         out = dict(ev)
-        if kind == "span" and prefix:
-            out["path"] = f"{prefix}/{ev.get('path') or name}"
+        if ev.get("type") == "span" and prefix:
+            out["path"] = f"{prefix}/{ev.get('path') or ev.get('name')}"
         out["replayed"] = True
         _emit(out)
 
@@ -247,6 +372,21 @@ def counters() -> Dict[str, float]:
     return out
 
 
+def gauges() -> Dict[str, float]:
+    """Snapshot of the gauge values alone (last write per name)."""
+    return dict(_gauges)
+
+
 def span_stats() -> Dict[str, Dict[str, int]]:
     """Snapshot of per-span ``{"calls", "total_ns"}`` aggregates."""
     return {name: dict(agg) for name, agg in _span_agg.items()}
+
+
+def histograms() -> Dict[str, Dict[str, object]]:
+    """Snapshot of every histogram (:meth:`Histogram.snapshot` form)."""
+    return {name: h.snapshot() for name, h in _hists.items()}
+
+
+def histogram(name: str) -> Optional[Histogram]:
+    """The live histogram object for ``name`` (None when never fed)."""
+    return _hists.get(name)

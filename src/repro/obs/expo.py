@@ -1,0 +1,150 @@
+"""Metric exposition: Prometheus-style text and JSON snapshots.
+
+Turns the module-level aggregates of :mod:`repro.obs.core` into the
+two formats operators consume:
+
+* ``expose("prom")`` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``repro_``-prefixed sanitised names, histogram
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplets, span
+  aggregates as labelled counters), ready to serve from a
+  ``/metrics`` endpoint or diff in a golden test;
+* ``expose("json")`` / :func:`snapshot` — a machine-readable snapshot
+  (``{"schema", "ts", "counters", "gauges", "spans", "histograms"}``)
+  that round-trips losslessly, is stamped into run manifests, and is
+  what the live aggregator's status file and ``repro obs watch``
+  exchange.
+
+:func:`write_status` writes the JSON form atomically (tmp + rename) so
+a watcher never reads a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from typing import Dict, Optional
+
+from repro.obs import core
+from repro.obs.histogram import Histogram
+
+__all__ = [
+    "EXPO_SCHEMA",
+    "PROM_PREFIX",
+    "expose",
+    "snapshot",
+    "load_snapshot",
+    "write_status",
+]
+
+#: bumped whenever the JSON snapshot layout changes incompatibly
+EXPO_SCHEMA = 1
+
+#: every exposed Prometheus metric name starts with this
+PROM_PREFIX = "repro_"
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """Dotted obs name -> Prometheus metric name (prefixed, sanitised)."""
+    return PROM_PREFIX + _SANITIZE.sub("_", name)
+
+
+def _fmt_value(v: float) -> str:
+    """Canonical number formatting: integers without a trailing .0."""
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def snapshot(ts: Optional[float] = None) -> Dict[str, object]:
+    """The machine-readable aggregate snapshot (JSON-ready dict)."""
+    gauges = core.gauges()
+    counters = {k: v for k, v in core.counters().items()
+                if k not in gauges}
+    return {
+        "schema": EXPO_SCHEMA,
+        "ts": time.time() if ts is None else ts,
+        "counters": counters,
+        "gauges": gauges,
+        "spans": core.span_stats(),
+        "histograms": core.histograms(),
+    }
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Read a :func:`snapshot` (or status-file) JSON from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def expose(fmt: str = "prom", snap: Optional[Dict[str, object]] = None,
+           ts: Optional[float] = None) -> str:
+    """Render the aggregates (or an explicit ``snap``) as ``fmt``.
+
+    ``fmt="prom"`` emits Prometheus text exposition; ``fmt="json"``
+    emits the indented JSON snapshot.  Both are deterministic given
+    the aggregates (names sorted, stable formatting), which the golden
+    round-trip test relies on.
+    """
+    if snap is None:
+        snap = snapshot(ts=ts)
+    if fmt == "json":
+        return json.dumps(snap, indent=2, sort_keys=True)
+    if fmt != "prom":
+        raise ValueError(f"unknown exposition format {fmt!r}")
+
+    lines = []
+    counters: Dict[str, float] = snap.get("counters", {})  # type: ignore[assignment]
+    for name in sorted(counters):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt_value(counters[name])}")
+    gauges: Dict[str, float] = snap.get("gauges", {})  # type: ignore[assignment]
+    for name in sorted(gauges):
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt_value(gauges[name])}")
+    spans: Dict[str, Dict[str, int]] = snap.get("spans", {})  # type: ignore[assignment]
+    if spans:
+        calls = _prom_name("span.calls")
+        total = _prom_name("span.total_ns")
+        lines.append(f"# TYPE {calls} counter")
+        for name in sorted(spans):
+            lines.append(f'{calls}{{span="{name}"}} '
+                         f'{spans[name]["calls"]}')
+        lines.append(f"# TYPE {total} counter")
+        for name in sorted(spans):
+            lines.append(f'{total}{{span="{name}"}} '
+                         f'{spans[name]["total_ns"]}')
+    hists: Dict[str, Dict[str, object]] = snap.get("histograms", {})  # type: ignore[assignment]
+    for name in sorted(hists):
+        h = Histogram.from_snapshot(name, hists[name])
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        for le, cum in h.cumulative():
+            lines.append(f'{pname}_bucket{{le="{_fmt_value(le)}"}} {cum}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {h.count}')
+        lines.append(f"{pname}_sum {_fmt_value(h.sum)}")
+        lines.append(f"{pname}_count {h.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_status(path: str, ts: Optional[float] = None,
+                 extra: Optional[Dict[str, object]] = None) -> None:
+    """Atomically write the JSON snapshot to ``path``.
+
+    ``extra`` merges additional top-level keys (the live aggregator
+    adds its ``live`` block: worker heartbeats, event rate, drops).
+    The tmp-file + ``os.replace`` dance guarantees a concurrent
+    ``repro obs watch`` never observes a half-written snapshot.
+    """
+    snap = snapshot(ts=ts)
+    if extra:
+        snap.update(extra)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(snap, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)

@@ -1,0 +1,214 @@
+"""Fixed-bucket histograms for the telemetry plane.
+
+Two bucket families cover every distribution the routing engine needs
+to stream cheaply (no per-histogram configuration, so histograms from
+different processes always merge exactly):
+
+* ``log2`` — unbounded positive values (span durations in ns, heap
+  traffic, path lengths).  Bucket ``i`` covers ``(2**(i-1), 2**i]``;
+  bucket 0 covers ``(-inf, 1]``.  64 buckets span every int64.
+* ``unit`` — fractions in ``[0, 1]`` (dirty-destination fraction,
+  reachability).  20 linear buckets of width 0.05; bucket ``i`` covers
+  ``(i/20, (i+1)/20]`` with bucket 0 absorbing 0 and the last bucket
+  absorbing values above 1.
+
+A histogram is sparse (``{bucket index: count}``) plus running
+``count`` / ``sum`` / ``min`` / ``max``, so observing is two dict
+operations and merging is addition — the properties the live bus
+relies on: worker-side observations travel as *bucket deltas* and fold
+into the parent's histogram without any loss, making pooled runs
+bit-identical to serial ones regardless of event interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "LOG2_MAX_BUCKET", "UNIT_BUCKETS", "bucket_index",
+           "bucket_upper_bound"]
+
+#: log2 bucket indices are clamped to [0, LOG2_MAX_BUCKET]
+LOG2_MAX_BUCKET = 64
+
+#: number of linear buckets of the ``unit`` family
+UNIT_BUCKETS = 20
+
+
+def bucket_index(kind: str, value: float) -> int:
+    """Fixed bucket index of ``value`` under bucket family ``kind``."""
+    if kind == "log2":
+        if value <= 1:
+            return 0
+        # ceil(log2(value)) without float logs: for ints this is exact,
+        # and float inputs are conservatively rounded up
+        iv = int(value)
+        if iv == value:
+            return min(LOG2_MAX_BUCKET, (iv - 1).bit_length())
+        return min(LOG2_MAX_BUCKET, iv.bit_length())
+    if kind == "unit":
+        if value <= 0:
+            return 0
+        idx = int(value * UNIT_BUCKETS)
+        if idx >= UNIT_BUCKETS:
+            return UNIT_BUCKETS - 1
+        # exact bucket boundaries belong to the bucket below
+        if value * UNIT_BUCKETS == idx:
+            idx -= 1
+        return max(0, idx)
+    raise ValueError(f"unknown histogram kind {kind!r}")
+
+
+def bucket_upper_bound(kind: str, index: int) -> float:
+    """Inclusive upper bound of bucket ``index`` (Prometheus ``le``)."""
+    if kind == "log2":
+        return float(2 ** index)
+    if kind == "unit":
+        return (index + 1) / UNIT_BUCKETS
+    raise ValueError(f"unknown histogram kind {kind!r}")
+
+
+class Histogram:
+    """A sparse fixed-bucket histogram (see module docstring)."""
+
+    __slots__ = ("name", "kind", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, kind: str = "log2") -> None:
+        if kind not in ("log2", "unit"):
+            raise ValueError(f"unknown histogram kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        idx = bucket_index(self.kind, value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> int:
+        """Record a batch; returns how many values were observed."""
+        n = 0
+        for v in values:
+            self.observe(v)
+            n += 1
+        return n
+
+    def observe_count(self, value: float, n: int) -> None:
+        """Record ``value`` ``n`` times in O(1) — what the metrics
+        sweeps use to fold an exact ``{value: count}`` histogram in."""
+        if n <= 0:
+            return
+        idx = bucket_index(self.kind, value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    # -- merging (replay / live bus) -----------------------------------
+
+    def merge_deltas(
+        self,
+        deltas: Sequence[Sequence[int]],
+        count: int,
+        total: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+    ) -> None:
+        """Fold another histogram's ``(bucket, count)`` deltas in.
+
+        This is the wire form of a histogram: what worker events carry
+        and what :func:`repro.obs.core.replay` / the live bus fold.
+        Addition is commutative, so any event interleaving produces
+        the same totals.
+        """
+        for idx, c in deltas:
+            idx = int(idx)
+            self.buckets[idx] = self.buckets.get(idx, 0) + int(c)
+        self.count += int(count)
+        self.sum += float(total)
+        if minimum is not None and (self.min is None or minimum < self.min):
+            self.min = float(minimum)
+        if maximum is not None and (self.max is None or maximum > self.max):
+            self.max = float(maximum)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the same kind into this one."""
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot merge {other.kind!r} into {self.kind!r} histogram"
+            )
+        self.merge_deltas(sorted(other.buckets.items()), other.count,
+                          other.sum, other.min, other.max)
+
+    # -- snapshots ------------------------------------------------------
+
+    def deltas(self) -> List[List[int]]:
+        """The ``[bucket, count]`` pairs, bucket-ordered (wire form)."""
+        return [[idx, self.buckets[idx]] for idx in sorted(self.buckets)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary: kind, totals and sparse buckets."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(idx): self.buckets[idx]
+                        for idx in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_snapshot(cls, name: str,
+                      snap: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output."""
+        h = cls(name, str(snap.get("kind", "log2")))
+        buckets = snap.get("buckets") or {}
+        h.merge_deltas(
+            [[int(k), int(v)] for k, v in buckets.items()],  # type: ignore[union-attr]
+            int(snap.get("count", 0)),  # type: ignore[arg-type]
+            float(snap.get("sum", 0.0)),  # type: ignore[arg-type]
+            snap.get("min"),  # type: ignore[arg-type]
+            snap.get("max"),  # type: ignore[arg-type]
+        )
+        return h
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` rows."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for idx in sorted(self.buckets):
+            running += self.buckets[idx]
+            rows.append((bucket_upper_bound(self.kind, idx), running))
+        return rows
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the ``q``-th observation; 0 when empty)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for idx in sorted(self.buckets):
+            running += self.buckets[idx]
+            if running >= target:
+                return bucket_upper_bound(self.kind, idx)
+        return bucket_upper_bound(self.kind, max(self.buckets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, kind={self.kind!r}, "
+                f"count={self.count}, sum={self.sum})")

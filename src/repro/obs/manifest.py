@@ -82,6 +82,7 @@ def run_manifest(
         "repro_version": _version(),
         "git_rev": git_revision(),
         "counters": core.counters(),
+        "histograms": core.histograms(),
     }
     if extra:
         manifest.update(extra)

@@ -10,10 +10,11 @@ cases the experiments need:
   counter totals and per-span duration statistics; what ``--profile``
   and the deterministic counter tests read.
 * :class:`JsonlSink` — appends one compact JSON object per event to a
-  file; what ``--trace out.jsonl`` writes for offline analysis.
+  file, flushed per line so the trace survives a crash mid-run; what
+  ``--trace out.jsonl`` writes for offline analysis.
 
-Events are plain dicts with a ``"type"`` key (``"span"``, ``"counter"``
-or ``"gauge"``); everything in them is JSON-serialisable by
+Events are plain dicts with a ``"type"`` key (``"span"``, ``"counter"``,
+``"gauge"`` or ``"hist"``); everything in them is JSON-serialisable by
 construction, so sinks never need to sanitise.
 """
 
@@ -22,6 +23,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Union
+
+from repro.obs.histogram import Histogram
 
 __all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
 
@@ -53,6 +56,9 @@ class MemorySink(Sink):
         self.gauges: Dict[str, float] = {}
         #: span name -> {"calls": int, "total_ns": int}
         self.spans: Dict[str, Dict[str, int]] = {}
+        #: histogram name -> merged Histogram (``hist`` events only;
+        #: span-duration histograms are a switchboard aggregate)
+        self.hists: Dict[str, Histogram] = {}
 
     def emit(self, event: Dict[str, object]) -> None:
         if self.keep_events:
@@ -72,6 +78,20 @@ class MemorySink(Sink):
             agg["total_ns"] += int(event["dur_ns"])  # type: ignore[call-overload]
         elif kind == "gauge":
             self.gauges[str(event["name"])] = float(event["value"])  # type: ignore[arg-type]
+        elif kind == "hist":
+            name = str(event["name"])
+            h = self.hists.get(name)
+            if h is None:
+                h = self.hists[name] = Histogram(
+                    name, str(event.get("kind", "log2"))
+                )
+            h.merge_deltas(
+                event.get("deltas") or (),  # type: ignore[arg-type]
+                int(event.get("n", 0)),  # type: ignore[arg-type]
+                float(event.get("sum", 0.0)),  # type: ignore[arg-type]
+                event.get("min"),  # type: ignore[arg-type]
+                event.get("max"),  # type: ignore[arg-type]
+            )
 
     def counter(self, name: str) -> float:
         """Rolled-up total of one counter (0 when never emitted)."""
@@ -79,7 +99,15 @@ class MemorySink(Sink):
 
 
 class JsonlSink(Sink):
-    """Writes one JSON object per line to ``path`` (or a file object)."""
+    """Writes one JSON object per line to ``path`` (or a file object).
+
+    Every line is flushed as it is written, so a ``--trace`` file is
+    complete up to the last event even when a worker crashes or the
+    process dies mid-campaign — the price (one ``flush`` syscall per
+    event) only exists while tracing is explicitly enabled.  ``close``
+    is idempotent: the engine, the CLI and ``atexit`` handlers may all
+    close the same sink without error.
+    """
 
     def __init__(self, path: Union[str, Path, IO[str]]) -> None:
         if hasattr(path, "write"):
@@ -97,9 +125,18 @@ class JsonlSink(Sink):
             return
         self._fh.write(json.dumps(event, separators=(",", ":")))
         self._fh.write("\n")
+        try:
+            self._fh.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed pipe
+            self._fh = None
+            return
         self.n_events += 1
 
     def close(self) -> None:
         if self._fh is not None and self._owns:
+            try:
+                self._fh.flush()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
             self._fh.close()
         self._fh = None

@@ -54,6 +54,7 @@ from repro.network.faults import (
 )
 from repro.network.graph import Network, as_network
 from repro.obs import core as obs
+from repro.obs import live
 from repro.resilience.events import FaultEvent, FaultSchedule
 from repro.resilience.reroute import (
     IncrementalNotApplicable,
@@ -342,6 +343,12 @@ def run_campaign(
     retired: Set[int] = set()     # cumulative failed channels, base ids
     retired_links: Set[int] = set()  # same, as base-net link indices
     reports: List[DegradationReport] = []
+    n_events = len(schedule)
+    if obs.enabled():
+        obs.gauge("resilience.campaign.events_total", n_events)
+        obs.gauge("resilience.campaign.events_done", 0)
+        obs.gauge("resilience.campaign.progress", 0.0)
+    live.pump()
 
     for idx, event in enumerate(schedule):
         report = _apply_event(
@@ -364,6 +371,12 @@ def run_campaign(
                 "resilience.layers_repaired": report.layers_repaired,
                 "resilience.timeouts": int(report.timed_out),
             })
+            obs.gauge("resilience.campaign.events_done", idx + 1)
+            obs.gauge("resilience.campaign.progress",
+                      (idx + 1) / n_events if n_events else 1.0)
+        # fold any streamed worker events (and rewrite the status
+        # file) between events, so a watcher sees the campaign move
+        live.pump()
 
     return CampaignResult(
         reports=reports,
@@ -424,6 +437,9 @@ def _apply_event(
             reach, total = _reachable_pairs(current, workers=workers)
             report.reachable_pairs, report.total_pairs = reach, total
             report.n_vls = current.n_vls
+            if obs.enabled():
+                obs.observe("resilience.reachability",
+                            report.reachability, kind="unit")
             return report  # event rejected; campaign continues as-is
 
         report.applied = True
@@ -521,4 +537,20 @@ def _apply_event(
         if deadline is not None and time.monotonic() > deadline:
             report.timed_out = True
         report.runtime_s = time.monotonic() - started
+        if obs.enabled():
+            obs.observe_many(
+                "resilience.attempt.dur_ns",
+                [a.runtime_s * 1e9 for a in report.attempts
+                 if not a.skipped],
+            )
+            if report.dests_total:
+                sources_m1 = max(1, sources - 1)
+                obs.observe(
+                    "resilience.dirty_fraction",
+                    report.paths_invalidated
+                    / (report.dests_total * sources_m1),
+                    kind="unit",
+                )
+            obs.observe("resilience.reachability", report.reachability,
+                        kind="unit")
     return report

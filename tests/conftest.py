@@ -28,9 +28,11 @@ from repro.network.topologies import (
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
     """Observability is module-global state; never leak it across tests."""
+    obs.live.stop()
     obs.disable()
     obs.reset()
     yield
+    obs.live.stop()
     obs.disable()
     obs.reset()
 

@@ -1,0 +1,104 @@
+"""Exposition formats: golden Prometheus text and JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.expo import EXPO_SCHEMA, expose, snapshot, write_status
+
+
+def _known_aggregates():
+    """A small, fully deterministic aggregate state."""
+    obs.enable(obs.MemorySink(keep_events=False))
+    obs.count("nue.heap_pops", 7)
+    obs.count("cdg.used-deps!", 2)  # name needing sanitisation
+    obs.gauge("resilience.campaign.progress", 0.5)
+    obs.observe_many("metrics.path_length", [1, 2, 2, 5])
+    obs.observe("resilience.dirty_fraction", 0.3, kind="unit")
+    obs.disable()
+
+
+GOLDEN_PROM = """\
+# TYPE repro_cdg_used_deps_ counter
+repro_cdg_used_deps_ 2
+# TYPE repro_nue_heap_pops counter
+repro_nue_heap_pops 7
+# TYPE repro_resilience_campaign_progress gauge
+repro_resilience_campaign_progress 0.5
+# TYPE repro_metrics_path_length histogram
+repro_metrics_path_length_bucket{le="1"} 1
+repro_metrics_path_length_bucket{le="2"} 3
+repro_metrics_path_length_bucket{le="8"} 4
+repro_metrics_path_length_bucket{le="+Inf"} 4
+repro_metrics_path_length_sum 10
+repro_metrics_path_length_count 4
+# TYPE repro_resilience_dirty_fraction histogram
+repro_resilience_dirty_fraction_bucket{le="0.3"} 1
+repro_resilience_dirty_fraction_bucket{le="+Inf"} 1
+repro_resilience_dirty_fraction_sum 0.3
+repro_resilience_dirty_fraction_count 1
+"""
+
+
+class TestGolden:
+    def test_prom_exposition_is_pinned(self):
+        _known_aggregates()
+        assert expose("prom") == GOLDEN_PROM
+
+    def test_expose_round_trips_through_json(self):
+        """The acceptance gate: json -> parse -> prom equals direct
+        prom, i.e. the snapshot carries everything the text form needs."""
+        _known_aggregates()
+        direct = expose("prom")
+        parsed = json.loads(expose("json"))
+        assert expose("prom", snap=parsed) == direct
+
+    def test_json_is_deterministic_given_ts(self):
+        _known_aggregates()
+        assert expose("json", ts=5.0) == expose("json", ts=5.0)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            expose("xml")
+
+
+class TestSnapshot:
+    def test_counters_exclude_gauges(self):
+        obs.enable(obs.MemorySink(keep_events=False))
+        obs.count("a.counter", 1)
+        obs.gauge("a.gauge", 2.0)
+        obs.disable()
+        snap = snapshot(ts=0.0)
+        assert snap["schema"] == EXPO_SCHEMA
+        assert "a.counter" in snap["counters"]
+        assert "a.gauge" not in snap["counters"]
+        assert snap["gauges"]["a.gauge"] == 2.0
+
+    def test_empty_state_exposes_empty(self):
+        snap = snapshot(ts=0.0)
+        assert snap["counters"] == {}
+        assert expose("prom", snap=snap) == ""
+
+
+class TestWriteStatus:
+    def test_atomic_write_and_load(self, tmp_path):
+        _known_aggregates()
+        path = str(tmp_path / "status.json")
+        write_status(path, ts=1.0, extra={"live": {"pumps": 3}})
+        snap = obs.load_snapshot(path)
+        assert snap["ts"] == 1.0
+        assert snap["live"] == {"pumps": 3}
+        assert snap["counters"]["nue.heap_pops"] == 7
+        # no tmp litter left behind
+        assert list(tmp_path.iterdir()) == [tmp_path / "status.json"]
+
+    def test_rewrite_replaces_content(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        obs.enable(obs.MemorySink(keep_events=False))
+        obs.count("x", 1)
+        write_status(path)
+        obs.count("x", 1)
+        write_status(path)
+        obs.disable()
+        assert obs.load_snapshot(path)["counters"]["x"] == 2

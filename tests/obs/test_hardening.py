@@ -1,0 +1,73 @@
+"""Hardening satellites: JsonlSink crash-safety and span-stack hygiene."""
+
+import json
+
+from repro import obs
+from repro.obs import core
+
+
+class TestJsonlSinkFlushing:
+    def test_every_event_is_on_disk_before_close(self, tmp_path):
+        """A trace must survive a crash: flushed per event, so the file
+        is complete up to the last emit even if close() never runs."""
+        path = tmp_path / "t.jsonl"
+        sink = obs.JsonlSink(path)
+        sink.emit({"type": "counter", "name": "a", "n": 1})
+        sink.emit({"type": "counter", "name": "b", "n": 2})
+        # read back WITHOUT closing — simulates another process (or a
+        # post-mortem) reading a live/crashed writer's file
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+        assert sink.n_events == 2
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = obs.JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"type": "counter", "name": "a", "n": 1})
+        sink.close()
+        sink.close()  # second close must not raise
+        sink.emit({"type": "counter", "name": "late", "n": 1})  # no-op
+        assert sink.n_events == 1
+        assert "late" not in (tmp_path / "t.jsonl").read_text()
+
+    def test_does_not_own_external_file_objects(self, tmp_path):
+        fh = open(tmp_path / "t.jsonl", "w")
+        sink = obs.JsonlSink(fh)
+        sink.emit({"type": "counter", "name": "a", "n": 1})
+        sink.close()
+        assert not fh.closed  # caller's handle, caller's close
+        fh.close()
+
+
+class TestSpanStackHygiene:
+    def _dirty_stack(self):
+        """Leave an unfinished span on the stack (a crashed frame that
+        never ran __exit__)."""
+        obs.enable(obs.MemorySink(keep_events=False))
+        s = obs.span("orphan")
+        s.__enter__()
+        assert core._span_stack, "precondition: stack is dirty"
+
+    def test_disable_clears_span_stack(self):
+        self._dirty_stack()
+        obs.disable()
+        assert core._span_stack == []
+
+    def test_reset_clears_span_stack(self):
+        self._dirty_stack()
+        obs.reset()
+        assert core._span_stack == []
+
+    def test_no_stale_prefix_after_recovery(self):
+        """After disable+reset, new spans must not inherit the orphaned
+        parent path."""
+        self._dirty_stack()
+        obs.disable()
+        obs.reset()
+        sink = obs.MemorySink(keep_events=True)
+        obs.enable(sink)
+        with obs.span("fresh"):
+            pass
+        obs.disable()
+        (ev,) = [e for e in sink.events if e["type"] == "span"]
+        assert ev["path"] == "fresh"

@@ -1,0 +1,114 @@
+"""Unit tests for the fixed-bucket histogram families."""
+
+import pytest
+
+from repro.obs.histogram import (
+    LOG2_MAX_BUCKET,
+    UNIT_BUCKETS,
+    Histogram,
+    bucket_index,
+    bucket_upper_bound,
+)
+
+
+class TestBucketIndex:
+    def test_log2_small_values_share_bucket_zero(self):
+        assert bucket_index("log2", 0) == 0
+        assert bucket_index("log2", 1) == 0
+        assert bucket_index("log2", -5) == 0
+
+    def test_log2_powers_of_two_are_bucket_upper_bounds(self):
+        # bucket i covers (2**(i-1), 2**i]
+        assert bucket_index("log2", 2) == 1
+        assert bucket_index("log2", 3) == 2
+        assert bucket_index("log2", 4) == 2
+        assert bucket_index("log2", 5) == 3
+        assert bucket_index("log2", 1024) == 10
+        assert bucket_index("log2", 1025) == 11
+
+    def test_log2_floats_round_conservatively_up(self):
+        assert bucket_index("log2", 4.5) == 3
+        assert bucket_index("log2", 1023.9) == 10
+
+    def test_log2_clamps_at_max_bucket(self):
+        assert bucket_index("log2", 2 ** 100) == LOG2_MAX_BUCKET
+
+    def test_unit_boundaries_belong_below(self):
+        assert bucket_index("unit", 0.0) == 0
+        assert bucket_index("unit", 0.05) == 0
+        assert bucket_index("unit", 0.051) == 1
+        assert bucket_index("unit", 1.0) == UNIT_BUCKETS - 1
+        assert bucket_index("unit", 2.0) == UNIT_BUCKETS - 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            bucket_index("linear", 1)
+        with pytest.raises(ValueError):
+            Histogram("x", kind="linear")
+
+    def test_upper_bounds(self):
+        assert bucket_upper_bound("log2", 3) == 8.0
+        assert bucket_upper_bound("unit", 0) == pytest.approx(0.05)
+        assert bucket_upper_bound("unit", UNIT_BUCKETS - 1) == 1.0
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_min_max(self):
+        h = Histogram("t")
+        for v in (3, 100, 7):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 110
+        assert h.min == 3
+        assert h.max == 100
+
+    def test_observe_count_matches_repeated_observe(self):
+        a, b = Histogram("a"), Histogram("b")
+        for _ in range(7):
+            a.observe(12)
+        b.observe_count(12, 7)
+        assert a.snapshot() == b.snapshot()
+        b.observe_count(5, 0)  # no-op
+        assert b.count == 7
+
+    def test_merge_deltas_is_replay_identical(self):
+        serial = Histogram("s")
+        for v in (1, 2, 3000, 17, 2, 900):
+            serial.observe(v)
+        shard_a, shard_b = Histogram("s"), Histogram("s")
+        for v in (1, 2, 3000):
+            shard_a.observe(v)
+        for v in (17, 2, 900):
+            shard_b.observe(v)
+        merged = Histogram("s")
+        # either merge order produces the serial totals
+        for part in (shard_b, shard_a):
+            merged.merge_deltas(part.deltas(), part.count, part.sum,
+                                part.min, part.max)
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_merge_rejects_kind_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram("a", "log2").merge(Histogram("b", "unit"))
+
+    def test_snapshot_round_trip(self):
+        h = Histogram("rt", "unit")
+        for v in (0.1, 0.5, 0.5, 0.99):
+            h.observe(v)
+        back = Histogram.from_snapshot("rt", h.snapshot())
+        assert back.snapshot() == h.snapshot()
+        assert back.kind == "unit"
+
+    def test_cumulative_and_quantile(self):
+        h = Histogram("q")
+        for v in [1] * 50 + [100] * 49 + [10 ** 6]:
+            h.observe(v)
+        rows = dict(h.cumulative())
+        assert rows[1.0] == 50
+        assert rows[128.0] == 99
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.9) == 128.0
+        assert h.quantile(1.0) == 2.0 ** 20
+        assert Histogram("empty").quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)

@@ -1,0 +1,180 @@
+"""``repro obs`` subcommand: render functions and CLI integration."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs.cli import (
+    STALE_WORKER_S,
+    render_summary,
+    render_tail,
+    render_top,
+    render_watch,
+)
+
+
+def _snap(**over):
+    snap = {
+        "schema": 1,
+        "ts": 1000.0,
+        "counters": {"nue.heap_pops": 500, "nue.relaxations": 900},
+        "gauges": {
+            "resilience.campaign.progress": 0.5,
+            "resilience.campaign.events_done": 5,
+            "resilience.campaign.events_total": 10,
+            "obs.worker.111.heartbeat": 999.0,
+            "obs.worker.222.heartbeat": 900.0,
+        },
+        "spans": {"route.nue": {"calls": 2, "total_ns": 3_000_000}},
+        "histograms": {
+            "metrics.path_length": {
+                "kind": "log2", "count": 4, "sum": 10.0,
+                "min": 1, "max": 5, "buckets": {"0": 1, "1": 2, "3": 1},
+            },
+        },
+    }
+    snap.update(over)
+    return snap
+
+
+class TestRenderSummary:
+    def test_sections_present(self):
+        out = render_summary(_snap())
+        assert "route.nue" in out
+        assert "nue.relaxations" in out
+        assert "metrics.path_length" in out
+        assert "p50=" in out and "n=4" in out
+
+    def test_empty_snapshot(self):
+        assert "(empty snapshot)" in render_summary({"schema": 1})
+
+
+class TestRenderTop:
+    def test_counters_ranked_descending(self):
+        lines = render_top(_snap(), n=2).splitlines()
+        assert "nue.relaxations" in lines[0]
+        assert "nue.heap_pops" in lines[1]
+
+    def test_spans_ranked_by_total_time(self):
+        out = render_top(_snap(), what="spans")
+        assert "route.nue" in out and "3.0ms" in out
+
+
+class TestRenderTail:
+    def test_one_line_per_event(self):
+        out = render_tail([
+            {"type": "span", "name": "nue.layer", "dur_ns": 2_500_000,
+             "layer": 1},
+            {"type": "counter", "name": "nue.heap_pops", "n": 12},
+            {"type": "gauge", "name": "x.progress", "value": 0.25},
+            {"type": "hist", "name": "x.sizes", "n": 3,
+             "deltas": [[0, 3]]},
+        ])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.5ms" in lines[0] and "layer=1" in lines[0]
+        assert "+12" in lines[1]
+        assert "=0.25" in lines[2]
+        assert "n=3" in lines[3]
+
+    def test_empty(self):
+        assert render_tail([]) == "(no events)"
+
+
+class TestRenderWatch:
+    def test_progress_bar_with_counts(self):
+        out = render_watch(_snap(), now=1001.0)
+        assert "resilience.campaign" in out
+        assert "50.0%" in out
+        assert "5/10" in out
+        assert "updated 1.0s ago" in out
+
+    def test_worker_liveness_thresholds(self):
+        out = render_watch(_snap(), now=1001.0)
+        # pid 111 beat 2s ago (alive); pid 222 beat 101s ago (stale)
+        assert "pid 111" in out and "[alive]" in out
+        assert "pid 222" in out and "[STALE]" in out
+        assert 101.0 > STALE_WORKER_S
+
+    def test_event_rate_from_previous_snapshot(self):
+        prev = _snap(ts=998.0,
+                     counters={"nue.heap_pops": 300,
+                               "nue.relaxations": 900})
+        out = render_watch(_snap(), prev=prev, now=1001.0)
+        # 200 new events over 2s of snapshot time
+        assert "(100 events/s)" in out
+
+    def test_live_block_and_drop_warning(self):
+        snap = _snap(live={"events_folded": 10, "bus_dropped": 0,
+                           "rate_per_s": 2.5})
+        snap["counters"]["obs.live.dropped"] = 4
+        out = render_watch(snap, now=1001.0)
+        assert "10 folded" in out
+        assert "WARNING: 4 events dropped" in out
+
+
+class TestCliIntegration:
+    @pytest.fixture
+    def status_file(self, tmp_path):
+        obs.enable(obs.MemorySink(keep_events=False))
+        obs.count("nue.heap_pops", 11)
+        obs.gauge("exp.table1.progress", 1.0)
+        obs.disable()
+        path = str(tmp_path / "status.json")
+        obs.write_status(path, ts=1.0)
+        obs.reset()
+        return path
+
+    def test_summary(self, status_file, capsys):
+        assert cli_main(["obs", "summary", status_file]) == 0
+        assert "nue.heap_pops" in capsys.readouterr().out
+
+    def test_summary_missing_file(self, tmp_path, capsys):
+        rc = cli_main(["obs", "summary", str(tmp_path / "nope.json")])
+        assert rc == 2
+
+    def test_top(self, status_file, capsys):
+        assert cli_main(["obs", "top", status_file, "-n", "1"]) == 0
+        assert "nue.heap_pops" in capsys.readouterr().out
+
+    def test_watch_once(self, status_file, capsys):
+        assert cli_main(["obs", "watch", status_file, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "exp.table1" in out and "100.0%" in out
+
+    def test_watch_once_missing_file(self, tmp_path, capsys):
+        rc = cli_main(["obs", "watch", str(tmp_path / "nope.json"),
+                       "--once"])
+        assert rc == 1
+        assert "waiting" in capsys.readouterr().out
+
+    def test_read_only_commands_do_not_clobber_status(self, status_file):
+        """Regression: the obs positional must not collide with the
+        top-level --status flag (which rewrites its file on exit)."""
+        before = open(status_file).read()
+        assert cli_main(["obs", "summary", status_file]) == 0
+        assert cli_main(["obs", "watch", status_file, "--once"]) == 0
+        assert open(status_file).read() == before
+
+    def test_tail(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as fh:
+            fh.write(json.dumps({"type": "counter",
+                                 "name": "nue.heap_pops", "n": 3}) + "\n")
+        assert cli_main(["obs", "tail", trace]) == 0
+        assert "nue.heap_pops" in capsys.readouterr().out
+        # regression: the tail positional must not collide with the
+        # top-level --trace flag (which truncates its file on open)
+        assert "nue.heap_pops" in open(trace).read()
+
+    def test_tail_missing_file(self, tmp_path):
+        assert cli_main(["obs", "tail", str(tmp_path / "no.jsonl")]) == 2
+
+    def test_unwritable_status_flag_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "nodir" / "s.json")
+        rc = cli_main(["--status", bad, "obs", "summary",
+                       str(tmp_path / "irrelevant.json")])
+        assert rc == 2
+        assert "cannot write status file" in capsys.readouterr().err
