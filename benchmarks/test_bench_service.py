@@ -1,0 +1,124 @@
+"""RPC-daemon overheads (the PR 7 service claim).
+
+The service must be a thin skin over the engine: one RPC round trip
+adds wire encoding + framing + a thread hop, not a second computation.
+Each guard records its timing facts in ``extra_info`` so
+``scripts/bench_report.py`` can collect them into ``BENCH_PR7.json``:
+
+* ``direct_s`` / ``rpc_s`` / ``overhead_ratio`` — one routing executed
+  in-process vs through a TCP round trip (identical tables);
+* ``coalesce_hit_rate`` — N concurrent identical requests served by
+  one computation.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.engine import fabric
+from repro.network.topologies import torus
+from repro.service import (
+    AsyncServiceClient,
+    RouteRequest,
+    ServiceClient,
+    execute_route,
+    serve_in_thread,
+)
+from conftest import run_once
+
+N_CONCURRENT = 8
+#: generous ceiling: the wire must never cost more than the compute
+#: again on a seconds-scale routing (typical measured ratio ~1.05)
+MAX_OVERHEAD_RATIO = 1.5
+
+
+def _fresh_obs():
+    obs.disable()
+    obs.reset()
+    obs.enable(obs.MemorySink(keep_events=False))
+
+
+def test_bench_service_rpc_overhead(benchmark):
+    """TCP round trip vs in-process execution of one RouteRequest."""
+    fabric.shutdown()
+    net = torus([4, 4, 3], 4)
+    request = RouteRequest(topology=net, algorithm="nue", max_vls=2,
+                           seed=7)
+
+    t0 = time.perf_counter()
+    direct = execute_route(request)
+    direct_s = time.perf_counter() - t0
+
+    with serve_in_thread(["tcp://127.0.0.1:0"],
+                         cache=False) as (_service, bound):
+        with ServiceClient(bound[0]) as client:
+            client.ping()  # connection established outside the timing
+            t0 = time.perf_counter()
+            remote = client.route(request)
+            rpc_s = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(remote.next_channel_array(),
+                                  direct.next_channel_array())
+    np.testing.assert_array_equal(remote.vl_array(), direct.vl_array())
+
+    ratio = rpc_s / direct_s
+    run_once(benchmark, lambda: None)
+    benchmark.extra_info.update({
+        "direct_s": round(direct_s, 4),
+        "rpc_s": round(rpc_s, 4),
+        "overhead_ratio": round(ratio, 3),
+    })
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"RPC round trip too expensive: {rpc_s:.3f}s vs {direct_s:.3f}s "
+        f"in-process ({ratio:.2f}x >= {MAX_OVERHEAD_RATIO}x)"
+    )
+    fabric.shutdown()
+
+
+def test_bench_service_coalescing(benchmark):
+    """N concurrent identical requests cost ~one computation."""
+    fabric.shutdown()
+    _fresh_obs()
+    net = torus([4, 4, 3], 4)
+    request = RouteRequest(topology=net, algorithm="nue", max_vls=2,
+                           seed=7)
+
+    with serve_in_thread(["tcp://127.0.0.1:0"],
+                         cache=False) as (_service, bound):
+        async def fan_in():
+            async with AsyncServiceClient(bound[0]) as client:
+                t0 = time.perf_counter()
+                responses = await asyncio.gather(*[
+                    client.route(request) for _ in range(N_CONCURRENT)
+                ])
+                return responses, time.perf_counter() - t0
+
+        responses, burst_s = asyncio.run(fan_in())
+
+    counters = dict(obs.counters())
+    obs.disable()
+    obs.reset()
+    computations = counters.get("service.computations", 0)
+    coalesced = counters.get("service.coalesced", 0)
+    hit_rate = coalesced / N_CONCURRENT
+
+    for response in responses[1:]:
+        assert response.next_channel == responses[0].next_channel
+
+    run_once(benchmark, lambda: None)
+    benchmark.extra_info.update({
+        "n_concurrent": N_CONCURRENT,
+        "burst_s": round(burst_s, 4),
+        "computations": int(computations),
+        "coalesce_hit_rate": round(hit_rate, 3),
+    })
+    # the fan-in may split into a few computations if an early request
+    # completes before a late one arrives; it must never be 1:1
+    assert computations <= 2, (
+        f"{N_CONCURRENT} identical concurrent requests cost "
+        f"{computations} computations — coalescing not effective"
+    )
+    assert coalesced >= N_CONCURRENT - 2
+    fabric.shutdown()

@@ -35,6 +35,7 @@ ALLOWED_SUBSYSTEMS = {
     "repro.core",      # escape paths / layer router internals
     "repro.fabric",    # flow- and flit-level simulators
     "repro.ib",        # InfiniBand LFT/SL2VL export
+    "repro.service",   # RPC daemon/clients (serve_in_thread etc.)
     "repro.viz",       # DOT renderers
 }
 

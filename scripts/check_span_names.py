@@ -32,9 +32,12 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 DOCS = REPO / "docs" / "observability.md"
 
-#: obs primitives whose first argument (or dict keys) is a metric name
+#: obs primitives whose first argument (or dict keys) is a metric name.
+#: ``_count``/``_gauge`` are the enabled()-gated module helpers the
+#: fabric and the service use — lint through them too, so ``service.*``
+#: names cannot bypass the naming tables
 OBS_CALLS = {"span", "count", "gauge", "observe", "observe_many",
-             "observe_counts"}
+             "observe_counts", "_count", "_gauge"}
 OBS_DICT_CALLS = {"count_many"}
 
 #: a plausible metric name: dotted, lowercase-ish

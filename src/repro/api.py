@@ -12,6 +12,15 @@ fail-in-place campaign — is importable from this one module:
 >>> sorted(api.available_algorithms())[:3]
 ['dfsssp', 'dnup', 'dor']
 
+The same work as one typed request — the form the RPC service speaks
+(``ServiceClient.route`` sends this object to a ``repro serve``
+daemon and returns the identical response):
+
+>>> response = api.route(api.RouteRequest(
+...     topology=net, algorithm="nue", max_vls=2, seed=0))
+>>> response.n_vls
+2
+
 Stability policy
 ----------------
 Names exported here (the ``__all__`` of this module) are the
@@ -48,10 +57,41 @@ resilience campaigns         :class:`FaultEvent`, :class:`FaultSchedule`,
                              :func:`exact_reroute`,
                              :class:`DegradationReport`,
                              :class:`CampaignResult`
+service (typed requests)     :class:`RouteRequest` /
+                             :class:`RouteResponse`,
+                             :class:`AnalyzeRequest` /
+                             :class:`AnalyzeResponse`,
+                             :class:`CampaignRequest` /
+                             :class:`CampaignResponse`,
+                             :func:`route`, :func:`analyze`,
+                             :class:`ServiceClient`,
+                             :class:`ServiceError`,
+                             :class:`ServiceOverloaded` — one typed
+                             surface for in-process calls and the
+                             ``repro serve`` RPC daemon
+                             (``docs/service.md``); the legacy kwargs
+                             forms of ``route``/``analyze`` warn
+                             ``DeprecationWarning`` for one minor
+                             release
+observability                the telemetry plane lives in
+                             :mod:`repro.obs` (documented subsystem,
+                             ``docs/observability.md``): the
+                             ``--status FILE.json`` CLI flag and
+                             ``repro obs watch``,
+                             :func:`repro.obs.expo.snapshot` /
+                             :func:`repro.obs.expo.expose`
+                             (``"prom"``/``"json"``) /
+                             :func:`repro.obs.expo.write_status`
+                             exposition helpers, and
+                             :func:`repro.obs.live.start` /
+                             :func:`repro.obs.live.stop` for the live
+                             bus
 engine                       :func:`shutdown_fabric` — tear down the
                              persistent worker pool and unlink every
                              shared-memory network export; the fabric
                              respawns lazily on next parallel use
+                             (an RPC daemon above it aborts in-flight
+                             requests with ``ServiceAborted``)
 ===========================  =================================================
 """
 
@@ -99,6 +139,18 @@ from repro.routing import (
     available_algorithms,
     make_algorithm,
 )
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceError, ServiceOverloaded
+from repro.service.requests import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    CampaignRequest,
+    CampaignResponse,
+    RouteRequest,
+    RouteResponse,
+    analyze,
+    route,
+)
 
 __all__ = [
     # routing
@@ -142,6 +194,18 @@ __all__ = [
     "exact_reroute",
     "dirty_destinations",
     "IncrementalNotApplicable",
+    # service (typed requests; in-process and RPC)
+    "RouteRequest",
+    "RouteResponse",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "CampaignRequest",
+    "CampaignResponse",
+    "route",
+    "analyze",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
     # engine
     "shutdown_fabric",
 ]

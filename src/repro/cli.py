@@ -199,6 +199,44 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if dl_free else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.core import RoutingService, _serve_forever
+    from repro.service.protocol import available_codecs
+
+    if args.codec not in available_codecs():
+        print(f"codec {args.codec!r} not available here "
+              f"(have: {', '.join(available_codecs())})",
+              file=sys.stderr)
+        return 2
+    if not obs.enabled():
+        # the status RPC serves counters/spans; keep aggregates even
+        # without --trace/--profile/--status
+        obs.enable(obs.MemorySink(keep_events=False))
+    service = RoutingService(
+        max_networks=args.networks,
+        max_pending=args.max_pending,
+        concurrency=args.concurrency,
+        workers=args.workers,
+        cache=not args.no_cache,
+        codec=args.codec,
+    )
+
+    def on_bound(bound: List[str]) -> None:
+        for address in bound:
+            # one parseable line per listener, flushed, so scripts and
+            # the CI smoke job can scrape the ephemeral port
+            print(f"listening on {address}", flush=True)
+
+    addresses = args.bind or ["tcp://127.0.0.1:7469"]
+    try:
+        asyncio.run(_serve_forever(service, addresses, on_bound))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     net = load_topology(args.topology)
     result = load_routing(net, args.tables)
@@ -309,6 +347,36 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--sample-phases", type=int, default=None)
     s.add_argument("--seed", type=int, default=1)
     s.set_defaults(func=_cmd_simulate)
+
+    v = sub.add_parser(
+        "serve", help="run the routing daemon (route/analyze/campaign "
+                      "RPCs over tcp:// or unix://)")
+    v.add_argument("--bind", action="append", metavar="ADDRESS",
+                   default=None,
+                   help="listen address (repeatable); tcp://host:port "
+                        "(port 0 = ephemeral, printed on start) or "
+                        "unix:///path.sock "
+                        "[default: tcp://127.0.0.1:7469]")
+    v.add_argument("--codec", default="json",
+                   help="default wire codec (json; msgpack when "
+                        "installed — responses always answer in the "
+                        "request's codec)")
+    v.add_argument("--workers", type=int, default=None,
+                   help="engine parallelism per request "
+                        "(0 = all cores); requests may override")
+    v.add_argument("--concurrency", type=int, default=2,
+                   help="concurrent computations (threads driving the "
+                        "shared fabric pool)")
+    v.add_argument("--max-pending", type=int, default=32,
+                   help="bound on distinct in-flight computations; "
+                        "beyond it requests fail fast with "
+                        "ServiceOverloaded")
+    v.add_argument("--networks", type=int, default=8,
+                   help="LRU capacity of admitted networks (each "
+                        "pins one shared-memory export)")
+    v.add_argument("--no-cache", action="store_true",
+                   help="do not install the engine route memo cache")
+    v.set_defaults(func=_cmd_serve)
 
     add_obs_parser(sub)
     return parser

@@ -48,9 +48,10 @@ from __future__ import annotations
 import atexit
 import os
 import sys
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +71,7 @@ __all__ = [
     "discard_pool",
     "pool_stats",
     "shutdown",
+    "on_shutdown",
     "shard_destinations",
     "pack_ctx",
     "unpack_ctx",
@@ -568,6 +570,9 @@ _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers = 0
 _pool_spawns = 0
 _pool_bus: Any = None  # live-bus handle the current pool was spawned with
+#: get_pool/discard_pool may be entered from service executor threads
+#: concurrently with the main thread; spawning must be single-flight
+_pool_lock = threading.Lock()
 
 
 def _init_fabric_worker(bus_handle: Any = None) -> None:
@@ -617,29 +622,29 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     (``fabric.pool_spawns``).
     """
     global _pool, _pool_workers, _pool_spawns, _pool_bus
-    bus = live.bus_handle()
-    if _pool is not None and getattr(_pool, "_broken", False):
-        discard_pool(wait=False)
-    if _pool is not None and (_pool_workers < workers
-                              or _pool_bus is not bus):
-        discard_pool()
-    if _pool is None:
-        _pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_fabric_worker,
-            initargs=(bus,),
-        )
-        _pool_workers = workers
-        _pool_bus = bus
-        _pool_spawns += 1
-        _register_cleanup()
-        _count("fabric.pool_spawns")
-    else:
-        _count("fabric.pool_reuses")
-    return _pool
+    with _pool_lock:
+        bus = live.bus_handle()
+        if _pool is not None and getattr(_pool, "_broken", False):
+            _discard_pool_locked(wait=False)
+        if _pool is not None and (_pool_workers < workers
+                                  or _pool_bus is not bus):
+            _discard_pool_locked()
+        if _pool is None:
+            _pool = ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_fabric_worker,
+                initargs=(bus,),
+            )
+            _pool_workers = workers
+            _pool_bus = bus
+            _pool_spawns += 1
+            _register_cleanup()
+            _count("fabric.pool_spawns")
+        else:
+            _count("fabric.pool_reuses")
+        return _pool
 
 
-def discard_pool(wait: bool = True) -> None:
-    """Tear down the persistent pool (respawned lazily on next use)."""
+def _discard_pool_locked(wait: bool = True) -> None:
     global _pool, _pool_workers
     pool, _pool, _pool_workers = _pool, None, 0
     if pool is not None:
@@ -647,6 +652,12 @@ def discard_pool(wait: bool = True) -> None:
             pool.shutdown(wait=wait, cancel_futures=True)
         except Exception:  # pragma: no cover - interpreter shutdown
             pass
+
+
+def discard_pool(wait: bool = True) -> None:
+    """Tear down the persistent pool (respawned lazily on next use)."""
+    with _pool_lock:
+        _discard_pool_locked(wait=wait)
 
 
 def pool_stats() -> Dict[str, int]:
@@ -658,12 +669,42 @@ def pool_stats() -> Dict[str, int]:
     }
 
 
+#: callbacks invoked at the *start* of :func:`shutdown`, before any
+#: export is unlinked — lets a long-lived holder of exports (the RPC
+#: service) abort in-flight work cleanly instead of crashing on a
+#: vanished segment
+_shutdown_listeners: List[Callable[[], None]] = []
+
+
+def on_shutdown(callback: Callable[[], None]) -> Callable[[], None]:
+    """Register ``callback`` to run when :func:`shutdown` begins.
+
+    Returns an unsubscribe function.  Callbacks run synchronously in
+    the shutting-down thread and must not raise (exceptions are
+    swallowed) nor block; cross-thread hand-off is the callback's job.
+    """
+    _shutdown_listeners.append(callback)
+
+    def unsubscribe() -> None:
+        try:
+            _shutdown_listeners.remove(callback)
+        except ValueError:
+            pass
+
+    return unsubscribe
+
+
 def shutdown(wait: bool = True) -> None:
     """Shut the fabric down: close the pool, unlink every export.
 
     Exposed on the stable facade as ``repro.api.shutdown_fabric``.
     Safe to call repeatedly; the fabric respawns lazily on next use.
     """
+    for callback in list(_shutdown_listeners):
+        try:
+            callback()
+        except Exception:  # pragma: no cover - listener bugs stay local
+            pass
     discard_pool(wait=wait)
     while _auto_exports:
         fp, _handle = _auto_exports.popitem(last=False)

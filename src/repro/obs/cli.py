@@ -14,6 +14,13 @@ produces:
   aggregator's own ``live`` block), and worker liveness (from the
   ``obs.worker.<pid>.heartbeat`` gauges).
 
+``summary``, ``top`` and ``watch`` also accept a *service address*
+(anything containing ``://``, e.g. ``tcp://host:port``) instead of a
+file: the snapshot is then fetched from a running routing daemon's
+``status`` RPC (see ``docs/service.md``), so ``repro obs watch
+tcp://127.0.0.1:7469`` renders a remote daemon exactly like a local
+status file.
+
 Every render function is pure (snapshot dicts in, text out) so the
 views are testable without a terminal; the command handlers only do
 I/O and looping.
@@ -263,10 +270,23 @@ def render_watch(
 
 # -- command handlers ------------------------------------------------------
 
+def _read_source(source: str) -> Dict[str, object]:
+    """One snapshot from a status file — or, when ``source`` looks
+    like an address (contains ``://``), from a routing daemon's
+    ``status`` RPC."""
+    if "://" in source:
+        from repro.service.client import watch_snapshot
+
+        return watch_snapshot(source)
+    return load_snapshot(source)
+
+
 def _load(path: str) -> Optional[Dict[str, object]]:
     try:
-        return load_snapshot(path)
-    except OSError as exc:
+        return _read_source(path)
+    except (OSError, RuntimeError) as exc:
+        # OSError: unreadable file / refused connection;
+        # RuntimeError: typed ServiceError from a daemon
         print(f"cannot read {path!r}: {exc}", file=sys.stderr)
         return None
     except ValueError as exc:
@@ -306,8 +326,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
     prev: Optional[Dict[str, object]] = None
     while True:
         try:
-            snap = load_snapshot(path)
-        except (OSError, ValueError):
+            snap = _read_source(path)
+        except (OSError, ValueError, RuntimeError):
             snap = None
         if snap is not None:
             frame = render_watch(snap, prev=prev, source=path)
@@ -342,7 +362,8 @@ def add_obs_parser(sub: argparse._SubParsersAction) -> None:
     s = osub.add_parser("summary",
                         help="counters/spans/histograms of a snapshot")
     s.add_argument("status_file", metavar="status.json",
-                   help="status JSON (see --status / obs.write_status)")
+                   help="status JSON (see --status / obs.write_status) "
+                        "or a daemon address like tcp://host:port")
     s.set_defaults(func=cmd_summary)
 
     t = osub.add_parser("top", help="heaviest counters or spans")
@@ -362,7 +383,9 @@ def add_obs_parser(sub: argparse._SubParsersAction) -> None:
                         help="refreshing status view of a live run")
     w.add_argument("status_file", metavar="status.json",
                    help="status JSON another process rewrites "
-                        "(its --status flag)")
+                        "(its --status flag), or a daemon address "
+                        "like tcp://host:port (the 'repro serve' "
+                        "status RPC)")
     w.add_argument("--interval", type=float, default=1.0)
     w.add_argument("--once", action="store_true",
                    help="render a single frame and exit")

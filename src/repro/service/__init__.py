@@ -1,0 +1,71 @@
+"""Routing-as-a-service: the async RPC layer over the shm fabric.
+
+A long-lived daemon (:class:`RoutingService`, ``repro serve``) serving
+``route`` / ``analyze`` / ``campaign`` RPCs over pluggable transports
+(``inproc://`` for deterministic tests, ``tcp://`` / ``unix://`` for
+real deployments), with typed requests/responses shared with the
+in-process :mod:`repro.api` facade.  See ``docs/service.md`` for the
+wire protocol and semantics.
+"""
+
+from repro.service.client import (
+    AsyncServiceClient,
+    ServiceClient,
+    watch_snapshot,
+)
+from repro.service.comm import CommClosedError, connect, listen, parse_address
+from repro.service.core import RoutingService, serve_in_thread
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceAborted,
+    ServiceBadRequest,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    available_codecs,
+)
+from repro.service.requests import (
+    SCHEMA_VERSION,
+    AnalyzeRequest,
+    AnalyzeResponse,
+    CampaignRequest,
+    CampaignResponse,
+    RouteRequest,
+    RouteResponse,
+    analyze,
+    execute_analyze,
+    execute_campaign,
+    execute_route,
+    route,
+)
+
+__all__ = [
+    "RoutingService",
+    "serve_in_thread",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "watch_snapshot",
+    "connect",
+    "listen",
+    "parse_address",
+    "CommClosedError",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceAborted",
+    "ServiceBadRequest",
+    "ServiceClosed",
+    "ProtocolError",
+    "available_codecs",
+    "SCHEMA_VERSION",
+    "RouteRequest",
+    "RouteResponse",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "CampaignRequest",
+    "CampaignResponse",
+    "route",
+    "analyze",
+    "execute_route",
+    "execute_analyze",
+    "execute_campaign",
+]

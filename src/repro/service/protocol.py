@@ -1,0 +1,269 @@
+"""Wire protocol of the routing service: codecs, framing, errors.
+
+One message is one *frame*::
+
+    +--------+----------------+------------------+
+    | 1 byte | 4 bytes (BE)   | <length> bytes   |
+    | codec  | payload length | encoded message  |
+    +--------+----------------+------------------+
+
+The codec byte makes every frame self-describing, so a JSON client can
+talk to a daemon whose default codec is msgpack and vice versa — the
+responder always answers in the codec the request arrived in.  JSON
+(codec byte ``J``) is always available; msgpack (codec byte ``M``) is
+registered only when the ``msgpack`` package is importable, which the
+container image does not guarantee (see :func:`available_codecs`).
+
+Messages are plain dicts.  Requests: ``{"id", "op", "payload"}``;
+responses: ``{"id", "ok": true, "result"}`` or ``{"id", "ok": false,
+"error": {"type", "message"}}``.  ``docs/service.md`` is the
+authoritative spec.
+
+Errors cross the wire as ``{"type": code, "message": text}`` and are
+rehydrated into typed exceptions on the client (:func:`wire_to_error`),
+so ``ServiceClient.route`` raises the same ``RoutingError`` /
+``ValidationError`` / :class:`ServiceOverloaded` a direct
+``repro.api`` call would.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Codec",
+    "get_codec",
+    "codec_for_byte",
+    "available_codecs",
+    "encode_frame",
+    "decode_header",
+    "decode_frame",
+    "HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceAborted",
+    "ServiceBadRequest",
+    "ServiceClosed",
+    "error_to_wire",
+    "wire_to_error",
+]
+
+#: codec byte + 4-byte big-endian payload length
+HEADER_SIZE = 5
+_LEN = struct.Struct(">I")
+
+#: refuse frames above this size — a corrupt header must not make a
+#: reader allocate gigabytes
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+# -- typed errors -------------------------------------------------------------
+
+class ServiceError(RuntimeError):
+    """Base of every service-side failure a client can receive.
+
+    ``code`` is the stable wire identifier (the ``error.type`` field);
+    subclasses pin one code each so clients can catch by type.
+    """
+
+    code = "service_error"
+
+
+class ServiceOverloaded(ServiceError):
+    """The daemon's pending-request queue is full; retry later.
+
+    Raised *before* the request is admitted, so in-flight work is
+    never affected by the overflow.
+    """
+
+    code = "overloaded"
+
+
+class ServiceAborted(ServiceError):
+    """An in-flight request was aborted by a fabric teardown.
+
+    ``shutdown_fabric()`` unlinks the shared-memory exports a running
+    computation may depend on; rather than crash, the daemon fails the
+    affected requests with this error and keeps serving.
+    """
+
+    code = "aborted"
+
+
+class ServiceBadRequest(ServiceError):
+    """The request was malformed (unknown op, bad schema, bad field)."""
+
+    code = "bad_request"
+
+
+class ServiceClosed(ServiceError):
+    """The connection closed before a response arrived."""
+
+    code = "closed"
+
+
+class ProtocolError(ServiceError):
+    """A frame violated the wire format (bad codec byte, oversize)."""
+
+    code = "protocol"
+
+
+# -- codecs -------------------------------------------------------------------
+
+class Codec:
+    """One wire encoding: a name, a frame byte, dumps/loads."""
+
+    __slots__ = ("name", "byte", "dumps", "loads")
+
+    def __init__(self, name: str, byte: bytes,
+                 dumps: Callable[[Any], bytes],
+                 loads: Callable[[bytes], Any]) -> None:
+        self.name = name
+        self.byte = byte
+        self.dumps = dumps
+        self.loads = loads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Codec({self.name!r})"
+
+
+def _json_dumps(msg: Any) -> bytes:
+    return json.dumps(msg, separators=(",", ":")).encode("utf-8")
+
+
+def _json_loads(data: bytes) -> Any:
+    return json.loads(data.decode("utf-8"))
+
+
+_CODECS: Dict[str, Codec] = {
+    "json": Codec("json", b"J", _json_dumps, _json_loads),
+}
+
+try:  # msgpack is optional — the baked image may not ship it
+    import msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - exercised where msgpack exists
+    msgpack = None
+else:  # pragma: no cover - exercised where msgpack exists
+    _CODECS["msgpack"] = Codec(
+        "msgpack", b"M",
+        lambda msg: msgpack.packb(msg, use_bin_type=True),
+        lambda data: msgpack.unpackb(data, raw=False),
+    )
+
+_BY_BYTE: Dict[int, Codec] = {c.byte[0]: c for c in _CODECS.values()}
+
+
+def available_codecs() -> List[str]:
+    """Codec names usable in this process (``json`` always; ``msgpack``
+    when the package is installed)."""
+    return sorted(_CODECS)
+
+
+def get_codec(name: str) -> Codec:
+    codec = _CODECS.get(name)
+    if codec is None:
+        raise ProtocolError(
+            f"codec {name!r} unavailable here; have {available_codecs()}"
+        )
+    return codec
+
+
+def codec_for_byte(byte: int) -> Codec:
+    codec = _BY_BYTE.get(byte)
+    if codec is None:
+        raise ProtocolError(f"unknown codec byte {byte:#04x} in frame")
+    return codec
+
+
+# -- framing ------------------------------------------------------------------
+
+def encode_frame(msg: Any, codec: Codec) -> bytes:
+    """One message -> one self-describing frame."""
+    payload = codec.dumps(msg)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return codec.byte + _LEN.pack(len(payload)) + payload
+
+
+def decode_header(header: bytes) -> Tuple[Codec, int]:
+    """Parse the 5-byte frame header -> (codec, payload length)."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(
+            f"truncated frame header ({len(header)} bytes)")
+    codec = codec_for_byte(header[0])
+    (length,) = _LEN.unpack(header[1:])
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return codec, length
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Decode one complete frame (header + payload) to a message."""
+    codec, length = decode_header(frame[:HEADER_SIZE])
+    payload = frame[HEADER_SIZE:]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(payload)}"
+        )
+    return codec.loads(payload)
+
+
+# -- error mapping ------------------------------------------------------------
+
+def _library_errors() -> Dict[str, type]:
+    """Library exceptions allowed to cross the wire by name.
+
+    Imported lazily: protocol.py must stay importable before the
+    routing subsystem (the client is usable in thin processes).
+    """
+    from repro.metrics.validate import ValidationError
+    from repro.routing import NotApplicableError, RoutingError
+
+    return {
+        "RoutingError": RoutingError,
+        "NotApplicableError": NotApplicableError,
+        "ValidationError": ValidationError,
+        "ValueError": ValueError,
+    }
+
+
+def error_to_wire(exc: BaseException) -> Dict[str, str]:
+    """Exception -> ``{"type", "message"}`` wire dict."""
+    if isinstance(exc, ServiceError):
+        return {"type": exc.code, "message": str(exc)}
+    name = type(exc).__name__
+    if name in _library_errors():
+        return {"type": name, "message": str(exc)}
+    return {"type": "internal", "message": f"{name}: {exc}"}
+
+
+_SERVICE_ERRORS: Dict[str, type] = {
+    cls.code: cls
+    for cls in (ServiceOverloaded, ServiceAborted, ServiceBadRequest,
+                ServiceClosed, ProtocolError, ServiceError)
+}
+
+
+def wire_to_error(error: Optional[Dict[str, Any]]) -> BaseException:
+    """``{"type", "message"}`` wire dict -> typed exception."""
+    error = error or {}
+    code = str(error.get("type", "service_error"))
+    message = str(error.get("message", "unknown service error"))
+    cls = _SERVICE_ERRORS.get(code)
+    if cls is not None:
+        return cls(message)
+    lib = _library_errors().get(code)
+    if lib is not None:
+        return lib(message)
+    return ServiceError(f"{code}: {message}")

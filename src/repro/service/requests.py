@@ -1,0 +1,575 @@
+"""Typed request/response surface shared by the facade and the wire.
+
+One set of dataclasses serves both call paths: ``repro.api.route
+(RouteRequest(...))`` executes in-process, ``ServiceClient.route
+(RouteRequest(...))`` sends the same object over the RPC wire — and
+both return the same :class:`RouteResponse`, bit-identical (the
+executor functions here are the single implementation the daemon and
+the facade share).
+
+Every message carries ``schema_version`` (currently
+:data:`SCHEMA_VERSION`) and round-trips through plain-JSON dicts:
+networks travel as :mod:`repro.io.topofile` text (the repo's canonical
+diff-friendly wire format for fabrics), arrays as nested lists with
+fixed dtypes (``next_channel`` int32, ``vl`` int8), so a decoded
+response reconstructs the exact forwarding state.
+
+The kwargs forms ``api.route(topology=..., algorithm=...)`` remain as
+one-minor-release ``DeprecationWarning`` shims per the stability
+policy in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.service.protocol import ServiceBadRequest
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RouteRequest",
+    "RouteResponse",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "CampaignRequest",
+    "CampaignResponse",
+    "execute_route",
+    "execute_analyze",
+    "execute_campaign",
+    "route",
+    "analyze",
+]
+
+#: bump on any incompatible message-shape change; servers reject
+#: versions they do not know with ``ServiceBadRequest``
+SCHEMA_VERSION = 1
+
+
+def _topology_text(topology: Union[str, Network]) -> str:
+    """Accept a Network or topofile text; store text (the wire form)."""
+    if isinstance(topology, str):
+        return topology
+    from repro.io.topofile import format_topology
+
+    return format_topology(topology)
+
+
+def _check_version(data: Dict[str, Any], what: str) -> None:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if not isinstance(version, int) or version > SCHEMA_VERSION \
+            or version < 1:
+        raise ServiceBadRequest(
+            f"{what} schema_version {version!r} not supported "
+            f"(this side speaks <= {SCHEMA_VERSION})"
+        )
+
+
+def _config_key(config: Dict[str, Any]) -> Tuple:
+    return tuple(sorted(config.items()))
+
+
+@dataclass
+class RouteRequest:
+    """One routing computation: topology + algorithm + knobs.
+
+    ``topology`` accepts a :class:`~repro.network.graph.Network` (it is
+    converted to topofile text on construction) or the text itself.
+    ``workers`` is deliberately *not* part of the coalescing/cache
+    identity — parallelism must never change the routing tables.
+    """
+
+    topology: Union[str, Network]
+    algorithm: str = "nue"
+    max_vls: int = 8
+    config: Dict[str, Any] = field(default_factory=dict)
+    dests: Optional[List[int]] = None
+    seed: Optional[int] = None
+    workers: Optional[int] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self.topology = _topology_text(self.topology)
+
+    def network(self) -> Network:
+        from repro.io.topofile import parse_topology
+
+        return parse_topology(self.topology)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "max_vls": self.max_vls,
+            "config": dict(self.config),
+            "dests": list(self.dests) if self.dests is not None else None,
+            "seed": self.seed,
+            "workers": self.workers,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RouteRequest":
+        _check_version(data, "RouteRequest")
+        try:
+            topology = data["topology"]
+        except KeyError:
+            raise ServiceBadRequest("RouteRequest needs a 'topology'")
+        if not isinstance(topology, str):
+            raise ServiceBadRequest(
+                "RouteRequest.topology must be topofile text on the wire")
+        dests = data.get("dests")
+        return cls(
+            topology=topology,
+            algorithm=str(data.get("algorithm", "nue")),
+            max_vls=int(data.get("max_vls", 8)),
+            config=dict(data.get("config") or {}),
+            dests=[int(d) for d in dests] if dests is not None else None,
+            seed=data.get("seed"),
+            workers=data.get("workers"),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+    def coalesce_key(self, fingerprint: str) -> Tuple:
+        """Identity for request coalescing and the route memo cache:
+        everything that determines the tables, nothing that does not
+        (``workers`` excluded by the bit-identity contract)."""
+        return (
+            fingerprint, self.algorithm, self.max_vls,
+            _config_key(self.config),
+            tuple(self.dests) if self.dests is not None else None,
+            self.seed,
+        )
+
+
+@dataclass
+class RouteResponse:
+    """The forwarding state of one :class:`RouteRequest`.
+
+    ``next_channel``/``vl`` are nested lists on the wire; use
+    :meth:`next_channel_array` / :meth:`vl_array` (or :meth:`result`)
+    to get the int32/int8 ndarrays back, exactly as the in-process
+    :class:`~repro.routing.base.RoutingResult` carries them.
+    """
+
+    algorithm: str
+    n_vls: int
+    dests: List[int]
+    next_channel: List[List[int]]
+    vl: List[List[int]]
+    runtime_s: float
+    stats: Dict[str, Any]
+    network_fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_result(cls, result: "Any",
+                    fingerprint: str) -> "RouteResponse":
+        return cls(
+            algorithm=result.algorithm,
+            n_vls=int(result.n_vls),
+            dests=[int(d) for d in result.dests],
+            next_channel=result.next_channel.tolist(),
+            vl=result.vl.tolist(),
+            runtime_s=float(result.runtime_s),
+            stats=dict(result.stats),
+            network_fingerprint=fingerprint,
+        )
+
+    def next_channel_array(self) -> np.ndarray:
+        return np.asarray(self.next_channel, dtype=np.int32)
+
+    def vl_array(self) -> np.ndarray:
+        return np.asarray(self.vl, dtype=np.int8)
+
+    def result(self, net: Network) -> "Any":
+        """Rebuild a full :class:`RoutingResult` over ``net``."""
+        from repro.routing.base import RoutingResult
+
+        return RoutingResult(
+            net=net,
+            dests=list(self.dests),
+            next_channel=self.next_channel_array(),
+            vl=self.vl_array(),
+            n_vls=self.n_vls,
+            algorithm=self.algorithm,
+            runtime_s=self.runtime_s,
+            stats=dict(self.stats),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "n_vls": self.n_vls,
+            "dests": list(self.dests),
+            "next_channel": self.next_channel,
+            "vl": self.vl,
+            "runtime_s": self.runtime_s,
+            "stats": dict(self.stats),
+            "network_fingerprint": self.network_fingerprint,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RouteResponse":
+        _check_version(data, "RouteResponse")
+        return cls(
+            algorithm=str(data["algorithm"]),
+            n_vls=int(data["n_vls"]),
+            dests=[int(d) for d in data["dests"]],
+            next_channel=data["next_channel"],
+            vl=data["vl"],
+            runtime_s=float(data.get("runtime_s", 0.0)),
+            stats=dict(data.get("stats") or {}),
+            network_fingerprint=str(data.get("network_fingerprint", "")),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+
+@dataclass
+class AnalyzeRequest:
+    """Route (or reuse a coalesced route) and report table metrics."""
+
+    route: RouteRequest
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"route": self.route.to_dict(),
+                "schema_version": self.schema_version}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalyzeRequest":
+        _check_version(data, "AnalyzeRequest")
+        route = data.get("route")
+        if not isinstance(route, dict):
+            raise ServiceBadRequest(
+                "AnalyzeRequest needs a 'route' request dict")
+        return cls(route=RouteRequest.from_dict(route),
+                   schema_version=int(data.get("schema_version",
+                                               SCHEMA_VERSION)))
+
+    def coalesce_key(self, fingerprint: str) -> Tuple:
+        return self.route.coalesce_key(fingerprint)
+
+
+@dataclass
+class AnalyzeResponse:
+    """Deadlock/balance report of one routing (cf. ``repro analyze``)."""
+
+    algorithm: str
+    n_vls: int
+    deadlock_free: bool
+    required_vcs: int
+    gamma: Dict[str, float]
+    path_length: Dict[str, float]
+    network_fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "n_vls": self.n_vls,
+            "deadlock_free": self.deadlock_free,
+            "required_vcs": self.required_vcs,
+            "gamma": dict(self.gamma),
+            "path_length": dict(self.path_length),
+            "network_fingerprint": self.network_fingerprint,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalyzeResponse":
+        _check_version(data, "AnalyzeResponse")
+        return cls(
+            algorithm=str(data["algorithm"]),
+            n_vls=int(data["n_vls"]),
+            deadlock_free=bool(data["deadlock_free"]),
+            required_vcs=int(data["required_vcs"]),
+            gamma=dict(data.get("gamma") or {}),
+            path_length=dict(data.get("path_length") or {}),
+            network_fingerprint=str(data.get("network_fingerprint", "")),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+
+@dataclass
+class CampaignRequest:
+    """One fail-in-place campaign (cf. :func:`repro.api.run_campaign`).
+
+    ``schedule`` is the JSON dict form of
+    :class:`~repro.resilience.events.FaultSchedule` (``{"events":
+    [...]}``); a ``FaultSchedule`` instance is converted on
+    construction.
+    """
+
+    topology: Union[str, Network]
+    schedule: Union[Dict[str, Any], Any]
+    max_vls: int = 1
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    strategy: str = "incremental"
+    timeout_s: Optional[float] = None
+    workers: Optional[int] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self.topology = _topology_text(self.topology)
+        if not isinstance(self.schedule, dict):
+            import json
+
+            self.schedule = json.loads(self.schedule.to_json())
+
+    def network(self) -> Network:
+        from repro.io.topofile import parse_topology
+
+        return parse_topology(self.topology)
+
+    def fault_schedule(self) -> "Any":
+        import json
+
+        from repro.resilience.events import FaultSchedule
+
+        return FaultSchedule.from_json(json.dumps(self.schedule))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "schedule": self.schedule,
+            "max_vls": self.max_vls,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "timeout_s": self.timeout_s,
+            "workers": self.workers,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignRequest":
+        _check_version(data, "CampaignRequest")
+        topology = data.get("topology")
+        schedule = data.get("schedule")
+        if not isinstance(topology, str) or not isinstance(schedule, dict):
+            raise ServiceBadRequest(
+                "CampaignRequest needs topofile 'topology' text and a "
+                "'schedule' events dict"
+            )
+        return cls(
+            topology=topology,
+            schedule=schedule,
+            max_vls=int(data.get("max_vls", 1)),
+            config=dict(data.get("config") or {}),
+            seed=data.get("seed"),
+            strategy=str(data.get("strategy", "incremental")),
+            timeout_s=data.get("timeout_s"),
+            workers=data.get("workers"),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+    def coalesce_key(self, fingerprint: str) -> Tuple:
+        import json
+
+        return (
+            fingerprint, "campaign", self.max_vls,
+            _config_key(self.config), self.seed, self.strategy,
+            self.timeout_s, json.dumps(self.schedule, sort_keys=True),
+        )
+
+
+@dataclass
+class CampaignResponse:
+    """Outcome of one campaign: per-event reports + final state."""
+
+    events_total: int
+    events_survived: int
+    report: Dict[str, Any]
+    final_vls: int
+    network_fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events_total": self.events_total,
+            "events_survived": self.events_survived,
+            "report": dict(self.report),
+            "final_vls": self.final_vls,
+            "network_fingerprint": self.network_fingerprint,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignResponse":
+        _check_version(data, "CampaignResponse")
+        return cls(
+            events_total=int(data["events_total"]),
+            events_survived=int(data["events_survived"]),
+            report=dict(data.get("report") or {}),
+            final_vls=int(data.get("final_vls", 1)),
+            network_fingerprint=str(data.get("network_fingerprint", "")),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+
+# -- shared executors ---------------------------------------------------------
+#
+# The single implementation both call paths use.  The daemon invokes
+# these from its compute executor; the facade invokes them directly.
+
+def execute_route(request: RouteRequest, *,
+                  workers: Optional[int] = None,
+                  cache: bool = False,
+                  net: Optional[Network] = None,
+                  fingerprint: Optional[str] = None) -> RouteResponse:
+    """Run one :class:`RouteRequest` in this process."""
+    from repro.engine.fingerprint import network_fingerprint
+    from repro.routing.registry import make_algorithm
+
+    if net is None:
+        net = request.network()
+    fp = fingerprint or network_fingerprint(net)
+    algo = make_algorithm(
+        request.algorithm,
+        max_vls=request.max_vls,
+        workers=request.workers if request.workers is not None else workers,
+        cache=cache,
+        **request.config,
+    )
+    result = algo.route(net, dests=request.dests, seed=request.seed)
+    return RouteResponse.from_result(result, fp)
+
+
+def execute_analyze(request: AnalyzeRequest, *,
+                    workers: Optional[int] = None,
+                    cache: bool = False,
+                    net: Optional[Network] = None,
+                    fingerprint: Optional[str] = None) -> AnalyzeResponse:
+    """Route then report the ``repro analyze`` metric set."""
+    from repro.metrics import (
+        gamma_summary,
+        is_deadlock_free,
+        path_length_stats,
+        required_vcs,
+    )
+
+    if net is None:
+        net = request.route.network()
+    response = execute_route(request.route, workers=workers, cache=cache,
+                             net=net, fingerprint=fingerprint)
+    result = response.result(net)
+    eff_workers = request.route.workers \
+        if request.route.workers is not None else workers
+    g = gamma_summary(result, workers=eff_workers)
+    p = path_length_stats(result, workers=eff_workers)
+    return AnalyzeResponse(
+        algorithm=response.algorithm,
+        n_vls=response.n_vls,
+        deadlock_free=is_deadlock_free(result),
+        required_vcs=required_vcs(result),
+        gamma={"minimum": float(g.minimum), "maximum": float(g.maximum),
+               "average": float(g.average), "stddev": float(g.stddev)},
+        path_length={"minimum": float(p.minimum),
+                     "maximum": float(p.maximum),
+                     "average": float(p.average),
+                     "n_routes": int(p.n_routes)},
+        network_fingerprint=response.network_fingerprint,
+    )
+
+
+def execute_campaign(request: CampaignRequest, *,
+                     workers: Optional[int] = None,
+                     net: Optional[Network] = None,
+                     fingerprint: Optional[str] = None
+                     ) -> CampaignResponse:
+    """Run one fail-in-place campaign in this process."""
+    from repro.core import NueConfig
+    from repro.engine.fingerprint import network_fingerprint
+    from repro.resilience import run_campaign
+
+    if net is None:
+        net = request.network()
+    fp = fingerprint or network_fingerprint(net)
+    config = NueConfig(**request.config) if request.config else None
+    result = run_campaign(
+        net,
+        request.fault_schedule(),
+        max_vls=request.max_vls,
+        config=config,
+        seed=request.seed,
+        strategy=request.strategy,
+        timeout_s=request.timeout_s,
+        workers=request.workers if request.workers is not None else workers,
+    )
+    data = result.to_dict()
+    return CampaignResponse(
+        events_total=int(data["events_total"]),
+        events_survived=int(data["events_survived"]),
+        report=data,
+        final_vls=int(result.routing.n_vls),
+        network_fingerprint=fp,
+    )
+
+
+# -- in-process facade --------------------------------------------------------
+
+def _deprecated_kwargs(name: str) -> None:
+    warnings.warn(
+        f"api.{name}(**kwargs) is deprecated; pass a typed "
+        f"{'RouteRequest' if name == 'route' else 'AnalyzeRequest'} "
+        f"(kwargs accepted for one more minor release)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def route(request: Optional[RouteRequest] = None, /,
+          **kwargs: Any) -> RouteResponse:
+    """Route a topology and return a typed :class:`RouteResponse`.
+
+    Preferred form: ``api.route(RouteRequest(topology=net, ...))`` —
+    the same object a :class:`~repro.service.client.ServiceClient`
+    sends, returning the same response.  The legacy kwargs form
+    (``api.route(topology=net, algorithm="nue")``) builds the request
+    for you but warns ``DeprecationWarning``.
+    """
+    if request is None:
+        _deprecated_kwargs("route")
+        request = RouteRequest(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            "pass either a RouteRequest or kwargs, not both")
+    elif not isinstance(request, RouteRequest):
+        raise TypeError(
+            f"route() takes a RouteRequest, got {type(request).__name__}")
+    return execute_route(request)
+
+
+def analyze(request: Optional[AnalyzeRequest] = None, /,
+            **kwargs: Any) -> AnalyzeResponse:
+    """Route + metric report as a typed :class:`AnalyzeResponse`.
+
+    ``api.analyze(AnalyzeRequest(route=RouteRequest(...)))`` preferred;
+    kwargs build the nested ``RouteRequest`` with a
+    ``DeprecationWarning``.
+    """
+    if request is None:
+        _deprecated_kwargs("analyze")
+        request = AnalyzeRequest(route=RouteRequest(**kwargs))
+    elif kwargs:
+        raise TypeError(
+            "pass either an AnalyzeRequest or kwargs, not both")
+    elif isinstance(request, RouteRequest):
+        request = AnalyzeRequest(route=request)
+    elif not isinstance(request, AnalyzeRequest):
+        raise TypeError(
+            f"analyze() takes an AnalyzeRequest, got "
+            f"{type(request).__name__}")
+    return execute_analyze(request)

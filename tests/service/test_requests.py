@@ -1,0 +1,199 @@
+"""Typed requests: round-trips, versioning, facade/executor identity
+and the one-minor-release kwargs deprecation shims."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.network.topologies import ring, torus
+from repro.resilience import FaultEvent, FaultSchedule
+from repro.service.protocol import ServiceBadRequest
+from repro.service.requests import (
+    SCHEMA_VERSION,
+    AnalyzeRequest,
+    CampaignRequest,
+    CampaignResponse,
+    RouteRequest,
+    RouteResponse,
+    execute_campaign,
+    execute_route,
+)
+
+
+@pytest.fixture
+def net():
+    return ring(6, 1)
+
+
+class TestRouteRequestRoundTrip:
+    def test_network_becomes_topofile_text(self, net):
+        request = RouteRequest(topology=net)
+        assert isinstance(request.topology, str)
+        rebuilt = request.network()
+        assert rebuilt.n_nodes == net.n_nodes
+        assert rebuilt.node_names == net.node_names
+
+    def test_dict_round_trip_is_json_safe(self, net):
+        request = RouteRequest(topology=net, algorithm="updn", max_vls=3,
+                               config={"x": 1}, dests=[0, 2], seed=9,
+                               workers=2)
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert RouteRequest.from_dict(wire) == request
+        assert wire["schema_version"] == SCHEMA_VERSION
+
+    @pytest.mark.parametrize("version", [0, 99, "two"])
+    def test_unknown_schema_version_rejected(self, net, version):
+        data = RouteRequest(topology=net).to_dict()
+        data["schema_version"] = version
+        with pytest.raises(ServiceBadRequest, match="schema_version"):
+            RouteRequest.from_dict(data)
+
+    def test_missing_topology_rejected(self):
+        with pytest.raises(ServiceBadRequest, match="topology"):
+            RouteRequest.from_dict({"algorithm": "nue"})
+
+    def test_non_text_topology_rejected_on_the_wire(self, net):
+        with pytest.raises(ServiceBadRequest, match="topofile text"):
+            RouteRequest.from_dict({"topology": {"nodes": 6}})
+
+    def test_workers_excluded_from_coalesce_key(self, net):
+        a = RouteRequest(topology=net, seed=1, workers=None)
+        b = RouteRequest(topology=net, seed=1, workers=4)
+        assert a.coalesce_key("fp") == b.coalesce_key("fp")
+        c = RouteRequest(topology=net, seed=2)
+        assert a.coalesce_key("fp") != c.coalesce_key("fp")
+
+    def test_config_order_does_not_change_identity(self, net):
+        a = RouteRequest(topology=net, config={"a": 1, "b": 2})
+        b = RouteRequest(topology=net, config={"b": 2, "a": 1})
+        assert a.coalesce_key("fp") == b.coalesce_key("fp")
+
+
+class TestRouteResponse:
+    def test_arrays_round_trip_with_dtypes(self, net):
+        response = execute_route(RouteRequest(topology=net, max_vls=2,
+                                              seed=0))
+        wire = json.loads(json.dumps(response.to_dict()))
+        back = RouteResponse.from_dict(wire)
+        assert back.next_channel_array().dtype == np.int32
+        assert back.vl_array().dtype == np.int8
+        np.testing.assert_array_equal(back.next_channel_array(),
+                                      response.next_channel_array())
+        np.testing.assert_array_equal(back.vl_array(),
+                                      response.vl_array())
+
+    def test_result_rebuilds_validatable_routing(self, net):
+        response = execute_route(RouteRequest(topology=net, max_vls=2,
+                                              seed=0))
+        result = response.result(net)
+        api.validate_routing(result)
+        assert result.algorithm == "nue"
+        assert result.n_vls == response.n_vls
+
+
+class TestFacadeExecutorIdentity:
+    def test_facade_equals_direct_algorithm(self, net):
+        request = RouteRequest(topology=net, algorithm="nue", max_vls=2,
+                               seed=5)
+        via_facade = api.route(request)
+        direct = api.make_algorithm("nue", max_vls=2).route(
+            request.network(), seed=5)
+        np.testing.assert_array_equal(via_facade.next_channel_array(),
+                                      direct.next_channel)
+        np.testing.assert_array_equal(via_facade.vl_array(), direct.vl)
+
+    def test_analyze_accepts_bare_route_request(self, net):
+        request = RouteRequest(topology=net, max_vls=2, seed=5)
+        report = api.analyze(request)  # auto-wrapped in AnalyzeRequest
+        assert report.deadlock_free is True
+        assert report.required_vcs <= 2
+        assert set(report.gamma) == {"minimum", "maximum", "average",
+                                     "stddev"}
+        assert report.path_length["n_routes"] > 0
+
+    def test_route_kwargs_shim_warns_and_matches(self, net):
+        request = RouteRequest(topology=net, max_vls=2, seed=5)
+        typed = api.route(request)
+        with pytest.warns(DeprecationWarning, match="RouteRequest"):
+            legacy = api.route(topology=net, max_vls=2, seed=5)
+        assert legacy.next_channel == typed.next_channel
+        assert legacy.vl == typed.vl
+
+    def test_analyze_kwargs_shim_warns(self, net):
+        with pytest.warns(DeprecationWarning, match="AnalyzeRequest"):
+            report = api.analyze(topology=net, max_vls=2, seed=5)
+        assert report.n_vls == 2
+
+    def test_mixed_forms_rejected(self, net):
+        request = RouteRequest(topology=net)
+        with pytest.raises(TypeError, match="not both"):
+            api.route(request, seed=1)
+        with pytest.raises(TypeError, match="RouteRequest"):
+            api.route(42)
+        with pytest.raises(TypeError, match="AnalyzeRequest"):
+            api.analyze(42)
+
+
+class TestAnalyzeRequestRoundTrip:
+    def test_dict_round_trip(self, net):
+        request = AnalyzeRequest(route=RouteRequest(topology=net, seed=3))
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert AnalyzeRequest.from_dict(wire) == request
+
+    def test_route_field_required(self):
+        with pytest.raises(ServiceBadRequest, match="route"):
+            AnalyzeRequest.from_dict({"schema_version": 1})
+
+    def test_coalesces_with_inner_route(self, net):
+        route = RouteRequest(topology=net, seed=3)
+        assert AnalyzeRequest(route=route).coalesce_key("fp") == \
+            route.coalesce_key("fp")
+
+
+class TestCampaignRequestRoundTrip:
+    def _schedule(self, net):
+        for c in range(net.n_channels):
+            u, v = net.channel_src[c], net.channel_dst[c]
+            if net.is_switch(u) and net.is_switch(v):
+                pair = (net.node_names[u], net.node_names[v])
+                return FaultSchedule(events=[
+                    FaultEvent(time=1.0, links=(pair,)),
+                ])
+        raise AssertionError("no switch-switch link in the fixture net")
+
+    def test_schedule_instance_converts_to_dict(self):
+        net = torus([3, 3], 1)
+        request = CampaignRequest(topology=net,
+                                  schedule=self._schedule(net))
+        assert isinstance(request.schedule, dict)
+        rebuilt = request.fault_schedule()
+        assert len(rebuilt) == 1
+
+    def test_dict_round_trip(self):
+        net = torus([3, 3], 1)
+        request = CampaignRequest(topology=net,
+                                  schedule=self._schedule(net),
+                                  max_vls=2, seed=4, strategy="exact")
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert CampaignRequest.from_dict(wire) == request
+
+    def test_schedule_required(self):
+        net = torus([3, 3], 1)
+        text = RouteRequest(topology=net).topology
+        with pytest.raises(ServiceBadRequest, match="schedule"):
+            CampaignRequest.from_dict({"topology": text})
+
+    def test_execute_campaign_reports(self):
+        net = torus([3, 3], 1)
+        request = CampaignRequest(topology=net,
+                                  schedule=self._schedule(net),
+                                  max_vls=2, seed=4)
+        response = execute_campaign(request)
+        assert response.events_total == 1
+        assert response.events_survived == 1
+        assert response.final_vls >= 1
+        assert response.report["events"]
+        wire = json.loads(json.dumps(response.to_dict()))
+        assert CampaignResponse.from_dict(wire) == response

@@ -45,6 +45,10 @@ def render_surface(module_name: str) -> str:
 
 
 API_SURFACE = {
+    "AnalyzeRequest": "class",
+    "AnalyzeResponse": "class",
+    "CampaignRequest": "class",
+    "CampaignResponse": "class",
     "CampaignResult": "class",
     "DegradationReport": "class",
     "FaultEvent": "class",
@@ -57,9 +61,14 @@ API_SURFACE = {
     "NotApplicableError": "class",
     "NueConfig": "class",
     "NueRouting": "class",
+    "RouteRequest": "class",
+    "RouteResponse": "class",
     "RoutingAlgorithm": "class",
     "RoutingError": "class",
     "RoutingResult": "class",
+    "ServiceClient": "class",
+    "ServiceError": "class",
+    "ServiceOverloaded": "class",
     "ValidationError": "class",
     "afr_schedule": "(net: 'Network', duration_hours: 'float', "
                     "link_afr: 'float' = 0.01, switch_afr: 'float' = 0.0, "
@@ -68,6 +77,8 @@ API_SURFACE = {
                     "max_events: 'Optional[int]' = None) "
                     "-> 'FaultSchedule'",
     "algorithm_descriptions": "() -> 'Dict[str, str]'",
+    "analyze": "(request: 'Optional[AnalyzeRequest]' = None, /, "
+               "**kwargs: 'Any') -> 'AnalyzeResponse'",
     "as_network": "(obj) -> \"'Network'\"",
     "attach_terminals": "(builder: 'NetworkBuilder', "
                         "switches: 'Iterable[int]', per_switch: 'int', "
@@ -115,6 +126,8 @@ API_SURFACE = {
     "remove_switches": "(net: 'Network', switches: 'Iterable[int]') "
                        "-> 'FaultResult'",
     "required_vcs": "(result: 'RoutingResult') -> 'int'",
+    "route": "(request: 'Optional[RouteRequest]' = None, /, "
+             "**kwargs: 'Any') -> 'RouteResponse'",
     "shutdown_fabric": "(wait: 'bool' = True) -> 'None'",
     "run_campaign": "(net: 'Network', schedule: 'FaultSchedule', "
                     "max_vls: 'int' = 1, "
