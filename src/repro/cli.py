@@ -101,8 +101,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.campaign:
         return _route_campaign(net, args)
     config = (
-        {"partitioner": args.partitioner} if args.algorithm == "nue"
-        else {}
+        {"partitioner": args.partitioner, "kernel": args.kernel}
+        if args.algorithm == "nue" else {}
     )
     try:
         algo = make_algorithm(
@@ -149,7 +149,8 @@ def _route_campaign(net, args: argparse.Namespace) -> int:
     res = run_campaign(
         net, schedule,
         max_vls=args.vls,
-        config=NueConfig(partitioner=args.partitioner),
+        config=NueConfig(partitioner=args.partitioner,
+                         kernel=args.kernel),
         seed=args.seed,
         strategy=args.campaign_strategy,
         timeout_s=args.campaign_timeout,
@@ -306,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="memoise routing results (repro.engine cache)")
     r.add_argument("--partitioner", default="kway",
                    choices=["kway", "random", "cluster", "spectral"])
+    r.add_argument("--kernel", default="auto",
+                   choices=["auto", "python", "numba"],
+                   help="nue batch-kernel backend (auto = REPRO_KERNEL "
+                        "env override, else numba when installed, else "
+                        "python; output is bit-identical either way)")
     r.add_argument("--seed", type=int, default=None)
     r.add_argument("-o", "--output", default=None,
                    help="write tables as JSON")

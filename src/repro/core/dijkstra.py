@@ -75,7 +75,9 @@ class RoutingStep:
 
     dest: int
     used_channel: List[int] = field(default_factory=list)
-    dist_node: np.ndarray = field(default_factory=lambda: np.empty(0))
+    dist_node: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
     fell_back: bool = False
     islands_resolved: int = 0
     shortcuts_taken: int = 0
@@ -103,6 +105,7 @@ class NueLayerRouter:
         enable_backtracking: bool = True,
         enable_shortcuts: bool = True,
         layer_index: int = 0,
+        kernel: str = "python",
     ) -> None:
         self.net = net
         self.csr = net.csr
@@ -110,6 +113,9 @@ class NueLayerRouter:
         self.escape = escape
         self.enable_backtracking = enable_backtracking
         self.enable_shortcuts = enable_shortcuts
+        #: resolved batch-kernel backend for :meth:`route_batch`
+        #: ("python" or "numba"; see :mod:`repro.core.kernels`)
+        self.kernel = kernel
         #: search-orientation channel weights (DFSSSP-style balancing);
         #: consistently search-side: entry c reflects the accumulated
         #: load of traffic channel rev(c).  The initial weight exceeds
@@ -193,7 +199,7 @@ class NueLayerRouter:
         self._remove_copy_rotation(bias)
         self._update_weights(dest)
         step.used_channel = list(self._used)
-        step.dist_node = np.array(self._dist_node)
+        step.dist_node = np.asarray(self._dist_node, dtype=np.float64)
         step.heap_pops = self._pops
         step.stale_pops = self._stale
         step.relaxations = self._relax
@@ -230,14 +236,41 @@ class NueLayerRouter:
         resilience engine scatters back into a retained table.
         """
         step = self.route_step(dest)
-        net = self.net
-        rev = net.channel_reverse
-        col = np.full(net.n_nodes, -1, dtype=np.int32)
-        for v in range(net.n_nodes):
-            c = step.used_channel[v]
-            if c >= 0 and v != dest:
-                col[v] = rev[c]
+        rev = self.csr.channel_reverse
+        u = np.asarray(step.used_channel, dtype=np.int32)
+        col = np.where(u >= 0, rev[u], np.int32(-1)).astype(np.int32)
+        col[dest] = -1
         return col, step
+
+    def route_batch(
+        self,
+        dests: Sequence[int],
+        block: np.ndarray,
+        cols: Optional[Sequence[int]] = None,
+    ) -> List[RoutingStep]:
+        """Route a batch of destinations through the layer kernel.
+
+        The batched twin of calling :meth:`route_step` once per
+        destination: destinations are committed in ``dests`` order on
+        the shared layer state (weights, CDG restrictions), and every
+        backend is pinned **bit-identical** to the scalar loop —
+        forwarding tables, CDG state and work counters alike.  The
+        *traffic-direction* forwarding column of ``dests[i]`` is
+        written into ``block[:, cols[i]]`` (``cols`` defaults to
+        ``0..len(dests)-1``); the returned steps carry the work tallies
+        but leave ``used_channel``/``dist_node`` empty — per-node state
+        lives in the block, so the per-step ``list``/``ndarray``
+        snapshots the scalar path pays for are skipped.
+
+        The backend was chosen at construction (``kernel=``, resolved
+        by :func:`repro.core.kernels.resolve_kernel`); dispatch is one
+        registry lookup, so per-batch overhead is nil.
+        """
+        from repro.core.kernels import get_kernel
+
+        if cols is None:
+            cols = list(range(len(dests)))
+        return get_kernel(self.kernel)(self, list(dests), block, list(cols))
 
     def adopt_column(self, dest: int, next_channel_col) -> None:
         """Re-mark a retained forwarding column as this layer's state.

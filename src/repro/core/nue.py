@@ -57,12 +57,20 @@ class NueConfig:
     verify_acyclic:
         Re-check every layer's CDG with an exact Kahn pass after
         routing (cheap insurance; on by default).
+    kernel:
+        Batch-kernel backend for the per-layer routing steps:
+        ``"auto"`` (default — ``REPRO_KERNEL`` env override, else
+        numba when importable, else python), ``"python"`` or
+        ``"numba"``.  Validated eagerly; can never change routing
+        output (every backend is pinned bit-identical) — only speed.
+        See :mod:`repro.core.kernels`.
     """
 
     partitioner: str = "kway"
     enable_backtracking: bool = True
     enable_shortcuts: bool = True
     verify_acyclic: bool = True
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -83,15 +91,23 @@ class _LayerConfig:
     enable_shortcuts: bool
     verify_acyclic: bool
     single_layer: bool
+    #: *resolved* batch-kernel backend ("python"/"numba") — resolved in
+    #: the parent by :func:`repro.core.kernels.resolve_kernel` so every
+    #: pool worker runs the same backend regardless of its own
+    #: environment/auto-detection
+    kernel: str = "python"
 
     @classmethod
     def from_config(cls, cfg: NueConfig,
                     single_layer: bool) -> "_LayerConfig":
+        from repro.core.kernels import resolve_kernel
+
         return cls(
             enable_backtracking=cfg.enable_backtracking,
             enable_shortcuts=cfg.enable_shortcuts,
             verify_acyclic=cfg.verify_acyclic,
             single_layer=single_layer,
+            kernel=resolve_kernel(cfg.kernel),
         )
 
 
@@ -155,6 +171,7 @@ def build_layer_state(
         enable_backtracking=cfg.enable_backtracking,
         enable_shortcuts=cfg.enable_shortcuts,
         layer_index=layer_idx,
+        kernel=cfg.kernel,
     )
 
 
@@ -193,13 +210,10 @@ def _route_layer(
             "shortcuts_taken": 0,
         }
         block = np.full((net.n_nodes, len(subset)), -1, dtype=np.int32)
-        rev = net.channel_reverse
-        for col, d in enumerate(subset):
-            step = router.route_step(d)
-            for v in range(net.n_nodes):
-                c = step.used_channel[v]
-                block[v, col] = rev[c] if c >= 0 else -1
-            block[d, col] = -1
+        # one batched kernel call per layer (PR 8): all destinations
+        # advance on the shared CDG/weight state, bit-identical to the
+        # former per-destination route_step loop
+        for step in router.route_batch(subset, block):
             if step.fell_back:
                 layer_stats["fallbacks"] += 1  # type: ignore[operator]
             layer_stats["islands_resolved"] += step.islands_resolved  # type: ignore[operator]
@@ -237,12 +251,17 @@ class NueRouting(RoutingAlgorithm):
 
     def cache_config(self):
         cfg = self.config
+        # ``kernel`` is part of the identity even though backends are
+        # bit-identical: a cache must never satisfy an explicit
+        # kernel="numba" request with state computed under another
+        # backend's availability assumptions
         return (
             self.max_vls,
             cfg.partitioner,
             cfg.enable_backtracking,
             cfg.enable_shortcuts,
             cfg.verify_acyclic,
+            cfg.kernel,
         )
 
     def _route(

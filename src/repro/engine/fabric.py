@@ -487,6 +487,85 @@ def attach_arrays(handle: ShmArraysHandle) -> Dict[str, np.ndarray]:
     return arrays
 
 
+def export_result(result: Any) -> Any:
+    """Worker side: ship large result arrays via scratch shm.
+
+    The batched layer kernels return whole forwarding *blocks* (one
+    ``int32`` column per destination of the layer); at deployment
+    scale those dominate the result pickle.  Tuple members of
+    >= :data:`SCRATCH_MIN_BYTES` are copied into one worker-created
+    scratch segment and replaced by :class:`_ScratchArray` tickets; the
+    worker closes its own mapping immediately (the segment file
+    persists until unlinked), and the parent copies the arrays out and
+    unlinks in :func:`import_result`.  Any shm failure degrades to the
+    plain pickle path.
+    """
+    if not isinstance(result, tuple):
+        return result
+    big = {
+        i: item for i, item in enumerate(result)
+        if isinstance(item, np.ndarray) and item.nbytes >= SCRATCH_MIN_BYTES
+    }
+    if not big:
+        return result
+    global _scratch_seq
+    _scratch_seq += 1
+    try:
+        bufs = OrderedDict(
+            (f"r{i}", np.ascontiguousarray(arr)) for i, arr in big.items()
+        )
+        shm, layout = _alloc_segment(
+            bufs, f"{SEGMENT_PREFIX}res{_scratch_seq}")
+    except (OSError, ValueError):  # pragma: no cover - no shm
+        return result
+    handle = ShmArraysHandle(segment=shm.name, layout=tuple(layout))
+    try:
+        shm.close()  # data persists in the segment file until unlink
+    except (BufferError, OSError):  # pragma: no cover
+        pass
+    _count("fabric.result_exports")
+    packed = list(result)
+    for i in big:
+        packed[i] = _ScratchArray(handle, f"r{i}")
+    return tuple(packed)
+
+
+def import_result(result: Any) -> Any:
+    """Parent side: restore a result packed by :func:`export_result`.
+
+    Copies every scratch-shipped array into private memory and unlinks
+    the segment immediately — result segments are single-shot, not
+    cached.  Called per result as it arrives, so a later pool break
+    can only ever leak segments whose pickles never reached the
+    parent.
+    """
+    if not isinstance(result, tuple) or not any(
+        isinstance(item, _ScratchArray) for item in result
+    ):
+        return result
+    restored = list(result)
+    segments: Dict[str, Any] = {}
+    try:
+        for i, item in enumerate(result):
+            if not isinstance(item, _ScratchArray):
+                continue
+            shm = segments.get(item.handle.segment)
+            if shm is None:
+                shm = _open_segment(item.handle.segment)
+                segments[item.handle.segment] = shm
+            for key, dtype, shape, offset in item.handle.layout:
+                if key == item.key:
+                    arr = np.ndarray(shape, dtype=dtype,
+                                     buffer=shm.buf, offset=offset)
+                    restored[i] = arr.copy()
+                    break
+    finally:
+        for shm in segments.values():
+            _unlink(shm)
+    _count("fabric.result_imports")
+    return tuple(restored)
+
+
 # -- context packing ----------------------------------------------------------
 
 def pack_ctx(ctx: Any) -> Tuple[Any, int]:
@@ -599,14 +678,17 @@ def _run_fabric_task(fn, ctx: Any, task: Any,
     rides back for replay.
     """
     if not capture_obs:
-        return fn(unpack_ctx(ctx), task), []
+        return export_result(fn(unpack_ctx(ctx), task)), []
     if live.worker_publisher() is not None:
-        return live.run_streamed(fn, unpack_ctx(ctx), task)
+        result, events = live.run_streamed(fn, unpack_ctx(ctx), task)
+        return export_result(result), events
     sink = MemorySink(keep_events=True)
     obs.reset()
     obs.enable(sink)
     try:
-        result = fn(unpack_ctx(ctx), task)
+        # export inside the capture window so the worker's
+        # ``fabric.result_exports`` tally replays into the parent
+        result = export_result(fn(unpack_ctx(ctx), task))
     finally:
         obs.disable()
     return result, sink.events

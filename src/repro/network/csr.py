@@ -123,6 +123,28 @@ class CSRView:
 
         self._init_derived()
 
+    @property
+    def dep_head(self) -> np.ndarray:
+        """Per dependency edge: the head *node* ``dst(dep_dst[e])``.
+
+        Static, so the kernel hot loop resolves a relaxation's target
+        node with one index instead of two (``dst_of[dep_dst[e]]``).
+        """
+        head = getattr(self, "_dep_head", None)
+        if head is None:
+            head = self.channel_dst[self.dep_dst]
+            self._dep_head = head
+        return head
+
+    @property
+    def dep_head_l(self) -> List[int]:
+        """Plain-list mirror of :attr:`dep_head` for the scalar loops."""
+        head_l = getattr(self, "_dep_head_l", None)
+        if head_l is None:
+            head_l = self.dep_head.tolist()
+            self._dep_head_l = head_l
+        return head_l
+
     @classmethod
     def from_buffers(cls, net: "Network", buffers: Dict[str, np.ndarray]
                      ) -> "CSRView":
@@ -191,6 +213,16 @@ class CSRView:
                 self.bundles.append(bundle)
                 for i, ch in enumerate(bundle):
                     self.copy_index[ch] = i
+        # bundle CSR (kernel-ready form of ``bundles``): channels of
+        # bundle b are bundle_idx[bundle_ptr[b]:bundle_ptr[b+1]]
+        self.bundle_ptr, self.bundle_idx = _csr_from_lists(self.bundles)
+        # terminal node ids in ascending order — the balancing-update
+        # source set (empty on switch-only fabrics, where every node
+        # acts as a source)
+        self.terminal_ids = np.fromiter(
+            (v for v in range(self.n_nodes) if not net.is_switch(v)),
+            dtype=np.int32,
+        )
 
     # -- queries ---------------------------------------------------------------
 

@@ -164,6 +164,7 @@ def _ensure_builtins() -> None:
     if _builtins_registered:
         return
     _builtins_registered = True
+    from repro.core.kernels import available_kernels, resolve_kernel
     from repro.core.nue import NueConfig, NueRouting
     from repro.partition import available_partitioners
     from repro.routing.dfsssp import DFSSSPRouting
@@ -177,7 +178,8 @@ def _ensure_builtins() -> None:
     nue_keys = sorted(f.name for f in dataclasses.fields(NueConfig))
 
     @register("nue", description="this paper: complete-CDG Dijkstra, "
-                                 "deadlock-free at any k >= 1")
+                                 "deadlock-free at any k >= 1 (kernels: "
+                                 + ", ".join(available_kernels()) + ")")
     def _make_nue(max_vls: int, workers: Optional[int],
                   **config: object) -> RoutingAlgorithm:
         unknown = sorted(set(config) - set(nue_keys))
@@ -192,6 +194,11 @@ def _ensure_builtins() -> None:
                 f"unknown nue partitioner {partitioner!r}; "
                 f"choose from {names}"
             )
+        # eager, like every other config key: an unknown or locally
+        # unavailable kernel — including one named by a REPRO_KERNEL
+        # override that "auto" would consult — fails here with the
+        # one-line error, not deep inside a layer worker
+        resolve_kernel(config.get("kernel", "auto"))
         return NueRouting(max_vls, NueConfig(**config),  # type: ignore[arg-type]
                           workers=workers)
 

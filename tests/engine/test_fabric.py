@@ -365,3 +365,54 @@ class TestScratchArrays:
         fabric.export_arrays({"x": np.ones(2048)})
         fabric.shutdown()
         assert _shm_leaks() == []
+
+
+def _big_result_task(ctx, task):
+    """Worker probe returning one above-threshold array (rides a
+    result scratch segment) and one small plain value."""
+    n = fabric.SCRATCH_MIN_BYTES // 8 + 32
+    return np.full(n, float(task)), task * 10
+
+
+class TestResultExport:
+    """Worker->parent result transport: large ndarray members of tuple
+    results ride a scratch shm segment instead of the result pickle,
+    and the parent unlinks each segment as the result lands."""
+
+    def test_round_trip_in_process(self):
+        obs.enable(obs.MemorySink(keep_events=False))
+        big = np.arange(fabric.SCRATCH_MIN_BYTES // 8 + 16,
+                        dtype=np.float64)
+        small = np.arange(8, dtype=np.int32)
+        packed = fabric.export_result((big, small, "tag"))
+        assert isinstance(packed[0], fabric._ScratchArray)
+        assert packed[1] is small  # under the threshold: pickled
+        assert packed[2] == "tag"
+        restored = fabric.import_result(packed)
+        np.testing.assert_array_equal(restored[0], big)
+        assert restored[1] is small
+        counts = obs.counters()
+        assert counts.get("fabric.result_exports") == 1
+        assert counts.get("fabric.result_imports") == 1
+        assert _shm_leaks() == []  # import unlinked the segment
+
+    def test_non_tuple_and_small_results_pass_through(self):
+        small = (np.arange(4), "x")
+        assert fabric.export_result(small) is small
+        assert fabric.export_result([1, 2]) == [1, 2]
+        assert fabric.import_result(small) is small
+
+    def test_pool_run_ships_large_results_via_shm(self):
+        obs.enable(obs.MemorySink(keep_events=False))
+        out = engine.run_layer_tasks(
+            _big_result_task, None, [1, 2, 3], workers=2)
+        counts = dict(obs.counters())
+        n = fabric.SCRATCH_MIN_BYTES // 8 + 32
+        for task, (arr, tag) in zip([1, 2, 3], out):
+            np.testing.assert_array_equal(arr, np.full(n, float(task)))
+            assert tag == task * 10
+        # workers exported (their counters replay into the parent),
+        # the parent imported, and no segment outlived the collect
+        assert counts.get("fabric.result_exports", 0) >= 1
+        assert counts.get("fabric.result_imports", 0) == 3
+        assert _shm_leaks() == []
