@@ -37,6 +37,7 @@ Surface map
 -----------
 ===========================  =================================================
 routing                      :func:`make_algorithm`,
+                             :func:`build_config`,
                              :func:`available_algorithms`,
                              :func:`algorithm_descriptions`,
                              :class:`RoutingAlgorithm`,
@@ -63,16 +64,36 @@ service (typed requests)     :class:`RouteRequest` /
                              :class:`AnalyzeResponse`,
                              :class:`CampaignRequest` /
                              :class:`CampaignResponse`,
+                             :class:`RerouteRequest` /
+                             :class:`RerouteResponse`,
+                             :class:`TransitionRequest` /
+                             :class:`TransitionResponse`,
                              :func:`route`, :func:`analyze`,
+                             :func:`campaign`, :func:`reroute`,
+                             :func:`transition`,
                              :class:`ServiceClient`,
                              :class:`ServiceError`,
                              :class:`ServiceOverloaded` — one typed
                              surface for in-process calls and the
                              ``repro serve`` RPC daemon
                              (``docs/service.md``); the legacy kwargs
-                             forms of ``route``/``analyze`` warn
-                             ``DeprecationWarning`` for one minor
-                             release
+                             forms warn ``DeprecationWarning`` for one
+                             minor release (migration table in
+                             ``docs/api.md``)
+reconfiguration              :func:`check_compatibility`,
+                             :func:`plan_transition`,
+                             :func:`apply_plan`, :func:`verify_plan`,
+                             :func:`repair_transition`,
+                             :func:`grow_transition`,
+                             :func:`algorithm_transition`,
+                             :class:`MigrationPlan`,
+                             :class:`TransitionStep`,
+                             :class:`TransitionOutcome`,
+                             :class:`TransitionIncompatible`,
+                             :class:`TransitionNotApplicable` —
+                             planned deadlock-free transitions
+                             (UPR-style union-CDG proofs,
+                             ``docs/reconfiguration.md``)
 observability                the telemetry plane lives in
                              :mod:`repro.obs` (documented subsystem,
                              ``docs/observability.md``): the
@@ -118,6 +139,21 @@ from repro.network import (
     remove_switches,
     topologies,
 )
+from repro.reconfig import (
+    CompatibilityReport,
+    MigrationPlan,
+    TransitionIncompatible,
+    TransitionNotApplicable,
+    TransitionOutcome,
+    TransitionStep,
+    algorithm_transition,
+    apply_plan,
+    check_compatibility,
+    grow_transition,
+    plan_transition,
+    repair_transition,
+    verify_plan,
+)
 from repro.resilience import (
     CampaignResult,
     DegradationReport,
@@ -137,6 +173,7 @@ from repro.routing import (
     RoutingResult,
     algorithm_descriptions,
     available_algorithms,
+    build_config,
     make_algorithm,
 )
 from repro.service.client import ServiceClient
@@ -146,15 +183,23 @@ from repro.service.requests import (
     AnalyzeResponse,
     CampaignRequest,
     CampaignResponse,
+    RerouteRequest,
+    RerouteResponse,
     RouteRequest,
     RouteResponse,
+    TransitionRequest,
+    TransitionResponse,
     analyze,
+    campaign,
+    reroute,
     route,
+    transition,
 )
 
 __all__ = [
     # routing
     "make_algorithm",
+    "build_config",
     "available_algorithms",
     "algorithm_descriptions",
     "RoutingAlgorithm",
@@ -201,11 +246,32 @@ __all__ = [
     "AnalyzeResponse",
     "CampaignRequest",
     "CampaignResponse",
+    "RerouteRequest",
+    "RerouteResponse",
+    "TransitionRequest",
+    "TransitionResponse",
     "route",
     "analyze",
+    "campaign",
+    "reroute",
+    "transition",
     "ServiceClient",
     "ServiceError",
     "ServiceOverloaded",
+    # reconfiguration (planned deadlock-free transitions)
+    "CompatibilityReport",
+    "MigrationPlan",
+    "TransitionStep",
+    "TransitionOutcome",
+    "TransitionIncompatible",
+    "TransitionNotApplicable",
+    "check_compatibility",
+    "plan_transition",
+    "apply_plan",
+    "verify_plan",
+    "repair_transition",
+    "grow_transition",
+    "algorithm_transition",
     # engine
     "shutdown_fabric",
 ]

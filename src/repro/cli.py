@@ -96,14 +96,47 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_opt_value(text: str) -> object:
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_opts(pairs: Optional[List[str]]) -> dict:
+    """``--opt KEY=VAL`` pairs -> an algorithm-config dict.
+
+    Values are coerced (bool/int/float/str); key validity is the
+    registry's job (:func:`repro.routing.build_config` names the valid
+    choices in its one-line error).
+    """
+    out: dict = {}
+    for item in pairs or []:
+        if "=" not in item:
+            raise ValueError(
+                f"--opt expects KEY=VALUE, got {item!r}")
+        key, value = item.split("=", 1)
+        out[key] = _parse_opt_value(value)
+    return out
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     net = load_topology(args.topology)
     if args.campaign:
         return _route_campaign(net, args)
-    config = (
-        {"partitioner": args.partitioner, "kernel": args.kernel}
-        if args.algorithm == "nue" else {}
-    )
+    try:
+        config = _parse_opts(args.opt)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.algorithm == "nue":
+        config.setdefault("partitioner", args.partitioner)
+        config.setdefault("kernel", args.kernel)
     try:
         algo = make_algorithm(
             args.algorithm, args.vls, workers=args.workers,
@@ -238,6 +271,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reconfig(args: argparse.Namespace) -> int:
+    """``repro reconfig``: plan a deadlock-free live transition."""
+    import json
+
+    from repro.engine.fingerprint import network_fingerprint
+    from repro.reconfig import (
+        TransitionIncompatible,
+        TransitionNotApplicable,
+    )
+    from repro.service.requests import (
+        RouteResponse,
+        TransitionRequest,
+        execute_transition,
+    )
+
+    target = load_topology(args.to)
+    old_net = load_topology(args.from_topology) \
+        if args.from_topology else None
+    from_tables = None
+    if args.from_tables:
+        base = old_net if old_net is not None else target
+        prior = load_routing(base, args.from_tables)
+        from_tables = RouteResponse.from_result(
+            prior, network_fingerprint(base))
+    try:
+        config = _parse_opts(args.opt)
+        from_config = _parse_opts(args.from_opt)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    request = TransitionRequest(
+        topology=target,
+        algorithm=args.algorithm,
+        max_vls=args.vls,
+        config=config,
+        seed=args.seed,
+        from_topology=old_net,
+        from_algorithm=args.from_algorithm,
+        from_max_vls=args.from_vls,
+        from_config=from_config or None,
+        from_seed=args.from_seed,
+        from_tables=from_tables,
+        strategy=args.strategy,
+        workers=args.workers,
+    )
+    try:
+        response = execute_transition(request)
+    except TransitionIncompatible as exc:
+        print(f"no zero-drain order exists: {exc}", file=sys.stderr)
+        print("rerun with --strategy auto (or drain) to plan the "
+              "drain-barrier fallback", file=sys.stderr)
+        return 1
+    except (TransitionNotApplicable, ValueError) as exc:
+        print(f"cannot plan transition: {exc}", file=sys.stderr)
+        return 2
+    print(f"scenario:  {response.scenario}")
+    print(f"strategy:  {response.strategy} "
+          f"(union-CDG compatible: {response.compatible})")
+    print(f"steps:     {response.n_steps} ({response.n_swaps} swaps, "
+          f"{response.n_drains} drain barriers)")
+    print(f"proofs:    {response.proofs} per-layer acyclicity proofs, "
+          f"{response.blocked_candidates} candidates blocked")
+    for i, step in enumerate(response.plan.get("steps", [])):
+        dests = step.get("dests", [])
+        shown = ", ".join(str(d) for d in dests[:8])
+        if len(dests) > 8:
+            shown += f", ... ({len(dests)} total)"
+        print(f"  [{i}] {step.get('kind')}: {shown}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(response.to_dict(), fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     net = load_topology(args.topology)
     result = load_routing(net, args.tables)
@@ -332,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--campaign-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="per-event reroute deadline (cooperative)")
+    r.add_argument("--opt", action="append", metavar="KEY=VAL",
+                   default=None,
+                   help="algorithm config option (repeatable; values "
+                        "coerced bool/int/float/str — e.g. --opt "
+                        "root=3, --opt spread_layers=true); unknown "
+                        "keys fail eagerly naming the valid choices")
     r.set_defaults(func=_cmd_route)
 
     a = sub.add_parser("analyze", help="deadlock/balance report")
@@ -345,6 +459,49 @@ def build_parser() -> argparse.ArgumentParser:
                         "over this many processes (0 = all cores); "
                         "results are bit-identical to serial")
     a.set_defaults(func=_cmd_analyze)
+
+    c = sub.add_parser(
+        "reconfig", help="plan a deadlock-free live transition "
+                         "(UPR-style: proven per-destination swaps)")
+    c.add_argument("--to", required=True, metavar="TARGET.topo",
+                   help="target topology file")
+    c.add_argument("--from", dest="from_topology", default=None,
+                   metavar="OLD.topo",
+                   help="old topology file (grow scenario; omit when "
+                        "the fabric is unchanged)")
+    c.add_argument("--from-tables", default=None, metavar="TABLES.json",
+                   help="surviving forwarding state (repair scenario); "
+                        "loaded against --from when given, else the "
+                        "target")
+    c.add_argument("-a", "--algorithm", default="nue",
+                   help="target routing algorithm; one of "
+                        + ", ".join(available_algorithms()))
+    c.add_argument("--from-algorithm", default=None,
+                   help="old routing algorithm (defaults to the target "
+                        "algorithm; set for live algorithm switches, "
+                        "e.g. --from-algorithm updn)")
+    c.add_argument("--vls", type=int, default=1,
+                   help="target virtual-lane budget")
+    c.add_argument("--from-vls", type=int, default=None)
+    c.add_argument("--opt", action="append", metavar="KEY=VAL",
+                   default=None,
+                   help="target algorithm config (repeatable)")
+    c.add_argument("--from-opt", action="append", metavar="KEY=VAL",
+                   default=None,
+                   help="old algorithm config (repeatable)")
+    c.add_argument("--seed", type=int, default=None)
+    c.add_argument("--from-seed", type=int, default=None)
+    c.add_argument("--strategy", default="auto",
+                   choices=["auto", "zero-drain", "drain"],
+                   help="zero-drain = fail when no compatible swap "
+                        "order exists; drain = force the barrier; "
+                        "auto = zero-drain with drain fallback")
+    c.add_argument("--workers", type=int, default=None,
+                   help="engine parallelism for the from-scratch "
+                        "target routing (0 = all cores)")
+    c.add_argument("-o", "--output", default=None,
+                   help="write the full TransitionResponse as JSON")
+    c.set_defaults(func=_cmd_reconfig)
 
     s = sub.add_parser("simulate", help="flow-level all-to-all throughput")
     s.add_argument("topology")

@@ -72,6 +72,25 @@ class NueConfig:
     verify_acyclic: bool = True
     kernel: str = "auto"
 
+    def validate(self) -> None:
+        """Eager one-line validation (the registry calls this).
+
+        An unknown partitioner, or an unknown/locally unavailable
+        kernel — including one named by a ``REPRO_KERNEL`` override
+        that ``"auto"`` would consult — fails here with the one-line
+        error, not deep inside a layer worker.
+        """
+        from repro.core.kernels import resolve_kernel
+        from repro.partition import available_partitioners
+
+        names = available_partitioners()
+        if self.partitioner not in names:
+            raise ValueError(
+                f"unknown nue partitioner {self.partitioner!r}; "
+                f"choose from {names}"
+            )
+        resolve_kernel(self.kernel)
+
 
 @dataclass(frozen=True)
 class _LayerConfig:

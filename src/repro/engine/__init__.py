@@ -30,6 +30,7 @@ from repro.engine.core import (
     resolve_workers,
     run_layer_tasks,
     set_default_workers,
+    worker_budget,
 )
 from repro.engine.fabric import (
     ShmNetworkHandle,
@@ -44,6 +45,7 @@ from repro.engine.fingerprint import network_fingerprint
 __all__ = [
     "run_layer_tasks",
     "resolve_workers",
+    "worker_budget",
     "set_default_workers",
     "get_default_workers",
     "WORKERS_ENV_VAR",

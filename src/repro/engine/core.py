@@ -100,14 +100,17 @@ def _workers_from_env() -> Optional[int]:
         return None
 
 
-def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
-    """Effective worker count for ``n_tasks`` independent tasks.
+def worker_budget(workers: Optional[int]) -> int:
+    """The configured parallelism budget, before task-count clamping.
 
     ``None`` defers to the :data:`WORKERS_ENV_VAR` environment variable
     when set (non-integer values warn and are ignored), then to
-    :func:`get_default_workers`; ``0`` means "all cores".  The result
-    is clamped to ``[1, n_tasks]`` — a pool larger than the task list
-    only adds fork overhead.
+    :func:`get_default_workers`; ``0`` means "all cores".  This is the
+    number the persistent fabric pool is sized by — deliberately *not*
+    clamped to any task count, so stages with fewer tasks than workers
+    (a 2-layer route under ``--workers 4``, a transition's small old
+    state next to its larger target) reuse one pool instead of
+    discarding and respawning it per stage.
     """
     if workers is None:
         workers = _workers_from_env()
@@ -117,7 +120,17 @@ def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
         workers = os.cpu_count() or 1
     if workers < 0:
         raise ValueError("workers must be >= 0 (0 = all cores)")
-    return max(1, min(workers, n_tasks))
+    return max(1, workers)
+
+
+def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
+    """Effective worker count for ``n_tasks`` independent tasks.
+
+    :func:`worker_budget` clamped to ``[1, n_tasks]`` — sharding work
+    over more workers than tasks only adds overhead.  Use this for
+    shard counts; pool sizing uses the unclamped budget.
+    """
+    return max(1, min(worker_budget(workers), n_tasks))
 
 
 def run_layer_tasks(
@@ -134,11 +147,12 @@ def run_layer_tasks(
     serial path (with a single warning) whenever the process pool
     cannot be used, so callers never need a platform check.
     """
-    n = resolve_workers(workers, len(tasks))
+    budget = worker_budget(workers)
+    n = max(1, min(budget, len(tasks)))
     if n <= 1:
         return [fn(ctx, task) for task in tasks]
     try:
-        return _run_pool(fn, ctx, tasks, n)
+        return _run_pool(fn, ctx, tasks, n, budget)
     except (BrokenProcessPool, pickle.PicklingError, AttributeError,
             ImportError, OSError, ValueError) as exc:
         warnings.warn(
@@ -151,7 +165,7 @@ def run_layer_tasks(
 
 
 def _collect(fn: Callable[[Any, Any], Any], packed: Any,
-             tasks: Sequence[Any], capture: bool, n: int,
+             tasks: Sequence[Any], capture: bool, pool_workers: int,
              respawn: bool) -> List[Tuple[Any, List[dict]]]:
     """Submit every task to the persistent pool; one respawn retry.
 
@@ -159,7 +173,7 @@ def _collect(fn: Callable[[Any, Any], Any], packed: Any,
     the parent only after the full task list collected, so a retry
     after ``BrokenProcessPool`` cannot double-count.
     """
-    pool = fabric.get_pool(n)
+    pool = fabric.get_pool(pool_workers)
 
     def _land(res: Tuple[Any, List[dict]]) -> Tuple[Any, List[dict]]:
         # large result arrays ride a worker scratch segment, copied
@@ -191,7 +205,8 @@ def _collect(fn: Callable[[Any, Any], Any], packed: Any,
         fabric.discard_pool(wait=False)
         if not respawn:
             raise
-        return _collect(fn, packed, tasks, capture, n, respawn=False)
+        return _collect(fn, packed, tasks, capture, pool_workers,
+                        respawn=False)
 
 
 def _run_pool(
@@ -199,12 +214,15 @@ def _run_pool(
     ctx: Any,
     tasks: Sequence[Any],
     n: int,
+    pool_workers: Optional[int] = None,
 ) -> List[Any]:
     capture = obs.enabled()
     packed, _pickled = fabric.pack_ctx(ctx)
+    pool_n = pool_workers if pool_workers is not None else n
     try:
         with obs.span("engine.pool", workers=n, tasks=len(tasks)):
-            collected = _collect(fn, packed, tasks, capture, n, respawn=True)
+            collected = _collect(fn, packed, tasks, capture, pool_n,
+                                 respawn=True)
             out: List[Any] = []
             for result, events in collected:
                 if events:

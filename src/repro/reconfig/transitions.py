@@ -1,0 +1,246 @@
+"""Transition drivers for the three ROADMAP reconfiguration scenarios.
+
+Each driver produces a :class:`TransitionOutcome` — the old and new
+routings in the *target* network's id space plus the proven
+:class:`~repro.reconfig.scheduler.MigrationPlan` between them:
+
+:func:`repair_transition`
+    Re-adding repaired links/switches (the inverse of a
+    :class:`~repro.resilience.events.FaultSchedule`): the old state is
+    a fail-in-place or degraded routing, the target is the healed
+    fabric routed from scratch.
+:func:`grow_transition`
+    The old fabric is a named sub-topology of a larger target; the old
+    tables are translated into the grown id space
+    (:func:`translate_result`) and the new destinations install fresh.
+:func:`algorithm_transition`
+    Same fabric, different routing algorithm (e.g. ``updn`` → ``nue``)
+    — the live-upgrade scenario.
+
+Old tables computed on a *different* network object (a degraded
+rebuild, a smaller predecessor) are translated by node **name** and
+per-pair parallel-channel position, the same identity fault injection
+preserves, so every driver ends in one id space where the union-CDG
+machinery of :mod:`repro.reconfig.compat` applies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.network.graph import Network, as_network
+from repro.obs import core as obs
+from repro.reconfig.compat import TransitionNotApplicable
+from repro.reconfig.scheduler import MigrationPlan, plan_transition
+from repro.routing.base import RoutingResult
+from repro.utils.prng import SeedLike
+
+__all__ = [
+    "TransitionOutcome",
+    "translate_result",
+    "drive_transition",
+    "repair_transition",
+    "grow_transition",
+    "algorithm_transition",
+]
+
+
+@dataclass
+class TransitionOutcome:
+    """One planned transition: endpoints + the proven schedule."""
+
+    scenario: str
+    old: RoutingResult
+    new: RoutingResult
+    plan: MigrationPlan
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "from_algorithm": self.old.algorithm,
+            "to_algorithm": self.new.algorithm,
+            "strategy": self.plan.strategy,
+            "compatible": self.plan.compatible,
+            "n_steps": self.plan.n_steps,
+            "n_swaps": self.plan.n_swaps,
+            "n_drains": self.plan.n_drains,
+            "proofs": self.plan.proofs,
+        }
+
+
+def _node_map(old_net: Network, target: Network) -> List[int]:
+    by_name = {name: i for i, name in enumerate(target.node_names)}
+    mapping: List[int] = []
+    for node, name in enumerate(old_net.node_names):
+        if name not in by_name:
+            raise TransitionNotApplicable(
+                f"node {name!r} of the old fabric does not exist in the "
+                "target network (transitions shrink via 'retire' steps, "
+                "not by dropping named nodes)"
+            )
+        new_id = by_name[name]
+        if old_net.is_terminal(node) != target.is_terminal(new_id):
+            raise TransitionNotApplicable(
+                f"node {name!r} changed kind between the old and target "
+                "fabrics"
+            )
+        mapping.append(new_id)
+    return mapping
+
+
+def _channel_map(old_net: Network, target: Network,
+                 nodes: List[int]) -> np.ndarray:
+    cmap = np.full(old_net.n_channels, -1, dtype=np.int64)
+    for c in range(old_net.n_channels):
+        u, v = old_net.channel_src[c], old_net.channel_dst[c]
+        olds = old_net.find_channels(u, v)
+        news = target.find_channels(nodes[u], nodes[v])
+        pos = olds.index(c)
+        if pos >= len(news):
+            raise TransitionNotApplicable(
+                f"link {old_net.node_names[u]} -- {old_net.node_names[v]} "
+                f"(parallel #{pos}) of the old fabric has no counterpart "
+                "in the target network"
+            )
+        cmap[c] = news[pos]
+    return cmap
+
+
+def translate_result(old: RoutingResult,
+                     target: Network) -> RoutingResult:
+    """Re-express old tables in a target network's id space, by name.
+
+    The old network's nodes must all exist in ``target`` (matched by
+    name, keeping their switch/terminal kind) and every old channel
+    must have a counterpart (same endpoint pair, same parallel-channel
+    position).  Rows for target nodes that did not exist in the old
+    fabric are -1 — those sources only join the fabric as the plan's
+    install steps bring their destinations live.
+    """
+    target = as_network(target)
+    if old.net is target:
+        return old
+    nodes = _node_map(old.net, target)
+    cmap = _channel_map(old.net, target, nodes)
+    rows = np.asarray(nodes, dtype=np.int64)
+    nxt = np.full((target.n_nodes, len(old.dests)), -1, dtype=np.int32)
+    vl = np.zeros((target.n_nodes, len(old.dests)), dtype=np.int8)
+    lookup = np.concatenate([cmap, [-1]]).astype(np.int32)
+    nxt[rows, :] = lookup[old.next_channel]
+    vl[rows, :] = old.vl
+    out = RoutingResult(
+        net=target,
+        dests=[nodes[d] for d in old.dests],
+        next_channel=nxt,
+        vl=vl,
+        n_vls=old.n_vls,
+        algorithm=old.algorithm,
+        runtime_s=old.runtime_s,
+    )
+    out.stats = dict(old.stats)
+    return out
+
+
+def _route_target(target: Network, algorithm: str, max_vls: int,
+                  config: Optional[Dict[str, Any]], seed: SeedLike,
+                  workers: Optional[int]) -> RoutingResult:
+    from repro.routing.registry import make_algorithm
+
+    algo = make_algorithm(algorithm, max_vls=max_vls, workers=workers,
+                          **(config or {}))
+    return algo.route(target, seed=seed)
+
+
+def drive_transition(
+    scenario: str, old: RoutingResult, target: Network,
+    algorithm: str, max_vls: int, config: Optional[Dict[str, Any]],
+    seed: SeedLike, workers: Optional[int],
+    strategy: str,
+) -> TransitionOutcome:
+    """The shared driver every scenario (and the RPC executor) uses:
+    translate the old tables into the target's id space, route the
+    target from scratch, and plan the proven swap sequence."""
+    with obs.span("reconfig.transition", scenario=scenario,
+                  algorithm=algorithm):
+        old_t = translate_result(old, target)
+        new = _route_target(target, algorithm, max_vls, config, seed,
+                            workers)
+        plan = plan_transition(old_t, new, strategy=strategy)
+        if obs.enabled():
+            obs.count("reconfig.transitions")
+    return TransitionOutcome(scenario=scenario, old=old_t, new=new,
+                             plan=plan)
+
+
+def repair_transition(
+    old: RoutingResult,
+    healed: Optional[Network] = None,
+    *,
+    algorithm: str = "nue",
+    max_vls: int = 1,
+    config: Optional[Dict[str, Any]] = None,
+    seed: SeedLike = None,
+    workers: Optional[int] = None,
+    strategy: str = "auto",
+) -> TransitionOutcome:
+    """Plan the return to a healed fabric after fail-in-place repairs.
+
+    ``old`` is the surviving forwarding state — a fail-in-place result
+    (tables in the full network's id space, failed channels unused) or
+    a routing of a degraded rebuild (translated by name).  ``healed``
+    is the repaired target network and defaults to ``old.net``, which
+    is exactly the fail-in-place case: the fabric's ids never changed,
+    only the set of usable channels did.  The target is routed from
+    scratch, so the post-transition tables are bit-identical to routing
+    the healed network directly.
+    """
+    target = as_network(healed) if healed is not None else old.net
+    return drive_transition("repair", old, target, algorithm,
+                            max_vls, config, seed, workers, strategy)
+
+
+def grow_transition(
+    old: RoutingResult,
+    grown: Network,
+    *,
+    algorithm: str = "nue",
+    max_vls: int = 1,
+    config: Optional[Dict[str, Any]] = None,
+    seed: SeedLike = None,
+    workers: Optional[int] = None,
+    strategy: str = "auto",
+) -> TransitionOutcome:
+    """Plan the expansion onto a grown fabric.
+
+    Every node of ``old.net`` must exist (by name) in ``grown``; new
+    destinations have no old column and install fresh, new source rows
+    stay -1 in intermediate states until their destinations activate.
+    """
+    return drive_transition("grow", old, as_network(grown), algorithm,
+                            max_vls, config, seed, workers, strategy)
+
+
+def algorithm_transition(
+    net: Network,
+    *,
+    from_algorithm: str,
+    to_algorithm: str,
+    from_max_vls: int = 1,
+    to_max_vls: int = 1,
+    from_config: Optional[Dict[str, Any]] = None,
+    to_config: Optional[Dict[str, Any]] = None,
+    from_seed: SeedLike = None,
+    to_seed: SeedLike = None,
+    workers: Optional[int] = None,
+    strategy: str = "auto",
+) -> TransitionOutcome:
+    """Plan a live routing-algorithm switch on an unchanged fabric."""
+    net = as_network(net)
+    old = _route_target(net, from_algorithm, from_max_vls, from_config,
+                        from_seed, workers)
+    return drive_transition("algorithm", old, net, to_algorithm,
+                            to_max_vls, to_config, to_seed, workers,
+                            strategy)

@@ -30,6 +30,7 @@ from repro.routing.dfsssp import DFSSSPRouting
 from repro.routing.registry import (
     available_algorithms,
     algorithm_descriptions,
+    build_config,
     make_algorithm,
     register,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "LASHRouting",
     "DFSSSPRouting",
     "make_algorithm",
+    "build_config",
     "register",
     "available_algorithms",
     "algorithm_descriptions",

@@ -17,6 +17,7 @@ paper's Fig. 1b.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -33,7 +34,19 @@ from repro.routing.sssp import (
 from repro.routing.layering import break_cycles_into_layers
 from repro.utils.prng import SeedLike
 
-__all__ = ["DFSSSPRouting"]
+__all__ = ["DFSSSPConfig", "DFSSSPRouting"]
+
+
+@dataclass(frozen=True)
+class DFSSSPConfig:
+    """Config of ``dfsssp``: OpenSM's spread-over-all-VLs behaviour.
+
+    ``spread_layers`` redistributes pairs round-robin over unused
+    layers after cycle breaking — off by default so ``n_vls`` reports
+    the *required* count.
+    """
+
+    spread_layers: bool = False
 
 
 def _pair_paths_task(

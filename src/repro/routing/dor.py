@@ -14,6 +14,7 @@ engine behaves the same on degraded tori).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,7 +30,12 @@ from repro.routing.base import (
 )
 from repro.utils.prng import SeedLike
 
-__all__ = ["DORRouting", "dor_direction", "TorusGeometry"]
+__all__ = ["DORRouting", "dor_direction", "TorusGeometry", "DORConfig"]
+
+
+@dataclass(frozen=True)
+class DORConfig:
+    """``dor`` takes no extra configuration."""
 
 
 def dor_direction(

@@ -16,6 +16,7 @@ Applies only to networks produced by
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -29,7 +30,12 @@ from repro.routing.base import (
 )
 from repro.utils.prng import SeedLike
 
-__all__ = ["FatTreeRouting"]
+__all__ = ["FatTreeRouting", "FatTreeConfig"]
+
+
+@dataclass(frozen=True)
+class FatTreeConfig:
+    """``ftree`` takes no extra configuration."""
 
 
 def _tree_info(net: Network) -> Tuple[int, int, Dict[int, Tuple[int, List[int]]]]:

@@ -13,6 +13,7 @@ large tori.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -24,7 +25,12 @@ from repro.routing.layering import GreedyLayerAssigner
 from repro.routing.sssp import bfs_tree_balanced
 from repro.utils.prng import SeedLike
 
-__all__ = ["LASHRouting"]
+__all__ = ["LASHRouting", "LASHConfig"]
+
+
+@dataclass(frozen=True)
+class LASHConfig:
+    """``lash`` takes no extra configuration."""
 
 
 class LASHRouting(RoutingAlgorithm):

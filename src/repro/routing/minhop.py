@@ -16,6 +16,7 @@ bit-identical to the serial loop for any worker count.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +28,12 @@ from repro.routing.base import RoutingAlgorithm, RoutingResult
 from repro.routing.sssp import bfs_hops, select_balanced_rows
 from repro.utils.prng import SeedLike
 
-__all__ = ["MinHopRouting"]
+__all__ = ["MinHopRouting", "MinHopConfig"]
+
+
+@dataclass(frozen=True)
+class MinHopConfig:
+    """``minhop`` takes no extra configuration."""
 
 
 def _hops_task(net: Network, dest_shard: Sequence[int]) -> np.ndarray:

@@ -23,11 +23,27 @@ virtual layers over the :mod:`repro.engine` pool, the order-dependent
 baselines accept-and-ignore it.  ``cache=True`` installs the global
 :mod:`repro.engine` route cache as a convenience.
 
-Third-party algorithms can join via the :func:`register` decorator::
+Every built-in algorithm exposes a frozen ``Config`` dataclass (e.g.
+:class:`~repro.core.nue.NueConfig`,
+:class:`~repro.routing.updn.UpDownConfig`) registered as the spec's
+``config_cls`` — :func:`make_algorithm` validates the keyword names
+against its fields, constructs it, and calls its ``validate()`` method
+(when defined) before any routing work starts.
+:func:`build_config` exposes the same validation standalone (the CLI
+and ``RouteRequest.config`` round-trip tests use it).
+
+Third-party algorithms can join via the :func:`register` decorator —
+either the legacy kwargs form::
 
     @register("my-routing", description="...")
     def _make(max_vls, workers, **config):
         return MyRouting(max_vls, workers=workers)
+
+or the typed form, where the factory receives the validated instance::
+
+    @register("my-routing", description="...", config_cls=MyConfig)
+    def _make(max_vls, workers, config):
+        return MyRouting(max_vls, config, workers=workers)
 """
 
 from __future__ import annotations
@@ -41,6 +57,7 @@ from repro.routing.base import RoutingAlgorithm
 __all__ = [
     "register",
     "make_algorithm",
+    "build_config",
     "available_algorithms",
     "algorithm_descriptions",
     "AlgorithmSpec",
@@ -56,6 +73,10 @@ class AlgorithmSpec:
     description: str = ""
     #: hard floor on the VC budget (Torus-2QoS needs 2 data VLs)
     min_vls: int = 1
+    #: frozen dataclass of the algorithm's config keywords; ``None``
+    #: keeps the legacy ``factory(max_vls, workers, **config)`` calling
+    #: convention for third-party registrations
+    config_cls: Optional[type] = None
 
 
 _REGISTRY: Dict[str, AlgorithmSpec] = {}
@@ -66,9 +87,16 @@ def register(
     *,
     description: str = "",
     min_vls: int = 1,
+    config_cls: Optional[type] = None,
 ) -> Callable[[Callable[..., RoutingAlgorithm]],
               Callable[..., RoutingAlgorithm]]:
-    """Decorator registering ``factory(max_vls, workers, **config)``."""
+    """Decorator registering an algorithm factory.
+
+    With ``config_cls`` the factory is called as ``factory(max_vls,
+    workers, config)`` where ``config`` is the validated dataclass
+    instance; without it the legacy ``factory(max_vls, workers,
+    **config)`` convention applies.
+    """
 
     def deco(
         factory: Callable[..., RoutingAlgorithm]
@@ -78,10 +106,46 @@ def register(
             factory=factory,
             description=description,
             min_vls=min_vls,
+            config_cls=config_cls,
         )
         return factory
 
     return deco
+
+
+def build_config(name: str, **config: object) -> Optional[object]:
+    """Validate + construct algorithm ``name``'s config dataclass.
+
+    The eager one-line validation of :func:`make_algorithm`, standalone:
+    unknown keys raise a ``ValueError`` naming the valid choices, then
+    the instance's own ``validate()`` runs (when defined).  Returns
+    ``None`` for legacy registrations without a ``config_cls``.
+    """
+    _ensure_builtins()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; choose from "
+            f"{available_algorithms()}"
+        )
+    if spec.config_cls is None:
+        return None
+    valid = sorted(f.name for f in dataclasses.fields(spec.config_cls))
+    unknown = sorted(set(config) - set(valid))
+    if unknown:
+        if valid:
+            raise ValueError(
+                f"unknown {name} option(s) {unknown}; valid: {valid}"
+            )
+        raise ValueError(
+            f"unknown {name} option(s) {unknown}; "
+            f"{name} takes no extra configuration"
+        )
+    cfg = spec.config_cls(**config)
+    validate = getattr(cfg, "validate", None)
+    if callable(validate):
+        validate()
+    return cfg
 
 
 def available_algorithms() -> List[str]:
@@ -134,20 +198,18 @@ def make_algorithm(
 
         if active_route_cache() is None:
             enable_route_cache()
+    if spec.config_cls is not None:
+        cfg = build_config(name, **config)
+        return spec.factory(
+            max_vls=max(spec.min_vls, max_vls), workers=workers,
+            config=cfg,
+        )
     return spec.factory(
         max_vls=max(spec.min_vls, max_vls), workers=workers, **config
     )
 
 
 # -- built-in registrations ----------------------------------------------------
-
-
-def _no_config(name: str, config: Dict[str, object]) -> None:
-    if config:
-        raise ValueError(
-            f"unknown {name} option(s) {sorted(config)}; "
-            f"{name} takes no extra configuration"
-        )
 
 
 _builtins_registered = False
@@ -164,97 +226,68 @@ def _ensure_builtins() -> None:
     if _builtins_registered:
         return
     _builtins_registered = True
-    from repro.core.kernels import available_kernels, resolve_kernel
+    from repro.core.kernels import available_kernels
     from repro.core.nue import NueConfig, NueRouting
-    from repro.partition import available_partitioners
-    from repro.routing.dfsssp import DFSSSPRouting
-    from repro.routing.dor import DORRouting
-    from repro.routing.ftree import FatTreeRouting
-    from repro.routing.lash import LASHRouting
-    from repro.routing.minhop import MinHopRouting
-    from repro.routing.torus2qos import Torus2QoSRouting
-    from repro.routing.updn import DownUpRouting, UpDownRouting
+    from repro.routing.dfsssp import DFSSSPConfig, DFSSSPRouting
+    from repro.routing.dor import DORConfig, DORRouting
+    from repro.routing.ftree import FatTreeConfig, FatTreeRouting
+    from repro.routing.lash import LASHConfig, LASHRouting
+    from repro.routing.minhop import MinHopConfig, MinHopRouting
+    from repro.routing.torus2qos import Torus2QoSConfig, Torus2QoSRouting
+    from repro.routing.updn import (
+        DownUpRouting,
+        UpDownConfig,
+        UpDownRouting,
+    )
 
-    nue_keys = sorted(f.name for f in dataclasses.fields(NueConfig))
-
-    @register("nue", description="this paper: complete-CDG Dijkstra, "
-                                 "deadlock-free at any k >= 1 (kernels: "
-                                 + ", ".join(available_kernels()) + ")")
+    @register("nue", config_cls=NueConfig,
+              description="this paper: complete-CDG Dijkstra, "
+                          "deadlock-free at any k >= 1 (kernels: "
+                          + ", ".join(available_kernels()) + ")")
     def _make_nue(max_vls: int, workers: Optional[int],
-                  **config: object) -> RoutingAlgorithm:
-        unknown = sorted(set(config) - set(nue_keys))
-        if unknown:
-            raise ValueError(
-                f"unknown nue option(s) {unknown}; valid: {nue_keys}"
-            )
-        partitioner = config.get("partitioner", "kway")
-        names = available_partitioners()
-        if partitioner not in names:
-            raise ValueError(
-                f"unknown nue partitioner {partitioner!r}; "
-                f"choose from {names}"
-            )
-        # eager, like every other config key: an unknown or locally
-        # unavailable kernel — including one named by a REPRO_KERNEL
-        # override that "auto" would consult — fails here with the
-        # one-line error, not deep inside a layer worker
-        resolve_kernel(config.get("kernel", "auto"))
-        return NueRouting(max_vls, NueConfig(**config),  # type: ignore[arg-type]
-                          workers=workers)
+                  config: NueConfig) -> RoutingAlgorithm:
+        return NueRouting(max_vls, config, workers=workers)
 
-    @register("dfsssp", description="balanced SSSP + cycle-breaking "
-                                    "layer assignment")
+    @register("dfsssp", config_cls=DFSSSPConfig,
+              description="balanced SSSP + cycle-breaking "
+                          "layer assignment")
     def _make_dfsssp(max_vls: int, workers: Optional[int],
-                     **config: object) -> RoutingAlgorithm:
-        unknown = sorted(set(config) - {"spread_layers"})
-        if unknown:
-            raise ValueError(
-                f"unknown dfsssp option(s) {unknown}; "
-                "valid: ['spread_layers']"
-            )
-        return DFSSSPRouting(max_vls, workers=workers, **config)  # type: ignore[arg-type]
+                     config: DFSSSPConfig) -> RoutingAlgorithm:
+        return DFSSSPRouting(max_vls, workers=workers,
+                             spread_layers=config.spread_layers)
 
-    @register("updn", description="Up*/Down* BFS-tree turn restriction")
+    @register("updn", config_cls=UpDownConfig,
+              description="Up*/Down* BFS-tree turn restriction")
     def _make_updn(max_vls: int, workers: Optional[int],
-                   **config: object) -> RoutingAlgorithm:
-        unknown = sorted(set(config) - {"root"})
-        if unknown:
-            raise ValueError(
-                f"unknown updn option(s) {unknown}; valid: ['root']"
-            )
-        return UpDownRouting(max_vls, workers=workers, **config)  # type: ignore[arg-type]
+                   config: UpDownConfig) -> RoutingAlgorithm:
+        return UpDownRouting(max_vls, root=config.root, workers=workers)
 
-    @register("dnup", description="Down*/Up* (inverted rule)")
+    @register("dnup", config_cls=UpDownConfig,
+              description="Down*/Up* (inverted rule)")
     def _make_dnup(max_vls: int, workers: Optional[int],
-                   **config: object) -> RoutingAlgorithm:
-        unknown = sorted(set(config) - {"root"})
-        if unknown:
-            raise ValueError(
-                f"unknown dnup option(s) {unknown}; valid: ['root']"
-            )
-        return DownUpRouting(max_vls, workers=workers, **config)  # type: ignore[arg-type]
+                   config: UpDownConfig) -> RoutingAlgorithm:
+        return DownUpRouting(max_vls, root=config.root, workers=workers)
 
     simple = {
-        "minhop": (MinHopRouting,
+        "minhop": (MinHopRouting, MinHopConfig,
                    "balanced minimal paths, no deadlock avoidance"),
-        "dor": (DORRouting,
+        "dor": (DORRouting, DORConfig,
                 "dimension-order routing on tori/meshes"),
-        "ftree": (FatTreeRouting, "d-mod-k fat-tree routing"),
-        "lash": (LASHRouting,
+        "ftree": (FatTreeRouting, FatTreeConfig,
+                  "d-mod-k fat-tree routing"),
+        "lash": (LASHRouting, LASHConfig,
                  "minimal paths + greedy layer assignment"),
     }
-    for algo_name, (cls, desc) in simple.items():
+    for algo_name, (cls, cfg_cls, desc) in simple.items():
         def _make_simple(max_vls: int, workers: Optional[int],
-                         _cls=cls, _name=algo_name,
-                         **config: object) -> RoutingAlgorithm:
-            _no_config(_name, config)
+                         config: object, _cls=cls) -> RoutingAlgorithm:
             return _cls(max_vls, workers=workers)
 
-        register(algo_name, description=desc)(_make_simple)
+        register(algo_name, description=desc,
+                 config_cls=cfg_cls)(_make_simple)
 
-    @register("torus-2qos", min_vls=2,
+    @register("torus-2qos", min_vls=2, config_cls=Torus2QoSConfig,
               description="fault-tolerant dateline DOR, 2 VLs, tori only")
     def _make_t2q(max_vls: int, workers: Optional[int],
-                  **config: object) -> RoutingAlgorithm:
-        _no_config("torus-2qos", config)
+                  config: Torus2QoSConfig) -> RoutingAlgorithm:
         return Torus2QoSRouting(max_vls, workers=workers)

@@ -23,6 +23,7 @@ simulator both consume that.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,7 +39,12 @@ from repro.routing.base import (
 from repro.routing.dor import TorusGeometry, dor_direction
 from repro.utils.prng import SeedLike
 
-__all__ = ["Torus2QoSRouting", "TorusQoSResult"]
+__all__ = ["Torus2QoSRouting", "TorusQoSResult", "Torus2QoSConfig"]
+
+
+@dataclass(frozen=True)
+class Torus2QoSConfig:
+    """``torus-2qos`` takes no extra configuration."""
 
 
 def _arc_passable(

@@ -33,6 +33,7 @@ since ``id < n_nodes``), so hop direction is a single comparison.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,7 +45,26 @@ from repro.routing.base import RoutingAlgorithm, RoutingError, RoutingResult
 from repro.routing.sssp import select_balanced_rows
 from repro.utils.prng import SeedLike
 
-__all__ = ["UpDownRouting", "DownUpRouting", "pick_tree_root"]
+__all__ = ["UpDownConfig", "UpDownRouting", "DownUpRouting",
+           "pick_tree_root"]
+
+
+@dataclass(frozen=True)
+class UpDownConfig:
+    """Config of ``updn``/``dnup``: the (optional) explicit tree root.
+
+    ``root=None`` auto-selects the minimum-eccentricity switch
+    (:func:`pick_tree_root`), mirroring OpenSM.
+    """
+
+    root: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.root is not None and (not isinstance(self.root, int)
+                                      or self.root < 0):
+            raise ValueError(
+                f"updn root must be a non-negative node id, "
+                f"got {self.root!r}")
 
 
 def pick_tree_root(net: Network) -> int:

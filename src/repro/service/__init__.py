@@ -1,7 +1,8 @@
 """Routing-as-a-service: the async RPC layer over the shm fabric.
 
 A long-lived daemon (:class:`RoutingService`, ``repro serve``) serving
-``route`` / ``analyze`` / ``campaign`` RPCs over pluggable transports
+``route`` / ``analyze`` / ``campaign`` / ``reroute`` / ``transition``
+RPCs over pluggable transports
 (``inproc://`` for deterministic tests, ``tcp://`` / ``unix://`` for
 real deployments), with typed requests/responses shared with the
 in-process :mod:`repro.api` facade.  See ``docs/service.md`` for the
@@ -30,13 +31,22 @@ from repro.service.requests import (
     AnalyzeResponse,
     CampaignRequest,
     CampaignResponse,
+    RerouteRequest,
+    RerouteResponse,
     RouteRequest,
     RouteResponse,
+    TransitionRequest,
+    TransitionResponse,
     analyze,
+    campaign,
     execute_analyze,
     execute_campaign,
+    execute_reroute,
     execute_route,
+    execute_transition,
+    reroute,
     route,
+    transition,
 )
 
 __all__ = [
@@ -63,9 +73,18 @@ __all__ = [
     "AnalyzeResponse",
     "CampaignRequest",
     "CampaignResponse",
+    "RerouteRequest",
+    "RerouteResponse",
+    "TransitionRequest",
+    "TransitionResponse",
     "route",
     "analyze",
+    "campaign",
+    "reroute",
+    "transition",
     "execute_route",
     "execute_analyze",
     "execute_campaign",
+    "execute_reroute",
+    "execute_transition",
 ]

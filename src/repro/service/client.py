@@ -32,8 +32,12 @@ from repro.service.requests import (
     AnalyzeResponse,
     CampaignRequest,
     CampaignResponse,
+    RerouteRequest,
+    RerouteResponse,
     RouteRequest,
     RouteResponse,
+    TransitionRequest,
+    TransitionResponse,
 )
 
 __all__ = ["AsyncServiceClient", "ServiceClient"]
@@ -146,6 +150,18 @@ class AsyncServiceClient:
         result = await self.call("campaign", request.to_dict(), timeout)
         return CampaignResponse.from_dict(result)
 
+    async def reroute(self, request: RerouteRequest,
+                      timeout: float = DEFAULT_TIMEOUT_S
+                      ) -> RerouteResponse:
+        result = await self.call("reroute", request.to_dict(), timeout)
+        return RerouteResponse.from_dict(result)
+
+    async def transition(self, request: TransitionRequest,
+                         timeout: float = DEFAULT_TIMEOUT_S
+                         ) -> TransitionResponse:
+        result = await self.call("transition", request.to_dict(), timeout)
+        return TransitionResponse.from_dict(result)
+
     async def status(self, timeout: float = 30.0) -> Dict[str, Any]:
         return await self.call("status", timeout=timeout)
 
@@ -218,6 +234,16 @@ class ServiceClient:
     def campaign(self, request: CampaignRequest,
                  timeout: float = DEFAULT_TIMEOUT_S) -> CampaignResponse:
         return self._run(self._async.campaign(request, timeout), timeout)
+
+    def reroute(self, request: RerouteRequest,
+                timeout: float = DEFAULT_TIMEOUT_S) -> RerouteResponse:
+        return self._run(self._async.reroute(request, timeout), timeout)
+
+    def transition(self, request: TransitionRequest,
+                   timeout: float = DEFAULT_TIMEOUT_S
+                   ) -> TransitionResponse:
+        return self._run(self._async.transition(request, timeout),
+                         timeout)
 
     def status(self, timeout: float = 30.0) -> Dict[str, Any]:
         return self._run(self._async.status(timeout), timeout)

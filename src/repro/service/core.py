@@ -58,10 +58,14 @@ from repro.service.protocol import (
 from repro.service.requests import (
     AnalyzeRequest,
     CampaignRequest,
+    RerouteRequest,
     RouteRequest,
+    TransitionRequest,
     execute_analyze,
     execute_campaign,
+    execute_reroute,
     execute_route,
+    execute_transition,
 )
 
 __all__ = ["RoutingService", "serve_in_thread"]
@@ -118,7 +122,8 @@ class _NetworkCache:
 
 
 class RoutingService:
-    """The async RPC daemon serving route/analyze/campaign.
+    """The async RPC daemon serving
+    route/analyze/campaign/reroute/transition.
 
     Parameters
     ----------
@@ -331,9 +336,25 @@ class RoutingService:
                     request, workers=self.workers, net=net,
                     fingerprint=fp))
             return response.to_dict()
+        if op == "reroute":
+            request = RerouteRequest.from_dict(payload)
+            response = await self._coalesced(
+                "reroute", request,
+                lambda net, fp: execute_reroute(
+                    request, workers=self.workers, net=net,
+                    fingerprint=fp))
+            return response.to_dict()
+        if op == "transition":
+            request = TransitionRequest.from_dict(payload)
+            response = await self._coalesced(
+                "transition", request,
+                lambda net, fp: execute_transition(
+                    request, workers=self.workers, net=net,
+                    fingerprint=fp))
+            return response.to_dict()
         raise ServiceBadRequest(
             f"unknown op {op!r}; known: route, analyze, campaign, "
-            f"status, ping")
+            f"reroute, transition, status, ping")
 
     def _status(self) -> Dict[str, Any]:
         snap = obs_snapshot()

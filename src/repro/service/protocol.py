@@ -228,6 +228,8 @@ def _library_errors() -> Dict[str, type]:
     routing subsystem (the client is usable in thin processes).
     """
     from repro.metrics.validate import ValidationError
+    from repro.reconfig import TransitionIncompatible, TransitionNotApplicable
+    from repro.resilience import IncrementalNotApplicable
     from repro.routing import NotApplicableError, RoutingError
 
     return {
@@ -235,6 +237,9 @@ def _library_errors() -> Dict[str, type]:
         "NotApplicableError": NotApplicableError,
         "ValidationError": ValidationError,
         "ValueError": ValueError,
+        "IncrementalNotApplicable": IncrementalNotApplicable,
+        "TransitionIncompatible": TransitionIncompatible,
+        "TransitionNotApplicable": TransitionNotApplicable,
     }
 
 

@@ -38,11 +38,20 @@ __all__ = [
     "AnalyzeResponse",
     "CampaignRequest",
     "CampaignResponse",
+    "RerouteRequest",
+    "RerouteResponse",
+    "TransitionRequest",
+    "TransitionResponse",
     "execute_route",
     "execute_analyze",
     "execute_campaign",
+    "execute_reroute",
+    "execute_transition",
     "route",
     "analyze",
+    "campaign",
+    "reroute",
+    "transition",
 ]
 
 #: bump on any incompatible message-shape change; servers reject
@@ -419,6 +428,349 @@ class CampaignResponse:
         )
 
 
+@dataclass
+class RerouteRequest:
+    """One incremental fail-in-place repair (cf.
+    :func:`repro.resilience.incremental_reroute`).
+
+    ``failed_links`` is the cumulative set of failed links as endpoint
+    *name* pairs — the wire-stable identity fault injection preserves.
+    The prior routing is recomputed from ``(algorithm=nue, max_vls,
+    config, seed)``, the contract ``incremental_reroute`` requires
+    anyway, so the request stays small and bit-reproducible.
+    """
+
+    topology: Union[str, Network]
+    failed_links: List[Tuple[str, str]] = field(default_factory=list)
+    max_vls: int = 1
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    workers: Optional[int] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self.topology = _topology_text(self.topology)
+        self.failed_links = [(str(u), str(v))
+                             for u, v in self.failed_links]
+
+    def network(self) -> Network:
+        from repro.io.topofile import parse_topology
+
+        return parse_topology(self.topology)
+
+    def failed_channels(self, net: Network) -> List[int]:
+        """Directed-channel ids of ``failed_links`` in ``net``."""
+        from repro.resilience.events import FaultEvent
+
+        event = FaultEvent(time=0.0, links=tuple(self.failed_links))
+        channels: List[int] = []
+        for li in event.resolve_links(net):
+            channels.extend((2 * li, 2 * li + 1))
+        return channels
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "failed_links": [list(pair) for pair in self.failed_links],
+            "max_vls": self.max_vls,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "workers": self.workers,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RerouteRequest":
+        _check_version(data, "RerouteRequest")
+        topology = data.get("topology")
+        if not isinstance(topology, str):
+            raise ServiceBadRequest(
+                "RerouteRequest needs topofile 'topology' text")
+        links = data.get("failed_links") or []
+        try:
+            failed = [(str(u), str(v)) for u, v in links]
+        except (TypeError, ValueError):
+            raise ServiceBadRequest(
+                "RerouteRequest.failed_links must be [name, name] pairs")
+        return cls(
+            topology=topology,
+            failed_links=failed,
+            max_vls=int(data.get("max_vls", 1)),
+            config=dict(data.get("config") or {}),
+            seed=data.get("seed"),
+            workers=data.get("workers"),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+    def coalesce_key(self, fingerprint: str) -> Tuple:
+        return (
+            fingerprint, "reroute", tuple(self.failed_links),
+            self.max_vls, _config_key(self.config), self.seed,
+        )
+
+
+@dataclass
+class RerouteResponse:
+    """Repaired forwarding state + the repair statistics."""
+
+    route: RouteResponse
+    stats: Dict[str, Any]
+    network_fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "route": self.route.to_dict(),
+            "stats": dict(self.stats),
+            "network_fingerprint": self.network_fingerprint,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RerouteResponse":
+        _check_version(data, "RerouteResponse")
+        route = data.get("route")
+        if not isinstance(route, dict):
+            raise ServiceBadRequest(
+                "RerouteResponse needs a 'route' response dict")
+        return cls(
+            route=RouteResponse.from_dict(route),
+            stats=dict(data.get("stats") or {}),
+            network_fingerprint=str(data.get("network_fingerprint", "")),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+
+@dataclass
+class TransitionRequest:
+    """One planned transition onto a target fabric/routing.
+
+    ``topology``/``algorithm``/``max_vls``/``config``/``seed`` describe
+    the *target* state; the ``from_*`` fields describe where the fabric
+    is coming from and select the scenario (:meth:`scenario`):
+
+    * ``from_tables`` set — **repair**: the surviving forwarding state
+      travels as a :class:`RouteResponse` dict (fail-in-place tables in
+      ``from_topology``'s id space, or the target's when
+      ``from_topology`` is omitted);
+    * ``from_topology`` set (no tables) — **grow**: the old fabric is
+      routed with the ``from_*`` knobs and translated by node name;
+    * neither — **algorithm**: a live routing switch on the unchanged
+      target fabric.
+
+    ``from_algorithm``/``from_max_vls``/``from_seed`` default to the
+    target's values; ``from_config`` defaults to ``config`` only when
+    the algorithms match.
+    """
+
+    topology: Union[str, Network]
+    algorithm: str = "nue"
+    max_vls: int = 1
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    from_topology: Optional[Union[str, Network]] = None
+    from_algorithm: Optional[str] = None
+    from_max_vls: Optional[int] = None
+    from_config: Optional[Dict[str, Any]] = None
+    from_seed: Optional[int] = None
+    from_tables: Optional[Union[RouteResponse, Dict[str, Any]]] = None
+    strategy: str = "auto"
+    workers: Optional[int] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        self.topology = _topology_text(self.topology)
+        if self.from_topology is not None:
+            self.from_topology = _topology_text(self.from_topology)
+        if isinstance(self.from_tables, dict):
+            self.from_tables = RouteResponse.from_dict(self.from_tables)
+
+    def scenario(self) -> str:
+        if self.from_tables is not None:
+            return "repair"
+        if self.from_topology is not None:
+            return "grow"
+        return "algorithm"
+
+    def network(self) -> Network:
+        """The *target* network (the coalescing/fingerprint anchor)."""
+        from repro.io.topofile import parse_topology
+
+        return parse_topology(self.topology)
+
+    def from_network(self) -> Optional[Network]:
+        if self.from_topology is None:
+            return None
+        from repro.io.topofile import parse_topology
+
+        return parse_topology(self.from_topology)
+
+    def resolved_from(self) -> Tuple[str, int, Dict[str, Any],
+                                     Optional[int]]:
+        """``(algorithm, max_vls, config, seed)`` of the old state."""
+        algorithm = self.from_algorithm or self.algorithm
+        max_vls = self.from_max_vls \
+            if self.from_max_vls is not None else self.max_vls
+        if self.from_config is not None:
+            config = dict(self.from_config)
+        else:
+            config = dict(self.config) if algorithm == self.algorithm \
+                else {}
+        seed = self.from_seed if self.from_seed is not None else self.seed
+        return algorithm, max_vls, config, seed
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "max_vls": self.max_vls,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "from_topology": self.from_topology,
+            "from_algorithm": self.from_algorithm,
+            "from_max_vls": self.from_max_vls,
+            "from_config": dict(self.from_config)
+            if self.from_config is not None else None,
+            "from_seed": self.from_seed,
+            "from_tables": self.from_tables.to_dict()
+            if self.from_tables is not None else None,
+            "strategy": self.strategy,
+            "workers": self.workers,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransitionRequest":
+        _check_version(data, "TransitionRequest")
+        topology = data.get("topology")
+        if not isinstance(topology, str):
+            raise ServiceBadRequest(
+                "TransitionRequest needs topofile 'topology' text "
+                "(the target fabric)")
+        from_topology = data.get("from_topology")
+        if from_topology is not None and not isinstance(from_topology, str):
+            raise ServiceBadRequest(
+                "TransitionRequest.from_topology must be topofile text "
+                "on the wire")
+        from_tables = data.get("from_tables")
+        if from_tables is not None and not isinstance(from_tables, dict):
+            raise ServiceBadRequest(
+                "TransitionRequest.from_tables must be a RouteResponse "
+                "dict")
+        from_config = data.get("from_config")
+        return cls(
+            topology=topology,
+            algorithm=str(data.get("algorithm", "nue")),
+            max_vls=int(data.get("max_vls", 1)),
+            config=dict(data.get("config") or {}),
+            seed=data.get("seed"),
+            from_topology=from_topology,
+            from_algorithm=data.get("from_algorithm"),
+            from_max_vls=data.get("from_max_vls"),
+            from_config=dict(from_config)
+            if from_config is not None else None,
+            from_seed=data.get("from_seed"),
+            from_tables=from_tables,
+            strategy=str(data.get("strategy", "auto")),
+            workers=data.get("workers"),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+    def coalesce_key(self, fingerprint: str) -> Tuple:
+        """Everything that determines the plan (``workers`` excluded).
+
+        ``from_tables`` can be large, so it enters the key as a digest
+        of its canonical JSON rather than the nested lists themselves.
+        """
+        import hashlib
+        import json
+
+        tables_digest = None
+        if self.from_tables is not None:
+            blob = json.dumps(self.from_tables.to_dict(), sort_keys=True)
+            tables_digest = hashlib.blake2b(
+                blob.encode(), digest_size=16).hexdigest()
+        return (
+            fingerprint, "transition", self.algorithm, self.max_vls,
+            _config_key(self.config), self.seed,
+            self.from_topology, self.from_algorithm, self.from_max_vls,
+            _config_key(self.from_config)
+            if self.from_config is not None else None,
+            self.from_seed, tables_digest, self.strategy,
+        )
+
+
+@dataclass
+class TransitionResponse:
+    """The proven migration plan + the target forwarding state.
+
+    ``plan`` is the full :class:`~repro.reconfig.MigrationPlan` wire
+    dict (:meth:`migration_plan` rebuilds the object); ``route`` is the
+    post-transition state, bit-identical to routing the target from
+    scratch.
+    """
+
+    scenario: str
+    strategy: str
+    compatible: bool
+    n_steps: int
+    n_swaps: int
+    n_drains: int
+    proofs: int
+    blocked_candidates: int
+    plan: Dict[str, Any]
+    route: RouteResponse
+    network_fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+
+    def migration_plan(self) -> "Any":
+        from repro.reconfig import MigrationPlan
+
+        return MigrationPlan.from_dict(self.plan)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "strategy": self.strategy,
+            "compatible": self.compatible,
+            "n_steps": self.n_steps,
+            "n_swaps": self.n_swaps,
+            "n_drains": self.n_drains,
+            "proofs": self.proofs,
+            "blocked_candidates": self.blocked_candidates,
+            "plan": dict(self.plan),
+            "route": self.route.to_dict(),
+            "network_fingerprint": self.network_fingerprint,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransitionResponse":
+        _check_version(data, "TransitionResponse")
+        route = data.get("route")
+        if not isinstance(route, dict):
+            raise ServiceBadRequest(
+                "TransitionResponse needs a 'route' response dict")
+        return cls(
+            scenario=str(data["scenario"]),
+            strategy=str(data["strategy"]),
+            compatible=bool(data.get("compatible", False)),
+            n_steps=int(data.get("n_steps", 0)),
+            n_swaps=int(data.get("n_swaps", 0)),
+            n_drains=int(data.get("n_drains", 0)),
+            proofs=int(data.get("proofs", 0)),
+            blocked_candidates=int(data.get("blocked_candidates", 0)),
+            plan=dict(data.get("plan") or {}),
+            route=RouteResponse.from_dict(route),
+            network_fingerprint=str(data.get("network_fingerprint", "")),
+            schema_version=int(data.get("schema_version",
+                                        SCHEMA_VERSION)),
+        )
+
+
 # -- shared executors ---------------------------------------------------------
 #
 # The single implementation both call paths use.  The daemon invokes
@@ -518,12 +870,88 @@ def execute_campaign(request: CampaignRequest, *,
     )
 
 
+def execute_reroute(request: RerouteRequest, *,
+                    workers: Optional[int] = None,
+                    net: Optional[Network] = None,
+                    fingerprint: Optional[str] = None
+                    ) -> RerouteResponse:
+    """Run one incremental fail-in-place repair in this process."""
+    from repro.core import NueConfig
+    from repro.engine.fingerprint import network_fingerprint
+    from repro.resilience import incremental_reroute
+    from repro.routing.registry import make_algorithm
+
+    if net is None:
+        net = request.network()
+    fp = fingerprint or network_fingerprint(net)
+    eff_workers = request.workers if request.workers is not None \
+        else workers
+    config = NueConfig(**request.config) if request.config else None
+    prior = make_algorithm(
+        "nue", max_vls=request.max_vls, workers=eff_workers,
+        **request.config,
+    ).route(net, seed=request.seed)
+    repaired, stats = incremental_reroute(
+        net, prior, request.failed_channels(net),
+        config=config, max_vls=request.max_vls, seed=request.seed,
+        workers=eff_workers,
+    )
+    return RerouteResponse(
+        route=RouteResponse.from_result(repaired, fp),
+        stats={k: v for k, v in stats.items()},
+        network_fingerprint=fp,
+    )
+
+
+def execute_transition(request: TransitionRequest, *,
+                       workers: Optional[int] = None,
+                       net: Optional[Network] = None,
+                       fingerprint: Optional[str] = None
+                       ) -> TransitionResponse:
+    """Plan one transition in this process (see
+    :func:`repro.reconfig.transitions.drive_transition`)."""
+    from repro.engine.fingerprint import network_fingerprint
+    from repro.reconfig.transitions import _route_target, drive_transition
+
+    if net is None:
+        net = request.network()
+    fp = fingerprint or network_fingerprint(net)
+    eff_workers = request.workers if request.workers is not None \
+        else workers
+    scenario = request.scenario()
+    from_algo, from_vls, from_cfg, from_seed = request.resolved_from()
+    if scenario == "repair":
+        old_net = request.from_network() or net
+        old = request.from_tables.result(old_net)
+    else:
+        old_net = request.from_network() if scenario == "grow" else net
+        old = _route_target(old_net, from_algo, from_vls, from_cfg,
+                            from_seed, eff_workers)
+    outcome = drive_transition(
+        scenario, old, net, request.algorithm, request.max_vls,
+        request.config, request.seed, eff_workers, request.strategy,
+    )
+    return TransitionResponse(
+        scenario=outcome.scenario,
+        strategy=outcome.plan.strategy,
+        compatible=outcome.plan.compatible,
+        n_steps=outcome.plan.n_steps,
+        n_swaps=outcome.plan.n_swaps,
+        n_drains=outcome.plan.n_drains,
+        proofs=outcome.plan.proofs,
+        blocked_candidates=outcome.plan.blocked_candidates,
+        plan=outcome.plan.to_dict(),
+        route=RouteResponse.from_result(outcome.new, fp),
+        network_fingerprint=fp,
+    )
+
+
 # -- in-process facade --------------------------------------------------------
 
-def _deprecated_kwargs(name: str) -> None:
+def _deprecated_kwargs(name: str, request_cls: str) -> None:
     warnings.warn(
         f"api.{name}(**kwargs) is deprecated; pass a typed "
-        f"{'RouteRequest' if name == 'route' else 'AnalyzeRequest'} "
+        f"{request_cls} "
         f"(kwargs accepted for one more minor release)",
         DeprecationWarning,
         stacklevel=3,
@@ -541,7 +969,7 @@ def route(request: Optional[RouteRequest] = None, /,
     for you but warns ``DeprecationWarning``.
     """
     if request is None:
-        _deprecated_kwargs("route")
+        _deprecated_kwargs("route", "RouteRequest")
         request = RouteRequest(**kwargs)
     elif kwargs:
         raise TypeError(
@@ -561,7 +989,7 @@ def analyze(request: Optional[AnalyzeRequest] = None, /,
     ``DeprecationWarning``.
     """
     if request is None:
-        _deprecated_kwargs("analyze")
+        _deprecated_kwargs("analyze", "AnalyzeRequest")
         request = AnalyzeRequest(route=RouteRequest(**kwargs))
     elif kwargs:
         raise TypeError(
@@ -573,3 +1001,69 @@ def analyze(request: Optional[AnalyzeRequest] = None, /,
             f"analyze() takes an AnalyzeRequest, got "
             f"{type(request).__name__}")
     return execute_analyze(request)
+
+
+def campaign(request: Optional[CampaignRequest] = None, /,
+             **kwargs: Any) -> CampaignResponse:
+    """Run a fail-in-place campaign as a typed :class:`CampaignResponse`.
+
+    ``api.campaign(CampaignRequest(topology=net, schedule=sched))``
+    preferred — the same object :meth:`ServiceClient.campaign` sends.
+    The kwargs form builds the request with a ``DeprecationWarning``.
+    """
+    if request is None:
+        _deprecated_kwargs("campaign", "CampaignRequest")
+        request = CampaignRequest(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            "pass either a CampaignRequest or kwargs, not both")
+    elif not isinstance(request, CampaignRequest):
+        raise TypeError(
+            f"campaign() takes a CampaignRequest, got "
+            f"{type(request).__name__}")
+    return execute_campaign(request)
+
+
+def reroute(request: Optional[RerouteRequest] = None, /,
+            **kwargs: Any) -> RerouteResponse:
+    """Incremental fail-in-place repair as a typed
+    :class:`RerouteResponse`.
+
+    ``api.reroute(RerouteRequest(topology=net, failed_links=[("s0",
+    "s1")]))`` preferred; kwargs build the request with a
+    ``DeprecationWarning``.
+    """
+    if request is None:
+        _deprecated_kwargs("reroute", "RerouteRequest")
+        request = RerouteRequest(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            "pass either a RerouteRequest or kwargs, not both")
+    elif not isinstance(request, RerouteRequest):
+        raise TypeError(
+            f"reroute() takes a RerouteRequest, got "
+            f"{type(request).__name__}")
+    return execute_reroute(request)
+
+
+def transition(request: Optional[TransitionRequest] = None, /,
+               **kwargs: Any) -> TransitionResponse:
+    """Plan a deadlock-free transition as a typed
+    :class:`TransitionResponse`.
+
+    ``api.transition(TransitionRequest(topology=target, ...))``
+    preferred — the same object :meth:`ServiceClient.transition`
+    sends, returning the same proven plan bit-for-bit.  The kwargs
+    form builds the request with a ``DeprecationWarning``.
+    """
+    if request is None:
+        _deprecated_kwargs("transition", "TransitionRequest")
+        request = TransitionRequest(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            "pass either a TransitionRequest or kwargs, not both")
+    elif not isinstance(request, TransitionRequest):
+        raise TypeError(
+            f"transition() takes a TransitionRequest, got "
+            f"{type(request).__name__}")
+    return execute_transition(request)

@@ -180,6 +180,32 @@ class TestPersistentPool:
         assert counts.get("fabric.pool_spawns") == 1
         assert counts.get("fabric.pool_reuses") == 1
 
+    def test_one_spawn_across_varying_task_counts(self):
+        """The pool is sized by the worker *budget*, not per-call task
+        counts: stages with 2, 3 then 6 tasks under ``workers=4`` must
+        share a single 4-worker pool (regression: transitions used to
+        respawn the pool between their old- and new-routing stages)."""
+        obs.enable(obs.MemorySink(keep_events=False))
+        engine.run_layer_tasks(_double, None, [1, 2], workers=4)
+        engine.run_layer_tasks(_double, None, [1, 2, 3], workers=4)
+        out = engine.run_layer_tasks(_double, None, list(range(6)),
+                                     workers=4)
+        assert out == [0, 2, 4, 6, 8, 10]
+        counts = obs.counters()
+        assert counts.get("fabric.pool_spawns") == 1
+        assert counts.get("fabric.pool_reuses") == 2
+        assert fabric.pool_stats()["workers"] == 4
+
+    def test_worker_budget_vs_resolve_workers(self):
+        assert engine.worker_budget(4) == 4
+        assert engine.worker_budget(None) == engine.get_default_workers()
+        assert engine.worker_budget(0) == (os.cpu_count() or 1)
+        # resolve_workers clamps to the task count; the budget does not
+        assert engine.resolve_workers(4, 2) == 2
+        assert engine.resolve_workers(4, 9) == 4
+        with pytest.raises(ValueError, match="workers"):
+            engine.worker_budget(-1)
+
 
 class TestContextPacking:
     def test_network_in_tuple_ctx_travels_via_shm(self, torus443):

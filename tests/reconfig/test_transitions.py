@@ -1,0 +1,213 @@
+"""Acceptance matrix: repair / grow / updn->nue on ring, torus, fat-tree.
+
+Every scenario must yield a plan whose intermediate states all pass the
+independent Kahn re-proof (``verify_plan``) and whose final tables are
+bit-identical to routing the target network from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    NetworkBuilder,
+    incremental_reroute,
+    make_algorithm,
+    topologies,
+)
+from repro.reconfig import (
+    TransitionNotApplicable,
+    algorithm_transition,
+    grow_transition,
+    repair_transition,
+    translate_result,
+    verify_plan,
+)
+
+TOPOLOGIES = {
+    "ring": lambda: topologies.ring(5, terminals_per_switch=1),
+    "torus": lambda: topologies.torus([3, 3], 1),
+    "fat-tree": lambda: topologies.k_ary_n_tree(4, 2),
+}
+
+
+def _switch_link(net):
+    """Index of the first switch-to-switch link (repairable)."""
+    for li, (u, v) in enumerate(net.links()):
+        if not net.is_terminal(u) and not net.is_terminal(v):
+            return li
+    raise AssertionError("no switch-switch link")
+
+
+def _grown_copy(net, n_extra_switches=1, host_switch=0):
+    """A name-preserving copy of ``net`` plus extra switches/terminals.
+
+    Replays every node (same name, same kind) and every link in order,
+    so the copy embeds the original by name with identical
+    parallel-channel positions; then chains ``n_extra_switches`` new
+    switches off ``host_switch``, each with one terminal.
+    """
+    b = NetworkBuilder(f"{net.name}+grown")
+    for node in range(net.n_nodes):
+        if net.is_terminal(node):
+            b.add_terminal(net.node_names[node])
+        else:
+            b.add_switch(net.node_names[node])
+    for u, v in net.links():
+        b.add_link(u, v)
+    anchor = host_switch
+    for i in range(n_extra_switches):
+        s = b.add_switch(f"grown_s{i}")
+        b.add_link(anchor, s)
+        t = b.add_terminal(f"grown_t{i}")
+        b.add_link(t, s)
+        anchor = s
+    return b.build()
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+class TestRepair:
+    def test_link_repair_round_trip(self, topo):
+        """Fail a link in place, reroute incrementally, then plan the
+        return to the healed fabric: the post-transition tables must be
+        the pristine routing, bit for bit."""
+        net = TOPOLOGIES[topo]()
+        pristine = make_algorithm("nue", max_vls=2).route(net, seed=5)
+        li = _switch_link(net)
+        failed = [2 * li, 2 * li + 1]
+        degraded, stats = incremental_reroute(
+            net, pristine, failed, max_vls=2, seed=5)
+        assert stats["dests_recomputed"] >= 0
+        out = repair_transition(degraded, algorithm="nue", max_vls=2,
+                                seed=5)
+        assert out.scenario == "repair"
+        assert out.plan.n_steps >= 1
+        assert verify_plan(out.old, out.new, out.plan) >= 2
+        np.testing.assert_array_equal(out.new.next_channel,
+                                      pristine.next_channel)
+        np.testing.assert_array_equal(out.new.vl, pristine.vl)
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+class TestGrow:
+    def test_grow_installs_new_destinations(self, topo):
+        net = TOPOLOGIES[topo]()
+        grown = _grown_copy(net)
+        old = make_algorithm("nue", max_vls=2).route(net, seed=3)
+        out = grow_transition(old, grown, algorithm="nue", max_vls=2,
+                              seed=3)
+        assert out.scenario == "grow"
+        assert verify_plan(out.old, out.new, out.plan) >= 2
+        # the target is routed from scratch on the grown fabric
+        scratch = make_algorithm("nue", max_vls=2).route(grown, seed=3)
+        np.testing.assert_array_equal(out.new.next_channel,
+                                      scratch.next_channel)
+        # grown-in destinations have no old column: they appear in the
+        # translated old result's id space as fresh installs
+        assert len(out.new.dests) > len(out.old.dests)
+
+    def test_translated_rows_for_new_nodes_start_empty(self, topo):
+        net = TOPOLOGIES[topo]()
+        grown = _grown_copy(net)
+        old = make_algorithm("nue", max_vls=2).route(net, seed=3)
+        moved = translate_result(old, grown)
+        assert moved.net is grown
+        new_nodes = [i for i, nm in enumerate(grown.node_names)
+                     if nm.startswith("grown_")]
+        assert new_nodes
+        for node in new_nodes:
+            assert (moved.next_channel[node, :] == -1).all()
+        # translated columns route identically, channel ids mapped by
+        # endpoint names
+        name_of = {i: nm for i, nm in enumerate(grown.node_names)}
+        old_ids = {nm: i for i, nm in enumerate(net.node_names)}
+        for j, d in enumerate(moved.dests):
+            col = moved.next_channel[:, j]
+            for node in range(grown.n_nodes):
+                if node in new_nodes:
+                    continue
+                src_old = old_ids[name_of[node]]
+                cp_old = old.next_channel[src_old, j]
+                if cp_old < 0:
+                    assert col[node] == -1
+                else:
+                    u = int(net.channel_src[cp_old])
+                    v = int(net.channel_dst[cp_old])
+                    gu = grown.node_names.index(net.node_names[u])
+                    gv = grown.node_names.index(net.node_names[v])
+                    assert int(grown.channel_src[col[node]]) == gu
+                    assert int(grown.channel_dst[col[node]]) == gv
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+class TestAlgorithmSwitch:
+    def test_updn_to_nue(self, topo):
+        net = TOPOLOGIES[topo]()
+        out = algorithm_transition(
+            net, from_algorithm="updn", to_algorithm="nue",
+            from_max_vls=1, to_max_vls=2, to_seed=3)
+        assert out.scenario == "algorithm"
+        assert out.old.algorithm == "updn"
+        assert out.new.algorithm == "nue"
+        assert verify_plan(out.old, out.new, out.plan) >= 2
+        scratch = make_algorithm("nue", max_vls=2).route(net, seed=3)
+        np.testing.assert_array_equal(out.new.next_channel,
+                                      scratch.next_channel)
+        summary = out.summary()
+        assert summary["scenario"] == "algorithm"
+        assert summary["n_steps"] == out.plan.n_steps
+
+
+class TestTranslateErrors:
+    def test_unknown_node_name(self):
+        old_net = topologies.ring(5, terminals_per_switch=1)
+        target = topologies.torus([3, 3], 1)
+        old = make_algorithm("nue", max_vls=1).route(old_net, seed=1)
+        with pytest.raises(TransitionNotApplicable, match="does not"):
+            translate_result(old, target)
+
+    def test_missing_link_counterpart(self):
+        b = NetworkBuilder("line3")
+        s = [b.add_switch(f"s{i}") for i in range(3)]
+        b.add_link(s[0], s[1])
+        b.add_link(s[1], s[2])
+        b.add_link(s[0], s[2])
+        t = b.add_terminal("t0")
+        b.add_link(t, s[0])
+        tri = b.build()
+
+        b2 = NetworkBuilder("line3-cut")
+        s2 = [b2.add_switch(f"s{i}") for i in range(3)]
+        b2.add_link(s2[0], s2[1])
+        b2.add_link(s2[1], s2[2])
+        t2 = b2.add_terminal("t0")
+        b2.add_link(t2, s2[0])
+        cut = b2.build()
+
+        old = make_algorithm("nue", max_vls=1).route(tri, seed=1)
+        with pytest.raises(TransitionNotApplicable, match="counterpart"):
+            translate_result(old, cut)
+
+    def test_changed_node_kind(self):
+        b = NetworkBuilder("pair")
+        s0 = b.add_switch("s0")
+        s1 = b.add_switch("s1")
+        b.add_link(s0, s1)
+        t = b.add_terminal("x")
+        b.add_link(t, s0)
+        small = b.build()
+
+        b2 = NetworkBuilder("pair-kindswap")
+        s0b = b2.add_switch("s0")
+        s1b = b2.add_switch("s1")
+        xb = b2.add_switch("x")
+        b2.add_link(s0b, s1b)
+        b2.add_link(xb, s0b)
+        t2 = b2.add_terminal("y")
+        b2.add_link(t2, s1b)
+        target = b2.build()
+
+        old = make_algorithm("nue", max_vls=1).route(small, seed=1)
+        with pytest.raises(TransitionNotApplicable, match="kind"):
+            translate_result(old, target)

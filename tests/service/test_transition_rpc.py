@@ -1,0 +1,173 @@
+"""Transition/reroute RPCs: wire round-trips match the in-process api.
+
+Acceptance: a ``TransitionRequest`` round-trips through the inproc and
+tcp transports, and the RPC result matches the in-process ``api``
+result bit for bit — same migration plan, same post-transition tables
+(``runtime_s`` and timing stats are wall-clock and excluded from the
+contract).  Also covers the typed-error and schema-version paths over
+the wire, plus the one-pool-spawn-per-process regression (satellite:
+the daemon must reuse the persistent fabric pool across a transition's
+old and new routing stages).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import api, obs
+from repro.engine.fingerprint import network_fingerprint
+from repro.network.topologies import ring, torus
+from repro.reconfig import TransitionNotApplicable
+from repro.service import (
+    AsyncServiceClient,
+    RerouteRequest,
+    RouteResponse,
+    ServiceBadRequest,
+    ServiceClient,
+    TransitionRequest,
+    serve_in_thread,
+)
+
+
+def _algo_request(net, **extra):
+    return TransitionRequest(topology=net, algorithm="nue", max_vls=2,
+                             seed=3, from_algorithm="updn",
+                             from_max_vls=1, **extra)
+
+
+def _assert_matches_inproc(remote, request):
+    """The RPC response equals the in-process facade, bit for bit."""
+    local = api.transition(request)
+    assert remote.scenario == local.scenario
+    assert remote.strategy == local.strategy
+    assert remote.compatible == local.compatible
+    assert remote.plan == local.plan
+    np.testing.assert_array_equal(remote.route.next_channel_array(),
+                                  local.route.next_channel_array())
+    np.testing.assert_array_equal(remote.route.vl_array(),
+                                  local.route.vl_array())
+
+
+class TestInproc:
+    def test_algorithm_transition_matches_inproc(self):
+        net = ring(6, 1)
+        request = _algo_request(net)
+        with serve_in_thread(["inproc://svc-reconfig"]) as (_svc, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    return await client.transition(request)
+
+            remote = asyncio.run(scenario())
+        assert remote.scenario == "algorithm"
+        assert remote.n_steps == len(remote.plan["steps"])
+        _assert_matches_inproc(remote, request)
+
+    def test_repair_from_tables_matches_pristine(self):
+        """End-to-end repair through the daemon: fail a link in place,
+        reroute, ship the surviving tables as ``from_tables``, and get
+        back the pristine routing bit for bit."""
+        net = torus([3, 3], 1)
+        pristine = api.make_algorithm("nue", max_vls=2).route(net, seed=5)
+        li = 3
+        degraded, _stats = api.incremental_reroute(
+            net, pristine, [2 * li, 2 * li + 1], max_vls=2, seed=5)
+        tables = RouteResponse.from_result(
+            degraded, network_fingerprint(net))
+        request = TransitionRequest(
+            topology=net, algorithm="nue", max_vls=2, seed=5,
+            from_tables=tables.to_dict())
+        with serve_in_thread(["inproc://svc-repair"]) as (_svc, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    return await client.transition(request)
+
+            remote = asyncio.run(scenario())
+        assert remote.scenario == "repair"
+        np.testing.assert_array_equal(remote.route.next_channel_array(),
+                                      pristine.next_channel)
+        np.testing.assert_array_equal(remote.route.vl_array(),
+                                      pristine.vl)
+
+    def test_schema_version_rejected(self):
+        net = ring(5, 1)
+        payload = _algo_request(net).to_dict()
+        payload["schema_version"] = 99
+        with serve_in_thread(["inproc://svc-schema"]) as (_svc, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    with pytest.raises(ServiceBadRequest,
+                                       match="schema_version"):
+                        await client.call("transition", payload)
+
+            asyncio.run(scenario())
+
+    def test_transition_error_crosses_typed(self):
+        """A grow whose old fabric is not name-embeddable raises
+        ``TransitionNotApplicable`` *as that type* on the client."""
+        request = TransitionRequest(
+            topology=torus([3, 3], 1), algorithm="nue", max_vls=1,
+            seed=1, from_topology=ring(5, 1))
+        with serve_in_thread(["inproc://svc-notapp"]) as (_svc, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    with pytest.raises(TransitionNotApplicable,
+                                       match="does not exist"):
+                        await client.transition(request)
+                    # the connection survives the typed error
+                    assert await client.ping() is True
+
+            asyncio.run(scenario())
+
+    def test_reroute_matches_inproc(self):
+        net = torus([3, 3], 1)
+        request = RerouteRequest(
+            topology=net, failed_links=[("s0_0", "s0_1")], max_vls=2,
+            seed=5)
+        with serve_in_thread(["inproc://svc-reroute"]) as (_svc, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    return await client.reroute(request)
+
+            remote = asyncio.run(scenario())
+        local = api.reroute(request)
+        assert remote.stats["dests_total"] == local.stats["dests_total"]
+        np.testing.assert_array_equal(remote.route.next_channel_array(),
+                                      local.route.next_channel_array())
+        np.testing.assert_array_equal(remote.route.vl_array(),
+                                      local.route.vl_array())
+
+
+class TestTcp:
+    def test_transition_round_trips_over_tcp(self):
+        net = ring(6, 1)
+        request = _algo_request(net)
+        with serve_in_thread(["tcp://127.0.0.1:0"]) as (_svc, bound):
+            assert bound[0].startswith("tcp://127.0.0.1:")
+            with ServiceClient(bound[0]) as client:
+                remote = client.transition(request)
+        _assert_matches_inproc(remote, request)
+
+
+class TestPoolReuse:
+    def test_one_pool_spawn_across_transition_stages(self):
+        """Routing the old state (2 layers) and the target (3 layers)
+        under one worker budget must reuse a single fabric pool: the
+        pool is sized by the budget, not per-stage task counts."""
+        obs.enable(obs.MemorySink(keep_events=False))
+        net = ring(5, 1)
+        request = TransitionRequest(
+            topology=net, algorithm="nue", max_vls=3, seed=2,
+            from_algorithm="nue", from_max_vls=2, from_seed=1,
+            from_topology=net)
+        with serve_in_thread(["inproc://svc-pool"],
+                             workers=4) as (_svc, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    return await client.transition(request)
+
+            remote = asyncio.run(scenario())
+        counters = dict(obs.counters())
+        assert remote.scenario == "grow"
+        assert counters.get("fabric.pool_spawns", 0) == 1
+        assert counters.get("fabric.pool_reuses", 0) >= 1

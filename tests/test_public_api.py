@@ -45,102 +45,108 @@ def render_surface(module_name: str) -> str:
 
 
 API_SURFACE = {
-    "AnalyzeRequest": "class",
-    "AnalyzeResponse": "class",
-    "CampaignRequest": "class",
-    "CampaignResponse": "class",
-    "CampaignResult": "class",
-    "DegradationReport": "class",
-    "FaultEvent": "class",
-    "FaultInjectionError": "class",
-    "FaultResult": "class",
-    "FaultSchedule": "class",
-    "IncrementalNotApplicable": "class",
-    "Network": "class",
-    "NetworkBuilder": "class",
-    "NotApplicableError": "class",
-    "NueConfig": "class",
-    "NueRouting": "class",
-    "RouteRequest": "class",
-    "RouteResponse": "class",
-    "RoutingAlgorithm": "class",
-    "RoutingError": "class",
-    "RoutingResult": "class",
-    "ServiceClient": "class",
-    "ServiceError": "class",
-    "ServiceOverloaded": "class",
-    "ValidationError": "class",
-    "afr_schedule": "(net: 'Network', duration_hours: 'float', "
-                    "link_afr: 'float' = 0.01, switch_afr: 'float' = 0.0, "
-                    "seed: 'SeedLike' = None, "
-                    "switch_to_switch_only: 'bool' = True, "
-                    "max_events: 'Optional[int]' = None) "
-                    "-> 'FaultSchedule'",
-    "algorithm_descriptions": "() -> 'Dict[str, str]'",
-    "analyze": "(request: 'Optional[AnalyzeRequest]' = None, /, "
-               "**kwargs: 'Any') -> 'AnalyzeResponse'",
-    "as_network": "(obj) -> \"'Network'\"",
-    "attach_terminals": "(builder: 'NetworkBuilder', "
-                        "switches: 'Iterable[int]', per_switch: 'int', "
-                        "prefix: 'str' = 't') -> 'List[int]'",
-    "available_algorithms": "() -> 'List[str]'",
-    "dirty_destinations": "(result: 'RoutingResult', "
-                          "failed_channels: 'Sequence[int]') "
-                          "-> 'List[int]'",
-    "exact_reroute": "(fault: 'FaultResult', algo: 'RoutingAlgorithm', "
-                     "seed: 'SeedLike' = None, "
-                     "dests: 'Optional[Sequence[int]]' = None) "
-                     "-> 'RoutingResult'",
-    "gamma_summary": "(result: 'RoutingResult', "
-                     "sources: 'Optional[Sequence[int]]' = None, "
-                     "workers: 'Optional[int]' = None) "
-                     "-> 'GammaSummary'",
-    "incremental_reroute": "(net: 'Network', prior: 'RoutingResult', "
-                           "failed_channels: 'Sequence[int]', "
-                           "config: 'Optional[NueConfig]' = None, "
-                           "max_vls: 'int' = 1, seed: 'SeedLike' = None, "
-                           "workers: 'Optional[int]' = None) "
-                           "-> 'Tuple[RoutingResult, Dict[str, object]]'",
-    "inject_random_link_faults": "(net: 'Network', fraction: 'float', "
-                                 "seed: 'SeedLike' = None, "
-                                 "switch_to_switch_only: 'bool' = True, "
-                                 "max_attempts: 'int' = 100) "
-                                 "-> 'FaultResult'",
-    "inject_random_switch_faults": "(net: 'Network', count: 'int', "
-                                   "seed: 'SeedLike' = None, "
-                                   "max_attempts: 'int' = 100) "
-                                   "-> 'FaultResult'",
-    "is_deadlock_free": "(result: 'RoutingResult', "
-                        "sources: 'Optional[Sequence[int]]' = None) "
-                        "-> 'bool'",
-    "make_algorithm": "(name: 'str', max_vls: 'int' = 8, "
-                      "workers: 'Optional[int]' = None, "
-                      "cache: 'bool' = False, **config: 'object') "
-                      "-> 'RoutingAlgorithm'",
-    "path_length_stats": "(result: 'RoutingResult', "
-                         "sources: 'Optional[Sequence[int]]' = None, "
-                         "workers: 'Optional[int]' = None) "
-                         "-> 'PathLengthStats'",
-    "remove_links": "(net: 'Network', link_indices: 'Iterable[int]') "
-                    "-> 'FaultResult'",
-    "remove_switches": "(net: 'Network', switches: 'Iterable[int]') "
-                       "-> 'FaultResult'",
-    "required_vcs": "(result: 'RoutingResult') -> 'int'",
-    "route": "(request: 'Optional[RouteRequest]' = None, /, "
-             "**kwargs: 'Any') -> 'RouteResponse'",
-    "shutdown_fabric": "(wait: 'bool' = True) -> 'None'",
-    "run_campaign": "(net: 'Network', schedule: 'FaultSchedule', "
-                    "max_vls: 'int' = 1, "
-                    "config: 'Optional[NueConfig]' = None, "
-                    "seed: 'SeedLike' = None, "
-                    "strategy: 'str' = 'incremental', "
-                    "timeout_s: 'Optional[float]' = None, "
-                    "workers: 'Optional[int]' = None, "
-                    "validate: 'bool' = True) -> 'CampaignResult'",
-    "topologies": "module",
-    "validate_routing": "(result: 'RoutingResult', "
-                        "sources: 'Optional[Sequence[int]]' = None, "
-                        "check_deadlock: 'bool' = True) -> 'None'",
+    'AnalyzeRequest': 'class',
+    'AnalyzeResponse': 'class',
+    'CampaignRequest': 'class',
+    'CampaignResponse': 'class',
+    'CampaignResult': 'class',
+    'CompatibilityReport': 'class',
+    'DegradationReport': 'class',
+    'FaultEvent': 'class',
+    'FaultInjectionError': 'class',
+    'FaultResult': 'class',
+    'FaultSchedule': 'class',
+    'IncrementalNotApplicable': 'class',
+    'MigrationPlan': 'class',
+    'Network': 'class',
+    'NetworkBuilder': 'class',
+    'NotApplicableError': 'class',
+    'NueConfig': 'class',
+    'NueRouting': 'class',
+    'RerouteRequest': 'class',
+    'RerouteResponse': 'class',
+    'RouteRequest': 'class',
+    'RouteResponse': 'class',
+    'RoutingAlgorithm': 'class',
+    'RoutingError': 'class',
+    'RoutingResult': 'class',
+    'ServiceClient': 'class',
+    'ServiceError': 'class',
+    'ServiceOverloaded': 'class',
+    'TransitionIncompatible': 'class',
+    'TransitionNotApplicable': 'class',
+    'TransitionOutcome': 'class',
+    'TransitionRequest': 'class',
+    'TransitionResponse': 'class',
+    'TransitionStep': 'class',
+    'ValidationError': 'class',
+    'afr_schedule': "(net: 'Network', duration_hours: 'float', link_afr: 'float' = 0.01, "
+        "switch_afr: 'float' = 0.0, seed: 'SeedLike' = None, switch_to_switch_only: 'bool' = "
+        "True, max_events: 'Optional[int]' = None) -> 'FaultSchedule'",
+    'algorithm_descriptions': "() -> 'Dict[str, str]'",
+    'algorithm_transition': "(net: 'Network', *, from_algorithm: 'str', to_algorithm: 'str', "
+        "from_max_vls: 'int' = 1, to_max_vls: 'int' = 1, from_config: 'Optional[Dict[str, Any]]' "
+        "= None, to_config: 'Optional[Dict[str, Any]]' = None, from_seed: 'SeedLike' = None, "
+        "to_seed: 'SeedLike' = None, workers: 'Optional[int]' = None, strategy: 'str' = 'auto') "
+        "-> 'TransitionOutcome'",
+    'analyze': "(request: 'Optional[AnalyzeRequest]' = None, /, **kwargs: 'Any') -> "
+        "'AnalyzeResponse'",
+    'apply_plan': "(old: 'RoutingResult', new: 'RoutingResult', plan: 'MigrationPlan', upto: "
+        "'Optional[int]' = None) -> 'RoutingResult'",
+    'as_network': '(obj) -> "\'Network\'"',
+    'attach_terminals': "(builder: 'NetworkBuilder', switches: 'Iterable[int]', per_switch: "
+        "'int', prefix: 'str' = 't') -> 'List[int]'",
+    'available_algorithms': "() -> 'List[str]'",
+    'build_config': "(name: 'str', **config: 'object') -> 'Optional[object]'",
+    'campaign': "(request: 'Optional[CampaignRequest]' = None, /, **kwargs: 'Any') -> "
+        "'CampaignResponse'",
+    'check_compatibility': "(old: 'RoutingResult', new: 'RoutingResult') -> 'CompatibilityReport'",
+    'dirty_destinations': "(result: 'RoutingResult', failed_channels: 'Sequence[int]') -> "
+        "'List[int]'",
+    'exact_reroute': "(fault: 'FaultResult', algo: 'RoutingAlgorithm', seed: 'SeedLike' = None, "
+        "dests: 'Optional[Sequence[int]]' = None) -> 'RoutingResult'",
+    'gamma_summary': "(result: 'RoutingResult', sources: 'Optional[Sequence[int]]' = None, "
+        "workers: 'Optional[int]' = None) -> 'GammaSummary'",
+    'grow_transition': "(old: 'RoutingResult', grown: 'Network', *, algorithm: 'str' = 'nue', "
+        "max_vls: 'int' = 1, config: 'Optional[Dict[str, Any]]' = None, seed: 'SeedLike' = None, "
+        "workers: 'Optional[int]' = None, strategy: 'str' = 'auto') -> 'TransitionOutcome'",
+    'incremental_reroute': "(net: 'Network', prior: 'RoutingResult', failed_channels: "
+        "'Sequence[int]', config: 'Optional[NueConfig]' = None, max_vls: 'int' = 1, seed: "
+        "'SeedLike' = None, workers: 'Optional[int]' = None) -> 'Tuple[RoutingResult, Dict[str, "
+        "object]]'",
+    'inject_random_link_faults': "(net: 'Network', fraction: 'float', seed: 'SeedLike' = None, "
+        "switch_to_switch_only: 'bool' = True, max_attempts: 'int' = 100) -> 'FaultResult'",
+    'inject_random_switch_faults': "(net: 'Network', count: 'int', seed: 'SeedLike' = None, "
+        "max_attempts: 'int' = 100) -> 'FaultResult'",
+    'is_deadlock_free': "(result: 'RoutingResult', sources: 'Optional[Sequence[int]]' = None) -> "
+        "'bool'",
+    'make_algorithm': "(name: 'str', max_vls: 'int' = 8, workers: 'Optional[int]' = None, cache: "
+        "'bool' = False, **config: 'object') -> 'RoutingAlgorithm'",
+    'path_length_stats': "(result: 'RoutingResult', sources: 'Optional[Sequence[int]]' = None, "
+        "workers: 'Optional[int]' = None) -> 'PathLengthStats'",
+    'plan_transition': "(old: 'RoutingResult', new: 'RoutingResult', *, strategy: 'str' = 'auto') "
+        "-> 'MigrationPlan'",
+    'remove_links': "(net: 'Network', link_indices: 'Iterable[int]') -> 'FaultResult'",
+    'remove_switches': "(net: 'Network', switches: 'Iterable[int]') -> 'FaultResult'",
+    'repair_transition': "(old: 'RoutingResult', healed: 'Optional[Network]' = None, *, "
+        "algorithm: 'str' = 'nue', max_vls: 'int' = 1, config: 'Optional[Dict[str, Any]]' = None, "
+        "seed: 'SeedLike' = None, workers: 'Optional[int]' = None, strategy: 'str' = 'auto') -> "
+        "'TransitionOutcome'",
+    'required_vcs': "(result: 'RoutingResult') -> 'int'",
+    'reroute': "(request: 'Optional[RerouteRequest]' = None, /, **kwargs: 'Any') -> "
+        "'RerouteResponse'",
+    'route': "(request: 'Optional[RouteRequest]' = None, /, **kwargs: 'Any') -> 'RouteResponse'",
+    'run_campaign': "(net: 'Network', schedule: 'FaultSchedule', max_vls: 'int' = 1, config: "
+        "'Optional[NueConfig]' = None, seed: 'SeedLike' = None, strategy: 'str' = 'incremental', "
+        "timeout_s: 'Optional[float]' = None, workers: 'Optional[int]' = None, validate: 'bool' = "
+        "True) -> 'CampaignResult'",
+    'shutdown_fabric': "(wait: 'bool' = True) -> 'None'",
+    'topologies': 'module',
+    'transition': "(request: 'Optional[TransitionRequest]' = None, /, **kwargs: 'Any') -> "
+        "'TransitionResponse'",
+    'validate_routing': "(result: 'RoutingResult', sources: 'Optional[Sequence[int]]' = None, "
+        "check_deadlock: 'bool' = True) -> 'None'",
+    'verify_plan': "(old: 'RoutingResult', new: 'RoutingResult', plan: 'MigrationPlan') -> 'int'",
 }
 
 TOP_LEVEL_SURFACE = {
