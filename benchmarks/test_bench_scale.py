@@ -1,0 +1,258 @@
+"""Scale guards: shm-resident tables at Table-1-style scale (PR 10).
+
+Three claims of the zero-copy table store, proved on generated tori
+with the cheap deterministic DOR producer (the only engine that stays
+tractable in pure Python at thousands of switches):
+
+* **Bounded memory** — a ~2k-switch sweep routed *through the fabric*
+  (route + reachability audit) stays under a documented peak-RSS
+  budget, with per-stage accounting measured in a fresh subprocess via
+  ``resource.getrusage`` so neither pytest nor sibling stages pollute
+  the number.
+* **Zero-copy** — the same stage proves tables are never pickled back:
+  ``fabric.table_writes > 0`` and ``fabric.result_exports == 0`` (the
+  counter split of ``docs/observability.md``), and the consumer audit
+  reattaches the segment (``fabric.table_ctx_hits``) instead of
+  shipping bytes.
+* **Bit-identity** — the shm-resident tables hash to the same golden
+  blake2b digest as the store-off/pickle-transport path, pinned as a
+  constant so drift in either path fails loudly.
+
+``test_bench_scale_transport_speedup`` is the throughput claim: a
+multi-destination reachability sweep over a 2k-switch forwarding table
+on 4 workers must run >= 2x faster on the table-store path than with
+``REPRO_RESULT_TRANSPORT=pickle`` (which ships the full table to every
+worker per call).  Timing guards skip below 4 cores.
+
+The 10k-switch end-to-end sweep (~10164 switches, minutes of pure
+Python) only runs when ``REPRO_SCALE_10K`` is set; CI's scale-smoke
+job runs the 2k proxy on every push.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import needs_cores
+from repro.engine import fabric
+from repro.network.topologies.torus import torus
+from repro.resilience.engine import _reachable_pairs
+from repro.routing.dor import DORRouting
+
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+#: the 2k proxy: 13x13x12 torus, 2028 switches / 4056 nodes, sweep
+#: capped at 512 destination columns (a ~10 MB int32+int8 table)
+DIMS_2K = (13, 13, 12)
+DESTS_2K = 512
+#: documented peak-RSS budget for one 2k-proxy stage (route + audit,
+#: parent + pool workers).  See docs/engine.md "Scaling to 10k
+#: switches" for the accounting.
+RSS_BUDGET_2K_MB = 512
+
+#: the 10k target: 22x22x21 torus, 10164 switches / 20328 nodes,
+#: sweep capped at 128 destination columns
+DIMS_10K = (22, 22, 21)
+DESTS_10K = 128
+RSS_BUDGET_10K_MB = 1536
+
+#: golden table digests (blake2b-128 over LE int32 next_channel bytes
+#: then int8 vl bytes) — DOR is deterministic integer arithmetic, so
+#: these pin bit-identity across worker counts, transports and PRs
+GOLDEN_2K = "5e4208bbdf4ec157c05cf82d856ed476"
+GOLDEN_10K = "f85324157f0b6a92efc46a6ab54c07d5"
+
+SEED = 7
+
+_STAGE_SCRIPT = r"""
+import json, resource, sys
+import hashlib
+import numpy as np
+from repro import obs
+from repro.engine import fabric
+from repro.network.topologies.torus import torus
+from repro.resilience.engine import _reachable_pairs
+from repro.routing.dor import DORRouting
+
+dims, n_dests, workers, seed = json.loads(sys.argv[1])
+obs.enable(obs.MemorySink(keep_events=False))
+net = torus(dims, 1)
+dests = list(net.terminals)[:n_dests]
+res = DORRouting(workers=workers).route(net, seed=seed, dests=dests)
+reachable, total = _reachable_pairs(res, workers=workers)
+h = hashlib.blake2b(digest_size=16)
+h.update(np.ascontiguousarray(res.next_channel, dtype=np.int32).tobytes())
+h.update(np.ascontiguousarray(res.vl, dtype=np.int8).tobytes())
+shm_backed = res.shm_backed
+res.release()
+fabric.shutdown()  # reap pool workers so RUSAGE_CHILDREN is complete
+counters = {k: v for k, v in obs.counters().items()
+            if k.startswith(("fabric.", "engine."))}
+maxrss_kb = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+             + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+print(json.dumps({
+    "digest": h.hexdigest(),
+    "shm_backed": shm_backed,
+    "reachable": reachable,
+    "total": total,
+    "maxrss_mb": maxrss_kb // 1024,
+    "counters": counters,
+}))
+"""
+
+
+def _run_stage(dims, n_dests, workers, env_overrides):
+    """One sweep stage in a fresh subprocess; returns its JSON record.
+
+    A subprocess per stage is what makes ``ru_maxrss`` trustworthy:
+    the high-water mark starts from a cold interpreter instead of
+    whatever pytest already mapped.
+    """
+    env = dict(os.environ)
+    env.pop("REPRO_RESULT_TRANSPORT", None)
+    env.pop("REPRO_TABLE_STORE", None)
+    env.pop("REPRO_WORKERS", None)
+    env.update(env_overrides)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    args = json.dumps([list(dims), n_dests, workers, SEED])
+    proc = subprocess.run(
+        [sys.executable, "-c", _STAGE_SCRIPT, args],
+        env=env, capture_output=True, text=True, timeout=900,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_fabric():
+    """Each module run starts and ends with a cold fabric."""
+    fabric.shutdown()
+    yield
+    fabric.shutdown()
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _sweep_stages(benchmark, dims, n_dests, golden, budget_mb, workers):
+    shm = _run_stage(dims, n_dests, workers, {})
+    pickled = _run_stage(dims, n_dests, 1,
+                         {"REPRO_RESULT_TRANSPORT": "pickle",
+                          "REPRO_TABLE_STORE": "0"})
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "switches": int(np.prod(dims)),
+        "dests": n_dests,
+        "maxrss_shm_mb": shm["maxrss_mb"],
+        "maxrss_pickle_mb": pickled["maxrss_mb"],
+        "table_writes": shm["counters"].get("fabric.table_writes", 0),
+        "result_exports": shm["counters"].get("fabric.result_exports", 0),
+        "table_ctx_hits": shm["counters"].get("fabric.table_ctx_hits", 0),
+        "digest": shm["digest"],
+    })
+
+    # zero-copy: every worker landed its columns in the table segment,
+    # nothing rode a result scratch segment back to the parent
+    assert shm["shm_backed"], "table store did not engage"
+    assert shm["counters"].get("fabric.table_writes", 0) >= workers
+    assert shm["counters"].get("fabric.result_exports", 0) == 0
+    # the consumer audit reattached the segment instead of copying
+    assert shm["counters"].get("fabric.table_ctx_hits", 0) >= 1
+    assert shm["counters"].get("fabric.net_pickle_fallbacks", 0) == 0
+    # the audit itself saw fully-populated tables
+    assert shm["reachable"] == shm["total"] > 0
+
+    # bit-identity: shm-resident fan-out == store-off serial == golden
+    assert not pickled["shm_backed"]
+    assert shm["digest"] == pickled["digest"] == golden
+
+    # bounded memory
+    assert shm["maxrss_mb"] <= budget_mb, (
+        f"{dims} sweep peaked at {shm['maxrss_mb']} MB "
+        f"(budget {budget_mb} MB)"
+    )
+
+
+def test_bench_scale_2k_sweep(benchmark):
+    """2k-switch proxy: RSS budget, counter split, golden digest."""
+    workers = min(WORKERS, max(2, os.cpu_count() or 1))
+    _sweep_stages(benchmark, DIMS_2K, DESTS_2K, GOLDEN_2K,
+                  RSS_BUDGET_2K_MB, workers)
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_SCALE_10K"),
+                    reason="10k sweep is minutes of pure Python; "
+                           "set REPRO_SCALE_10K=1 to run")
+def test_bench_scale_10k_sweep(benchmark):
+    """The headline 10k-switch sweep (opt-in; CI runs the 2k proxy)."""
+    workers = min(WORKERS, max(2, os.cpu_count() or 1))
+    _sweep_stages(benchmark, DIMS_10K, DESTS_10K, GOLDEN_10K,
+                  RSS_BUDGET_10K_MB, workers)
+
+
+@needs_cores
+def test_bench_scale_transport_speedup(benchmark):
+    """Multi-destination sweep >= 2x on the table-store path.
+
+    The consumer is the column-streaming reachability audit over a
+    2k-switch DOR table.  On the shm path the audit's context packs to
+    a table ticket (no table bytes move); with
+    ``REPRO_RESULT_TRANSPORT=pickle`` every pool submission ships the
+    full ~10 MB table through the pipe, once per worker per call.
+    """
+    net = torus(DIMS_2K, 1)
+    dests = list(net.terminals)[:DESTS_2K]
+
+    fabric.shutdown()
+    os.environ.pop("REPRO_RESULT_TRANSPORT", None)
+    try:
+        routed = DORRouting(workers=WORKERS).route(net, seed=SEED,
+                                                   dests=dests)
+        assert routed.shm_backed
+        _reachable_pairs(routed, workers=WORKERS)  # warm pool + export
+        shm_s = _best_of(
+            lambda: _reachable_pairs(routed, workers=WORKERS))
+        expected = _reachable_pairs(routed, workers=WORKERS)
+
+        # private-array twin of the same tables, transport forced to
+        # pickle; the pool must respawn *after* the env flip (forked
+        # workers read the environment exactly once)
+        private = routed.materialize()
+        fabric.shutdown()
+        os.environ["REPRO_RESULT_TRANSPORT"] = "pickle"
+        _reachable_pairs(private, workers=WORKERS)  # warm pool
+        pickle_s = _best_of(
+            lambda: _reachable_pairs(private, workers=WORKERS))
+        assert _reachable_pairs(private, workers=WORKERS) == expected
+    finally:
+        os.environ.pop("REPRO_RESULT_TRANSPORT", None)
+        fabric.shutdown()
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "pickle_s": round(pickle_s, 4),
+        "shm_s": round(shm_s, 4),
+        "speedup": round(pickle_s / shm_s, 2),
+    })
+    assert shm_s > 0
+    assert pickle_s / shm_s >= MIN_SPEEDUP, (
+        f"table transport too slow: {pickle_s:.3f}s pickled vs "
+        f"{shm_s:.3f}s shm on {WORKERS} workers "
+        f"({pickle_s / shm_s:.2f}x < {MIN_SPEEDUP}x)"
+    )

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Distil the fabric speedup guards into ``BENCH_PR5.json``.
+"""Distil the benchmark guards into one JSON report.
 
 Runs the ``benchmarks/test_bench_*`` guard modules (default: the
 shared-memory fabric guards) under pytest-benchmark's JSON export and
@@ -11,22 +11,31 @@ machine-readable report::
         "serial_s": 0.19, "parallel_s": 0.07, "speedup": 2.71
       },
       ...
+      "_meta": {"peak_rss_mb": 412}
     }
+
+``_meta.peak_rss_mb`` is the peak resident set size over the whole
+pytest run (``getrusage(RUSAGE_CHILDREN)`` after the child exits, so
+pool workers and per-stage subprocesses roll up into the number) —
+the stage accounting behind the scale guards' RSS budget.
 
 Guards that skip (fewer than 4 cores) simply do not appear; the report
 is still written so CI always has an artifact to upload.  The script
-exits non-zero when pytest fails — a sub-2x speedup therefore fails
-the CI job, not just the report.
+exits non-zero when pytest fails — a sub-2x speedup or a blown RSS
+budget therefore fails the CI job, not just the report.
 
 Usage::
 
     python scripts/bench_report.py [-o BENCH_PR5.json] [targets...]
+    python scripts/bench_report.py -o BENCH_PR10.json \
+        benchmarks/test_bench_scale.py
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import resource
 import subprocess
 import sys
 import tempfile
@@ -81,6 +90,11 @@ def main(argv=None) -> int:
                 data = json.load(fh)
 
     report = collect(data)
+    # pytest has been waited on, so RUSAGE_CHILDREN now covers it and
+    # every pool worker / stage subprocess it spawned (ru_maxrss is KB
+    # on Linux)
+    peak_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    report["_meta"] = {"peak_rss_mb": peak_kb // 1024}
     out = Path(args.output)
     if not out.is_absolute():
         out = REPO_ROOT / out

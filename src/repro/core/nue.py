@@ -29,7 +29,7 @@ from repro.cdg.complete_cdg import CompleteCDG
 from repro.core.dijkstra import NueLayerRouter
 from repro.core.escape import EscapePaths
 from repro.core.root import select_root
-from repro.engine import run_layer_tasks
+from repro.engine import run_layer_tasks, tablestore
 from repro.network.graph import Network
 from repro.obs import core as obs
 from repro.partition import make_partitioner, partition_destinations
@@ -196,8 +196,9 @@ def build_layer_state(
 
 def _route_layer(
     ctx: Tuple[Network, "_LayerConfig"],
-    task: Tuple[int, List[int], int],
-) -> Tuple[int, np.ndarray, Dict[str, object]]:
+    task: Tuple[int, List[int], int, Optional[tablestore.TableHandle],
+                List[int]],
+) -> Tuple[int, Optional[np.ndarray], Dict[str, object]]:
     """Route one virtual layer: the :mod:`repro.engine` worker function.
 
     Layers are independent by construction — each gets a fresh complete
@@ -208,14 +209,20 @@ def _route_layer(
     must not touch global state other than :mod:`repro.obs` (whose
     worker-side events the engine captures and replays in the parent).
 
-    Returns ``(layer_idx, next-channel column block, layer stats)``;
-    the block holds one column per member of ``subset``, in subset
-    order, for the parent to scatter into the full table.  The spawned
+    When the task carries a :class:`~repro.engine.tablestore.
+    TableHandle`, the layer's column block is written **directly into
+    the shm-resident table** at the full-table column indices ``cols``
+    (``fabric.table_writes``) and the returned block is None — no
+    table bytes ride the result pipe, so ``fabric.result_exports``
+    stays zero.  Without a handle (store disabled, or the segment
+    unattachable) the block returns as before and the parent scatters
+    it.  Either way the values are bit-identical: the block is staged
+    and filled locally by the exact same batched kernel.  The spawned
     ``layer_seed`` is carried for forward compatibility — no current
     layer computation draws from it.
     """
     net, cfg = ctx
-    layer_idx, subset, _layer_seed = task
+    layer_idx, subset, _layer_seed, handle, cols = task
     with obs.span("nue.layer", layer=layer_idx, dests=len(subset)):
         router = build_layer_state(net, cfg, layer_idx, subset)
         cdg = router.cdg
@@ -246,6 +253,8 @@ def _route_layer(
             obs.count("escape.initial_deps",
                       escape.initial_dependencies,
                       layer=layer_idx)
+    if tablestore.write_columns(handle, cols, block, vl_fill=layer_idx):
+        return layer_idx, None, layer_stats
     return layer_idx, block, layer_stats
 
 
@@ -289,36 +298,54 @@ class NueRouting(RoutingAlgorithm):
         cfg = self.config
         parts, layer_seeds = plan_layers(net, dests, self.max_vls, cfg, seed)
         layer_cfg = _LayerConfig.from_config(cfg, single_layer=len(parts) == 1)
+        dest_col = {d: j for j, d in enumerate(dests)}
+        # one writable /dev/shm segment for the whole request: workers
+        # land their layer's columns in place, the result is a
+        # zero-copy view (None = store disabled, private-table path)
+        table = tablestore.create_table(net.n_nodes, len(dests))
+        handle = table.handle if table is not None else None
         tasks = [
-            (idx, list(subset), layer_seeds[idx])
+            (idx, list(subset), layer_seeds[idx], handle,
+             [dest_col[d] for d in subset])
             for idx, subset in enumerate(parts)
         ]
-        outcomes = run_layer_tasks(
-            _route_layer, (net, layer_cfg), tasks, workers=self.workers
-        )
+        try:
+            outcomes = run_layer_tasks(
+                _route_layer, (net, layer_cfg), tasks, workers=self.workers
+            )
 
-        nxt, vl = self._empty_tables(net, dests)
-        dest_col = {d: j for j, d in enumerate(dests)}
-        stats: Dict[str, object] = {
-            "layers": [],
-            "fallbacks": 0,
-            "islands_resolved": 0,
-            "shortcuts_taken": 0,
-            "cycle_searches": 0,
-        }
+            if table is not None:
+                nxt, vl = table.next_channel, table.vl
+            else:
+                nxt, vl = self._empty_tables(net, dests)
+            stats: Dict[str, object] = {
+                "layers": [],
+                "fallbacks": 0,
+                "islands_resolved": 0,
+                "shortcuts_taken": 0,
+                "cycle_searches": 0,
+            }
 
-        # merge column blocks back in layer order: partitions are
-        # disjoint, so the scatter is conflict-free and the result is
-        # bit-identical to the serial in-place writes
-        for layer_idx, block, layer_stats in outcomes:
-            cols = [dest_col[d] for d in parts[layer_idx]]
-            nxt[:, cols] = block
-            vl[:, cols] = layer_idx
-            stats["layers"].append(layer_stats)  # type: ignore[union-attr]
-            stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
-            stats["islands_resolved"] += layer_stats["islands_resolved"]  # type: ignore[operator]
-            stats["shortcuts_taken"] += layer_stats["shortcuts_taken"]  # type: ignore[operator]
-            stats["cycle_searches"] += layer_stats["cycle_searches"]  # type: ignore[operator]
+            # merge column blocks back in layer order: partitions are
+            # disjoint, so the scatter is conflict-free and the result
+            # is bit-identical to the serial in-place writes.  A None
+            # block was already written into the shm table by its
+            # worker (the zero-copy path)
+            for layer_idx, block, layer_stats in outcomes:
+                if block is not None:
+                    cols = [dest_col[d] for d in parts[layer_idx]]
+                    nxt[:, cols] = block
+                    vl[:, cols] = layer_idx
+                stats["layers"].append(layer_stats)  # type: ignore[union-attr]
+                stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
+                stats["islands_resolved"] += layer_stats["islands_resolved"]  # type: ignore[operator]
+                stats["shortcuts_taken"] += layer_stats["shortcuts_taken"]  # type: ignore[operator]
+                stats["cycle_searches"] += layer_stats["cycle_searches"]  # type: ignore[operator]
+        except BaseException:
+            # KeyboardInterrupt / pool death mid-route: the segment
+            # must not outlive the failed request
+            tablestore.release_table(table)
+            raise
 
         result = RoutingResult(
             net=net,
@@ -328,6 +355,8 @@ class NueRouting(RoutingAlgorithm):
             n_vls=len(parts),
             algorithm=self.name,
         )
+        if table is not None:
+            result.attach_table(table)
         result.stats = stats
         result.stats["fallback_rate"] = (
             stats["fallbacks"] / len(dests) if dests else 0.0  # type: ignore[operator]

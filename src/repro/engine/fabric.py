@@ -166,18 +166,22 @@ def _count(name: str, value: int = 1) -> None:
         obs.count(name, value)
 
 
-def _alloc_segment(bufs, seg_base: str):
-    """Allocate one segment holding every array of ``bufs``, copied in
-    at 16-byte-aligned offsets.  Returns ``(shm, layout)`` where layout
-    is ``(key, dtype, shape, offset)`` per array."""
+def _alloc_raw(specs, seg_base: str):
+    """Allocate one zero-initialised segment laid out for ``specs``
+    (``(key, dtype, shape)`` per array) without copying anything in —
+    the table store writes columns straight into the mapping, so there
+    is never a private staging array of the full table.  Returns
+    ``(shm, layout)`` where layout is ``(key, dtype, shape, offset)``
+    per array, offsets 16-byte aligned."""
     from multiprocessing import shared_memory
 
     layout: List[Tuple[str, str, Tuple[int, ...], int]] = []
     offset = 0
-    for key, arr in bufs.items():
+    for key, dtype, shape in specs:
         offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
-        layout.append((key, arr.dtype.str, arr.shape, offset))
-        offset += arr.nbytes
+        layout.append((key, dtype, tuple(shape), offset))
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        offset += np.dtype(dtype).itemsize * count
     size = max(offset, 1)
 
     seg_name = f"{seg_base}_{os.getpid():x}"
@@ -192,7 +196,15 @@ def _alloc_segment(bufs, seg_base: str):
             continue
     else:  # pragma: no cover - 16 collisions cannot happen in practice
         raise OSError(f"cannot allocate fabric segment {seg_name}")
+    return shm, layout
 
+
+def _alloc_segment(bufs, seg_base: str):
+    """Allocate one segment holding every array of ``bufs``, copied in
+    at 16-byte-aligned offsets.  Returns ``(shm, layout)`` where layout
+    is ``(key, dtype, shape, offset)`` per array."""
+    specs = [(key, arr.dtype.str, arr.shape) for key, arr in bufs.items()]
+    shm, layout = _alloc_raw(specs, seg_base)
     for (key, dtype, shape, off), arr in zip(layout, bufs.values()):
         dst = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
         dst[...] = arr
@@ -389,6 +401,20 @@ def attach_network(handle: ShmNetworkHandle) -> Network:
 #: shm segment instead of being re-pickled once per task
 SCRATCH_MIN_BYTES = 256 * 1024
 
+#: ``REPRO_RESULT_TRANSPORT=pickle`` forces the degradation path that
+#: platforms without POSIX shared memory take implicitly: contexts and
+#: results cross the pipe as plain pickles (networks included), and no
+#: scratch or table segment is created.  The scale benchmarks use it as
+#: the deterministic pre-fabric comparator; everything else should
+#: leave it unset (``shm``, the default).
+RESULT_TRANSPORT_ENV_VAR = "REPRO_RESULT_TRANSPORT"
+
+
+def shm_transport() -> bool:
+    """False when ``REPRO_RESULT_TRANSPORT=pickle`` disables shm."""
+    raw = os.environ.get(RESULT_TRANSPORT_ENV_VAR, "shm")
+    return raw.strip().lower() != "pickle"
+
 
 class ShmArraysHandle:
     """Picklable ticket for a scratch segment of named arrays.
@@ -500,7 +526,7 @@ def export_result(result: Any) -> Any:
     unlinks in :func:`import_result`.  Any shm failure degrades to the
     plain pickle path.
     """
-    if not isinstance(result, tuple):
+    if not isinstance(result, tuple) or not shm_transport():
         return result
     big = {
         i: item for i, item in enumerate(result)
@@ -576,21 +602,42 @@ def pack_ctx(ctx: Any) -> Tuple[Any, int]:
 
     * :class:`Network` values — swapped for a refcounted
       :class:`ShmNetworkHandle` (engine-owned LRU export);
-    * ndarrays of >= :data:`SCRATCH_MIN_BYTES` — packed together into
-      one per-call scratch segment, so e.g. a forwarding table under a
-      metrics sweep crosses the pipe once instead of once per task.
+    * ndarrays that *are* a live shm table's views (a
+      :class:`~repro.engine.tablestore.SharedTable` produced by a prior
+      route) — swapped for a zero-copy table ticket: nothing is copied
+      at all, workers attach the existing segment read-only;
+    * other ndarrays of >= :data:`SCRATCH_MIN_BYTES` — packed together
+      into one per-call scratch segment, so e.g. a forwarding table
+      under a metrics sweep crosses the pipe once instead of once per
+      task.
 
     Returns ``(packed ctx, number of networks still pickled)`` —
     non-zero only when an export failed and the engine fell back to
     pickling.  Pair with :func:`release_ctx` after the fan-out.
     """
+    from repro.engine import tablestore
+
     items = list(ctx) if isinstance(ctx, tuple) else [ctx]
     packed: List[Any] = list(items)
     fallbacks = 0
-    big = {
-        i: item for i, item in enumerate(items)
-        if isinstance(item, np.ndarray) and item.nbytes >= SCRATCH_MIN_BYTES
-    }
+    if not shm_transport():
+        fallbacks = sum(isinstance(item, Network) for item in items)
+        if fallbacks:
+            _count("fabric.net_pickle_fallbacks", fallbacks)
+        if isinstance(ctx, tuple):
+            return tuple(packed), fallbacks
+        return packed[0], fallbacks
+    big = {}
+    for i, item in enumerate(items):
+        if not isinstance(item, np.ndarray) or \
+                item.nbytes < SCRATCH_MIN_BYTES:
+            continue
+        ticket = tablestore.ticket_for(item)
+        if ticket is not None:
+            packed[i] = ticket
+            _count("fabric.table_ctx_hits")
+        else:
+            big[i] = item
     for i, item in enumerate(items):
         if isinstance(item, Network):
             try:
@@ -614,15 +661,20 @@ def pack_ctx(ctx: Any) -> Tuple[Any, int]:
 
 def unpack_ctx(ctx: Any) -> Any:
     """Reverse :func:`pack_ctx` inside a worker (attach-cache backed)."""
+    from repro.engine.tablestore import TableTicket, attach_ticket
+
     def restore(item):
         if isinstance(item, ShmNetworkHandle):
             return attach_network(item)
         if isinstance(item, _ScratchArray):
             return attach_arrays(item.handle)[item.key]
+        if isinstance(item, TableTicket):
+            return attach_ticket(item)
         return item
 
     if isinstance(ctx, tuple) and any(
-        isinstance(item, (ShmNetworkHandle, _ScratchArray)) for item in ctx
+        isinstance(item, (ShmNetworkHandle, _ScratchArray, TableTicket))
+        for item in ctx
     ):
         return tuple(restore(item) for item in ctx)
     return restore(ctx)
@@ -788,6 +840,9 @@ def shutdown(wait: bool = True) -> None:
         except Exception:  # pragma: no cover - listener bugs stay local
             pass
     discard_pool(wait=wait)
+    tablestore = sys.modules.get("repro.engine.tablestore")
+    if tablestore is not None:
+        tablestore._shutdown_tables()
     while _auto_exports:
         fp, _handle = _auto_exports.popitem(last=False)
         release_network(fp)

@@ -1,0 +1,393 @@
+"""Shm-resident forwarding tables (the PR 10 tentpole).
+
+A routed network's forwarding state is a dense ``(n_nodes, n_dests)``
+``int32`` next-channel matrix plus an ``int8`` virtual-layer matrix.
+At paper scale (Table 1 runs beyond 10k switches) that pair is the
+dominant allocation of a route — ~500 MB all-to-all — and before this
+module every layer's block crossed the worker pipe at least once
+(scratch copy out, copy in, scatter) before landing in yet another
+private allocation.
+
+The table store removes every one of those copies.  The parent
+preallocates **one** writable ``/dev/shm`` segment per route request
+(:func:`create_table`), fan-out workers attach it and write their
+destination shard's columns straight into column-sliced views
+(:func:`write_columns` — counted as ``fabric.table_writes``), and the
+parent assembles the :class:`~repro.routing.base.RoutingResult` over
+zero-copy views of the very same mapping.  ``export_result`` never
+sees a table payload: with the store enabled, ``fabric.result_exports``
+stays at zero for routing fan-outs.
+
+Ownership is explicit and single-owner: the process that created a
+:class:`SharedTable` unlinks it — via ``RoutingResult.release()``, the
+service LRU's eviction, :func:`repro.engine.fabric.shutdown` or
+``atexit``, whichever comes first.  Consumers that need the data past
+the segment's life call ``RoutingResult.materialize()`` (one private
+copy, then release).  ``copy.deepcopy`` of a result detaches it from
+the store entirely (the engine route cache relies on this), and
+:func:`pin`/:func:`release` refcounting lets a long-lived holder (the
+RPC service's network LRU) keep a table resident across requests.
+
+Everything degrades: ``REPRO_TABLE_STORE=0`` (or any shm allocation
+failure) falls back to the PR 5 scratch-segment result path with
+bit-identical output — the store only changes where bytes live.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine import fabric
+from repro.obs import core as obs
+
+__all__ = [
+    "TABLE_STORE_ENV_VAR",
+    "TableHandle",
+    "TableTicket",
+    "SharedTable",
+    "enabled",
+    "create_table",
+    "write_columns",
+    "attach_ticket",
+    "ticket_for",
+    "release_table",
+    "live_tables",
+]
+
+#: ``REPRO_TABLE_STORE=0`` disables the store: routes fall back to the
+#: PR 5 private-table + scratch-result path (bit-identical output).
+TABLE_STORE_ENV_VAR = "REPRO_TABLE_STORE"
+
+_FALSEY = frozenset({"0", "false", "off", "no"})
+
+
+def enabled() -> bool:
+    """Whether routes should allocate shm-resident tables here.
+
+    On by default; ``REPRO_TABLE_STORE=0`` (or ``false``/``off``/
+    ``no``) opts out, and ``REPRO_RESULT_TRANSPORT=pickle`` — the
+    forced degradation mode — implies out.
+    """
+    raw = os.environ.get(TABLE_STORE_ENV_VAR, "1").strip().lower()
+    return raw not in _FALSEY and fabric.shm_transport()
+
+
+def _count(name: str, value: int = 1) -> None:
+    if obs.enabled():
+        obs.count(name, value)
+
+
+class TableHandle:
+    """Picklable ticket for one shm table segment.
+
+    Carries the segment name plus the fixed two-array layout
+    (``next_channel`` int32, ``vl`` int8) so a worker can attach and
+    write its columns without the parent shipping any table bytes.
+    """
+
+    __slots__ = ("segment", "n_nodes", "n_dests", "layout")
+
+    def __init__(self, segment: str, n_nodes: int, n_dests: int,
+                 layout) -> None:
+        self.segment = segment
+        self.n_nodes = n_nodes
+        self.n_dests = n_dests
+        self.layout = layout
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TableHandle({self.segment!r}, "
+                f"{self.n_nodes}x{self.n_dests})")
+
+
+class TableTicket:
+    """One table array (``next_channel`` or ``vl``) as a context member.
+
+    :func:`repro.engine.fabric.pack_ctx` swaps a live table's view for
+    this ticket, so a metrics sweep or reachability audit over an
+    shm-backed result ships **zero** table bytes — workers attach the
+    existing segment read-only (``fabric.table_ctx_hits``).
+    """
+
+    __slots__ = ("handle", "key")
+
+    def __init__(self, handle: TableHandle, key: str) -> None:
+        self.handle = handle
+        self.key = key
+
+    def __getstate__(self):
+        return (self.handle, self.key)
+
+    def __setstate__(self, state):
+        self.handle, self.key = state
+
+
+class SharedTable:
+    """Parent-side owner of one shm-resident forwarding-table pair.
+
+    ``next_channel`` and ``vl`` are writable views over the mapping;
+    hand them to a :class:`~repro.routing.base.RoutingResult` and the
+    result is zero-copy.  Lifetime is refcounted: creation holds one
+    reference (the route's), :meth:`pin` adds holders (the service
+    LRU), :meth:`release` drops one and unlinks the segment at zero.
+    """
+
+    __slots__ = ("shm", "handle", "next_channel", "vl", "_refs")
+
+    def __init__(self, shm, handle: TableHandle) -> None:
+        self.shm = shm
+        self.handle = handle
+        arrays = _map_arrays(handle, shm, writable=True)
+        self.next_channel = arrays["next_channel"]
+        self.vl = arrays["vl"]
+        self._refs = 1
+
+    @property
+    def closed(self) -> bool:
+        return self._refs <= 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.next_channel.nbytes + self.vl.nbytes
+
+    def pin(self) -> "SharedTable":
+        """Add a holder (e.g. the service network LRU); returns self."""
+        if self._refs <= 0:
+            raise ValueError("cannot pin a released table")
+        self._refs += 1
+        return self
+
+    def release(self) -> bool:
+        """Drop one reference; unlink the segment at zero.
+
+        Idempotent past zero (releasing an already-unlinked table is a
+        silent no-op, never a double unlink).  Returns True when this
+        call performed the unlink.
+        """
+        if self._refs <= 0:
+            return False
+        self._refs -= 1
+        if self._refs > 0:
+            return False
+        _tables.pop(self.handle.segment, None)
+        fabric._unlink(self.shm)
+        _count("fabric.table_releases")
+        return True
+
+    def __deepcopy__(self, memo) -> None:
+        # a deep copy of a RoutingResult copies the table views into
+        # private memory (plain ndarray deepcopy); the copy must NOT
+        # share — or own — the segment, so the table reference itself
+        # deep-copies to None.  The engine route cache depends on this:
+        # stored entries are always store-detached.
+        return None
+
+    def __reduce__(self):
+        raise TypeError(
+            "SharedTable is process-local; pickle its .handle instead"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else f"refs={self._refs}"
+        return f"SharedTable({self.handle.segment!r}, {state})"
+
+
+def _map_arrays(handle: TableHandle, shm,
+                writable: bool) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in handle.layout:
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        arr.flags.writeable = writable
+        arrays[key] = arr
+    return arrays
+
+
+#: parent-side registry of live owned tables: segment name -> table.
+#: :func:`repro.engine.fabric.shutdown` (and atexit behind it) drains
+#: it, so no table segment can outlive the process even when a caller
+#: forgot its release().
+_tables: Dict[str, SharedTable] = {}
+#: monotonic per-process sequence folded into segment names so a new
+#: table can never reuse a released table's name — forked pool workers
+#: inherit the parent's ``_tables`` registry, and a name reuse would
+#: let a stale inherited mapping swallow the new table's writes
+_table_seq = 0
+
+
+def create_table(n_nodes: int, n_dests: int,
+                 tag: str = "") -> Optional[SharedTable]:
+    """Preallocate one writable table segment, or None to fall back.
+
+    Returns None when the store is disabled (:func:`enabled`) or shm
+    allocation fails (``fabric.table_fallbacks``) — callers then build
+    private tables exactly as before PR 10.  ``next_channel`` starts
+    at -1 and ``vl`` at 0, matching
+    ``RoutingAlgorithm._empty_tables``.
+    """
+    global _table_seq
+    if not enabled():
+        return None
+    specs = [
+        ("next_channel", np.dtype(np.int32).str, (n_nodes, n_dests)),
+        ("vl", np.dtype(np.int8).str, (n_nodes, n_dests)),
+    ]
+    _table_seq += 1
+    base = f"{fabric.SEGMENT_PREFIX}tbl{_table_seq}" + \
+        (f"_{tag}" if tag else "")
+    try:
+        shm, layout = fabric._alloc_raw(specs, base)
+    except (OSError, ValueError):
+        _count("fabric.table_fallbacks")
+        return None
+    handle = TableHandle(segment=shm.name, n_nodes=n_nodes,
+                         n_dests=n_dests, layout=tuple(layout))
+    table = SharedTable(shm, handle)
+    # fresh /dev/shm pages are zero-filled, so only next_channel's -1
+    # sentinel needs writing; vl's zeros are already in place
+    table.next_channel.fill(-1)
+    _tables[shm.name] = table
+    fabric._register_cleanup()
+    _count("fabric.table_creates")
+    return table
+
+
+def release_table(table: Optional[SharedTable]) -> bool:
+    """``table.release()`` that tolerates None (fallback-path callers)."""
+    return table.release() if table is not None else False
+
+
+def live_tables() -> Dict[str, Tuple[int, int]]:
+    """Live owned tables as ``{segment: (n_nodes, n_dests)}``."""
+    return {
+        seg: (t.handle.n_nodes, t.handle.n_dests)
+        for seg, t in _tables.items()
+    }
+
+
+def ticket_for(arr: np.ndarray) -> Optional[TableTicket]:
+    """The zero-copy ticket for ``arr`` if it *is* a live table view.
+
+    Identity-based: only the canonical ``next_channel``/``vl`` views of
+    an owned, unreleased table match (a slice or copy of one does not),
+    which is exactly what engine contexts carry.
+    """
+    for table in _tables.values():
+        if arr is table.next_channel:
+            return TableTicket(table.handle, "next_channel")
+        if arr is table.vl:
+            return TableTicket(table.handle, "vl")
+    return None
+
+
+# -- worker-side attach cache -------------------------------------------------
+
+#: segment name -> (shm, writable arrays); capacity-bounded like the
+#: scratch cache so a long campaign's workers do not pile up mappings
+_attached_tables: "OrderedDict[str, Tuple[Any, Dict[str, np.ndarray]]]" \
+    = OrderedDict()
+_TABLE_ATTACH_CAPACITY = 4
+
+
+def _attach(handle: TableHandle) -> Dict[str, np.ndarray]:
+    owned = _tables.get(handle.segment)
+    if owned is not None:
+        # same-process call (workers=1 or the serial fallback): write
+        # through the owner's views, no second mapping
+        return {"next_channel": owned.next_channel, "vl": owned.vl}
+    ent = _attached_tables.get(handle.segment)
+    if ent is not None:
+        _attached_tables.move_to_end(handle.segment)
+        return ent[1]
+    shm = fabric._open_segment(handle.segment)
+    arrays = _map_arrays(handle, shm, writable=True)
+    while len(_attached_tables) >= _TABLE_ATTACH_CAPACITY:
+        _seg, (old_shm, _old) = _attached_tables.popitem(last=False)
+        try:
+            old_shm.close()
+        except (BufferError, OSError):  # pragma: no cover
+            pass
+    _attached_tables[handle.segment] = (shm, arrays)
+    _count("fabric.table_attaches")
+    return arrays
+
+
+def write_columns(handle: Optional[TableHandle], cols: Sequence[int],
+                  block: np.ndarray,
+                  vl_fill: Optional[int] = None,
+                  vl_block: Optional[np.ndarray] = None) -> bool:
+    """Write a worker's column block straight into the shm table.
+
+    ``cols`` are full-table column indices, ``block`` the
+    ``(n_nodes, len(cols))`` next-channel values for them; ``vl_fill``
+    (a layer's constant) or ``vl_block`` optionally updates the vl
+    columns too.  Returns False — caller falls back to returning the
+    block — when there is no handle or the segment cannot be attached
+    (it vanished, or the platform lost shm mid-run).
+    """
+    if handle is None or len(cols) == 0:
+        return handle is not None and len(cols) == 0
+    try:
+        arrays = _attach(handle)
+    except (OSError, ValueError, FileNotFoundError):
+        return False
+    cols = list(cols)
+    arrays["next_channel"][:, cols] = block
+    if vl_fill is not None:
+        arrays["vl"][:, cols] = np.int8(vl_fill)
+    elif vl_block is not None:
+        arrays["vl"][:, cols] = vl_block
+    _count("fabric.table_writes")
+    return True
+
+
+def read_columns(handle: TableHandle, cols: Sequence[int],
+                 key: str = "next_channel") -> np.ndarray:
+    """A private, contiguous copy of the named columns (worker side).
+
+    The incremental-repair workers stage their layer's *prior* columns
+    from the parent-prefilled table this way instead of receiving them
+    in the task pickle.
+    """
+    arrays = _attach(handle)
+    return np.ascontiguousarray(arrays[key][:, list(cols)])
+
+
+def attach_ticket(ticket: TableTicket) -> np.ndarray:
+    """Resolve a :class:`TableTicket` to a read-only view (worker side)."""
+    view = _attach(ticket.handle)[ticket.key].view()
+    view.flags.writeable = False
+    return view
+
+
+def _shutdown_tables() -> None:
+    """Drain both registries; called from :func:`fabric.shutdown`."""
+    for seg in list(_tables):
+        table = _tables.pop(seg, None)
+        if table is not None:
+            table._refs = 0
+            fabric._unlink(table.shm)
+    for seg in list(_attached_tables):
+        shm, _arrays = _attached_tables.pop(seg)
+        try:
+            shm.close()
+        except (BufferError, OSError):  # pragma: no cover
+            pass
+
+
+def table_stats() -> Dict[str, int]:
+    """Diagnostics: live owned tables and their total mapped bytes."""
+    return {
+        "tables": len(_tables),
+        "bytes": sum(t.nbytes for t in _tables.values()),
+        "attached": len(_attached_tables),
+    }

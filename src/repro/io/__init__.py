@@ -10,9 +10,11 @@ from repro.io.topofile import (
 from repro.io.tables import (
     format_lft,
     load_routing,
+    load_tables_npz,
     routing_from_json,
     routing_to_json,
     save_routing,
+    save_tables_npz,
 )
 
 __all__ = [
@@ -23,7 +25,9 @@ __all__ = [
     "save_topology",
     "format_lft",
     "load_routing",
+    "load_tables_npz",
     "routing_from_json",
     "routing_to_json",
     "save_routing",
+    "save_tables_npz",
 ]

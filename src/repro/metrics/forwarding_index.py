@@ -30,11 +30,17 @@ def _gamma_task(
     ctx: Tuple[Network, np.ndarray, List[int]],
     shard: Sequence[Tuple[int, int]],
 ) -> np.ndarray:
-    """Worker: per-channel route counts over one destination shard."""
+    """Worker: per-channel route counts over one destination shard.
+
+    The full table arrives zero-copy (an shm table ticket or scratch
+    view); columns are staged contiguously one at a time, so a worker's
+    resident footprint is one column, never the whole matrix.
+    """
     net, nxt, sources = ctx
     total = np.zeros(net.n_channels, dtype=np.int64)
     for j, d in shard:
-        total += subtree_route_counts(net, nxt[:, j], d, sources)
+        total += subtree_route_counts(
+            net, np.ascontiguousarray(nxt[:, j]), d, sources)
     return total
 
 

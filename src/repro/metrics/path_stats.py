@@ -62,7 +62,9 @@ def _lengths_task(
     net, nxt, sources = ctx
     out = []
     for j, d in shard:
-        depth = _column_depths(net, nxt[:, j], d)
+        # column streaming: one contiguous staged column at a time —
+        # the zero-copy table view in ctx stays unmaterialized
+        depth = _column_depths(net, np.ascontiguousarray(nxt[:, j]), d)
         vals = depth[sources]
         vals = vals[(vals > 0)]  # drop self-pairs and unreachable
         if vals.size == 0:

@@ -65,16 +65,25 @@ class TransitionNotApplicable(RuntimeError):
     """
 
 
-def _column_layer(result: RoutingResult, col: int) -> int:
+def _column_layer(result: RoutingResult, col: int,
+                  nxt_col: Optional[np.ndarray] = None,
+                  vl_col: Optional[np.ndarray] = None) -> int:
     """The single virtual layer of destination column ``col``.
 
     Rows whose next-channel entry is -1 (the destination itself,
     unreachable nodes) are ignored; all remaining rows must agree.
+    ``nxt_col``/``vl_col`` optionally supply the column values already
+    staged contiguously (the block-streaming lift), avoiding a strided
+    pass over the full — possibly shm-resident — matrices.
     """
-    mask = result.next_channel[:, col] >= 0
+    if nxt_col is None:
+        nxt_col = result.next_channel[:, col]
+    if vl_col is None:
+        vl_col = result.vl[:, col]
+    mask = nxt_col >= 0
     if not mask.any():
         return 0
-    vls = result.vl[mask, col]
+    vls = vl_col[mask]
     layer = int(vls[0])
     if not (vls == layer).all():
         raise TransitionNotApplicable(
@@ -134,16 +143,34 @@ class InducedEdges:
     sit on a cycle, see Def. 6, so they never affect the verdicts).
     """
 
+    #: columns staged per block during the lift: big enough to amortise
+    #: the gather, small enough that two staged blocks of a 10k-node
+    #: table stay around ~5 MB instead of rematerialising the matrices
+    BLOCK_COLS = 64
+
     def __init__(self, result: RoutingResult) -> None:
         self.result = result
         self.net = result.net
         keys = _dep_keys(result.net)
         self.layer_of: Dict[int, int] = {}
         self.edges_of: Dict[int, np.ndarray] = {}
-        for col, d in enumerate(result.dests):
-            self.layer_of[d] = _column_layer(result, col)
-            self.edges_of[d] = _column_edge_ids(
-                result.net, result.next_channel[:, col], keys, d)
+        # column-block streaming: the source matrices (zero-copy views
+        # of an shm table, for a PR 10 routing) are gathered one block
+        # of columns at a time; every per-column pass below then runs
+        # over contiguous memory
+        n_dests = len(result.dests)
+        for lo in range(0, n_dests, self.BLOCK_COLS):
+            hi = min(lo + self.BLOCK_COLS, n_dests)
+            nxt_blk = np.ascontiguousarray(result.next_channel[:, lo:hi])
+            vl_blk = np.ascontiguousarray(result.vl[:, lo:hi])
+            for off in range(hi - lo):
+                col = lo + off
+                d = result.dests[col]
+                self.layer_of[d] = _column_layer(
+                    result, col, nxt_col=nxt_blk[:, off],
+                    vl_col=vl_blk[:, off])
+                self.edges_of[d] = _column_edge_ids(
+                    result.net, nxt_blk[:, off], keys, d)
         self.n_layers = max(
             [result.n_vls] + [layer + 1 for layer in self.layer_of.values()]
         )

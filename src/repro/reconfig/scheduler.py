@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.engine import tablestore
 from repro.obs import core as obs
 from repro.reconfig.compat import (
     CompatibilityReport,
@@ -328,11 +329,21 @@ def apply_plan(
             dests.append(d)
             cols.append(old.next_channel[:, j])
             vls.append(old.vl[:, j])
-    nxt = (np.stack(cols, axis=1).astype(np.int32) if cols
-           else np.empty((new.net.n_nodes, 0), dtype=np.int32))
-    vl = (np.stack(vls, axis=1).astype(np.int8) if vls
-          else np.empty((new.net.n_nodes, 0), dtype=np.int8))
-    return RoutingResult(
+    # a transition already holds the old and new tables live at once;
+    # the mixed state lands in its own shm table segment (column-wise
+    # writes, no np.stack staging copy) when the store is enabled
+    table = tablestore.create_table(new.net.n_nodes, len(dests))
+    if table is not None:
+        nxt, vl = table.next_channel, table.vl
+        for j, (c, v) in enumerate(zip(cols, vls)):
+            nxt[:, j] = c
+            vl[:, j] = v
+    else:
+        nxt = (np.stack(cols, axis=1).astype(np.int32) if cols
+               else np.empty((new.net.n_nodes, 0), dtype=np.int32))
+        vl = (np.stack(vls, axis=1).astype(np.int8) if vls
+              else np.empty((new.net.n_nodes, 0), dtype=np.int8))
+    mixed = RoutingResult(
         net=new.net,
         dests=dests,
         next_channel=nxt,
@@ -340,6 +351,9 @@ def apply_plan(
         n_vls=max(old.n_vls, new.n_vls),
         algorithm=f"transition({old.algorithm}->{new.algorithm})",
     )
+    if table is not None:
+        mixed.attach_table(table)
+    return mixed
 
 
 def verify_plan(
@@ -420,8 +434,11 @@ def verify_plan(
     assert all(which == "new" for which in final.values()), (
         "plan leaves destinations on their old tables")
     mixed = apply_plan(old, new, plan)
-    assert list(mixed.dests) == list(new.dests)
-    assert np.array_equal(mixed.next_channel, new.next_channel), (
-        "final tables differ from the from-scratch routing")
-    assert np.array_equal(mixed.vl, new.vl)
+    try:
+        assert list(mixed.dests) == list(new.dests)
+        assert np.array_equal(mixed.next_channel, new.next_channel), (
+            "final tables differ from the from-scratch routing")
+        assert np.array_equal(mixed.vl, new.vl)
+    finally:
+        mixed.release()
     return states

@@ -43,6 +43,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.nue import NueConfig
 from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
 from repro.metrics.validate import ValidationError, validate_routing
@@ -202,7 +204,10 @@ def _reachable_task(ctx, shard) -> Tuple[int, int]:
     reachable = 0
     total = 0
     for j, d in shard:
-        col = nxt[:, j]
+        # column streaming: stage one contiguous column at a time off
+        # the (possibly shm-resident, C-ordered) table — a strided
+        # ndarray scalar read per hop would dominate the walk
+        col = np.ascontiguousarray(nxt[:, j]).tolist()
         # status: 0 unknown, 1 reaches d, -1 dead end / loop
         status = [0] * n
         status[d] = 1
@@ -213,7 +218,7 @@ def _reachable_task(ctx, shard) -> Tuple[int, int]:
             chain = []
             v = s
             while status[v] == 0:
-                c = int(col[v])
+                c = col[v]
                 if c < 0:
                     break
                 chain.append(v)
@@ -360,7 +365,13 @@ def run_campaign(
         )
         reports.append(report)
         base_net = report._next_net          # type: ignore[attr-defined]
+        superseded = current
         current = report._next_routing       # type: ignore[attr-defined]
+        if current is not superseded:
+            # the degraded routing replaces the old one: give its shm
+            # table segment back immediately instead of holding every
+            # generation of a long campaign until shutdown
+            superseded.release()
         del report._next_net, report._next_routing  # type: ignore[attr-defined]
         if obs.enabled():
             obs.count_many({

@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.nue import NueConfig, _LayerConfig, build_layer_state, plan_layers
-from repro.engine import run_layer_tasks
+from repro.engine import run_layer_tasks, tablestore
 from repro.network.faults import FaultResult
 from repro.network.graph import Network, as_network
 from repro.obs import core as obs
@@ -97,8 +97,9 @@ def exact_reroute(
 
 def _repair_layer(
     ctx: Tuple[Network, "_LayerConfig", List[int]],
-    task: Tuple[int, List[int], np.ndarray, List[bool]],
-) -> Tuple[int, np.ndarray, Dict[str, object]]:
+    task: Tuple[int, List[int], Optional[np.ndarray], List[bool],
+                Optional[tablestore.TableHandle], List[int]],
+) -> Tuple[int, Optional[np.ndarray], Dict[str, object]]:
     """Repair one virtual layer (engine worker function).
 
     Rebuilds the layer's CDG on the surviving fabric (failed channels
@@ -106,11 +107,25 @@ def _repair_layer(
     retained column in subset order, then recomputes the dirty
     destinations in subset order.  Deterministic given the task, so it
     runs identically serial or pooled.
+
+    With an shm :class:`~repro.engine.tablestore.TableHandle` in the
+    task, no table bytes travel either direction: the parent prefilled
+    the new table with the prior's columns, so the worker *stages its
+    prior block from the shm mapping itself* (``cols`` are the layer's
+    full-table column indices), adopts the clean columns — which stay
+    resident, an adoption is now an shm no-op — and writes only the
+    recomputed dirty columns back (``fabric.table_writes``).  The
+    block-shipping path (``handle is None``) remains for the store-off
+    fallback, bit-identical.
     """
     net, cfg, failed = ctx
-    layer_idx, subset, block, dirty_flags = task
+    layer_idx, subset, block, dirty_flags, handle, cols = task
     with obs.span("resilience.repair_layer", layer=layer_idx,
                   dests=len(subset), dirty=sum(dirty_flags)):
+        if block is None:
+            # shm path: the parent prefilled the table with the prior
+            # columns; attach and stage this layer's block locally
+            block = tablestore.read_columns(handle, cols)
         router = build_layer_state(
             net, cfg, layer_idx, subset, retire_channels=failed
         )
@@ -142,6 +157,13 @@ def _repair_layer(
             router.cdg.assert_acyclic()
         if obs.enabled():
             obs.count_many(router.cdg.counter_snapshot(), layer=layer_idx)
+    if dirty_dests and tablestore.write_columns(
+            handle, [cols[c] for c in dirty_cols],
+            new_block[:, dirty_cols]):
+        return layer_idx, None, stats
+    if handle is not None and not dirty_dests:
+        # nothing recomputed: the prefilled columns are already final
+        return layer_idx, None, stats
     return layer_idx, new_block, stats
 
 
@@ -198,42 +220,65 @@ def incremental_reroute(
     layer_cfg = _LayerConfig.from_config(cfg, single_layer=len(parts) == 1)
     failed_list = sorted(failed)
 
+    # the repaired tables get their own shm segment, prefilled with the
+    # prior columns: retained (adopted) columns are thereby already
+    # final in place, and repair workers stage their prior block from
+    # the mapping instead of receiving it in the task pickle
+    table = tablestore.create_table(net.n_nodes, len(prior.dests))
+    if table is not None:
+        table.next_channel[...] = prior.next_channel
+        table.vl[...] = prior.vl
+    handle = table.handle if table is not None else None
+
     tasks = []
     for idx, subset in enumerate(parts):
         flags = [d in dirty for d in subset]
         if not any(flags):
             continue
         cols = [prior.dest_index(d) for d in subset]
-        block = np.ascontiguousarray(prior.next_channel[:, cols])
-        tasks.append((idx, list(subset), block, flags))
+        block = None if table is not None else \
+            np.ascontiguousarray(prior.next_channel[:, cols])
+        tasks.append((idx, list(subset), block, flags, handle, cols))
 
     try:
         outcomes = run_layer_tasks(
             _repair_layer, (net, layer_cfg, failed_list), tasks,
             workers=workers,
         )
+
+        if table is not None:
+            nxt = table.next_channel
+            vl = table.vl
+        else:
+            nxt = np.array(prior.next_channel, copy=True)
+            vl = np.array(prior.vl, copy=True)
+        for layer_idx, new_block, layer_stats in outcomes:
+            if new_block is not None:
+                cols = [prior.dest_index(d) for d in parts[layer_idx]]
+                nxt[:, cols] = new_block
+            stats["layers_repaired"] += 1  # type: ignore[operator]
+            stats["dests_recomputed"] += layer_stats["recomputed"]  # type: ignore[operator]
+            stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
     except ValueError as exc:
         # disconnected survivor fabric (spanning tree) or a retained
         # column that cannot be re-marked: incremental repair cannot
         # keep its guarantees here
+        tablestore.release_table(table)
         raise IncrementalNotApplicable(str(exc)) from exc
-
-    nxt = np.array(prior.next_channel, copy=True)
-    for layer_idx, new_block, layer_stats in outcomes:
-        cols = [prior.dest_index(d) for d in parts[layer_idx]]
-        nxt[:, cols] = new_block
-        stats["layers_repaired"] += 1  # type: ignore[operator]
-        stats["dests_recomputed"] += layer_stats["recomputed"]  # type: ignore[operator]
-        stats["fallbacks"] += layer_stats["fallbacks"]  # type: ignore[operator]
+    except BaseException:
+        tablestore.release_table(table)
+        raise
 
     repaired = RoutingResult(
         net=net,
         dests=list(prior.dests),
         next_channel=nxt,
-        vl=np.array(prior.vl, copy=True),
+        vl=vl,
         n_vls=prior.n_vls,
         algorithm=prior.algorithm,
     )
+    if table is not None:
+        repaired.attach_table(table)
     repaired.stats = {
         "repair": dict(stats),
         "parent_stats": prior.stats,

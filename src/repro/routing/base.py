@@ -80,10 +80,68 @@ class RoutingResult:
 
     def __post_init__(self) -> None:
         self._dest_index = {d: j for j, d in enumerate(self.dests)}
+        self._table = None
 
     def dest_index(self, dest: int) -> int:
         """Column index of destination node ``dest``."""
         return self._dest_index[dest]
+
+    # -- shm table ownership (PR 10) ------------------------------------------
+
+    def attach_table(self, table) -> None:
+        """Adopt ownership of the backing shm table segment.
+
+        Called by algorithms whose ``next_channel``/``vl`` are views of
+        a :class:`~repro.engine.tablestore.SharedTable`.  Ownership is
+        single and explicit: whoever holds the result calls
+        :meth:`release` (or :meth:`materialize`) when done; the fabric's
+        ``shutdown``/``atexit`` sweep is the backstop.  A ``deepcopy``
+        of the result detaches automatically (private arrays, no
+        table), which is what the engine route cache stores.
+        """
+        self._table = table
+
+    @property
+    def shm_backed(self) -> bool:
+        """Whether the tables are views of a live shm table segment."""
+        table = getattr(self, "_table", None)
+        return table is not None and not table.closed
+
+    def release(self) -> None:
+        """Release the backing shm segment, if any (idempotent).
+
+        The table views die with the segment — only call when the
+        result's arrays are no longer needed (or were copied out, see
+        :meth:`materialize`).  Results without an shm table ignore
+        this, so consumers can release unconditionally.
+        """
+        table, self._table = getattr(self, "_table", None), None
+        if table is not None:
+            table.release()
+
+    def detach_table(self):
+        """Hand the backing shm table (or ``None``) to the caller.
+
+        Transfers ownership without touching the refcount: the caller
+        now holds the release obligation, and the result's arrays stay
+        valid views for exactly as long as the caller keeps the table
+        alive.  The service LRU uses this to pin the latest table per
+        fabric.
+        """
+        table, self._table = getattr(self, "_table", None), None
+        return table
+
+    def materialize(self) -> "RoutingResult":
+        """Detach from the shm store: private copies, segment released.
+
+        Returns self.  Use when a result must outlive the fabric (e.g.
+        it is handed to code that cannot see the release contract).
+        """
+        if getattr(self, "_table", None) is not None:
+            self.next_channel = np.array(self.next_channel, copy=True)
+            self.vl = np.array(self.vl, copy=True)
+            self.release()
+        return self
 
     def next_hop_channel(self, node: int, dest: int) -> int:
         """Forwarding channel at ``node`` toward ``dest`` (-1 if none/at dest)."""

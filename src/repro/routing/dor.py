@@ -19,7 +19,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine import resolve_workers, run_layer_tasks, shard_destinations
+from repro.engine import (
+    resolve_workers,
+    run_layer_tasks,
+    shard_destinations,
+    tablestore,
+)
 from repro.network.graph import Network
 from repro.network.topologies.torus import torus_coordinates
 from repro.routing.base import (
@@ -113,13 +118,21 @@ class TorusGeometry:
         return channels[select % len(channels)]
 
 
-def _dor_columns(net: Network, dest_shard: Sequence[int]) -> np.ndarray:
+def _dor_columns(
+    ctx: Tuple[Network, Optional["tablestore.TableHandle"]],
+    shard: Tuple[Sequence[int], int],
+) -> Optional[np.ndarray]:
     """Worker: DOR forwarding columns for one destination shard.
 
     Each column is a pure function of ``(net, dest)`` — no state is
     shared across destinations — so shard boundaries cannot change the
     output and the merged table is bit-identical to the serial sweep.
+    The block is written straight into the parent's shm table segment
+    when one exists (returning ``None``); only the no-store fallback
+    returns the array itself.
     """
+    net, handle = ctx
+    dest_shard, col0 = shard
     geom = TorusGeometry(net)
     block = np.full((net.n_nodes, len(dest_shard)), -1, dtype=np.int32)
     for jj, d in enumerate(dest_shard):
@@ -149,6 +162,9 @@ def _dor_columns(net: Network, dest_shard: Sequence[int]) -> np.ndarray:
             block[node, jj] = geom.step_channel(
                 node, dim, direction, select=d
             )
+    cols = list(range(col0, col0 + len(dest_shard)))
+    if tablestore.write_columns(handle, cols, block):
+        return None  # landed in shm; VL stays at the zero-fill
     return block
 
 
@@ -161,16 +177,33 @@ class DORRouting(RoutingAlgorithm):
         self, net: Network, dests: List[int], seed: SeedLike
     ) -> RoutingResult:
         TorusGeometry(net)  # applicability check in the caller process
-        nxt, vl = self._empty_tables(net, dests)
         workers = resolve_workers(self.workers, len(dests))
-        shards = shard_destinations(dests, workers)
-        blocks = run_layer_tasks(_dor_columns, net, shards,
-                                 workers=workers)
+        raw_shards = shard_destinations(dests, workers)
+        # column-offset shards so workers can scatter straight into the
+        # request's shm table segment (None = store disabled)
+        table = tablestore.create_table(net.n_nodes, len(dests))
+        handle = table.handle if table is not None else None
+        shards: List[Tuple[Sequence[int], int]] = []
         col = 0
-        for block in blocks:
-            nxt[:, col:col + block.shape[1]] = block
-            col += block.shape[1]
-        return RoutingResult(
+        for shard in raw_shards:
+            shards.append((shard, col))
+            col += len(shard)
+        try:
+            blocks = run_layer_tasks(_dor_columns, (net, handle), shards,
+                                     workers=workers)
+            if table is not None:
+                nxt, vl = table.next_channel, table.vl
+            else:
+                nxt, vl = self._empty_tables(net, dests)
+            for (shard, col0), block in zip(shards, blocks):
+                if block is not None:  # no-store fallback: merge here
+                    nxt[:, col0:col0 + block.shape[1]] = block
+        except BaseException:
+            # KeyboardInterrupt / pool death mid-route: the segment
+            # must not outlive the failed request
+            tablestore.release_table(table)
+            raise
+        result = RoutingResult(
             net=net,
             dests=dests,
             next_channel=nxt,
@@ -178,3 +211,6 @@ class DORRouting(RoutingAlgorithm):
             n_vls=1,
             algorithm=self.name,
         )
+        if table is not None:
+            result.attach_table(table)
+        return result

@@ -82,11 +82,20 @@ def _gauge(name: str, value: float) -> None:
 
 
 class _NetworkCache:
-    """LRU of admitted networks; admission pins a shm export."""
+    """LRU of admitted networks; admission pins a shm export.
+
+    Each entry may also pin the *latest* forwarding-table segment
+    routed for that fabric (:meth:`pin_table`): the table's lifetime is
+    tied to its network's LRU slot, so ``/dev/shm`` usage stays bounded
+    by ``capacity`` tables no matter how many route requests a tenant
+    issues — eviction releases the network export and its table
+    together.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._tables: Dict[str, Any] = {}
 
     def admit(self, net: Any, fingerprint: str) -> None:
         from repro.engine import fabric
@@ -100,8 +109,30 @@ class _NetworkCache:
         _count("service.networks_admitted")
         while len(self._entries) > self.capacity:
             old_fp, _net = self._entries.popitem(last=False)
+            self._release_table(old_fp)
             fabric.release_network(old_fp)
             _count("service.networks_evicted")
+
+    def pin_table(self, fingerprint: str, table: Any) -> None:
+        """Adopt the latest shm table routed for ``fingerprint``.
+
+        Ownership transfers to the cache (the executor already
+        detached it from the result); any previously pinned table for
+        the same fabric is released.  Tables for fabrics no longer in
+        the LRU are released immediately.
+        """
+        self._release_table(fingerprint)
+        if fingerprint in self._entries:
+            self._tables[fingerprint] = table
+            _count("service.tables_pinned")
+        else:
+            table.release()
+
+    def _release_table(self, fingerprint: str) -> None:
+        table = self._tables.pop(fingerprint, None)
+        if table is not None:
+            table.release()
+            _count("service.tables_released")
 
     def get(self, fingerprint: str) -> Optional[Any]:
         net = self._entries.get(fingerprint)
@@ -115,7 +146,9 @@ class _NetworkCache:
         while self._entries:
             fp, _net = self._entries.popitem(last=False)
             if release:
+                self._release_table(fp)
                 fabric.release_network(fp)
+        self._tables.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -295,6 +328,25 @@ class RoutingService:
         with contextlib.suppress(comms.CommClosedError):
             await comm.send(response)
 
+    def _pin_table(self, fingerprint: str, table: Any) -> None:
+        """Table sink for the executors: adopt the freshly routed shm
+        table into the network LRU.  Runs on a compute thread, so the
+        actual (not thread-safe) LRU mutation hops to the event loop;
+        with no loop to hop to, the table is released on the spot."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            table.release()
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._networks.pin_table(fingerprint, table)
+        else:
+            loop.call_soon_threadsafe(
+                self._networks.pin_table, fingerprint, table)
+
     def _rpc_span(self, op: str, dur_ns: int) -> None:
         """Per-RPC span without touching the (non-async-safe) global
         span stack: feed one ready-made span event through replay,
@@ -314,12 +366,15 @@ class RoutingService:
             return self._status()
         if op == "route":
             request = RouteRequest.from_dict(payload)
+            # v2 requests get tables as raw binary buffers; v1 peers
+            # keep the nested-list JSON form they were built against
+            tables = "binary" if request.schema_version >= 2 else "json"
             response = await self._coalesced(
                 "route", request,
                 lambda net, fp: execute_route(
                     request, workers=self.workers, cache=self.cache,
-                    net=net, fingerprint=fp))
-            return response.to_dict()
+                    net=net, fingerprint=fp, on_table=self._pin_table))
+            return response.to_dict(tables=tables)
         if op == "analyze":
             request = AnalyzeRequest.from_dict(payload)
             response = await self._coalesced(
@@ -338,20 +393,22 @@ class RoutingService:
             return response.to_dict()
         if op == "reroute":
             request = RerouteRequest.from_dict(payload)
+            tables = "binary" if request.schema_version >= 2 else "json"
             response = await self._coalesced(
                 "reroute", request,
                 lambda net, fp: execute_reroute(
                     request, workers=self.workers, net=net,
                     fingerprint=fp))
-            return response.to_dict()
+            return response.to_dict(tables=tables)
         if op == "transition":
             request = TransitionRequest.from_dict(payload)
+            tables = "binary" if request.schema_version >= 2 else "json"
             response = await self._coalesced(
                 "transition", request,
                 lambda net, fp: execute_transition(
                     request, workers=self.workers, net=net,
                     fingerprint=fp))
-            return response.to_dict()
+            return response.to_dict(tables=tables)
         raise ServiceBadRequest(
             f"unknown op {op!r}; known: route, analyze, campaign, "
             f"reroute, transition, status, ping")

@@ -14,6 +14,22 @@ responder always answers in the codec the request arrived in.  JSON
 registered only when the ``msgpack`` package is importable, which the
 container image does not guarantee (see :func:`available_codecs`).
 
+Messages carrying numpy arrays (forwarding tables) never round-trip
+through nested JSON lists: :func:`encode_frame` transparently upgrades
+them to a *binary* frame (codec byte ``B``) whose payload carries the
+raw little-endian array buffers out of band::
+
+    +-------+--------------+---------------------------+---------------+
+    | inner | n_buffers    | n x (4-byte BE length +   | inner-encoded |
+    | codec | (4 bytes BE) |      raw LE array bytes)  | message       |
+    +-------+--------------+---------------------------+---------------+
+
+In the inner message each extracted array is replaced by a placeholder
+dict ``{"__ndarray__": i, "dtype": "<i4", "shape": [r, c]}``; decoding
+restores the arrays in place (zero parse cost, one ``frombuffer`` view
+per table).  Peers that never send arrays never see a ``B`` frame, so
+plain-JSON compatibility is untouched.
+
 Messages are plain dicts.  Requests: ``{"id", "op", "payload"}``;
 responses: ``{"id", "ok": true, "result"}`` or ``{"id", "ok": false,
 "error": {"type", "message"}}``.  ``docs/service.md`` is the
@@ -32,6 +48,8 @@ import json
 import struct
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 __all__ = [
     "Codec",
     "get_codec",
@@ -42,6 +60,7 @@ __all__ = [
     "decode_frame",
     "HEADER_SIZE",
     "MAX_FRAME_BYTES",
+    "NDARRAY_KEY",
     "ProtocolError",
     "ServiceError",
     "ServiceOverloaded",
@@ -154,6 +173,114 @@ else:  # pragma: no cover - exercised where msgpack exists
         lambda data: msgpack.unpackb(data, raw=False),
     )
 
+#: placeholder key marking an extracted ndarray in a binary frame's
+#: inner message; the value is the out-of-band buffer index
+NDARRAY_KEY = "__ndarray__"
+
+_PLACEHOLDER_KEYS = frozenset((NDARRAY_KEY, "dtype", "shape"))
+
+
+def _extract_ndarrays(obj: Any, buffers: List[bytes]) -> Any:
+    """Deep-copy ``obj`` with every ndarray swapped for a placeholder.
+
+    Buffers are contiguous little-endian bytes appended to ``buffers``
+    in placeholder-index order.  Containers are rebuilt only along the
+    paths that actually hold arrays' ancestors (dicts/lists/tuples).
+    """
+    if isinstance(obj, np.ndarray):
+        le = obj.dtype.newbyteorder("<")
+        data = np.ascontiguousarray(obj.astype(le, copy=False))
+        index = len(buffers)
+        buffers.append(data.tobytes())
+        return {NDARRAY_KEY: index, "dtype": le.str,
+                "shape": list(obj.shape)}
+    if isinstance(obj, dict):
+        return {k: _extract_ndarrays(v, buffers) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_extract_ndarrays(v, buffers) for v in obj]
+    return obj
+
+
+def _restore_ndarrays(obj: Any, buffers: List[bytes]) -> Any:
+    """Inverse of :func:`_extract_ndarrays`: placeholders -> arrays.
+
+    Restored arrays are read-only ``frombuffer`` views over the frame's
+    buffer bytes — decoding a multi-megabyte table is O(1) per table.
+    """
+    if isinstance(obj, dict):
+        if set(obj) == _PLACEHOLDER_KEYS and isinstance(
+                obj.get(NDARRAY_KEY), int):
+            index = obj[NDARRAY_KEY]
+            if not 0 <= index < len(buffers):
+                raise ProtocolError(
+                    f"binary frame references buffer {index}, "
+                    f"have {len(buffers)}")
+            arr = np.frombuffer(buffers[index], dtype=np.dtype(obj["dtype"]))
+            return arr.reshape([int(s) for s in obj["shape"]])
+        return {k: _restore_ndarrays(v, buffers) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_restore_ndarrays(v, buffers) for v in obj]
+    return obj
+
+
+def _has_ndarray(obj: Any) -> bool:
+    if isinstance(obj, np.ndarray):
+        return True
+    if isinstance(obj, dict):
+        return any(_has_ndarray(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return any(_has_ndarray(v) for v in obj)
+    return False
+
+
+def _binary_payload(msg: Any, inner: Codec) -> bytes:
+    """Binary frame payload: inner byte, buffer table, inner message."""
+    buffers: List[bytes] = []
+    stripped = _extract_ndarrays(msg, buffers)
+    parts = [inner.byte, _LEN.pack(len(buffers))]
+    for buf in buffers:
+        parts.append(_LEN.pack(len(buf)))
+        parts.append(buf)
+    parts.append(inner.dumps(stripped))
+    return b"".join(parts)
+
+
+def _binary_dumps(msg: Any) -> bytes:
+    # only reached when "binary" is the comm's *default* codec; frames
+    # produced by encode_frame embed the negotiated inner codec instead
+    return _binary_payload(msg, _CODECS["json"])
+
+
+def _binary_loads(payload: bytes) -> Any:
+    if not payload:
+        raise ProtocolError("empty binary frame payload")
+    inner = codec_for_byte(payload[0])
+    if inner.byte == _BINARY_BYTE:
+        raise ProtocolError("binary frame cannot nest a binary frame")
+    offset = 1
+    if len(payload) < offset + 4:
+        raise ProtocolError("truncated binary frame buffer table")
+    (n_buffers,) = _LEN.unpack(payload[offset:offset + 4])
+    offset += 4
+    buffers: List[bytes] = []
+    for _ in range(n_buffers):
+        if len(payload) < offset + 4:
+            raise ProtocolError("truncated binary frame buffer length")
+        (length,) = _LEN.unpack(payload[offset:offset + 4])
+        offset += 4
+        if len(payload) < offset + length:
+            raise ProtocolError(
+                f"binary frame buffer of {length} bytes overruns the "
+                f"payload")
+        buffers.append(payload[offset:offset + length])
+        offset += length
+    return _restore_ndarrays(inner.loads(payload[offset:]), buffers)
+
+
+_BINARY_BYTE = b"B"
+_CODECS["binary"] = Codec("binary", _BINARY_BYTE,
+                          _binary_dumps, _binary_loads)
+
 _BY_BYTE: Dict[int, Codec] = {c.byte[0]: c for c in _CODECS.values()}
 
 
@@ -182,8 +309,18 @@ def codec_for_byte(byte: int) -> Codec:
 # -- framing ------------------------------------------------------------------
 
 def encode_frame(msg: Any, codec: Codec) -> bytes:
-    """One message -> one self-describing frame."""
-    payload = codec.dumps(msg)
+    """One message -> one self-describing frame.
+
+    A message containing numpy arrays is upgraded to a binary frame
+    (codec byte ``B``) with ``codec`` as the inner encoding; everything
+    else frames exactly as before, so array-free peers never observe
+    the upgrade.
+    """
+    if codec.byte != _BINARY_BYTE and _has_ndarray(msg):
+        payload = _binary_payload(msg, codec)
+        codec = _CODECS["binary"]
+    else:
+        payload = codec.dumps(msg)
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"message of {len(payload)} bytes exceeds the "

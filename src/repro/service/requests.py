@@ -55,8 +55,12 @@ __all__ = [
 ]
 
 #: bump on any incompatible message-shape change; servers reject
-#: versions they do not know with ``ServiceBadRequest``
-SCHEMA_VERSION = 1
+#: versions they do not know with ``ServiceBadRequest``.  v2 (PR 10)
+#: adds the binary table encoding: responses to v2 requests carry
+#: ``next_channel``/``vl`` as raw ndarrays (the protocol ships them as
+#: out-of-band little-endian buffers); v1 requests still get nested
+#: JSON lists, and both sides accept either form on decode.
+SCHEMA_VERSION = 2
 
 
 def _topology_text(topology: Union[str, Network]) -> str:
@@ -80,6 +84,30 @@ def _check_version(data: Dict[str, Any], what: str) -> None:
 
 def _config_key(config: Dict[str, Any]) -> Tuple:
     return tuple(sorted(config.items()))
+
+
+def _decode_table(value: Any, what: str) -> Any:
+    """Validate one wire table field: ndarray (binary frames), nested
+    lists (schema v1 JSON), or a typed rejection for anything else —
+    in particular dicts announcing an ``encoding`` this side does not
+    implement must fail loudly, not decode to garbage."""
+    if isinstance(value, np.ndarray) or isinstance(value, list):
+        return value
+    if isinstance(value, dict):
+        encoding = value.get("encoding", value.get("__ndarray__"))
+        raise ServiceBadRequest(
+            f"{what}: unknown table encoding {encoding!r} "
+            f"(this side speaks nested lists and raw binary frames)")
+    raise ServiceBadRequest(
+        f"{what}: tables must be nested lists or binary arrays, "
+        f"got {type(value).__name__}")
+
+
+def _table_lists(value: Any) -> List[List[int]]:
+    """Wire table field -> nested lists (the schema v1 JSON form)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
 
 
 @dataclass
@@ -160,17 +188,21 @@ class RouteRequest:
 class RouteResponse:
     """The forwarding state of one :class:`RouteRequest`.
 
-    ``next_channel``/``vl`` are nested lists on the wire; use
+    ``next_channel``/``vl`` hold either int32/int8 ndarrays (binary
+    frames, :meth:`from_result`) or nested lists (schema v1 JSON); use
     :meth:`next_channel_array` / :meth:`vl_array` (or :meth:`result`)
-    to get the int32/int8 ndarrays back, exactly as the in-process
-    :class:`~repro.routing.base.RoutingResult` carries them.
+    for the canonical ndarray form, exactly as the in-process
+    :class:`~repro.routing.base.RoutingResult` carries it.  The
+    response always *owns* its arrays — :meth:`from_result` copies out
+    of an shm-backed result so the caller is free to release the table
+    segment immediately after building the response.
     """
 
     algorithm: str
     n_vls: int
     dests: List[int]
-    next_channel: List[List[int]]
-    vl: List[List[int]]
+    next_channel: Union[List[List[int]], np.ndarray]
+    vl: Union[List[List[int]], np.ndarray]
     runtime_s: float
     stats: Dict[str, Any]
     network_fingerprint: str
@@ -179,12 +211,17 @@ class RouteResponse:
     @classmethod
     def from_result(cls, result: "Any",
                     fingerprint: str) -> "RouteResponse":
+        nxt, vl = result.next_channel, result.vl
+        if getattr(result, "shm_backed", False):
+            # private copies: the shm table may be released (and its
+            # segment unmapped) the moment this response exists
+            nxt, vl = nxt.copy(), vl.copy()
         return cls(
             algorithm=result.algorithm,
             n_vls=int(result.n_vls),
             dests=[int(d) for d in result.dests],
-            next_channel=result.next_channel.tolist(),
-            vl=result.vl.tolist(),
+            next_channel=nxt,
+            vl=vl,
             runtime_s=float(result.runtime_s),
             stats=dict(result.stats),
             network_fingerprint=fingerprint,
@@ -211,13 +248,29 @@ class RouteResponse:
             stats=dict(self.stats),
         )
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, tables: str = "json") -> Dict[str, Any]:
+        """Wire dict; ``tables`` picks the table field encoding.
+
+        ``"json"`` (default) emits nested lists — valid in any codec
+        and readable by schema v1 peers; ``"binary"`` emits the raw
+        ndarrays, which the frame layer ships as out-of-band buffers
+        (the daemon picks per request: v2 requests get binary).
+        """
+        if tables == "binary":
+            nxt = self.next_channel_array()
+            vl = self.vl_array()
+        elif tables == "json":
+            nxt = _table_lists(self.next_channel)
+            vl = _table_lists(self.vl)
+        else:
+            raise ValueError(
+                f"tables must be 'json' or 'binary', got {tables!r}")
         return {
             "algorithm": self.algorithm,
             "n_vls": self.n_vls,
             "dests": list(self.dests),
-            "next_channel": self.next_channel,
-            "vl": self.vl,
+            "next_channel": nxt,
+            "vl": vl,
             "runtime_s": self.runtime_s,
             "stats": dict(self.stats),
             "network_fingerprint": self.network_fingerprint,
@@ -231,8 +284,9 @@ class RouteResponse:
             algorithm=str(data["algorithm"]),
             n_vls=int(data["n_vls"]),
             dests=[int(d) for d in data["dests"]],
-            next_channel=data["next_channel"],
-            vl=data["vl"],
+            next_channel=_decode_table(data["next_channel"],
+                                       "RouteResponse.next_channel"),
+            vl=_decode_table(data["vl"], "RouteResponse.vl"),
             runtime_s=float(data.get("runtime_s", 0.0)),
             stats=dict(data.get("stats") or {}),
             network_fingerprint=str(data.get("network_fingerprint", "")),
@@ -519,9 +573,9 @@ class RerouteResponse:
     network_fingerprint: str
     schema_version: int = SCHEMA_VERSION
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, tables: str = "json") -> Dict[str, Any]:
         return {
-            "route": self.route.to_dict(),
+            "route": self.route.to_dict(tables=tables),
             "stats": dict(self.stats),
             "network_fingerprint": self.network_fingerprint,
             "schema_version": self.schema_version,
@@ -731,7 +785,7 @@ class TransitionResponse:
 
         return MigrationPlan.from_dict(self.plan)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, tables: str = "json") -> Dict[str, Any]:
         return {
             "scenario": self.scenario,
             "strategy": self.strategy,
@@ -742,7 +796,7 @@ class TransitionResponse:
             "proofs": self.proofs,
             "blocked_candidates": self.blocked_candidates,
             "plan": dict(self.plan),
-            "route": self.route.to_dict(),
+            "route": self.route.to_dict(tables=tables),
             "network_fingerprint": self.network_fingerprint,
             "schema_version": self.schema_version,
         }
@@ -776,11 +830,29 @@ class TransitionResponse:
 # The single implementation both call paths use.  The daemon invokes
 # these from its compute executor; the facade invokes them directly.
 
+def _settle_table(result: Any, fingerprint: str,
+                  on_table: Optional[Any]) -> None:
+    """Settle a routed result's shm table ownership: hand it to the
+    ``on_table(fingerprint, table)`` sink (the daemon pins it in its
+    network LRU) or release it right here — either way the response
+    already owns private copies and the segment never outlives its
+    owner."""
+    table = result.detach_table() if hasattr(result, "detach_table") \
+        else None
+    if table is None:
+        return
+    if on_table is not None:
+        on_table(fingerprint, table)
+    else:
+        table.release()
+
+
 def execute_route(request: RouteRequest, *,
                   workers: Optional[int] = None,
                   cache: bool = False,
                   net: Optional[Network] = None,
-                  fingerprint: Optional[str] = None) -> RouteResponse:
+                  fingerprint: Optional[str] = None,
+                  on_table: Optional[Any] = None) -> RouteResponse:
     """Run one :class:`RouteRequest` in this process."""
     from repro.engine.fingerprint import network_fingerprint
     from repro.routing.registry import make_algorithm
@@ -796,7 +868,9 @@ def execute_route(request: RouteRequest, *,
         **request.config,
     )
     result = algo.route(net, dests=request.dests, seed=request.seed)
-    return RouteResponse.from_result(result, fp)
+    response = RouteResponse.from_result(result, fp)
+    _settle_table(result, fp, on_table)
+    return response
 
 
 def execute_analyze(request: AnalyzeRequest, *,
@@ -861,13 +935,17 @@ def execute_campaign(request: CampaignRequest, *,
         workers=request.workers if request.workers is not None else workers,
     )
     data = result.to_dict()
-    return CampaignResponse(
+    response = CampaignResponse(
         events_total=int(data["events_total"]),
         events_survived=int(data["events_survived"]),
         report=data,
         final_vls=int(result.routing.n_vls),
         network_fingerprint=fp,
     )
+    # the campaign releases superseded states as it goes; the final
+    # routing's segment is ours to release once the report is built
+    result.routing.release()
+    return response
 
 
 def execute_reroute(request: RerouteRequest, *,
@@ -891,16 +969,21 @@ def execute_reroute(request: RerouteRequest, *,
         "nue", max_vls=request.max_vls, workers=eff_workers,
         **request.config,
     ).route(net, seed=request.seed)
-    repaired, stats = incremental_reroute(
-        net, prior, request.failed_channels(net),
-        config=config, max_vls=request.max_vls, seed=request.seed,
-        workers=eff_workers,
-    )
-    return RerouteResponse(
+    try:
+        repaired, stats = incremental_reroute(
+            net, prior, request.failed_channels(net),
+            config=config, max_vls=request.max_vls, seed=request.seed,
+            workers=eff_workers,
+        )
+    finally:
+        prior.release()
+    response = RerouteResponse(
         route=RouteResponse.from_result(repaired, fp),
         stats={k: v for k, v in stats.items()},
         network_fingerprint=fp,
     )
+    repaired.release()
+    return response
 
 
 def execute_transition(request: TransitionRequest, *,
@@ -927,11 +1010,14 @@ def execute_transition(request: TransitionRequest, *,
         old_net = request.from_network() if scenario == "grow" else net
         old = _route_target(old_net, from_algo, from_vls, from_cfg,
                             from_seed, eff_workers)
-    outcome = drive_transition(
-        scenario, old, net, request.algorithm, request.max_vls,
-        request.config, request.seed, eff_workers, request.strategy,
-    )
-    return TransitionResponse(
+    try:
+        outcome = drive_transition(
+            scenario, old, net, request.algorithm, request.max_vls,
+            request.config, request.seed, eff_workers, request.strategy,
+        )
+    finally:
+        old.release()
+    response = TransitionResponse(
         scenario=outcome.scenario,
         strategy=outcome.plan.strategy,
         compatible=outcome.plan.compatible,
@@ -944,6 +1030,8 @@ def execute_transition(request: TransitionRequest, *,
         route=RouteResponse.from_result(outcome.new, fp),
         network_fingerprint=fp,
     )
+    outcome.new.release()
+    return response
 
 
 # -- in-process facade --------------------------------------------------------

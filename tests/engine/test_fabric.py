@@ -442,3 +442,58 @@ class TestResultExport:
         assert counts.get("fabric.result_exports", 0) >= 1
         assert counts.get("fabric.result_imports", 0) == 3
         assert _shm_leaks() == []
+
+
+class TestResultExportEdgeCases:
+    """Boundary behaviour of the scratch result path (PR 10)."""
+
+    def test_zero_destination_shard_stays_inline(self):
+        # a worker with an empty shard returns a (n, 0) block: 0 bytes,
+        # so export must not allocate a segment for it
+        empty = np.zeros((64, 0), dtype=np.int32)
+        packed = fabric.export_result((empty, "stats"))
+        assert packed[0] is empty
+        restored = fabric.import_result(packed)
+        assert restored[0].shape == (64, 0)
+        assert _shm_leaks() == []
+
+    def test_empty_table_round_trips(self):
+        # zero destinations end to end: nothing to ship, nothing leaks
+        zero = np.zeros((0, 0), dtype=np.int32)
+        packed = fabric.export_result((zero,))
+        restored = fabric.import_result(packed)
+        assert restored[0].shape == (0, 0)
+        assert restored[0].dtype == np.int32
+        assert _shm_leaks() == []
+
+    def test_exactly_at_scratch_min_bytes_exports(self):
+        # the >= boundary: a result of exactly SCRATCH_MIN_BYTES rides
+        # shm, one byte under stays in the pickle
+        at = np.zeros(fabric.SCRATCH_MIN_BYTES, dtype=np.int8)
+        under = np.zeros(fabric.SCRATCH_MIN_BYTES - 1, dtype=np.int8)
+        packed = fabric.export_result((at, under))
+        assert isinstance(packed[0], fabric._ScratchArray)
+        assert packed[1] is under
+        restored = fabric.import_result(packed)
+        np.testing.assert_array_equal(restored[0], at)
+        assert restored[0].nbytes == fabric.SCRATCH_MIN_BYTES
+        assert restored[1] is under
+        assert _shm_leaks() == []
+
+    def test_table_store_route_exports_no_results(self):
+        # the PR 10 counter split at module level: a store-backed DOR
+        # fan-out writes tables, never scratch-exports them
+        from repro.engine import tablestore
+        from repro.routing.dor import DORRouting
+
+        obs.enable(obs.MemorySink(keep_events=False))
+        net = torus([4, 4], 4)
+        result = DORRouting(workers=2).route(net, seed=5)
+        backed = result.shm_backed
+        result.release()
+        counts = dict(obs.counters())
+        if not backed:
+            pytest.skip("no shm on this platform")
+        assert counts.get("fabric.table_writes", 0) >= 1
+        assert counts.get("fabric.result_exports", 0) == 0
+        assert not tablestore.live_tables()

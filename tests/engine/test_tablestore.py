@@ -1,0 +1,253 @@
+"""Shm-resident forwarding tables: lifecycle, refcounting, zero-copy
+fan-out, env fallbacks and the crash/interrupt cleanup contract."""
+
+import copy
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import fabric, tablestore
+from repro.network.topologies import torus
+from repro.routing import dor
+from repro.routing.dor import DORRouting
+
+
+@pytest.fixture(autouse=True)
+def _clean_fabric():
+    fabric.shutdown()
+    yield
+    fabric.shutdown()
+
+
+def _shm_leaks():
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # non-POSIX platform
+        return []
+    return sorted(
+        name for name in os.listdir(shm_dir)
+        if name.startswith(fabric.SEGMENT_PREFIX)
+    )
+
+
+class TestLifecycle:
+    def test_create_write_read_release(self):
+        table = tablestore.create_table(8, 3)
+        assert table is not None
+        assert table.next_channel.shape == (8, 3)
+        assert (table.next_channel == -1).all()
+        assert (table.vl == 0).all()
+        block = np.arange(16, dtype=np.int32).reshape(8, 2)
+        assert tablestore.write_columns(table.handle, [0, 2], block,
+                                        vl_fill=1)
+        np.testing.assert_array_equal(table.next_channel[:, [0, 2]], block)
+        assert (table.vl[:, [0, 2]] == 1).all()
+        assert (table.next_channel[:, 1] == -1).all()
+        np.testing.assert_array_equal(
+            tablestore.read_columns(table.handle, [2]), block[:, [1]])
+        assert table.handle.segment in tablestore.live_tables()
+        assert table.release()
+        assert table.closed
+        assert not tablestore.live_tables()
+        assert not _shm_leaks()
+
+    def test_release_is_idempotent(self):
+        table = tablestore.create_table(4, 2)
+        assert table.release()
+        assert not table.release()
+
+    def test_pin_keeps_segment_alive(self):
+        table = tablestore.create_table(4, 2)
+        table.pin()
+        assert not table.release()  # route's reference
+        assert not table.closed
+        assert table.release()  # pin holder's reference
+        with pytest.raises(ValueError):
+            table.pin()
+
+    def test_shutdown_reaps_forgotten_tables(self):
+        tablestore.create_table(6, 4)
+        assert tablestore.live_tables()
+        fabric.shutdown()
+        assert not tablestore.live_tables()
+        assert not _shm_leaks()
+
+    def test_segment_names_are_never_reused(self):
+        a = tablestore.create_table(4, 2)
+        name = a.handle.segment
+        a.release()
+        b = tablestore.create_table(4, 2)
+        assert b.handle.segment != name
+        b.release()
+
+
+class TestOwnershipSemantics:
+    def test_shared_table_refuses_pickle(self):
+        table = tablestore.create_table(4, 2)
+        try:
+            with pytest.raises(TypeError, match="process-local"):
+                pickle.dumps(table)
+            # the handle is the picklable ticket
+            clone = pickle.loads(pickle.dumps(table.handle))
+            assert clone.segment == table.handle.segment
+            assert clone.n_nodes == table.handle.n_nodes
+        finally:
+            table.release()
+
+    def test_deepcopy_of_result_detaches_from_store(self):
+        net = torus([3, 3], 1)
+        result = DORRouting().route(net, seed=1)
+        if not result.shm_backed:
+            result.release()
+            pytest.skip("no shm on this platform")
+        clone = copy.deepcopy(result)
+        assert not clone.shm_backed
+        np.testing.assert_array_equal(clone.next_channel,
+                                      result.next_channel)
+        result.release()
+        # the copy's arrays survive the segment unlink
+        assert int(clone.next_channel[0, 0]) == clone.next_channel[0, 0]
+
+    def test_materialize_copies_then_releases(self):
+        net = torus([3, 3], 1)
+        result = DORRouting().route(net, seed=1)
+        if not result.shm_backed:
+            result.release()
+            pytest.skip("no shm on this platform")
+        before = np.array(result.next_channel, copy=True)
+        assert result.materialize() is result
+        assert not result.shm_backed
+        assert not tablestore.live_tables()
+        np.testing.assert_array_equal(result.next_channel, before)
+
+    def test_ticket_for_matches_only_live_views(self):
+        table = tablestore.create_table(4, 2)
+        try:
+            ticket = tablestore.ticket_for(table.next_channel)
+            assert ticket is not None
+            assert ticket.key == "next_channel"
+            assert tablestore.ticket_for(table.vl).key == "vl"
+            assert tablestore.ticket_for(table.next_channel.copy()) is None
+        finally:
+            table.release()
+        assert tablestore.ticket_for(table.next_channel) is None
+
+
+class TestFallbacks:
+    def test_store_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv(tablestore.TABLE_STORE_ENV_VAR, "0")
+        assert not tablestore.enabled()
+        assert tablestore.create_table(4, 2) is None
+
+    def test_pickle_transport_implies_store_off(self, monkeypatch):
+        monkeypatch.setenv(fabric.RESULT_TRANSPORT_ENV_VAR, "pickle")
+        assert not tablestore.enabled()
+        assert tablestore.create_table(4, 2) is None
+
+    def test_write_columns_without_handle_falls_back(self):
+        block = np.zeros((4, 1), dtype=np.int32)
+        assert not tablestore.write_columns(None, [0], block)
+
+    def test_write_columns_zero_destination_shard(self):
+        table = tablestore.create_table(4, 2)
+        try:
+            empty = np.zeros((4, 0), dtype=np.int32)
+            # a zero-column write is complete, not a fallback
+            assert tablestore.write_columns(table.handle, [], empty)
+            assert (table.next_channel == -1).all()
+        finally:
+            table.release()
+
+    def test_write_columns_vanished_segment_falls_back(self):
+        table = tablestore.create_table(4, 2)
+        handle = table.handle
+        table.release()
+        block = np.zeros((4, 1), dtype=np.int32)
+        assert not tablestore.write_columns(handle, [0], block)
+
+    def test_disabled_store_route_is_bit_identical(self, monkeypatch):
+        net = torus([3, 3, 3], 1)
+        with_store = DORRouting(workers=2).route(net, seed=3)
+        assert with_store.shm_backed or not tablestore.enabled()
+        nxt = np.array(with_store.next_channel, copy=True)
+        vl = np.array(with_store.vl, copy=True)
+        with_store.release()
+        monkeypatch.setenv(tablestore.TABLE_STORE_ENV_VAR, "0")
+        fabric.shutdown()  # forked workers read the env at spawn
+        without = DORRouting(workers=2).route(net, seed=3)
+        assert not without.shm_backed
+        np.testing.assert_array_equal(nxt, without.next_channel)
+        np.testing.assert_array_equal(vl, without.vl)
+
+
+class TestZeroCopyFanOut:
+    def test_route_counters_split(self):
+        net = torus([4, 4], 2)
+        obs.enable(obs.MemorySink(keep_events=False))
+        try:
+            result = DORRouting(workers=2).route(net, seed=7)
+            backed = result.shm_backed
+            result.release()
+            counts = dict(obs.counters())
+        finally:
+            obs.disable()
+            obs.reset()
+        if not backed:
+            pytest.skip("no shm on this platform")
+        # tables land via write_columns; nothing rides a result scratch
+        # segment back to the parent
+        assert counts.get("fabric.table_creates") == 1
+        assert counts.get("fabric.table_writes", 0) >= 2
+        assert counts.get("fabric.result_exports", 0) == 0
+        assert counts.get("fabric.table_releases") == 1
+
+    def test_consumer_ctx_reattaches_table(self):
+        from repro.metrics import edge_forwarding_indices
+
+        # big enough that next_channel crosses SCRATCH_MIN_BYTES —
+        # below that, pack_ctx ships small arrays inline by design
+        net = torus([6, 6], 8)
+        result = DORRouting(workers=2).route(net, seed=7)
+        if not result.shm_backed:
+            result.release()
+            pytest.skip("no shm on this platform")
+        obs.enable(obs.MemorySink(keep_events=False))
+        try:
+            gamma = edge_forwarding_indices(result, workers=2)
+            counts = dict(obs.counters())
+        finally:
+            obs.disable()
+            obs.reset()
+        serial = edge_forwarding_indices(result, workers=1)
+        np.testing.assert_array_equal(gamma, serial)
+        result.release()
+        assert counts.get("fabric.table_ctx_hits", 0) >= 1
+        assert counts.get("fabric.scratch_exports", 0) == 0
+
+
+class TestCrashCleanup:
+    def test_parent_interrupt_mid_route_unlinks_segment(self, monkeypatch):
+        net = torus([3, 3], 1)
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(dor, "run_layer_tasks", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            DORRouting(workers=2).route(net, seed=1)
+        assert not tablestore.live_tables()
+        assert not [s for s in _shm_leaks() if "tbl" in s]
+
+    def test_worker_error_mid_route_unlinks_segment(self, monkeypatch):
+        net = torus([3, 3], 1)
+
+        def boom(ctx, shard):
+            raise RuntimeError("worker died mid-write")
+
+        monkeypatch.setattr(dor, "_dor_columns", boom)
+        with pytest.raises(RuntimeError, match="mid-write"):
+            DORRouting(workers=1).route(net, seed=1)
+        assert not tablestore.live_tables()
+        assert not [s for s in _shm_leaks() if "tbl" in s]

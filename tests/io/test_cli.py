@@ -62,6 +62,27 @@ class TestRoute:
         ])
         assert rc == 0
 
+    def test_out_writes_binary_npz(self, fabric, tmp_path):
+        import numpy as np
+
+        from repro.io import load_tables_npz, load_topology
+
+        tables = tmp_path / "t.json"
+        npz = tmp_path / "t.npz"
+        rc = main([
+            "route", str(fabric), "-a", "updn", "--seed", "4",
+            "-o", str(tables), "--out", str(npz),
+        ])
+        assert rc == 0
+        net = load_topology(fabric)
+        back = load_tables_npz(net, npz)
+        payload = json.loads(tables.read_text())
+        np.testing.assert_array_equal(
+            back.next_channel,
+            np.asarray(payload["next_channel"], dtype=np.int32))
+        # the binary dump is a fraction of the nested-list JSON
+        assert npz.stat().st_size < tables.stat().st_size
+
     def test_unknown_algorithm(self, fabric, capsys):
         rc = main(["route", str(fabric), "-a", "wizardry"])
         assert rc == 2

@@ -69,3 +69,46 @@ class TestLFT:
         res = NueRouting(2).route(ring6, seed=1)
         dump = format_lft(res)
         assert "VL 0" in dump and "VL 1" in dump
+
+
+class TestNpzRoundTrip:
+    def test_lossless_and_bit_identical(self, tmp_path, ring6, result):
+        import numpy as np
+
+        from repro.io.tables import load_tables_npz, save_tables_npz
+
+        path = tmp_path / "tables.npz"
+        save_tables_npz(result, path)
+        back = load_tables_npz(ring6, path)
+        np.testing.assert_array_equal(back.next_channel,
+                                      result.next_channel)
+        np.testing.assert_array_equal(back.vl, result.vl)
+        assert back.next_channel.dtype == np.int32
+        assert back.vl.dtype == np.int8
+        assert back.dests == result.dests
+        assert back.n_vls == result.n_vls
+        assert back.algorithm == result.algorithm
+        validate_routing(back)
+
+    def test_save_load_routing_dispatch_on_suffix(self, tmp_path, ring6,
+                                                  result):
+        import numpy as np
+
+        binary = tmp_path / "t.npz"
+        save_routing(result, binary)
+        back = load_routing(ring6, binary)
+        np.testing.assert_array_equal(back.next_channel,
+                                      result.next_channel)
+        # binary dumps skip the per-entry JSON text entirely
+        assert binary.read_bytes()[:2] == b"PK"  # npz = zip container
+
+    def test_wrong_network_rejected(self, tmp_path, result):
+        from repro.io.tables import load_tables_npz, save_tables_npz
+
+        path = tmp_path / "t.npz"
+        save_tables_npz(result, path)
+        with pytest.raises(ValueError, match="nodes"):
+            load_tables_npz(ring(8, 1), path)
+        other = ring(6, 2, name="other-ring")
+        with pytest.raises(ValueError, match="routed on"):
+            load_tables_npz(other, path)

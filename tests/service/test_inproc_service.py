@@ -106,8 +106,9 @@ class TestCoalescing:
             ra, rb = asyncio.run(scenario())
 
         assert blocking_algorithm.calls == 1
-        assert ra.next_channel == rb.next_channel
-        assert ra.vl == rb.vl
+        np.testing.assert_array_equal(ra.next_channel_array(),
+                                      rb.next_channel_array())
+        np.testing.assert_array_equal(ra.vl_array(), rb.vl_array())
 
 
 class TestBackpressure:
@@ -145,7 +146,8 @@ class TestBackpressure:
         assert counters["service.computations"] == 1
         assert blocking_algorithm.calls == 1  # second never computed
         serial = api.route(first)
-        assert response.next_channel == serial.next_channel
+        np.testing.assert_array_equal(response.next_channel_array(),
+                                      serial.next_channel_array())
 
 
 class TestNetworkLRU:
@@ -178,6 +180,32 @@ class TestNetworkLRU:
         assert counters["service.networks_evicted"] == 1
         # after serve_in_thread exits, every pinned export is released
         assert fabric.active_exports() == {}
+
+    def test_pinned_tables_released_with_their_network(self):
+        from repro.engine import tablestore
+
+        obs.enable(obs.MemorySink(keep_events=False))
+        nets = [ring(n, 1) for n in (5, 6, 7)]
+
+        with serve_in_thread(["inproc://svc-tbl"], max_networks=2) \
+                as (_service, bound):
+            async def scenario():
+                async with AsyncServiceClient(bound[0]) as client:
+                    for net in nets:
+                        await client.route(RouteRequest(
+                            topology=net, algorithm="nue", max_vls=1,
+                            seed=0))
+
+            asyncio.run(scenario())
+
+        counters = _counters()
+        pinned = counters.get("service.tables_pinned", 0)
+        if pinned == 0:
+            pytest.skip("no shm table store on this platform")
+        # every pin has a matching release: evictions drop the evicted
+        # fabric's table, drop_all sweeps the survivors at teardown
+        assert counters.get("service.tables_released", 0) == pinned
+        assert tablestore.live_tables() == {}
 
     def test_repeat_tenant_reuses_admitted_network(self):
         obs.enable(obs.MemorySink(keep_events=False))

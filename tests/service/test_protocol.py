@@ -2,6 +2,7 @@
 
 import struct
 
+import numpy as np
 import pytest
 
 from repro.routing import NotApplicableError, RoutingError
@@ -126,3 +127,77 @@ def test_max_frame_guard_on_encode(monkeypatch):
     monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
     with pytest.raises(ProtocolError, match="frame limit"):
         encode_frame({"blob": "y" * 64}, get_codec("json"))
+
+
+class TestBinaryFrames:
+    """The PR 10 table codec: raw little-endian buffers under the
+    length-prefixed framing, 'B' frames only when arrays are present."""
+
+    def _table_msg(self):
+        return {
+            "id": 1,
+            "result": {
+                "next_channel": np.arange(12, dtype=np.int32).reshape(4, 3),
+                "vl": np.zeros((4, 3), dtype=np.int8),
+                "dests": [0, 1, 2],
+            },
+        }
+
+    def test_array_message_upgrades_to_binary_frame(self):
+        frame = encode_frame(self._table_msg(), get_codec("json"))
+        assert frame[:1] == b"B"
+        back = decode_frame(frame)
+        msg = self._table_msg()
+        np.testing.assert_array_equal(back["result"]["next_channel"],
+                                      msg["result"]["next_channel"])
+        np.testing.assert_array_equal(back["result"]["vl"],
+                                      msg["result"]["vl"])
+        assert back["result"]["next_channel"].dtype == np.int32
+        assert back["result"]["vl"].dtype == np.int8
+        assert back["result"]["dests"] == [0, 1, 2]
+        assert back["id"] == 1
+
+    def test_array_free_message_keeps_its_codec(self):
+        frame = encode_frame({"op": "ping"}, get_codec("json"))
+        assert frame[:1] == b"J"
+
+    def test_decoded_arrays_are_zero_copy_views(self):
+        frame = encode_frame(self._table_msg(), get_codec("json"))
+        back = decode_frame(frame)
+        arr = back["result"]["next_channel"]
+        assert not arr.flags.writeable  # view of the wire buffer
+        assert arr.copy().flags.writeable
+
+    @pytest.mark.parametrize("codec_name", available_codecs())
+    def test_binary_rides_any_inner_codec(self, codec_name):
+        frame = encode_frame(self._table_msg(), get_codec(codec_name))
+        assert frame[:1] == b"B"
+        back = decode_frame(frame)
+        np.testing.assert_array_equal(
+            back["result"]["next_channel"],
+            self._table_msg()["result"]["next_channel"])
+
+    def test_empty_and_zero_column_arrays_round_trip(self):
+        msg = {"empty": np.zeros((0, 0), dtype=np.int32),
+               "thin": np.zeros((5, 0), dtype=np.int8)}
+        back = decode_frame(encode_frame(msg, get_codec("json")))
+        assert back["empty"].shape == (0, 0)
+        assert back["thin"].shape == (5, 0)
+        assert back["thin"].dtype == np.int8
+
+    def test_truncated_buffer_table_refused(self):
+        frame = bytearray(encode_frame(self._table_msg(),
+                                       get_codec("json")))
+        # corrupt the first buffer length to point past the payload
+        # (payload = inner codec byte, buffer count, then per-buffer
+        # [length, bytes]; the first length sits 5 bytes in)
+        offset = HEADER_SIZE + 5
+        frame[offset:offset + 4] = struct.pack(">I", 1 << 30)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_nested_binary_payload_refused(self):
+        payload = b"B" + struct.pack(">I", 0) + b"{}"
+        nested = b"B" + struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            decode_frame(nested)

@@ -118,8 +118,9 @@ class TestFacadeExecutorIdentity:
         typed = api.route(request)
         with pytest.warns(DeprecationWarning, match="RouteRequest"):
             legacy = api.route(topology=net, max_vls=2, seed=5)
-        assert legacy.next_channel == typed.next_channel
-        assert legacy.vl == typed.vl
+        np.testing.assert_array_equal(legacy.next_channel_array(),
+                                      typed.next_channel_array())
+        np.testing.assert_array_equal(legacy.vl_array(), typed.vl_array())
 
     def test_analyze_kwargs_shim_warns(self, net):
         with pytest.warns(DeprecationWarning, match="AnalyzeRequest"):
@@ -197,3 +198,72 @@ class TestCampaignRequestRoundTrip:
         assert response.report["events"]
         wire = json.loads(json.dumps(response.to_dict()))
         assert CampaignResponse.from_dict(wire) == response
+
+
+class TestTableEncodings:
+    """Schema v2: binary (ndarray) tables on the wire, JSON nested
+    lists kept as the v1 read-compat fallback."""
+
+    def test_binary_to_dict_carries_arrays(self, net):
+        response = execute_route(RouteRequest(topology=net,
+                                              algorithm="nue",
+                                              max_vls=2, seed=3))
+        wire = response.to_dict(tables="binary")
+        assert isinstance(wire["next_channel"], np.ndarray)
+        assert wire["next_channel"].dtype == np.int32
+        assert isinstance(wire["vl"], np.ndarray)
+        assert wire["vl"].dtype == np.int8
+        back = RouteResponse.from_dict(wire)
+        np.testing.assert_array_equal(back.next_channel_array(),
+                                      response.next_channel_array())
+        np.testing.assert_array_equal(back.vl_array(),
+                                      response.vl_array())
+
+    def test_json_to_dict_stays_nested_lists(self, net):
+        response = execute_route(RouteRequest(topology=net,
+                                              algorithm="nue",
+                                              max_vls=2, seed=3))
+        wire = response.to_dict(tables="json")
+        assert isinstance(wire["next_channel"], list)
+        assert json.dumps(wire)  # fully JSON-serialisable
+        back = RouteResponse.from_dict(wire)
+        np.testing.assert_array_equal(back.next_channel_array(),
+                                      response.next_channel_array())
+
+    def test_unknown_tables_mode_rejected(self, net):
+        response = execute_route(RouteRequest(topology=net,
+                                              algorithm="nue",
+                                              max_vls=2, seed=3))
+        with pytest.raises(ValueError, match="tables"):
+            response.to_dict(tables="msgpack")
+
+    def test_unknown_table_encoding_rejected(self, net):
+        response = execute_route(RouteRequest(topology=net,
+                                              algorithm="nue",
+                                              max_vls=2, seed=3))
+        wire = response.to_dict(tables="json")
+        wire["next_channel"] = {"encoding": "base85", "data": "xyz"}
+        with pytest.raises(ServiceBadRequest,
+                           match="unknown table encoding 'base85'"):
+            RouteResponse.from_dict(wire)
+
+    def test_v1_requests_still_accepted(self, net):
+        wire = RouteRequest(topology=net, algorithm="nue", max_vls=2,
+                            seed=3).to_dict()
+        wire["schema_version"] = 1
+        request = RouteRequest.from_dict(wire)
+        assert request.schema_version == 1
+        assert execute_route(request).algorithm == "nue"
+
+    def test_response_outlives_the_shm_table(self, net):
+        from repro.engine import tablestore
+
+        response = execute_route(RouteRequest(topology=net,
+                                              algorithm="nue",
+                                              max_vls=2, seed=3))
+        # executors settle the shm table before returning: the response
+        # must stay readable with no live segment behind it
+        assert not tablestore.live_tables()
+        nxt = response.next_channel_array()
+        assert nxt.shape[0] == net.n_nodes
+        assert int(nxt[0, 0]) == nxt[0, 0]
